@@ -1,0 +1,18 @@
+"""Figure 1: published flow-size distributions (flows and bytes CDFs)."""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig01_distributions as exp
+
+
+def test_fig01_flow_distributions(benchmark):
+    data = run_once(benchmark, exp.run)
+    emit("Figure 1: flow/byte CDFs", exp.format_rows(data))
+    # Paper: vast majority of datamining *bytes* are in bulk (>15 MB) flows,
+    # while websearch has none at all above the threshold.
+    assert data["datamining"]["bulk_byte_fraction_15MB"][0] > 0.75
+    assert data["websearch"]["bulk_byte_fraction_15MB"][0] < 0.05
+    # Flow-count CDFs are dominated by small flows in all three workloads.
+    for name in ("datamining", "websearch", "hadoop"):
+        flows_at_1mb = data[name]["flow_cdf"][4]  # 1e6 bytes
+        assert flows_at_1mb > 0.5

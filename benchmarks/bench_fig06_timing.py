@@ -1,0 +1,17 @@
+"""Figure 6 / section 4.1: topology-slice time constants."""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig06_timing as exp
+
+
+def test_fig06_timing_constants(benchmark):
+    data = run_once(benchmark, exp.run)
+    emit("Figure 6 / section 4.1: time constants", exp.format_rows(data))
+    assert data["slice_us"] == 100.0
+    assert data["cycle_slices"] == 108
+    # Paper: "a duty cycle of 98%" and "a cycle time of 10.7 ms".
+    assert abs(data["duty_cycle"] - 0.983) < 0.002
+    assert abs(data["cycle_ms"] - 10.8) < 0.2
+    # Paper rounds the resulting 13.5 MB amortization point up to 15 MB.
+    assert 12.0 < data["bulk_threshold_MB"] < 16.0

@@ -1,0 +1,36 @@
+"""Figure 7: Datamining FCTs vs load on the four networks (reduced scale)."""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig07_datamining as exp
+
+
+def test_fig07_datamining_fct(benchmark):
+    results = run_once(
+        benchmark,
+        exp.run,
+        (0.01, 0.10, 0.25),
+        ("opera", "expander", "clos", "rotornet-hybrid", "rotornet"),
+        3.0,  # ms of arrivals per configuration (reduced scale)
+    )
+    emit("Figure 7: Datamining FCT (reduced scale)", exp.format_rows(results))
+    by = {(r.network, r.load): r for r in results}
+
+    def p99_small(kind, load):
+        return by[(kind, load)].bucket_p99(0) or by[(kind, load)].bucket_p99(10_000)
+
+    # Paper: at low load every network with a packet path serves short
+    # flows in tens-to-hundreds of microseconds...
+    for kind in ("opera", "expander", "clos", "rotornet-hybrid"):
+        v = p99_small(kind, 0.10)
+        assert v is not None and v < 1_000, (kind, v)
+    # ...while non-hybrid RotorNet pays orders of magnitude (short flows
+    # must wait for buffered circuits), Figure 7c.
+    rotor = p99_small("rotornet", 0.10)
+    opera = p99_small("opera", 0.10)
+    assert rotor is not None and opera is not None
+    assert rotor > 5 * opera
+    # Every offered flow eventually completes at low load.
+    for kind in ("opera", "expander", "clos"):
+        r = by[(kind, 0.10)]
+        assert r.completed >= 0.9 * r.n_flows

@@ -1,0 +1,24 @@
+"""Figure 8: 100 KB all-to-all shuffle throughput over time (paper scale)."""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig08_shuffle as exp
+
+
+def test_fig08_shuffle_throughput(benchmark):
+    data = run_once(benchmark, exp.run)
+    emit("Figure 8: shuffle (648 hosts, 100 KB all-to-all)", exp.format_rows(data))
+    opera = data["opera"].completion_percentile_ms(99)
+    expander = data["expander"].completion_percentile_ms(99)
+    clos = data["clos"].completion_percentile_ms(99)
+    assert opera is not None and expander is not None and clos is not None
+    # Paper: Opera 60 ms vs 223/227 ms for the statics. Our fluid statics
+    # are idealized (no transport losses), so the gap is ~2x rather than
+    # ~3.7x, but Opera's direct paths win decisively either way.
+    assert opera < expander
+    assert opera < clos
+    assert opera < 100.0  # paper: 60 ms; fluid model lands ~75 ms
+    # Opera's plateau: direct circuits carry ~ (u-1)/u * duty of host bw.
+    series = data["opera"].throughput_series
+    mid = [v for _t, v in series[: len(series) // 2]]
+    assert 0.7 < sum(mid) / len(mid) < 0.85

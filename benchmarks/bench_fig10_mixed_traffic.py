@@ -1,0 +1,24 @@
+"""Figure 10: throughput vs Websearch share of a mixed workload."""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig10_mixed as exp
+
+
+def test_fig10_mixed_traffic(benchmark):
+    data = run_once(benchmark, exp.run)
+    emit("Figure 10: mixed Websearch + shuffle", exp.format_rows(data))
+    opera = dict(data["opera"])
+    expander = dict(data["expander"])
+    clos = dict(data["clos"])
+    # Paper: at low websearch load Opera delivers up to ~4x the static
+    # networks' throughput (>= 2x with our idealized static models)...
+    low = min(opera)
+    assert opera[low] > 2.0 * expander[low]
+    assert opera[low] > 2.0 * clos[low]
+    # ...and still ~2x at 10% websearch load.
+    assert opera[0.10] > 1.5 * expander[0.10]
+    # Opera's bulk advantage shrinks as websearch load grows.
+    loads = sorted(opera)
+    gaps = [opera[w] - expander[w] for w in loads]
+    assert gaps[0] >= gaps[-1]

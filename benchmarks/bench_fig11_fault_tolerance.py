@@ -1,0 +1,23 @@
+"""Figure 11: connectivity loss under random failures (108-rack Opera)."""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig11_faults as exp
+
+
+def test_fig11_fault_tolerance(benchmark):
+    data = run_once(benchmark, exp.run)
+    emit("Figure 11: Opera fault tolerance", exp.format_rows(data))
+    links = dict((f, r) for f, r in data["links"])
+    racks = dict((f, r) for f, r in data["racks"])
+    switches = dict((f, r) for f, r in data["switches"])
+    # Paper: no connectivity loss at ~4% links / ~7% ToRs / 2 of 6 switches.
+    assert links[0.025].any_slice_loss == 0.0
+    assert racks[0.05].any_slice_loss == 0.0
+    assert switches[0.2].any_slice_loss == 0.0  # 1/6 switches
+    # Heavy failures do disconnect pairs.
+    assert links[0.4].any_slice_loss > 0.0
+    # Loss integrated across slices is at least the worst slice's.
+    for series in data.values():
+        for _f, report in series:
+            assert report.any_slice_loss >= report.worst_slice_loss

@@ -1,0 +1,32 @@
+"""Figure 12: throughput vs alpha at k=24 (5,184 hosts)."""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig12_cost_sensitivity as exp
+
+
+def test_fig12_cost_sensitivity_k24(benchmark):
+    data = run_once(benchmark, exp.run, 24, (1.0, 1.3, 1.7, 2.0))
+    emit("Figure 12: throughput vs alpha (k=24)", exp.format_rows(data))
+    alpha = 1.3
+
+    def value(pattern, network):
+        return dict(data[pattern][network])[alpha]
+
+    # Paper: Clos throughput is pattern independent and rises with alpha.
+    clos_vals = {p: value(p, "clos") for p in exp.PATTERNS}
+    assert max(clos_vals.values()) - min(clos_vals.values()) < 0.01
+    clos_curve = [v for _a, v in data["permutation"]["clos"]]
+    assert clos_curve == sorted(clos_curve)
+    # Paper: expander throughput falls as traffic becomes less skewed.
+    assert value("hotrack", "expander") > value("permutation", "expander")
+    # Paper: Opera dips with decreasing skew then recovers for uniform.
+    assert value("hotrack", "opera") > value("skew", "opera")
+    assert value("skew", "opera") > value("permutation", "opera")
+    assert value("all_to_all", "opera") > value("permutation", "opera")
+    # Paper: Opera wins permutation and moderate skew while alpha < ~1.8...
+    assert value("permutation", "opera") > value("permutation", "expander")
+    assert value("skew", "opera") > value("skew", "expander")
+    # ...and delivers ~2x on all-to-all even at alpha = 2.
+    a2a = {net: dict(data["all_to_all"][net])[2.0] for net in ("opera", "expander", "clos")}
+    assert a2a["opera"] > 1.4 * a2a["clos"]

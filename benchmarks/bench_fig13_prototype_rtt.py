@@ -1,0 +1,21 @@
+"""Figure 13: prototype RTTs with and without bulk background traffic."""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig13_prototype as exp
+
+
+def test_fig13_prototype_rtt(benchmark):
+    data = run_once(benchmark, exp.run, 80)
+    emit("Figure 13: ping-pong RTT (8 ToRs x 4 rotors)", exp.format_rows(data))
+    idle, busy = data["idle"], data["with_bulk"]
+    assert len(idle) >= 60 and len(busy) >= 60
+
+    def median(xs):
+        return xs[len(xs) // 2]
+
+    # Paper: idle RTTs are a few us per hop; bulk background adds up to one
+    # MTU serialization per hop (the CDF shifts right, tail grows).
+    assert median(idle) < 60.0
+    assert median(busy) >= median(idle)
+    assert max(busy) > max(idle)

@@ -1,0 +1,18 @@
+"""Figure 14 / Appendix B: relative cycle time vs ToR radix."""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig14_cycle_scaling as exp
+
+
+def test_fig14_cycle_scaling(benchmark):
+    rows = run_once(benchmark, exp.run)
+    emit("Figure 14: cycle time scaling", exp.format_rows(rows))
+    by_k = {r["k"]: r for r in rows}
+    # Paper: without groups, k=64 costs ~28x the k=12 cycle (quadratic)...
+    assert abs(by_k[64]["relative_cycle_no_groups"] - 28.4) < 1.0
+    # ...with groups of ~6 the increase is only ~6x (linear-ish).
+    assert by_k[64]["relative_cycle_grouped"] < 8.0
+    # Grouping never lengthens the cycle.
+    for r in rows:
+        assert r["relative_cycle_grouped"] <= r["relative_cycle_no_groups"] + 1e-9

@@ -1,0 +1,21 @@
+"""Figure 15: throughput vs alpha at k=12 (matches Figure 12's scaling)."""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig12_cost_sensitivity as exp
+
+
+def test_fig15_cost_sensitivity_k12(benchmark):
+    data = run_once(benchmark, exp.run, 12, (1.0, 1.3, 1.7, 2.0))
+    emit("Figure 15: throughput vs alpha (k=12)", exp.format_rows(data))
+
+    def value(pattern, network, alpha=1.3):
+        return dict(data[pattern][network])[alpha]
+
+    # Same qualitative panel as Figure 12 (the paper: "nearly identical
+    # performance-cost scaling" across k=12 and k=24).
+    assert value("hotrack", "opera") > value("skew", "opera") > value(
+        "permutation", "opera"
+    )
+    assert value("permutation", "opera") > value("permutation", "expander")
+    assert value("all_to_all", "opera") > 1.4 * value("all_to_all", "clos")

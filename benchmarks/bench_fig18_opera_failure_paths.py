@@ -1,0 +1,21 @@
+"""Figure 18 / Appendix E: Opera path stretch under failures."""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig18_failure_paths as exp
+
+
+def test_fig18_opera_failure_paths(benchmark):
+    data = run_once(benchmark, exp.run_opera)
+    emit("Figure 18: Opera path lengths under failures", exp.format_rows(data, "opera"))
+    links = dict(data["links"])
+    # Routing around failures stretches paths monotonically-ish: the 40%
+    # sweep must be strictly longer than the 1% sweep.
+    assert links[0.4].average_path_length > links[0.01].average_path_length
+    # In the paper's operating regime (<= 20% failures) worst-case finite
+    # paths stay close to Figure 18's ~10-15 hop ceiling; only the 40%
+    # devastation point grows beyond it.
+    for series in data.values():
+        for fraction, report in series:
+            if fraction <= 0.2:
+                assert report.worst_path_length <= 15

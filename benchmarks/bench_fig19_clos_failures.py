@@ -1,0 +1,17 @@
+"""Figure 19 / Appendix E: folded Clos failure analysis."""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig18_failure_paths as exp
+
+
+def test_fig19_clos_failures(benchmark):
+    data = run_once(benchmark, exp.run_clos)
+    emit("Figure 19: 3:1 folded Clos under failures", exp.format_rows(data, "clos"))
+    links = dict(data["links"])
+    # The 3:1 Clos has only 3 uplinks per ToR: it starts disconnecting at
+    # much lower link-failure rates than Opera (App. E).
+    assert links[0.4].any_slice_loss > 0.0
+    assert links[0.01].any_slice_loss <= 0.02
+    # Intact paths stay at 2/4 switch hops (no detours exist in a Clos).
+    assert links[0.01].worst_path_length <= 4

@@ -1,0 +1,18 @@
+"""Figure 20 / Appendix E: u=7 expander failure analysis."""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig18_failure_paths as exp
+
+
+def test_fig20_expander_failures(benchmark):
+    data = run_once(benchmark, exp.run_expander)
+    emit("Figure 20: u=7 expander under failures", exp.format_rows(data, "expander"))
+    links = dict(data["links"])
+    racks = dict(data["racks"])
+    # Paper: the u=7 expander (higher fanout) tolerates failures best —
+    # still connected at 10% link failures.
+    assert links[0.1].any_slice_loss == 0.0
+    assert racks[0.05].any_slice_loss == 0.0
+    # Paths stretch as links fail.
+    assert links[0.4].average_path_length >= links[0.01].average_path_length

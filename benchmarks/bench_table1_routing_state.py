@@ -1,0 +1,22 @@
+"""Table 1: ruleset sizes and Tofino utilization."""
+
+from conftest import emit, run_once
+
+from repro.experiments import table1_state as exp
+
+
+def test_table1_routing_state(benchmark):
+    rows = run_once(benchmark, exp.run)
+    emit("Table 1: routing state scalability", exp.format_rows(rows))
+    expected = {
+        108: 12_096,
+        252: 65_268,
+        520: 276_120,
+        768: 600_576,
+        1008: 1_032_192,
+        1200: 1_461_600,
+    }
+    for row in rows:
+        assert row.entries == expected[row.n_racks]
+    # Paper's headline: even 1,200 racks fit with spare capacity.
+    assert rows[-1].utilization < 0.9

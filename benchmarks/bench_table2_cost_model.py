@@ -1,0 +1,18 @@
+"""Table 2 / Appendix A: port costs and the cost-equivalent trio."""
+
+from conftest import emit, run_once
+
+from repro.experiments import table2_costs as exp
+
+
+def test_table2_cost_model(benchmark):
+    data = run_once(benchmark, exp.run)
+    emit("Table 2: cost model", exp.format_rows(data))
+    assert data["static_port_usd"] == 215.0
+    assert data["opera_port_usd"] == 275.0
+    assert abs(data["alpha"] - 1.28) < 0.03  # paper rounds to 1.3
+    # Appendix A: alpha=1.3 sizes the paper's exact comparison trio.
+    assert data["trio_hosts"] == 648
+    assert data["trio_expander_uplinks"] == 7
+    assert data["trio_expander_racks"] == 130
+    assert abs(data["trio_clos_oversubscription"] - 3.08) < 0.01

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Fault tolerance (Figure 11): watch Opera route around failures.
+
+Injects growing numbers of link, ToR and circuit-switch failures into the
+648-host reference network and reports connectivity loss and path stretch,
+exactly as section 5.5 measures them.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+import random
+
+from repro import FailureSet
+from repro.analysis.failures import opera_failure_report
+from repro.core.schedule import OperaSchedule
+
+
+def main() -> None:
+    sched = OperaSchedule(108, 6, seed=0)
+    slices = range(0, sched.cycle_slices, 6)  # sample 18 of 108 slices
+    rng = random.Random(7)
+
+    print("failures              loss(worst)  loss(any)   avg path  worst")
+    for label, failures in [
+        ("none", FailureSet.none()),
+        ("2.5% links", FailureSet.random_links(108, 6, 0.025, rng)),
+        ("10% links", FailureSet.random_links(108, 6, 0.10, rng)),
+        ("40% links", FailureSet.random_links(108, 6, 0.40, rng)),
+        ("5% ToRs", FailureSet.random_racks(108, 0.05, rng)),
+        ("20% ToRs", FailureSet.random_racks(108, 0.20, rng)),
+        ("1 of 6 switches", FailureSet(switches=frozenset({2}))),
+        ("2 of 6 switches", FailureSet(switches=frozenset({2, 5}))),
+        ("3 of 6 switches", FailureSet(switches=frozenset({0, 2, 5}))),
+    ]:
+        report = opera_failure_report(sched, failures, slices)
+        print(
+            f"{label:>20s} {report.worst_slice_loss:11.4f} "
+            f"{report.any_slice_loss:10.4f} {report.average_path_length:10.2f} "
+            f"{report.worst_path_length:6d}"
+        )
+    print(
+        "\npaper: no loss up to ~4% links, ~7% ToRs, or 2 of 6 circuit "
+        "switches;\nsurviving paths stretch gracefully as failures mount."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Shuffle showdown (Figure 8): Opera vs folded Clos vs expander.
+
+Runs the paper's headline experiment at full 108-rack / 648-host scale:
+every host sends 100 KB to every other host (a MapReduce-style shuffle,
+flow size = the Facebook Hadoop median). Opera carries all of it over
+direct, bandwidth-tax-free circuits; the cost-equivalent statics pay
+oversubscription (Clos) or a 200-300% bandwidth tax (expander).
+
+Run:  python examples/shuffle_vs_static.py
+"""
+
+from repro.experiments import fig08_shuffle
+
+
+def main() -> None:
+    print("running 648-host 100 KB all-to-all shuffle (fluid, paper scale)...")
+    results = fig08_shuffle.run()
+    for row in fig08_shuffle.format_rows(results):
+        print(row)
+
+    opera = results["opera"]
+    print("\nOpera throughput over time (10 ms bins):")
+    bins: dict[int, list[float]] = {}
+    for t_ms, v in opera.throughput_series:
+        bins.setdefault(int(t_ms // 10), []).append(v)
+    for b in sorted(bins):
+        mean = sum(bins[b]) / len(bins[b])
+        bar = "#" * int(mean * 50)
+        print(f"  {10 * b:4d}-{10 * (b + 1):<4d} ms |{bar:<50s}| {mean:.2f}")
+
+    o = opera.completion_percentile_ms(99)
+    c = results["clos"].completion_percentile_ms(99)
+    e = results["expander"].completion_percentile_ms(99)
+    print(f"\n99th-percentile completion: opera {o:.0f} ms, "
+          f"expander {e:.0f} ms, clos {c:.0f} ms")
+    print(f"Opera advantage: {min(c, e) / o:.1f}x "
+          "(paper: 60 ms vs 223/227 ms)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim so editable installs work offline (no wheel/bdist_wheel available).
+
+All project metadata lives in pyproject.toml; this file only exists so that
+``pip install -e . --no-use-pep517 --no-build-isolation`` can fall back to
+``setup.py develop`` in environments without network access.
+"""
+
+from setuptools import setup
+
+setup()

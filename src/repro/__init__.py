@@ -1,0 +1,49 @@
+"""repro — a from-scratch Python reproduction of Opera (NSDI 2020).
+
+Opera ("Expanding across time to deliver bandwidth efficiency and low
+latency", Mellette et al.) is a datacenter network built from packet-switched
+ToRs and rotor circuit switches. At every instant the instantiated circuits
+form an expander graph, so latency-sensitive traffic is forwarded
+immediately over short multi-hop paths; integrated across one reconfiguration
+cycle, every rack pair receives a direct circuit, so bulk traffic rides
+one-hop, bandwidth-tax-free paths.
+
+Top-level subpackages:
+
+* :mod:`repro.core` — matchings, rotor schedule, routing, timing (the
+  paper's contribution).
+* :mod:`repro.topologies` — cost-equivalent baselines: folded Clos, static
+  expander, RotorNet.
+* :mod:`repro.net` — packet-level event simulator with NDP and RotorLB
+  transports (htsim substitute).
+* :mod:`repro.fluid` — slice-granularity fluid simulator for paper-scale
+  throughput experiments.
+* :mod:`repro.workloads` — published flow-size distributions and traffic
+  patterns.
+* :mod:`repro.analysis` — expansion/path/failure/cost/throughput analyses.
+"""
+
+from .core import (
+    FailureSet,
+    ForwardingPipeline,
+    OperaNetwork,
+    OperaRouting,
+    OperaSchedule,
+    TimingParams,
+    TrafficClass,
+    classify_flow,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FailureSet",
+    "ForwardingPipeline",
+    "OperaNetwork",
+    "OperaRouting",
+    "OperaSchedule",
+    "TimingParams",
+    "TrafficClass",
+    "classify_flow",
+    "__version__",
+]

@@ -1,0 +1,77 @@
+"""Analyses: expansion, path lengths, failures, costs and throughput."""
+
+from .costs import (
+    EquivalentNetworks,
+    alpha_estimate,
+    clos_hosts,
+    clos_oversubscription_for_alpha,
+    cost_equivalent_networks,
+    expander_racks_for_hosts,
+    expander_uplinks_for_alpha,
+    port_cost,
+)
+from .expansion import (
+    SpectralReport,
+    adjacency_matrix,
+    expander_spectrum,
+    opera_slice_spectra,
+    ramanujan_gap,
+    spectral_gap,
+)
+from .failures import (
+    PAPER_FAILURE_FRACTIONS,
+    ConnectivityReport,
+    clos_failure_report,
+    expander_failure_report,
+    opera_failure_report,
+    random_clos_link_failures,
+    random_clos_switch_failures,
+)
+from .paths import (
+    PathLengthDistribution,
+    clos_path_lengths,
+    expander_path_lengths,
+    opera_path_lengths,
+    sampled_average_path_length,
+)
+from .throughput import (
+    RotorFluidModel,
+    clos_throughput,
+    expander_link_loads,
+    expander_throughput,
+    opera_throughput,
+)
+
+__all__ = [
+    "EquivalentNetworks",
+    "alpha_estimate",
+    "clos_hosts",
+    "clos_oversubscription_for_alpha",
+    "cost_equivalent_networks",
+    "expander_racks_for_hosts",
+    "expander_uplinks_for_alpha",
+    "port_cost",
+    "SpectralReport",
+    "adjacency_matrix",
+    "expander_spectrum",
+    "opera_slice_spectra",
+    "ramanujan_gap",
+    "spectral_gap",
+    "PAPER_FAILURE_FRACTIONS",
+    "ConnectivityReport",
+    "clos_failure_report",
+    "expander_failure_report",
+    "opera_failure_report",
+    "random_clos_link_failures",
+    "random_clos_switch_failures",
+    "PathLengthDistribution",
+    "clos_path_lengths",
+    "expander_path_lengths",
+    "opera_path_lengths",
+    "sampled_average_path_length",
+    "RotorFluidModel",
+    "clos_throughput",
+    "expander_link_loads",
+    "expander_throughput",
+    "opera_throughput",
+]

@@ -1,0 +1,156 @@
+"""Cost-normalization model (paper section 5.6, Appendix A, Table 2).
+
+All cross-topology comparisons in the paper hold *cost* constant, not
+equipment count. The key parameter is
+
+    alpha = cost of an Opera "port" / cost of a static network "port"
+
+where a static port is (ToR port + SR transceiver + fiber) and an Opera port
+adds the amortized rotor-switch components. Equivalently, alpha is the cost
+of core ports per edge (server-facing) port:
+
+* folded Clos, ``T`` tiers, ``F``:1 oversubscribed at the ToR:
+  ``alpha = 2 (T - 1) / F``;
+* static expander with ``u`` of ``k`` ToR ports facing the network:
+  ``alpha = u / (k - u)``;
+* Opera (1:1 provisioned, ``u = d = k/2``): every core port costs alpha, so
+  the figure of merit is alpha itself.
+
+With the component costs of Table 2, alpha ~= 1.3, which sizes the paper's
+cost-equivalent trio: 648-host Opera, 3:1 folded Clos (648 hosts), and
+u=7 expander (650 hosts) — reproduced exactly by these functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "STATIC_PORT_COSTS",
+    "OPERA_PORT_COSTS",
+    "port_cost",
+    "alpha_estimate",
+    "clos_oversubscription_for_alpha",
+    "clos_hosts",
+    "expander_uplinks_for_alpha",
+    "expander_racks_for_hosts",
+    "EquivalentNetworks",
+    "cost_equivalent_networks",
+]
+
+#: Per-port component costs (USD) for a static packet-switched network,
+#: from Table 2 / reference [29].
+STATIC_PORT_COSTS: dict[str, float] = {
+    "sr_transceiver": 80.0,
+    "optical_fiber": 45.0,  # $0.3/m, 150 m average run
+    "tor_port": 90.0,
+}
+
+#: Additional rotor-switch components per duplex fiber port (Table 2),
+#: amortized over ~512-port rotor switches.
+OPERA_PORT_COSTS: dict[str, float] = {
+    **STATIC_PORT_COSTS,
+    "optical_fiber_array": 30.0,
+    "optical_lenses": 15.0,
+    "beam_steering_element": 5.0,
+    "optical_mapping": 10.0,
+}
+
+
+def port_cost(components: dict[str, float]) -> float:
+    """Total per-port cost of a component breakdown."""
+    return sum(components.values())
+
+
+def alpha_estimate() -> float:
+    """The paper's estimated alpha (~1.3) from the Table 2 components."""
+    return port_cost(OPERA_PORT_COSTS) / port_cost(STATIC_PORT_COSTS)
+
+
+def clos_oversubscription_for_alpha(alpha: float, tiers: int = 3) -> float:
+    """Oversubscription ``F`` of the cost-equivalent folded Clos.
+
+    From ``alpha = 2 (T - 1) / F``. With T=3 and alpha=1.3 this gives
+    F ~= 3.1, the paper's "3:1 folded Clos".
+    """
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    if tiers < 2:
+        raise ValueError("a folded Clos needs at least two tiers")
+    return 2 * (tiers - 1) / alpha
+
+
+def clos_hosts(k: int, alpha: float, tiers: int = 3) -> float:
+    """Hosts supported by the cost-equivalent folded Clos (Appendix A).
+
+    ``H = (4F / (F + 1)) * (k / 2)^T``. With k=12, F=3: exactly 648.
+    """
+    f = clos_oversubscription_for_alpha(alpha, tiers)
+    return (4 * f / (f + 1)) * (k / 2) ** tiers
+
+
+def expander_uplinks_for_alpha(k: int, alpha: float) -> int:
+    """ToR uplinks ``u`` of the cost-equivalent static expander.
+
+    From ``alpha = u / (k - u)``: ``u = k * alpha / (1 + alpha)``, rounded
+    to the nearest whole port. k=12, alpha=1.3 gives the u=7 expander.
+    """
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    u = round(k * alpha / (1 + alpha))
+    return min(max(u, 1), k - 1)
+
+
+def expander_racks_for_hosts(k: int, alpha: float, n_hosts: int) -> int:
+    """Racks the cost-equivalent expander needs for ``n_hosts`` (even)."""
+    d = k - expander_uplinks_for_alpha(k, alpha)
+    racks = -(-n_hosts // d)  # ceil
+    return racks + (racks % 2)
+
+
+@dataclass(frozen=True)
+class EquivalentNetworks:
+    """Sizing of the paper's cost-equivalent comparison trio."""
+
+    k: int
+    alpha: float
+    n_hosts: int
+    # Opera: 1:1 provisioned ToRs.
+    opera_racks: int
+    opera_uplinks: int
+    opera_hosts_per_rack: int
+    # Folded Clos.
+    clos_oversubscription: float
+    # Static expander.
+    expander_racks: int
+    expander_uplinks: int
+    expander_hosts_per_rack: int
+
+
+def cost_equivalent_networks(
+    k: int, alpha: float = 1.3, n_racks: int | None = None
+) -> EquivalentNetworks:
+    """Size the Opera / folded Clos / expander trio at equal cost.
+
+    Defaults reproduce the paper's 648-host k=12 comparison: a 108-rack
+    Opera network, a 3:1 folded Clos, and a 130-rack u=7 expander with 650
+    hosts (the expander rounds up to keep racks whole).
+    """
+    from ..core.topology import default_rack_count
+
+    opera_racks = n_racks if n_racks is not None else default_rack_count(k)
+    d = k // 2
+    n_hosts = opera_racks * d
+    u_exp = expander_uplinks_for_alpha(k, alpha)
+    return EquivalentNetworks(
+        k=k,
+        alpha=alpha,
+        n_hosts=n_hosts,
+        opera_racks=opera_racks,
+        opera_uplinks=d,
+        opera_hosts_per_rack=d,
+        clos_oversubscription=clos_oversubscription_for_alpha(alpha),
+        expander_racks=expander_racks_for_hosts(k, alpha, n_hosts),
+        expander_uplinks=u_exp,
+        expander_hosts_per_rack=k - u_exp,
+    )

@@ -1,0 +1,222 @@
+"""Fault-tolerance analysis (paper section 5.5, Figures 11, 18–20, App. E).
+
+For a given failure set we step through Opera's topology slices and record
+
+* **connectivity loss** — the fraction of (non-failed) ToR pairs that are
+  disconnected, both in the *worst slice* and *across all slices* (pairs
+  disconnected in at least one slice); and
+* **path stretch** — average and worst finite path lengths, since routing
+  around failures lengthens paths.
+
+The same metrics are computed for the cost-equivalent 3:1 folded Clos and
+u=7 expander baselines (Figures 19 and 20). All graphs are small enough for
+exact all-pairs BFS.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core.faults import FailureSet
+from ..core.routing import SliceRoutes, build_adjacency
+from ..core.schedule import OperaSchedule
+from ..topologies.expander import ExpanderTopology
+from ..topologies.folded_clos import FoldedClos
+
+__all__ = [
+    "ConnectivityReport",
+    "opera_failure_report",
+    "expander_failure_report",
+    "clos_failure_report",
+    "PAPER_FAILURE_FRACTIONS",
+]
+
+#: The x-axis of Figures 11 and 18-20.
+PAPER_FAILURE_FRACTIONS = (0.01, 0.025, 0.05, 0.10, 0.20, 0.40)
+
+
+@dataclass(frozen=True)
+class ConnectivityReport:
+    """Failure metrics for one network and failure draw."""
+
+    label: str
+    #: Fraction of live ToR pairs disconnected in the worst topology slice.
+    worst_slice_loss: float
+    #: Fraction of live ToR pairs disconnected in at least one slice.
+    any_slice_loss: float
+    #: Mean finite path length (ToR-to-ToR hops), across slices and pairs.
+    average_path_length: float
+    #: Max finite path length observed.
+    worst_path_length: int
+
+
+def _pair_metrics(
+    dist_rows: Sequence[Sequence[int]], live: Sequence[int]
+) -> tuple[set[tuple[int, int]], int, int, int]:
+    """Disconnected pairs plus (sum, count, max) of finite path lengths."""
+    disconnected: set[tuple[int, int]] = set()
+    total = 0
+    count = 0
+    worst = 0
+    for i, a in enumerate(live):
+        row = dist_rows[a]
+        for b in live[i + 1 :]:
+            d = row[b]
+            if d < 0:
+                disconnected.add((a, b))
+            else:
+                total += d
+                count += 1
+                worst = max(worst, d)
+    return disconnected, total, count, worst
+
+
+def opera_failure_report(
+    schedule: OperaSchedule,
+    failures: FailureSet,
+    slices: Iterable[int] | None = None,
+) -> ConnectivityReport:
+    """Step through the slices and measure loss/stretch (Figures 11, 18)."""
+    live = [r for r in range(schedule.n_racks) if r not in failures.racks]
+    n_pairs = len(live) * (len(live) - 1) // 2
+    union: set[tuple[int, int]] = set()
+    worst_slice = 0
+    path_sum = 0
+    path_count = 0
+    worst_path = 0
+    slice_list = (
+        list(slices) if slices is not None else range(schedule.cycle_slices)
+    )
+    for s in slice_list:
+        routes = SliceRoutes(build_adjacency(schedule, s, failures))
+        disconnected, total, count, worst = _pair_metrics(routes.dist, live)
+        union |= disconnected
+        worst_slice = max(worst_slice, len(disconnected))
+        path_sum += total
+        path_count += count
+        worst_path = max(worst_path, worst)
+    return ConnectivityReport(
+        label="opera",
+        worst_slice_loss=worst_slice / n_pairs if n_pairs else 0.0,
+        any_slice_loss=len(union) / n_pairs if n_pairs else 0.0,
+        average_path_length=path_sum / path_count if path_count else float("inf"),
+        worst_path_length=worst_path,
+    )
+
+
+def expander_failure_report(
+    topology: ExpanderTopology, failures: FailureSet
+) -> ConnectivityReport:
+    """Loss/stretch for the static expander (Figure 20).
+
+    Expander "links" are its inter-ToR edges; ``failures.links`` pairs are
+    interpreted as ``(rack, matching index)``, mirroring Opera's
+    ``(rack, switch)`` convention.
+    """
+    n = topology.n_racks
+    adj: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+    for rack, edges in enumerate(topology.adjacency):
+        for peer, port in edges:
+            if rack < peer and failures.circuit_ok(rack, peer, port):
+                adj[rack].append((peer, port))
+                adj[peer].append((rack, port))
+    routes = SliceRoutes(adj)
+    live = [r for r in range(n) if r not in failures.racks]
+    n_pairs = len(live) * (len(live) - 1) // 2
+    disconnected, total, count, worst = _pair_metrics(routes.dist, live)
+    loss = len(disconnected) / n_pairs if n_pairs else 0.0
+    return ConnectivityReport(
+        label=f"expander-u{topology.uplinks}",
+        worst_slice_loss=loss,
+        any_slice_loss=loss,
+        average_path_length=total / count if count else float("inf"),
+        worst_path_length=worst,
+    )
+
+
+def clos_failure_report(
+    clos: FoldedClos,
+    failed_links: frozenset[tuple[str, int, int]] = frozenset(),
+    failed_switches: frozenset[tuple[str, int]] = frozenset(),
+) -> ConnectivityReport:
+    """Loss/stretch for the folded Clos (Figure 19).
+
+    Links are ``("ta", tor, agg)`` or ``("ac", agg, core)`` tuples;
+    switches are ``("agg", i)`` / ``("core", i)`` (ToRs are endpoints and
+    are failed via the expander-style rack set in the sweep harness).
+    """
+    n_tor = clos.n_racks
+    n_agg = clos.n_aggs
+    agg_base = n_tor
+    core_base = n_tor + n_agg
+    n_nodes = core_base + clos.n_cores
+    adj: list[list[int]] = [[] for _ in range(n_nodes)]
+
+    def agg_alive(a: int) -> bool:
+        return ("agg", a) not in failed_switches
+
+    def core_alive(c: int) -> bool:
+        return ("core", c) not in failed_switches
+
+    for tor in range(n_tor):
+        for agg in clos.tor_agg_links(tor):
+            if agg_alive(agg) and ("ta", tor, agg) not in failed_links:
+                adj[tor].append(agg_base + agg)
+                adj[agg_base + agg].append(tor)
+    for agg in range(n_agg):
+        if not agg_alive(agg):
+            continue
+        for core in clos.agg_core_links(agg):
+            if core_alive(core) and ("ac", agg, core) not in failed_links:
+                adj[agg_base + agg].append(core_base + core)
+                adj[core_base + core].append(agg_base + agg)
+
+    live = list(range(n_tor))
+    n_pairs = n_tor * (n_tor - 1) // 2
+    dist_rows = []
+    for tor in range(n_tor):
+        dist = [-1] * n_nodes
+        dist[tor] = 0
+        queue = deque([tor])
+        while queue:
+            v = queue.popleft()
+            for w in adj[v]:
+                if dist[w] == -1:
+                    dist[w] = dist[v] + 1
+                    queue.append(w)
+        dist_rows.append(dist)
+    disconnected, total, count, worst = _pair_metrics(dist_rows, live)
+    loss = len(disconnected) / n_pairs if n_pairs else 0.0
+    return ConnectivityReport(
+        label=f"clos-{clos.oversubscription}to1",
+        worst_slice_loss=loss,
+        any_slice_loss=loss,
+        average_path_length=total / count if count else float("inf"),
+        worst_path_length=worst,
+    )
+
+
+def random_clos_link_failures(
+    clos: FoldedClos, fraction: float, rng: random.Random
+) -> frozenset[tuple[str, int, int]]:
+    """Fail a uniform fraction of the Clos's inter-switch links."""
+    links: list[tuple[str, int, int]] = []
+    for tor in range(clos.n_racks):
+        links.extend(("ta", tor, agg) for agg in clos.tor_agg_links(tor))
+    for agg in range(clos.n_aggs):
+        links.extend(("ac", agg, core) for core in clos.agg_core_links(agg))
+    k = round(fraction * len(links))
+    return frozenset(rng.sample(links, k))
+
+
+def random_clos_switch_failures(
+    clos: FoldedClos, fraction: float, rng: random.Random
+) -> frozenset[tuple[str, int]]:
+    """Fail a uniform fraction of aggregation+core switches."""
+    switches = [("agg", a) for a in range(clos.n_aggs)]
+    switches += [("core", c) for c in range(clos.n_cores)]
+    k = round(fraction * len(switches))
+    return frozenset(rng.sample(switches, k))

@@ -1,0 +1,121 @@
+"""Path-length distributions across topologies (Figures 4 and 16, App. C).
+
+Opera's path-length CDF aggregates shortest-path hop counts over *all*
+topology slices and rack pairs; the expander's is over its single static
+graph; the folded Clos has the fixed 2-hop (intra-pod) / 4-hop (core)
+structure. Figure 16 tracks average path length as the network scales from
+k=12 to k=48 at several expander cost points.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.routing import OperaRouting, build_adjacency
+from ..core.schedule import OperaSchedule
+from ..topologies.expander import ExpanderTopology
+from ..topologies.folded_clos import FoldedClos
+
+__all__ = [
+    "PathLengthDistribution",
+    "opera_path_lengths",
+    "expander_path_lengths",
+    "clos_path_lengths",
+    "sampled_average_path_length",
+]
+
+
+@dataclass(frozen=True)
+class PathLengthDistribution:
+    """A hop-count histogram with CDF/statistics helpers."""
+
+    label: str
+    counts: dict[int, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def cdf(self) -> list[tuple[int, float]]:
+        """``(hops, cumulative fraction)`` points, ascending."""
+        acc = 0
+        out = []
+        for hops in sorted(self.counts):
+            acc += self.counts[hops]
+            out.append((hops, acc / self.total))
+        return out
+
+    def fraction_at_most(self, hops: int) -> float:
+        return sum(c for h, c in self.counts.items() if h <= hops) / self.total
+
+    def average(self) -> float:
+        return sum(h * c for h, c in self.counts.items()) / self.total
+
+    def worst(self) -> int:
+        return max(self.counts)
+
+
+def opera_path_lengths(
+    schedule: OperaSchedule, slices: Sequence[int] | None = None
+) -> PathLengthDistribution:
+    """Aggregate hop histogram over topology slices (Figure 4, Opera)."""
+    routing = OperaRouting(schedule)
+    counts: dict[int, int] = {}
+    for s in slices if slices is not None else range(schedule.cycle_slices):
+        for hops, c in routing.routes(s).path_length_counts().items():
+            counts[hops] = counts.get(hops, 0) + c
+    return PathLengthDistribution("opera", counts)
+
+
+def expander_path_lengths(topology: ExpanderTopology) -> PathLengthDistribution:
+    return PathLengthDistribution(
+        f"expander-u{topology.uplinks}", topology.path_length_counts()
+    )
+
+
+def clos_path_lengths(clos: FoldedClos) -> PathLengthDistribution:
+    return PathLengthDistribution(
+        f"clos-{clos.oversubscription}to1", clos.path_length_counts()
+    )
+
+
+def sampled_average_path_length(
+    schedule: OperaSchedule,
+    n_slices: int = 8,
+    n_sources: int = 64,
+    seed: int = 0,
+) -> float:
+    """Monte-Carlo average hops for large networks (Figure 16 at k=48).
+
+    All-pairs BFS over every slice is quadratic in racks and linear in
+    slices; for scaling studies we sample slices and BFS sources instead.
+    """
+    rng = random.Random(seed)
+    slices = sorted(
+        rng.sample(range(schedule.cycle_slices), min(n_slices, schedule.cycle_slices))
+    )
+    total = 0
+    count = 0
+    n = schedule.n_racks
+    for s in slices:
+        adj = build_adjacency(schedule, s)
+        neighbor = [[p for p, _w in edges] for edges in adj]
+        sources = rng.sample(range(n), min(n_sources, n))
+        for src in sources:
+            dist = [-1] * n
+            dist[src] = 0
+            queue = deque([src])
+            while queue:
+                v = queue.popleft()
+                for w in neighbor[v]:
+                    if dist[w] == -1:
+                        dist[w] = dist[v] + 1
+                        queue.append(w)
+            for dst in range(n):
+                if dst != src and dist[dst] > 0:
+                    total += dist[dst]
+                    count += 1
+    return total / count if count else float("nan")

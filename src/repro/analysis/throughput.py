@@ -1,0 +1,318 @@
+"""Flow-level throughput models (paper section 5.6, Figures 10, 12, 15).
+
+The paper evaluates cost-equivalent networks on skewed-to-uniform traffic
+matrices. We model each network the way its own evaluation ran it:
+
+* **Folded Clos** — NDP over ECMP in a non-blocking core: throughput is
+  bound by the ToR uplink oversubscription, independent of pattern.
+* **Static expander** — NDP sprays over *shortest paths only*; we compute
+  exact per-link loads under equal splitting across all shortest paths
+  (a Brandes-style DAG accumulation) and take the max-loaded link as the
+  bottleneck. This reproduces the paper's observation that expander
+  throughput falls as traffic becomes less skewed (more of the fabric's
+  capacity goes to multi-hop bandwidth tax).
+* **Opera** — RotorLB fluid model at slice granularity: demand rides
+  time-multiplexed direct circuits (no tax) when supply allows, and
+  overflows onto two-hop Valiant load balancing (100% tax, spread over all
+  racks). Feasibility of a throughput scale is checked against per-rack
+  egress/ingress circuit capacity and per-pair direct supply; the maximum
+  feasible scale is found by bisection.
+
+Throughput is normalized per host link: 1.0 means every sending host
+sustains its full NIC rate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+import numpy as np
+
+from ..topologies.expander import ExpanderTopology
+
+__all__ = [
+    "clos_throughput",
+    "expander_link_loads",
+    "expander_throughput",
+    "RotorFluidModel",
+    "opera_throughput",
+]
+
+
+def clos_throughput(
+    demand: np.ndarray, oversubscription: float, hosts_per_rack: int
+) -> float:
+    """Max uniform demand scale for an F:1 folded Clos (ECMP, ideal core).
+
+    Each rack's uplink capacity is ``d / F`` host links; the core above the
+    ToRs is non-blocking, so only per-rack egress/ingress bind.
+    """
+    if oversubscription < 1:
+        raise ValueError("oversubscription must be >= 1")
+    egress = demand.sum(axis=1)
+    ingress = demand.sum(axis=0)
+    peak = max(float(egress.max()), float(ingress.max()))
+    if peak <= 0:
+        return 1.0
+    uplink_capacity = hosts_per_rack / oversubscription
+    return min(1.0, uplink_capacity / peak)
+
+
+# --------------------------------------------------------------- expander
+
+
+def _bfs_dag(adj: Sequence[Sequence[int]], src: int) -> tuple[list[int], list[int]]:
+    """Distances and shortest-path counts from ``src``."""
+    n = len(adj)
+    dist = [-1] * n
+    sigma = [0] * n
+    dist[src] = 0
+    sigma[src] = 1
+    queue = deque([src])
+    while queue:
+        v = queue.popleft()
+        for w in adj[v]:
+            if dist[w] == -1:
+                dist[w] = dist[v] + 1
+                queue.append(w)
+            if dist[w] == dist[v] + 1:
+                sigma[w] += sigma[v]
+    return dist, sigma
+
+
+def expander_link_loads(
+    adjacency: Sequence[Sequence[int]], demand: np.ndarray
+) -> dict[tuple[int, int], float]:
+    """Per-directed-link load under equal splitting over shortest paths.
+
+    ``adjacency[v]`` lists neighbour racks (parallel links merged; the
+    caller scales capacity accordingly). Runs one Brandes-style accumulation
+    per source: O(V * E) for any demand matrix.
+    """
+    n = len(adjacency)
+    loads: dict[tuple[int, int], float] = {}
+    for src in range(n):
+        row = demand[src]
+        if not row.any():
+            continue
+        dist, sigma = _bfs_dag(adjacency, src)
+        # Accumulate flow through each node, deepest first.
+        order = sorted(
+            (v for v in range(n) if dist[v] > 0), key=lambda v: -dist[v]
+        )
+        through = [0.0] * n  # flow entering v that continues or terminates
+        for v in order:
+            through[v] += float(row[v])
+        for v in order:
+            if through[v] <= 0:
+                continue
+            preds = [w for w in adjacency[v] if dist[w] == dist[v] - 1]
+            total_sigma = sum(sigma[w] for w in preds)
+            for w in preds:
+                share = through[v] * sigma[w] / total_sigma
+                loads[(w, v)] = loads.get((w, v), 0.0) + share
+                if w != src:
+                    through[w] += share
+    return loads
+
+
+def _k_shortest_link_loads(
+    neighbor_sets: list[list[int]],
+    demand: np.ndarray,
+    pairs: list[tuple[int, int]],
+    k_paths: int = 8,
+) -> dict[tuple[int, int], float]:
+    """Equal split over the k shortest simple paths of each demand pair.
+
+    Models the k-shortest-path multipath routing used by expander
+    evaluations (Jellyfish/Xpander); only viable for sparse demands.
+    """
+    import itertools
+
+    import networkx as nx
+
+    graph = nx.Graph()
+    graph.add_nodes_from(range(len(neighbor_sets)))
+    for a, peers in enumerate(neighbor_sets):
+        for b in peers:
+            graph.add_edge(a, b)
+    loads: dict[tuple[int, int], float] = {}
+    for a, b in pairs:
+        paths = list(
+            itertools.islice(nx.shortest_simple_paths(graph, a, b), k_paths)
+        )
+        share = float(demand[a][b]) / len(paths)
+        for path in paths:
+            for u, v in zip(path, path[1:]):
+                loads[(u, v)] = loads.get((u, v), 0.0) + share
+    return loads
+
+
+def expander_throughput(
+    topology: ExpanderTopology,
+    demand: np.ndarray,
+    sparse_pair_threshold: int = 16,
+    k_paths: int = 8,
+) -> float:
+    """Max demand scale for an expander under NDP multipath spraying.
+
+    Dense demands use equal splitting over all shortest paths (per-packet
+    ECMP, computed exactly); very sparse demands (at most
+    ``sparse_pair_threshold`` rack pairs, e.g. a single hot rack) use the
+    k-shortest-simple-paths spreading that expander proposals employ, since
+    a lone flow can profitably use slightly longer paths. The bottleneck is
+    the most-loaded inter-ToR link (parallel matchings between a rack pair
+    scale its capacity), with sending hosts additionally capped at line
+    rate.
+    """
+    multiplicity: dict[tuple[int, int], int] = {}
+    neighbor_sets: list[list[int]] = []
+    for rack, edges in enumerate(topology.adjacency):
+        peers = sorted({peer for peer, _port in edges})
+        neighbor_sets.append(peers)
+        for peer, _port in edges:
+            key = (rack, peer)
+            multiplicity[key] = multiplicity.get(key, 0) + 1
+    pairs = [tuple(p) for p in np.argwhere(demand > 0)]
+    if 0 < len(pairs) <= sparse_pair_threshold:
+        loads = _k_shortest_link_loads(neighbor_sets, demand, pairs, k_paths)
+    else:
+        loads = expander_link_loads(neighbor_sets, demand)
+    worst = 0.0
+    for (a, b), load in loads.items():
+        capacity = multiplicity[(a, b)]
+        worst = max(worst, load / capacity)
+    if worst <= 0:
+        return 1.0
+    return min(1.0, 1.0 / worst)
+
+
+# ------------------------------------------------------------------ Opera
+
+
+class RotorFluidModel:
+    """RotorLB fluid feasibility/throughput for rotor networks.
+
+    Parameters
+    ----------
+    n_racks, uplinks:
+        Shape of the rotor fabric.
+    duty_cycle:
+        Usable fraction of circuit time (reconfiguration + guard bands).
+    up_fraction:
+        Fraction of uplinks usable per slice: Opera drains one switch
+        (``(u - 1) / u``); lockstep RotorNet uses all (``1.0``).
+    direct_fraction:
+        Fraction of time a given rack pair has an up direct circuit
+        (Opera: ``(group_size - 1) / cycle_slices``; RotorNet:
+        ``u / n_racks``).
+    """
+
+    def __init__(
+        self,
+        n_racks: int,
+        uplinks: int,
+        duty_cycle: float = 1.0,
+        up_fraction: float | None = None,
+        direct_fraction: float | None = None,
+    ) -> None:
+        self.n_racks = n_racks
+        self.uplinks = uplinks
+        self.duty_cycle = duty_cycle
+        if up_fraction is None:
+            up_fraction = (uplinks - 1) / uplinks
+        self.up_links = uplinks * up_fraction
+        if direct_fraction is None:
+            direct_fraction = (uplinks - 1) / n_racks
+        self.direct_fraction = direct_fraction
+
+    @property
+    def rack_capacity(self) -> float:
+        """Egress (= ingress) circuit capacity per rack, in host links."""
+        return self.up_links * self.duty_cycle
+
+    def feasible(
+        self,
+        demand: np.ndarray,
+        scale: float,
+        extra_rack_load: float = 0.0,
+    ) -> bool:
+        """Can RotorLB carry ``scale * demand`` (+ background per rack)?"""
+        n = self.n_racks
+        cap = self.rack_capacity - extra_rack_load
+        if cap <= 0:
+            return False
+        scaled = scale * demand
+        supply = self.direct_fraction * self.duty_cycle
+        direct = np.minimum(scaled, supply)
+        vlb = scaled - direct
+        total_vlb = float(vlb.sum())
+        relay_each = total_vlb / max(n - 2, 1)
+        egress = direct.sum(axis=1) + vlb.sum(axis=1) + relay_each
+        ingress = direct.sum(axis=0) + vlb.sum(axis=0) + relay_each
+        if egress.max() > cap + 1e-12 or ingress.max() > cap + 1e-12:
+            return False
+        # Second VLB hops ride direct circuits toward the destination: in
+        # aggregate the relays' circuit time toward ``b`` (net of their own
+        # direct traffic to ``b``) must cover everything relayed to ``b``.
+        # RotorLB's offer/accept steers relay traffic to where spare circuit
+        # time exists, so the aggregate bound is the right fluid limit.
+        relay_to_dst = vlb.sum(axis=0)
+        spare_to_dst = supply * (n - 2) - direct.sum(axis=0)
+        if np.any(relay_to_dst > spare_to_dst + 1e-12):
+            return False
+        return True
+
+    def throughput(
+        self,
+        demand: np.ndarray,
+        extra_rack_load: float = 0.0,
+        tolerance: float = 1e-4,
+    ) -> float:
+        """Max feasible uniform scale of ``demand`` (bisection), capped at 1."""
+        if demand.max() <= 0:
+            return 1.0
+        lo, hi = 0.0, 1.0
+        if not self.feasible(demand, hi, extra_rack_load):
+            while hi - lo > tolerance:
+                mid = (lo + hi) / 2
+                if self.feasible(demand, mid, extra_rack_load):
+                    lo = mid
+                else:
+                    hi = mid
+            return lo
+        return 1.0
+
+
+def opera_throughput(
+    demand: np.ndarray,
+    n_racks: int,
+    uplinks: int,
+    duty_cycle: float = 0.983,
+    group_size: int | None = None,
+    low_latency_load: float = 0.0,
+    avg_path_length: float = 3.3,
+    hosts_per_rack: int | None = None,
+) -> float:
+    """Opera bulk throughput for a rack-level demand matrix.
+
+    ``low_latency_load`` is background low-latency traffic per host (as a
+    fraction of its NIC); it consumes ``avg_path_length`` times its volume
+    from every rack's circuit capacity (the bandwidth tax of multi-hop
+    forwarding), reducing what RotorLB can use (Figure 10's trade-off).
+    """
+    group = group_size if group_size is not None else uplinks
+    cycle_slices = group * (n_racks // uplinks)
+    model = RotorFluidModel(
+        n_racks,
+        uplinks,
+        duty_cycle=duty_cycle,
+        up_fraction=(uplinks - 1) / uplinks,
+        direct_fraction=(group - 1) / cycle_slices,
+    )
+    extra = 0.0
+    if low_latency_load > 0:
+        d = hosts_per_rack if hosts_per_rack is not None else uplinks
+        extra = low_latency_load * d * avg_path_length
+    return model.throughput(demand, extra_rack_load=extra)

@@ -1,0 +1,100 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli fig04
+    python -m repro.cli table1
+    python -m repro.cli fig12 --k 12
+
+Each experiment prints the same rows the corresponding benchmark emits;
+heavyweight packet-level figures accept their module defaults only (use
+the benchmarks for parameterized runs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from . import experiments as E
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _simple(module) -> Callable[[argparse.Namespace], list[str]]:
+    def runner(_args: argparse.Namespace) -> list[str]:
+        return module.format_rows(module.run())
+
+    return runner
+
+
+def _fig04(args: argparse.Namespace) -> list[str]:
+    data = E.fig04_path_lengths.run(k=args.k, n_slices=27)
+    return E.fig04_path_lengths.format_rows(data)
+
+
+def _fig12(args: argparse.Namespace) -> list[str]:
+    data = E.fig12_cost_sensitivity.run(k=args.k)
+    return E.fig12_cost_sensitivity.format_rows(data)
+
+
+def _fig18(args: argparse.Namespace) -> list[str]:
+    rows: list[str] = []
+    rows += E.fig18_failure_paths.format_rows(E.fig18_failure_paths.run_opera(), "opera")
+    rows += E.fig18_failure_paths.format_rows(E.fig18_failure_paths.run_clos(), "clos")
+    rows += E.fig18_failure_paths.format_rows(
+        E.fig18_failure_paths.run_expander(), "expander"
+    )
+    return rows
+
+
+EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], list[str]]]] = {
+    "fig01": ("flow-size distributions (Figure 1)", _simple(E.fig01_distributions)),
+    "fig04": ("path-length CDFs (Figure 4)", _fig04),
+    "fig06": ("time constants (Figure 6 / §4.1)", _simple(E.fig06_timing)),
+    "fig07": ("Datamining FCTs, reduced scale (Figure 7)", _simple(E.fig07_datamining)),
+    "fig08": ("shuffle throughput (Figure 8)", _simple(E.fig08_shuffle)),
+    "fig09": ("Websearch FCTs, reduced scale (Figure 9)", _simple(E.fig09_websearch)),
+    "fig10": ("mixed-traffic throughput (Figure 10)", _simple(E.fig10_mixed)),
+    "fig11": ("fault tolerance (Figure 11)", _simple(E.fig11_faults)),
+    "fig12": ("cost sensitivity (Figures 12/15)", _fig12),
+    "fig13": ("prototype RTTs (Figure 13)", _simple(E.fig13_prototype)),
+    "fig14": ("cycle-time scaling (Figure 14)", _simple(E.fig14_cycle_scaling)),
+    "fig16": ("path-length scaling (Figure 16)", _simple(E.fig16_path_scaling)),
+    "fig17": ("spectral gaps (Figure 17)", _simple(E.fig17_spectral)),
+    "fig18": ("failure path stretch (Figures 18-20)", _fig18),
+    "table1": ("routing state (Table 1)", _simple(E.table1_state)),
+    "table2": ("port costs (Table 2)", _simple(E.table2_costs)),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Opera reproduction experiment runner"
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (e.g. fig08, table1) or 'list'",
+    )
+    parser.add_argument(
+        "--k", type=int, default=12, help="ToR radix for sized experiments"
+    )
+    args = parser.parse_args(argv)
+    if args.experiment == "list":
+        for name, (description, _fn) in EXPERIMENTS.items():
+            print(f"{name:>7s}  {description}")
+        return 0
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
+        return 2
+    description, runner = EXPERIMENTS[args.experiment]
+    print(f"=== {args.experiment}: {description} ===")
+    for row in runner(args):
+        print(row)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,67 @@
+"""Opera's core: factorizations, rotor schedules, routing and timing."""
+
+from .faults import FailureSet
+from .forwarding import ForwardingPipeline, TrafficClass, classify_flow
+from .hello import DeadCircuit, HelloProtocol, slices_to_full_knowledge
+from .lifting import lift_factorization, lifted_random_factorization
+from .matchings import (
+    FactorizationError,
+    Matching,
+    identity_matching,
+    is_involution,
+    matching_edges,
+    random_factorization,
+    relabel_matching,
+    round_robin_factorization,
+    verify_factorization,
+)
+from .routing import UNREACHABLE, OperaRouting, SliceRoutes, build_adjacency
+from .schedule import DirectConnection, OperaSchedule
+from .state import (
+    PAPER_TABLE1_CONFIGS,
+    TOFINO_RULE_CAPACITY,
+    RuleSetSize,
+    ruleset_size,
+    table1_rows,
+)
+from .timing import PS_PER_MS, PS_PER_S, PS_PER_US, TimingParams, worst_case_epsilon_ps
+from .topology import OperaNetwork, default_rack_count
+
+__all__ = [
+    "FailureSet",
+    "ForwardingPipeline",
+    "TrafficClass",
+    "classify_flow",
+    "DeadCircuit",
+    "HelloProtocol",
+    "slices_to_full_knowledge",
+    "lift_factorization",
+    "lifted_random_factorization",
+    "FactorizationError",
+    "Matching",
+    "identity_matching",
+    "is_involution",
+    "matching_edges",
+    "random_factorization",
+    "relabel_matching",
+    "round_robin_factorization",
+    "verify_factorization",
+    "UNREACHABLE",
+    "OperaRouting",
+    "SliceRoutes",
+    "build_adjacency",
+    "DirectConnection",
+    "OperaSchedule",
+    "PAPER_TABLE1_CONFIGS",
+    "TOFINO_RULE_CAPACITY",
+    "RuleSetSize",
+    "ruleset_size",
+    "table1_rows",
+    "PS_PER_MS",
+    "PS_PER_S",
+    "PS_PER_US",
+    "TimingParams",
+    "worst_case_epsilon_ps",
+    "OperaNetwork",
+    "default_rack_count",
+]

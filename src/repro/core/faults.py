@@ -1,0 +1,92 @@
+"""Failure model for Opera components (paper sections 3.6.2 and 5.5).
+
+Opera recovers from link, ToR and circuit-switch failures by recomputing
+routes around failed components; failure information propagates via a hello
+protocol run over each newly-established circuit, so any connected ToR
+learns of a failure within at most two cycles. This module only models
+*which* components are failed; route recomputation lives in
+:mod:`repro.core.routing` and the measurement harness in
+:mod:`repro.analysis.failures`.
+
+A *link* is a (rack uplink, circuit switch) pair — the fiber from ToR
+``rack`` to circuit switch ``switch``. When it fails, every circuit that the
+switch would provide to that rack (one per slice) is unusable in both
+directions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+__all__ = ["FailureSet"]
+
+
+@dataclass(frozen=True)
+class FailureSet:
+    """An immutable set of failed components.
+
+    Attributes
+    ----------
+    links:
+        Failed ToR-to-circuit-switch fibers, as ``(rack, switch)`` pairs.
+    racks:
+        Failed ToR switches (their hosts are considered off the network,
+        and connectivity metrics exclude pairs involving them).
+    switches:
+        Failed rotor circuit switches.
+    """
+
+    links: frozenset[tuple[int, int]] = frozenset()
+    racks: frozenset[int] = frozenset()
+    switches: frozenset[int] = frozenset()
+
+    @classmethod
+    def none(cls) -> "FailureSet":
+        return cls()
+
+    @classmethod
+    def random_links(
+        cls, n_racks: int, n_switches: int, fraction: float, rng: random.Random
+    ) -> "FailureSet":
+        """Fail a uniform random ``fraction`` of the rack-to-switch fibers."""
+        all_links = [(r, w) for r in range(n_racks) for w in range(n_switches)]
+        k = round(fraction * len(all_links))
+        return cls(links=frozenset(rng.sample(all_links, k)))
+
+    @classmethod
+    def random_racks(
+        cls, n_racks: int, fraction: float, rng: random.Random
+    ) -> "FailureSet":
+        k = round(fraction * n_racks)
+        return cls(racks=frozenset(rng.sample(range(n_racks), k)))
+
+    @classmethod
+    def random_switches(
+        cls, n_switches: int, fraction: float, rng: random.Random
+    ) -> "FailureSet":
+        k = round(fraction * n_switches)
+        return cls(switches=frozenset(rng.sample(range(n_switches), k)))
+
+    @property
+    def empty(self) -> bool:
+        return not (self.links or self.racks or self.switches)
+
+    def link_ok(self, rack: int, switch: int) -> bool:
+        """True if the fiber rack—switch is usable."""
+        return (
+            rack not in self.racks
+            and switch not in self.switches
+            and (rack, switch) not in self.links
+        )
+
+    def circuit_ok(self, rack_a: int, rack_b: int, switch: int) -> bool:
+        """True if the full a—switch—b circuit is usable."""
+        return self.link_ok(rack_a, switch) and self.link_ok(rack_b, switch)
+
+    def union(self, other: "FailureSet") -> "FailureSet":
+        return FailureSet(
+            links=self.links | other.links,
+            racks=self.racks | other.racks,
+            switches=self.switches | other.switches,
+        )

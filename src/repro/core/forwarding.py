@@ -1,0 +1,100 @@
+"""Forwarding policy: traffic classes and the P4-style pipeline (§3.4, §4.3).
+
+Opera serves each packet one of two ways:
+
+* **low latency** — forwarded immediately over the current slice's expander,
+  paying a modest bandwidth tax; the first ToR stamps the packet with the
+  slice (the paper's P4 "configuration register") and every subsequent ToR
+  routes it using the tables for that stamped slice, guaranteeing loop
+  freedom while the topology changes underneath;
+* **bulk** — buffered at the source until a slice provides a direct one-hop
+  circuit to the destination rack, paying no bandwidth tax.
+
+The default classifier is flow size against the cycle-amortization threshold
+(15 MB for the reference design); applications may instead tag flows
+explicitly (e.g. a shuffle marks everything bulk, section 5.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .routing import OperaRouting
+from .schedule import OperaSchedule
+
+__all__ = ["TrafficClass", "classify_flow", "ForwardingPipeline"]
+
+
+class TrafficClass(enum.Enum):
+    """Service class carried in the packet's DSCP field."""
+
+    LOW_LATENCY = "low_latency"
+    BULK = "bulk"
+
+
+def classify_flow(
+    size_bytes: int,
+    threshold_bytes: int,
+    tagged: TrafficClass | None = None,
+) -> TrafficClass:
+    """Classify a flow, honouring an application tag when present."""
+    if tagged is not None:
+        return tagged
+    if size_bytes < 0:
+        raise ValueError("flow size must be non-negative")
+    if threshold_bytes <= 0:
+        raise ValueError("threshold must be positive")
+    return (
+        TrafficClass.BULK
+        if size_bytes >= threshold_bytes
+        else TrafficClass.LOW_LATENCY
+    )
+
+
+@dataclass
+class ForwardingPipeline:
+    """Slice-aware next-hop lookups shared by the simulators.
+
+    Wraps an :class:`OperaRouting` (low-latency tables) plus the schedule's
+    direct-connection lookups (bulk tables), mirroring the two match tables
+    of the paper's P4 program.
+    """
+
+    schedule: OperaSchedule
+    routing: OperaRouting
+
+    @classmethod
+    def for_schedule(cls, schedule: OperaSchedule) -> "ForwardingPipeline":
+        return cls(schedule=schedule, routing=OperaRouting(schedule))
+
+    def stamp(self, slice_index: int) -> int:
+        """Value of the configuration register recorded at the first ToR."""
+        return slice_index % self.schedule.cycle_slices
+
+    def low_latency_next_hop(
+        self, rack: int, dst_rack: int, stamped_slice: int, salt: int = 0
+    ) -> tuple[int, int] | None:
+        """Next ``(rack, switch)`` along the stamped slice's expander path."""
+        if rack == dst_rack:
+            return None
+        return self.routing.routes(stamped_slice).next_hop(rack, dst_rack, salt)
+
+    def low_latency_path(
+        self, rack: int, dst_rack: int, stamped_slice: int, salt: int = 0
+    ) -> list[int] | None:
+        return self.routing.routes(stamped_slice).shortest_path(
+            rack, dst_rack, salt
+        )
+
+    def bulk_direct_switch(
+        self, rack: int, dst_rack: int, slice_index: int
+    ) -> int | None:
+        """Circuit switch providing a direct circuit this slice, if any."""
+        if rack == dst_rack:
+            return None
+        return self.schedule.direct_switch(rack, dst_rack, slice_index)
+
+    def bulk_wait_slices(self, rack: int, dst_rack: int, slice_index: int) -> int:
+        """Slices until bulk traffic for ``dst_rack`` can go direct."""
+        return self.schedule.wait_slices_for_direct(rack, dst_rack, slice_index)

@@ -1,0 +1,146 @@
+"""Failure detection and dissemination: the hello protocol (section 3.6.2).
+
+Opera detects and routes around failures without a central controller:
+each time a new circuit is configured, the ToR CPUs at both ends exchange
+hello messages carrying any failure information they have accumulated. A
+missing hello marks the circuit's link as bad; because the cyclic schedule
+connects every ToR pair every cycle, "any ToR that remains connected to the
+network will learn of any failure event within at most two cycles".
+
+This module simulates that process at slice granularity over a schedule and
+a :class:`~repro.core.faults.FailureSet`: ground truth is the set of dead
+circuits; knowledge spreads by detection (a failed hello on a circuit you
+are an endpoint of) and gossip (unioning knowledge across every live
+circuit). :func:`slices_to_full_knowledge` verifies the two-cycle bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .faults import FailureSet
+from .schedule import OperaSchedule
+
+__all__ = ["DeadCircuit", "HelloProtocol", "slices_to_full_knowledge"]
+
+
+@dataclass(frozen=True, order=True)
+class DeadCircuit:
+    """A rack-to-rack circuit that no longer carries hellos."""
+
+    rack_a: int
+    rack_b: int
+    switch: int
+
+
+class HelloProtocol:
+    """Per-slice hello exchange and gossip over one Opera schedule."""
+
+    def __init__(self, schedule: OperaSchedule, failures: FailureSet) -> None:
+        self.schedule = schedule
+        self.failures = failures
+        #: Per-rack set of known dead circuits. Failed racks are inert.
+        self.knowledge: list[set[DeadCircuit]] = [
+            set() for _ in range(schedule.n_racks)
+        ]
+        self._slice = 0
+
+    # ------------------------------------------------------------ ground truth
+
+    def all_dead_circuits(self) -> set[DeadCircuit]:
+        """Every circuit of the cycle killed by the failure set.
+
+        Circuits touching a *failed rack* are excluded: the paper's metric
+        is what the surviving ToRs must learn to route around, and a dead
+        ToR's circuits are discovered the same way (missing hellos), so
+        they are reported as dead circuits of the live endpoint only.
+        """
+        dead: set[DeadCircuit] = set()
+        sched = self.schedule
+        for s in range(sched.cycle_slices):
+            for w in sched.up_switches(s):
+                matching = sched.matching_of(w, s)
+                for a in range(sched.n_racks):
+                    b = matching[a]
+                    if a >= b or self.failures.circuit_ok(a, b, w):
+                        continue
+                    if a in self.failures.racks and b in self.failures.racks:
+                        continue  # no live endpoint: nobody needs this fact
+                    dead.add(DeadCircuit(a, b, w))
+        return dead
+
+    def live_racks(self) -> list[int]:
+        return [
+            r for r in range(self.schedule.n_racks) if r not in self.failures.racks
+        ]
+
+    # ----------------------------------------------------------------- stepping
+
+    def step(self) -> None:
+        """One topology slice: hellos on every configured circuit.
+
+        On a *live* circuit both ends exchange and union their knowledge;
+        on a dead circuit each live end detects the failure and records the
+        dead circuit. Updates are staged so information moves one circuit
+        per slice (no intra-slice transitive gossip — hellos are exchanged
+        once, at circuit establishment).
+        """
+        sched = self.schedule
+        s = self._slice % sched.cycle_slices
+        staged: dict[int, set[DeadCircuit]] = {}
+        for w in sched.up_switches(s):
+            matching = sched.matching_of(w, s)
+            for a in range(sched.n_racks):
+                b = matching[a]
+                if a >= b:
+                    continue
+                a_live = a not in self.failures.racks
+                b_live = b not in self.failures.racks
+                if self.failures.circuit_ok(a, b, w) and a_live and b_live:
+                    union = self.knowledge[a] | self.knowledge[b]
+                    staged.setdefault(a, set()).update(union)
+                    staged.setdefault(b, set()).update(union)
+                else:
+                    fact = DeadCircuit(a, b, w)
+                    if a_live:
+                        staged.setdefault(a, set()).add(fact)
+                    if b_live:
+                        staged.setdefault(b, set()).add(fact)
+        for rack, facts in staged.items():
+            self.knowledge[rack] |= facts
+        self._slice += 1
+
+    def run_cycles(self, n_cycles: int) -> None:
+        for _ in range(n_cycles * self.schedule.cycle_slices):
+            self.step()
+
+    # ---------------------------------------------------------------- queries
+
+    def fully_informed(self) -> bool:
+        """Do all live racks know every dead circuit?"""
+        truth = self.all_dead_circuits()
+        return all(self.knowledge[r] >= truth for r in self.live_racks())
+
+    def knowledge_deficit(self) -> int:
+        """Total number of (rack, unknown fact) pairs remaining."""
+        truth = self.all_dead_circuits()
+        return sum(len(truth - self.knowledge[r]) for r in self.live_racks())
+
+
+def slices_to_full_knowledge(
+    schedule: OperaSchedule,
+    failures: FailureSet,
+    max_cycles: int = 4,
+) -> int | None:
+    """Slices until every live ToR knows every failure, or ``None``.
+
+    The paper's bound is two cycles for any ToR that remains connected;
+    under partitioning failures full knowledge may never arrive.
+    """
+    protocol = HelloProtocol(schedule, failures)
+    limit = max_cycles * schedule.cycle_slices
+    for step in range(1, limit + 1):
+        protocol.step()
+        if protocol.fully_informed():
+            return step
+    return None

@@ -1,0 +1,118 @@
+"""Graph lifting: build large factorizations from small ones.
+
+The paper (section 3.3) notes that randomly factoring a complete graph "can
+be computationally expensive for large networks", so Opera employs *graph
+lifting* to generate large factorizations from smaller ones. We implement a
+random 2-lift:
+
+Given a factorization of ``K_n`` (+ loops) into ``n`` symmetric matchings,
+replace each rack ``v`` by two copies ``v`` and ``v + n``. Each base matching
+``M`` lifts to two complementary matchings on ``2n`` racks. Independently for
+every base edge ``(i, j)`` of ``M``, one lift receives the *parallel* pair
+(``i0—j0``, ``i1—j1``) and the other the *crossed* pair (``i0—j1``,
+``i1—j0``), with the assignment chosen by fair coin flip. A base self-loop
+``(i, i)`` lifts to either two loops or the proper edge ``i0—i1``.
+
+Random signings are the Bilu–Linial construction: 2-lifts of expanders remain
+expanders with high probability, which is exactly the property Opera's
+topology slices need. Both lifts are involutions and together cover each
+lifted pair exactly once, so the ``2n`` lifted matchings factor ``K_{2n}`` +
+loops. Applying the lift ``k`` times scales an ``n``-rack factorization to
+``n * 2^k`` racks in ``O(n^2 * 2^k)`` time.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from .matchings import Matching, random_factorization, relabel_matching
+
+__all__ = ["lift_factorization", "lifted_random_factorization"]
+
+
+def _lift_matching(
+    matching: Sequence[int], n: int, rng: random.Random | None
+) -> tuple[Matching, Matching]:
+    """Split one base matching into two complementary lifted matchings."""
+    lift_a = [0] * (2 * n)
+    lift_b = [0] * (2 * n)
+    for i in range(n):
+        j = matching[i]
+        if j < i:
+            continue
+        crossed_first = rng.random() < 0.5 if rng is not None else False
+        first, second = (lift_b, lift_a) if crossed_first else (lift_a, lift_b)
+        # ``first`` gets the parallel pair, ``second`` the crossed pair.
+        first[i] = j
+        first[j] = i
+        first[i + n] = j + n
+        first[j + n] = i + n
+        second[i] = j + n
+        second[j + n] = i
+        second[j] = i + n
+        second[i + n] = j
+    return tuple(lift_a), tuple(lift_b)
+
+
+def lift_factorization(
+    factors: Sequence[Sequence[int]], rng: random.Random | None = None
+) -> list[Matching]:
+    """Random 2-lift: a factorization of ``K_n`` + loops to ``K_{2n}`` + loops.
+
+    Returns ``2n`` matchings given ``n`` input matchings. Pass ``rng`` for
+    the randomized (expansion-preserving) signing; ``None`` gives the
+    deterministic all-parallel/all-crossed lift. The input is not validated
+    here (use :func:`repro.core.matchings.verify_factorization`).
+    """
+    if not factors:
+        raise ValueError("cannot lift an empty factorization")
+    n = len(factors[0])
+    lifted: list[Matching] = []
+    for matching in factors:
+        lift_a, lift_b = _lift_matching(matching, n, rng)
+        lifted.append(lift_a)
+        lifted.append(lift_b)
+    return lifted
+
+
+def lifted_random_factorization(
+    n: int,
+    rng: random.Random | None = None,
+    base_threshold: int = 512,
+) -> list[Matching]:
+    """Randomized factorization of ``K_n`` + loops, using lifting when possible.
+
+    If ``n`` can be written as ``b * 2^k`` with ``b <= base_threshold`` even,
+    the factorization is built by repeatedly applying random 2-lifts to a
+    mixed random base factorization; otherwise (or when no lift is needed)
+    it falls back to the direct randomized construction. Either way the
+    result is conjugated by a random rack relabeling, matching the paper's
+    randomized design-time generation.
+    """
+    if n <= 0 or n % 2:
+        raise ValueError(f"rack count must be positive and even, got {n}")
+    rng = rng or random.Random()
+
+    base = n
+    lifts = 0
+    while base > base_threshold and base % 2 == 0:
+        base //= 2
+        lifts += 1
+    if base % 2:
+        # Odd quotient: back off one lift so the base stays even.
+        base *= 2
+        lifts -= 1
+
+    if lifts <= 0:
+        return random_factorization(n, rng)
+
+    factors: list[Matching] = list(random_factorization(base, rng))
+    for _ in range(lifts):
+        factors = lift_factorization(factors, rng)
+
+    sigma = list(range(n))
+    rng.shuffle(sigma)
+    factors = [relabel_matching(p, sigma) for p in factors]
+    rng.shuffle(factors)
+    return factors

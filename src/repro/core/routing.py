@@ -1,0 +1,191 @@
+"""Per-slice routing over Opera's time-varying expander (paper section 3.4).
+
+For every topology slice, low-latency traffic follows shortest paths over the
+union of the matchings instantiated by the *up* circuit switches (the switch
+with an impending reconfiguration carries no new traffic). All tables are
+pure functions of the slice index and are computed at design time, exactly
+as in the paper — there is no runtime topology computation.
+
+:class:`SliceRoutes` holds the all-pairs shortest-path state for one slice:
+hop distances plus, for each (src, dst), every equal-cost next hop annotated
+with the circuit switch providing it (so a packet can be placed on the right
+uplink, and transports can spray across equal-cost options).
+
+:class:`OperaRouting` caches per-slice tables for a schedule, optionally
+under a :class:`~repro.core.faults.FailureSet` — routing around failures is
+just routing on the surviving adjacency.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from .faults import FailureSet
+from .schedule import OperaSchedule
+
+__all__ = [
+    "UNREACHABLE",
+    "Adjacency",
+    "build_adjacency",
+    "SliceRoutes",
+    "OperaRouting",
+]
+
+#: Hop distance marker for unreachable rack pairs.
+UNREACHABLE = -1
+
+#: ``adj[rack]`` is a list of ``(peer_rack, circuit_switch)`` edges.
+Adjacency = list[list[tuple[int, int]]]
+
+
+def build_adjacency(
+    schedule: OperaSchedule,
+    slice_index: int,
+    failures: FailureSet | None = None,
+    include_down: bool = False,
+) -> Adjacency:
+    """Rack-level adjacency (with switch labels) for one topology slice."""
+    failures = failures or FailureSet.none()
+    n = schedule.n_racks
+    adj: Adjacency = [[] for _ in range(n)]
+    for w in range(schedule.n_switches):
+        if not include_down and schedule.is_down(w, slice_index):
+            continue
+        if w in failures.switches:
+            continue
+        matching = schedule.matching_of(w, slice_index)
+        for a in range(n):
+            b = matching[a]
+            if a < b and failures.circuit_ok(a, b, w):
+                adj[a].append((b, w))
+                adj[b].append((a, w))
+    return adj
+
+
+class SliceRoutes:
+    """All-pairs shortest-path tables for a single slice graph."""
+
+    def __init__(self, adjacency: Adjacency) -> None:
+        self.adjacency = adjacency
+        self.n = len(adjacency)
+        #: ``dist[src][dst]`` in ToR-to-ToR hops; UNREACHABLE if disconnected.
+        self.dist: list[list[int]] = [
+            self._bfs(src) for src in range(self.n)
+        ]
+
+    @classmethod
+    def for_slice(
+        cls,
+        schedule: OperaSchedule,
+        slice_index: int,
+        failures: FailureSet | None = None,
+        include_down: bool = False,
+    ) -> "SliceRoutes":
+        return cls(build_adjacency(schedule, slice_index, failures, include_down))
+
+    def _bfs(self, src: int) -> list[int]:
+        dist = [UNREACHABLE] * self.n
+        dist[src] = 0
+        queue = deque([src])
+        while queue:
+            node = queue.popleft()
+            d = dist[node] + 1
+            for peer, _switch in self.adjacency[node]:
+                if dist[peer] == UNREACHABLE:
+                    dist[peer] = d
+                    queue.append(peer)
+        return dist
+
+    # ------------------------------------------------------------- next hops
+
+    def next_hops(self, src: int, dst: int) -> list[tuple[int, int]]:
+        """Equal-cost ``(peer, switch)`` next hops from src toward dst."""
+        if src == dst:
+            return []
+        target = self.dist[src][dst]
+        if target == UNREACHABLE:
+            return []
+        return [
+            (peer, switch)
+            for peer, switch in self.adjacency[src]
+            if self.dist[peer][dst] == target - 1
+        ]
+
+    def next_hop(self, src: int, dst: int, salt: int = 0) -> tuple[int, int] | None:
+        """One deterministic equal-cost next hop (salted for spraying)."""
+        options = self.next_hops(src, dst)
+        if not options:
+            return None
+        return options[salt % len(options)]
+
+    def shortest_path(self, src: int, dst: int, salt: int = 0) -> list[int] | None:
+        """A shortest rack path src..dst, or None if disconnected."""
+        if self.dist[src][dst] == UNREACHABLE:
+            return None
+        path = [src]
+        node = src
+        while node != dst:
+            hop = self.next_hop(node, dst, salt=salt + len(path))
+            assert hop is not None, "BFS distances guarantee progress"
+            node = hop[0]
+            path.append(node)
+        return path
+
+    # ----------------------------------------------------------------- stats
+
+    def reachable_pairs(self) -> int:
+        """Ordered (src, dst) pairs with src != dst and a finite path."""
+        return sum(
+            1
+            for src in range(self.n)
+            for dst in range(self.n)
+            if src != dst and self.dist[src][dst] != UNREACHABLE
+        )
+
+    def path_length_counts(self) -> dict[int, int]:
+        """Histogram of finite shortest-path lengths over ordered pairs."""
+        counts: dict[int, int] = {}
+        for src in range(self.n):
+            row = self.dist[src]
+            for dst in range(self.n):
+                if src == dst:
+                    continue
+                d = row[dst]
+                if d != UNREACHABLE:
+                    counts[d] = counts.get(d, 0) + 1
+        return counts
+
+
+class OperaRouting:
+    """Cached per-slice routing tables for one schedule (+ failure set)."""
+
+    def __init__(
+        self,
+        schedule: OperaSchedule,
+        failures: FailureSet | None = None,
+        include_down: bool = False,
+    ) -> None:
+        self.schedule = schedule
+        self.failures = failures or FailureSet.none()
+        self.include_down = include_down
+        self._cache: dict[int, SliceRoutes] = {}
+
+    def routes(self, slice_index: int) -> SliceRoutes:
+        s = slice_index % self.schedule.cycle_slices
+        if s not in self._cache:
+            self._cache[s] = SliceRoutes.for_slice(
+                self.schedule, s, self.failures, self.include_down
+            )
+        return self._cache[s]
+
+    def all_slices(self) -> list[SliceRoutes]:
+        return [self.routes(s) for s in range(self.schedule.cycle_slices)]
+
+    def path_length_histogram(self) -> dict[int, int]:
+        """Histogram of shortest-path hops across all slices and rack pairs."""
+        total: dict[int, int] = {}
+        for routes in self.all_slices():
+            for hops, count in routes.path_length_counts().items():
+                total[hops] = total.get(hops, 0) + count
+        return total

@@ -1,0 +1,292 @@
+"""The rotor-switch schedule at the heart of Opera (paper sections 3.1–3.3).
+
+An :class:`OperaSchedule` fixes, at design time:
+
+* a factorization of the complete rack graph into ``n_racks`` disjoint
+  symmetric matchings (:mod:`repro.core.matchings`),
+* a random assignment of those matchings to the ``u`` rotor circuit
+  switches (``n_racks / u`` matchings per switch), and
+* a random cyclic order in which each switch steps through its matchings.
+
+Reconfigurations are *offset* (Figure 3b): switches are organized into
+reconfiguration groups (Appendix B; by default one global group, i.e. at most
+one switch reconfiguring at any moment). During topology slice ``s`` the
+member ``s mod group_size`` of every group is draining/reconfiguring, and
+packets sent during that slice are not routed through it. The union of the
+remaining switches' matchings is the slice's expander graph.
+
+There is no runtime topology computation: everything here is a pure function
+of the slice index.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterator, Sequence
+
+from .lifting import lifted_random_factorization
+from .matchings import Matching, verify_factorization
+from .timing import TimingParams
+
+__all__ = ["OperaSchedule", "DirectConnection"]
+
+
+@dataclass(frozen=True)
+class DirectConnection:
+    """A one-hop circuit between two racks during a topology slice."""
+
+    slice_index: int
+    switch: int
+    rack_a: int
+    rack_b: int
+
+
+class OperaSchedule:
+    """Deterministic cyclic schedule of matchings across rotor switches.
+
+    Parameters
+    ----------
+    n_racks:
+        Number of ToR switches (even, divisible by ``n_switches``).
+    n_switches:
+        Number of rotor circuit switches ``u`` (= ToR uplinks).
+    group_size:
+        Reconfiguration group size (Appendix B); defaults to ``n_switches``
+        (one switch down at a time). Must divide ``n_switches``.
+    seed:
+        Seed for the design-time randomness (factorization, assignment,
+        cycle order). The same seed reproduces the same network.
+    factorization:
+        Pre-computed factorization to use instead of generating one.
+    require_connected:
+        Section 3.3: a random realization may fail to have good expansion in
+        some slice; when this flag is set (default) and no explicit
+        factorization was supplied, generation is retried with fresh
+        randomness until every slice's up-switch union is connected.
+    """
+
+    def __init__(
+        self,
+        n_racks: int,
+        n_switches: int,
+        group_size: int | None = None,
+        seed: int | None = 0,
+        factorization: Sequence[Matching] | None = None,
+        validate: bool = True,
+        require_connected: bool = True,
+        max_attempts: int = 200,
+    ) -> None:
+        if n_switches <= 0:
+            raise ValueError("need at least one circuit switch")
+        if n_racks % n_switches:
+            raise ValueError(
+                f"{n_racks} racks not divisible by {n_switches} switches"
+            )
+        self.n_racks = n_racks
+        self.n_switches = n_switches
+        self.group_size = group_size if group_size is not None else n_switches
+        if self.group_size <= 0 or n_switches % self.group_size:
+            raise ValueError(
+                f"group size {self.group_size} must divide {n_switches}"
+            )
+        rng = random.Random(seed)
+        retry = require_connected and factorization is None
+        attempts = max_attempts if retry else 1
+        for attempt in range(attempts):
+            if factorization is None:
+                candidate: list[Matching] = lifted_random_factorization(
+                    n_racks, rng
+                )
+            else:
+                candidate = list(factorization)
+            if validate:
+                verify_factorization(candidate, n_racks)
+            self.matchings = candidate
+
+            # Random assignment of matchings to switches; each switch's list
+            # is already in a random order, which doubles as its cycle order.
+            order = list(range(n_racks))
+            rng.shuffle(order)
+            per_switch = n_racks // n_switches
+            self._switch_matchings: list[list[int]] = [
+                order[w * per_switch : (w + 1) * per_switch]
+                for w in range(n_switches)
+            ]
+            if not retry or self._all_slices_connected():
+                break
+        else:
+            raise ValueError(
+                f"no realization with fully-connected slices found in "
+                f"{max_attempts} attempts (n_racks={n_racks}, u={n_switches})"
+            )
+
+    # ------------------------------------------------------------------ shape
+
+    @property
+    def matchings_per_switch(self) -> int:
+        return self.n_racks // self.n_switches
+
+    @property
+    def n_groups(self) -> int:
+        return self.n_switches // self.group_size
+
+    @property
+    def cycle_slices(self) -> int:
+        """Number of topology slices per full cycle."""
+        return self.group_size * self.matchings_per_switch
+
+    def timing(self, **overrides) -> TimingParams:
+        """Time constants for this schedule (see :class:`TimingParams`)."""
+        params = dict(
+            n_racks=self.n_racks,
+            n_switches=self.n_switches,
+            group_size=self.group_size,
+        )
+        params.update(overrides)
+        return TimingParams(**params)
+
+    # -------------------------------------------------------------- per slice
+
+    def _advances(self, switch: int, slice_index: int) -> int:
+        member = switch % self.group_size
+        s = slice_index % self.cycle_slices
+        return (s + self.group_size - 1 - member) // self.group_size
+
+    def matching_index_of(self, switch: int, slice_index: int) -> int:
+        """Index (within the switch's cycle order) shown during a slice."""
+        return self._advances(switch, slice_index) % self.matchings_per_switch
+
+    def matching_of(self, switch: int, slice_index: int) -> Matching:
+        """The matching physically instantiated by ``switch`` in a slice."""
+        idx = self.matching_index_of(switch, slice_index)
+        return self.matchings[self._switch_matchings[switch][idx]]
+
+    def is_down(self, switch: int, slice_index: int) -> bool:
+        """True if ``switch`` is draining/reconfiguring during the slice."""
+        s = slice_index % self.cycle_slices
+        return switch % self.group_size == s % self.group_size
+
+    def down_switches(self, slice_index: int) -> list[int]:
+        """Switches with an impending reconfiguration during the slice."""
+        return [w for w in range(self.n_switches) if self.is_down(w, slice_index)]
+
+    def up_switches(self, slice_index: int) -> list[int]:
+        return [w for w in range(self.n_switches) if not self.is_down(w, slice_index)]
+
+    def active_matchings(self, slice_index: int) -> dict[int, Matching]:
+        """Map of up switch -> instantiated matching for a slice."""
+        return {
+            w: self.matching_of(w, slice_index)
+            for w in self.up_switches(slice_index)
+        }
+
+    def neighbors(
+        self, rack: int, slice_index: int, include_down: bool = False
+    ) -> list[tuple[int, int]]:
+        """``(peer_rack, switch)`` pairs reachable one hop from ``rack``.
+
+        Self-loop assignments (the identity matching) are skipped — that
+        uplink simply idles for the slice.
+        """
+        out = []
+        for w in range(self.n_switches):
+            if not include_down and self.is_down(w, slice_index):
+                continue
+            peer = self.matching_of(w, slice_index)[rack]
+            if peer != rack:
+                out.append((peer, w))
+        return out
+
+    def slice_adjacency(
+        self, slice_index: int, include_down: bool = False
+    ) -> list[list[int]]:
+        """Adjacency lists (rack -> peer racks) of the slice's expander."""
+        adj: list[list[int]] = [[] for _ in range(self.n_racks)]
+        for w in range(self.n_switches):
+            if not include_down and self.is_down(w, slice_index):
+                continue
+            matching = self.matching_of(w, slice_index)
+            for a in range(self.n_racks):
+                b = matching[a]
+                if a < b:
+                    adj[a].append(b)
+                    adj[b].append(a)
+        return adj
+
+    # ------------------------------------------------------------- direct use
+
+    def direct_connections(self, slice_index: int) -> Iterator[DirectConnection]:
+        """All up one-hop circuits available during a slice."""
+        for w in self.up_switches(slice_index):
+            matching = self.matching_of(w, slice_index)
+            for a in range(self.n_racks):
+                b = matching[a]
+                if a < b:
+                    yield DirectConnection(slice_index, w, a, b)
+
+    def direct_switch(self, rack_a: int, rack_b: int, slice_index: int) -> int | None:
+        """The up switch directly connecting two racks in a slice, if any."""
+        for w in self.up_switches(slice_index):
+            if self.matching_of(w, slice_index)[rack_a] == rack_b:
+                return w
+        return None
+
+    @lru_cache(maxsize=None)
+    def direct_slices(self, rack_a: int, rack_b: int) -> tuple[int, ...]:
+        """Slices (within one cycle) whose topology includes circuit a—b.
+
+        Each unordered rack pair appears in exactly one matching of the
+        factorization, which its owning switch instantiates for
+        ``group_size`` consecutive slices per cycle — one of which is the
+        switch's own down slice. The returned tuple therefore has
+        ``group_size - 1`` entries.
+        """
+        if rack_a == rack_b:
+            raise ValueError("a rack has no circuit to itself")
+        return tuple(
+            s
+            for s in range(self.cycle_slices)
+            if self.direct_switch(rack_a, rack_b, s) is not None
+        )
+
+    def wait_slices_for_direct(self, rack_a: int, rack_b: int, slice_index: int) -> int:
+        """Slices until the next direct a—b circuit (0 if up right now)."""
+        s = slice_index % self.cycle_slices
+        directs = self.direct_slices(rack_a, rack_b)
+        best = min((d - s) % self.cycle_slices for d in directs)
+        return best
+
+    # ------------------------------------------------------------- validation
+
+    def _all_slices_connected(self) -> bool:
+        """True if every slice's up-switch union is a connected graph."""
+        for s in range(self.cycle_slices):
+            adj = self.slice_adjacency(s)
+            seen = [False] * self.n_racks
+            stack = [0]
+            seen[0] = True
+            count = 1
+            while stack:
+                node = stack.pop()
+                for peer in adj[node]:
+                    if not seen[peer]:
+                        seen[peer] = True
+                        count += 1
+                        stack.append(peer)
+            if count != self.n_racks:
+                return False
+        return True
+
+    def verify_cycle_connectivity(self) -> None:
+        """Check every rack pair gets a direct circuit each cycle."""
+        covered: set[tuple[int, int]] = set()
+        for s in range(self.cycle_slices):
+            for conn in self.direct_connections(s):
+                covered.add((conn.rack_a, conn.rack_b))
+        want = self.n_racks * (self.n_racks - 1) // 2
+        if len(covered) != want:
+            raise AssertionError(
+                f"cycle covers {len(covered)} rack pairs, expected {want}"
+            )

@@ -1,0 +1,80 @@
+"""Routing-state scalability model (paper section 6.2, Table 1).
+
+A straightforward Opera implementation needs ``O(n_racks^2)`` rules: there
+are ``n_racks`` topology slices and, within each slice, one low-latency rule
+per non-local destination plus one bulk rule per directly-connected rack
+(``u - 1`` up circuits). The paper compiles these rulesets with Barefoot's
+Capilano tool against a Tofino 65x100GE switch; we model the same counts and
+express utilization against the fitted rule capacity of that switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "TOFINO_RULE_CAPACITY",
+    "PAPER_TABLE1_CONFIGS",
+    "RuleSetSize",
+    "ruleset_size",
+    "table1_rows",
+]
+
+#: Effective rule capacity of the Tofino 65x100GE switch implied by the
+#: paper's utilization column (entries / utilization is ~1.701M for every
+#: row of Table 1).
+TOFINO_RULE_CAPACITY = 1_701_000
+
+#: The (n_racks, n_uplinks) pairs evaluated in Table 1.
+PAPER_TABLE1_CONFIGS: tuple[tuple[int, int], ...] = (
+    (108, 6),
+    (252, 9),
+    (520, 13),
+    (768, 16),
+    (1008, 18),
+    (1200, 20),
+)
+
+
+@dataclass(frozen=True)
+class RuleSetSize:
+    """Ruleset accounting for one datacenter size."""
+
+    n_racks: int
+    n_uplinks: int
+    low_latency_entries: int
+    bulk_entries: int
+
+    @property
+    def entries(self) -> int:
+        return self.low_latency_entries + self.bulk_entries
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the Tofino's rule capacity consumed."""
+        return self.entries / TOFINO_RULE_CAPACITY
+
+
+def ruleset_size(n_racks: int, n_uplinks: int) -> RuleSetSize:
+    """Rules required in each ToR for an Opera network of this size.
+
+    Low-latency table: one entry per (slice, non-local destination rack) —
+    ``n_racks * (n_racks - 1)`` in total, as there are ``n_racks`` slices.
+    Bulk table: one entry per (slice, directly-connected rack); with one
+    switch down per slice there are ``u - 1`` direct circuits per slice.
+    """
+    if n_racks < 2:
+        raise ValueError("need at least two racks")
+    if n_uplinks < 2:
+        raise ValueError("need at least two uplinks")
+    return RuleSetSize(
+        n_racks=n_racks,
+        n_uplinks=n_uplinks,
+        low_latency_entries=n_racks * (n_racks - 1),
+        bulk_entries=n_racks * (n_uplinks - 1),
+    )
+
+
+def table1_rows() -> list[RuleSetSize]:
+    """The exact rows of the paper's Table 1."""
+    return [ruleset_size(n, u) for n, u in PAPER_TABLE1_CONFIGS]

@@ -1,0 +1,175 @@
+"""Opera's time constants (paper section 4.1, Figure 6, Appendix B).
+
+A *topology slice* is the interval between consecutive network-wide
+reconfiguration events. Its duration is ``epsilon + r`` where
+
+* ``epsilon`` is the worst-case end-to-end delay for a low-latency packet to
+  traverse the network (so in-flight packets drain before the circuit they
+  were routed over is torn down), and
+* ``r`` is the circuit-switch reconfiguration delay.
+
+With ``u`` circuit switches arranged in groups of ``group_size`` (Appendix B;
+the default is a single group, i.e. exactly one switch reconfiguring at a
+time), each switch holds a matching for ``group_size`` slices and shows all
+``n_racks / u`` of its matchings once per cycle, giving
+
+``cycle slices = group_size * n_racks / u``.
+
+For the paper's reference 108-rack, k=12 design (``u = 6``, ``epsilon = 90
+us``, ``r = 10 us``) this yields a 100 us slice, a 98.3% duty cycle, and a
+10.8 ms cycle time — the "10.7 ms" of section 4.1. All times are integer
+picoseconds, the unit used throughout the packet simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "PS_PER_US",
+    "PS_PER_MS",
+    "PS_PER_S",
+    "TimingParams",
+    "worst_case_epsilon_ps",
+]
+
+PS_PER_US = 1_000_000
+PS_PER_MS = 1_000 * PS_PER_US
+PS_PER_S = 1_000 * PS_PER_MS
+
+#: Default link rate (bits per second) used across the paper's evaluation.
+DEFAULT_LINK_RATE_BPS = 10_000_000_000
+#: Default inter-ToR propagation delay: 500 ns = 100 m of fiber.
+DEFAULT_PROPAGATION_PS = 500_000
+#: Default MTU (bytes).
+DEFAULT_MTU = 1500
+
+
+def serialization_ps(size_bytes: int, rate_bps: int = DEFAULT_LINK_RATE_BPS) -> int:
+    """Time to serialize ``size_bytes`` onto a link, in integer picoseconds."""
+    return (size_bytes * 8 * PS_PER_S) // rate_bps
+
+
+def worst_case_epsilon_ps(
+    worst_path_hops: int = 5,
+    queue_bytes: int = 24_000,
+    mtu: int = DEFAULT_MTU,
+    rate_bps: int = DEFAULT_LINK_RATE_BPS,
+    propagation_ps: int = DEFAULT_PROPAGATION_PS,
+) -> int:
+    """Upper-estimate of the end-to-end drain time ``epsilon``.
+
+    Sums, per hop, the drain time of a full queue, the packet's own
+    serialization, and fiber propagation. With the paper's parameters
+    (5 hops, 24 KB queues, 10 Gb/s, 500 ns/hop) this evaluates to ~104 us;
+    the paper rounds its provisioned value down to 90 us, which remains the
+    default in :class:`TimingParams`.
+    """
+    per_hop = (
+        serialization_ps(queue_bytes, rate_bps)
+        + serialization_ps(mtu, rate_bps)
+        + propagation_ps
+    )
+    return worst_path_hops * per_hop
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """Derived Opera time constants for a given deployment.
+
+    Parameters
+    ----------
+    n_racks, n_switches:
+        Topology shape; ``n_racks`` must be divisible by ``n_switches``.
+    group_size:
+        Switches per reconfiguration group (Appendix B). ``None`` means one
+        global group (exactly one switch reconfiguring at a time). Larger
+        deployments use groups of ~6 so that ``n_switches / group_size``
+        switches reconfigure simultaneously and the cycle shortens.
+    epsilon_ps, reconfiguration_ps:
+        The ``epsilon`` and ``r`` of Figure 6.
+    guard_ps:
+        Guard band applied around each reconfiguration (section 3.5).
+    """
+
+    n_racks: int
+    n_switches: int
+    group_size: int | None = None
+    epsilon_ps: int = 90 * PS_PER_US
+    reconfiguration_ps: int = 10 * PS_PER_US
+    guard_ps: int = 0
+    link_rate_bps: int = DEFAULT_LINK_RATE_BPS
+
+    def __post_init__(self) -> None:
+        if self.n_racks % self.n_switches:
+            raise ValueError(
+                f"{self.n_racks} racks not divisible by {self.n_switches} switches"
+            )
+        group = self.group_size if self.group_size is not None else self.n_switches
+        if group <= 0 or self.n_switches % group:
+            raise ValueError(
+                f"group size {group} must divide switch count {self.n_switches}"
+            )
+        object.__setattr__(self, "group_size", group)
+        if self.epsilon_ps <= 0 or self.reconfiguration_ps < 0:
+            raise ValueError("epsilon must be positive and r non-negative")
+        if self.guard_ps < 0 or 2 * self.guard_ps >= self.slice_ps:
+            if self.guard_ps:
+                raise ValueError("guard band must leave usable time in a slice")
+
+    @property
+    def slice_ps(self) -> int:
+        """Duration of one topology slice: ``epsilon + r``."""
+        return self.epsilon_ps + self.reconfiguration_ps
+
+    @property
+    def n_groups(self) -> int:
+        return self.n_switches // self.group_size  # type: ignore[operator]
+
+    @property
+    def matchings_per_switch(self) -> int:
+        return self.n_racks // self.n_switches
+
+    @property
+    def cycle_slices(self) -> int:
+        """Slices per full cycle (every rack pair directly connected once)."""
+        return self.group_size * self.matchings_per_switch  # type: ignore[operator]
+
+    @property
+    def cycle_ps(self) -> int:
+        return self.cycle_slices * self.slice_ps
+
+    @property
+    def holding_ps(self) -> int:
+        """How long a switch holds one matching before reconfiguring."""
+        return self.group_size * self.slice_ps  # type: ignore[operator]
+
+    @property
+    def duty_cycle(self) -> float:
+        """Fraction of time a switch's circuits carry traffic (98% in paper)."""
+        return 1.0 - self.reconfiguration_ps / self.holding_ps
+
+    @property
+    def low_latency_capacity_factor(self) -> float:
+        """Relative low-latency capacity after guard bands (1%/us of guard)."""
+        return 1.0 - self.guard_ps / self.slice_ps
+
+    @property
+    def bulk_capacity_factor(self) -> float:
+        """Relative bulk capacity after guard bands (~0.2%/us of guard)."""
+        return 1.0 - self.guard_ps / self.holding_ps
+
+    @property
+    def bulk_threshold_bytes(self) -> int:
+        """Flow size above which waiting one cycle costs < ~2x ideal FCT.
+
+        A flow can amortize the worst-case wait of one full cycle if its
+        link-rate-limited transmission time is at least the cycle time;
+        the paper rounds the resulting 13.5 MB up to 15 MB for the k=12
+        reference design.
+        """
+        return (self.cycle_ps * self.link_rate_bps) // (8 * PS_PER_S)
+
+    def relative_cycle_time(self, reference: "TimingParams") -> float:
+        """Cycle time of ``self`` relative to ``reference`` (Figure 14)."""
+        return self.cycle_ps / reference.cycle_ps

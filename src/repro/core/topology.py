@@ -1,0 +1,143 @@
+"""The Opera network object: racks, hosts, uplinks, schedule and timing.
+
+Ties together the factorization/schedule machinery with the physical shape
+of a deployment. An Opera ToR is provisioned 1:1 (paper Figure 2): a
+``k``-port ToR dedicates ``d = k/2`` ports to hosts and ``u = k/2`` uplinks
+to rotor circuit switches — one uplink per switch.
+
+The paper's reference design (sections 4–5) is ``k = 12``: 108 racks x 6
+hosts = 648 hosts, 6 circuit switches, 18 matchings per switch. Larger
+networks follow ``n_racks = 3 k^2 / 4`` (k=24 gives the 5,184-host network
+of Figure 12; k=64 the 98,304-host network of Appendix B).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from .matchings import Matching
+from .schedule import OperaSchedule
+from .timing import PS_PER_US, TimingParams
+
+__all__ = ["OperaNetwork", "default_rack_count"]
+
+
+def default_rack_count(k: int) -> int:
+    """Paper-style rack count for ToR radix ``k`` (``3 k^2 / 4``, adjusted).
+
+    The count is rounded up to the nearest value that is both even and a
+    multiple of ``u = k/2`` so a valid schedule exists.
+    """
+    if k < 4 or k % 2:
+        raise ValueError(f"ToR radix must be an even integer >= 4, got {k}")
+    u = k // 2
+    n = (3 * k * k + 3) // 4
+    step = u if (u % 2 == 0) else 2 * u
+    return ((n + step - 1) // step) * step
+
+
+class OperaNetwork:
+    """A concrete Opera deployment.
+
+    Parameters
+    ----------
+    k:
+        ToR switch radix. Hosts per rack and uplink count are both ``k/2``.
+    n_racks:
+        Number of racks; defaults to the paper's ``3 k^2 / 4`` scaling.
+    group_size:
+        Reconfiguration group size (Appendix B), default one global group.
+    seed:
+        Design-time randomness seed (factorization + schedule).
+    """
+
+    def __init__(
+        self,
+        k: int = 12,
+        n_racks: int | None = None,
+        group_size: int | None = None,
+        seed: int | None = 0,
+        factorization: Sequence[Matching] | None = None,
+        epsilon_ps: int = 90 * PS_PER_US,
+        reconfiguration_ps: int = 10 * PS_PER_US,
+        guard_ps: int = 0,
+        link_rate_bps: int = 10_000_000_000,
+    ) -> None:
+        if k < 4 or k % 2:
+            raise ValueError(f"ToR radix must be an even integer >= 4, got {k}")
+        self.k = k
+        self.hosts_per_rack = k // 2
+        self.n_switches = k // 2
+        self.n_racks = n_racks if n_racks is not None else default_rack_count(k)
+        if self.n_racks % self.n_switches:
+            raise ValueError(
+                f"{self.n_racks} racks not divisible by u={self.n_switches}"
+            )
+        if self.n_racks % 2:
+            raise ValueError("rack count must be even")
+        self.schedule = OperaSchedule(
+            self.n_racks,
+            self.n_switches,
+            group_size=group_size,
+            seed=seed,
+            factorization=factorization,
+        )
+        self.timing = TimingParams(
+            n_racks=self.n_racks,
+            n_switches=self.n_switches,
+            group_size=self.schedule.group_size,
+            epsilon_ps=epsilon_ps,
+            reconfiguration_ps=reconfiguration_ps,
+            guard_ps=guard_ps,
+            link_rate_bps=link_rate_bps,
+        )
+
+    # ------------------------------------------------------------------ shape
+
+    @classmethod
+    def reference_648(cls, seed: int | None = 0, **kwargs) -> "OperaNetwork":
+        """The paper's 648-host, 108-rack, k=12 reference network."""
+        return cls(k=12, n_racks=108, seed=seed, **kwargs)
+
+    @property
+    def n_hosts(self) -> int:
+        return self.n_racks * self.hosts_per_rack
+
+    @property
+    def uplinks_per_rack(self) -> int:
+        return self.n_switches
+
+    def host_rack(self, host: int) -> int:
+        """Rack housing ``host`` (hosts are numbered rack-major)."""
+        if not 0 <= host < self.n_hosts:
+            raise ValueError(f"host {host} out of range")
+        return host // self.hosts_per_rack
+
+    def rack_hosts(self, rack: int) -> range:
+        """Host ids attached to ``rack``."""
+        if not 0 <= rack < self.n_racks:
+            raise ValueError(f"rack {rack} out of range")
+        d = self.hosts_per_rack
+        return range(rack * d, (rack + 1) * d)
+
+    # ----------------------------------------------------------------- timing
+
+    def slice_at(self, time_ps: int) -> int:
+        """Topology slice index active at absolute time ``time_ps``."""
+        return (time_ps // self.timing.slice_ps) % self.schedule.cycle_slices
+
+    def slice_start_ps(self, slice_index: int, cycle: int = 0) -> int:
+        return (cycle * self.schedule.cycle_slices + slice_index) * self.timing.slice_ps
+
+    @property
+    def bulk_threshold_bytes(self) -> int:
+        """Default flow-size cutoff between low-latency and bulk service."""
+        return self.timing.bulk_threshold_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OperaNetwork(k={self.k}, racks={self.n_racks}, "
+            f"hosts={self.n_hosts}, switches={self.n_switches}, "
+            f"cycle={self.schedule.cycle_slices} slices)"
+        )

@@ -1,0 +1,158 @@
+"""Shared packet-level FCT harness for the Figure 7/9 experiments.
+
+Runs a Poisson flow workload over any of the four simulated networks and
+reports flow-completion-time percentiles per flow-size bucket — the y-axis
+of Figures 7 and 9. Pure-Python packet simulation cannot reach the paper's
+648 hosts x seconds horizons, so the default scale is a cost-comparable
+8-rack (32-host) instance of each network with capped flow sizes; the
+*relative* FCT behaviour (who saturates first, where bulk vs low-latency
+splits) is what carries over, and the same code runs larger scales when
+given the time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.topology import OperaNetwork
+from ..net import (
+    ClosSimNetwork,
+    ExpanderSimNetwork,
+    OperaSimNetwork,
+    RotorNetSimNetwork,
+    SimNetwork,
+)
+from ..topologies.expander import ExpanderTopology
+from ..topologies.folded_clos import FoldedClos
+from ..topologies.rotornet import RotorNetTopology
+from ..workloads.arrivals import PoissonArrivals
+from ..workloads.distributions import FlowSizeDistribution
+
+__all__ = ["FctResult", "build_network", "run_fct_experiment", "SIZE_BUCKETS"]
+
+MS = 1_000_000_000
+
+#: Flow-size buckets reported (Figure 7/9's x-axis, coarsened).
+SIZE_BUCKETS: list[tuple[int, int]] = [
+    (0, 10_000),
+    (10_000, 100_000),
+    (100_000, 1_000_000),
+    (1_000_000, 1 << 62),
+]
+
+
+@dataclass
+class FctResult:
+    network: str
+    load: float
+    n_flows: int
+    completed: int
+    #: bucket -> (mean_us, p99_us) over completed flows.
+    buckets: dict[tuple[int, int], tuple[float | None, float | None]]
+
+    def bucket_p99(self, lo: int) -> float | None:
+        for (a, b), (_mean, p99) in self.buckets.items():
+            if a == lo:
+                return p99
+        return None
+
+
+def build_network(kind: str, k: int = 8, n_racks: int = 8, seed: int = 0) -> SimNetwork:
+    """Instantiate one of the four evaluation networks at small scale.
+
+    ``kind``: ``opera`` | ``expander`` | ``clos`` | ``rotornet`` |
+    ``rotornet-hybrid``. The expander gets one extra uplink and the Clos
+    3:1 oversubscription, mirroring the paper's cost equivalence.
+    """
+    if kind == "opera":
+        return OperaSimNetwork(OperaNetwork(k=k, n_racks=n_racks, seed=seed))
+    if kind == "expander":
+        u = k // 2 + 1
+        return ExpanderSimNetwork(
+            ExpanderTopology(n_racks, u, k - u, seed=seed)
+        )
+    if kind == "clos":
+        oversub = 3 if k % 4 == 0 else 1
+        clos = FoldedClos(k, oversub, n_pods=None)
+        pods = max(1, min(clos.k, round(n_racks / clos.tors_per_pod)))
+        return ClosSimNetwork(FoldedClos(k, oversub, n_pods=pods))
+    if kind in ("rotornet", "rotornet-hybrid"):
+        return RotorNetSimNetwork(
+            RotorNetTopology(
+                n_racks,
+                k // 2,
+                k // 2,
+                hybrid=(kind == "rotornet-hybrid"),
+                seed=seed,
+            )
+        )
+    raise ValueError(f"unknown network kind {kind!r}")
+
+
+def run_fct_experiment(
+    kind: str,
+    distribution: FlowSizeDistribution,
+    load: float,
+    duration_ms: float = 5.0,
+    drain_ms: float = 10.0,
+    size_cap: int = 3_000_000,
+    k: int = 8,
+    n_racks: int = 8,
+    seed: int = 0,
+) -> FctResult:
+    """Poisson flows at ``load`` over network ``kind``; FCTs per bucket."""
+    net = build_network(kind, k=k, n_racks=n_racks, seed=seed)
+    hosts_per_rack = sum(1 for h in net.hosts if h.rack == 0)
+    arrivals = PoissonArrivals(
+        distribution.truncated(size_cap),
+        load=load,
+        n_hosts=len(net.hosts),
+        hosts_per_rack=hosts_per_rack,
+        seed=seed,
+    )
+    # Opera classifies by the deployment's own threshold; other fabrics
+    # carry everything over their single service (plus the hybrid split).
+    if kind == "opera":
+        threshold = net.network.bulk_threshold_bytes  # type: ignore[attr-defined]
+    elif kind == "rotornet-hybrid":
+        threshold = 1_000_000
+    else:
+        threshold = 1 << 62
+    for flow in arrivals.flows(duration_ps=int(duration_ms * MS)):
+        size = flow.size_bytes
+        if size >= threshold:
+            net.start_bulk_flow(flow.src_host, flow.dst_host, size, flow.time_ps)
+        else:
+            net.start_low_latency_flow(
+                flow.src_host, flow.dst_host, size, flow.time_ps
+            )
+    net.run(until_ps=int((duration_ms + drain_ms) * MS))
+    buckets: dict[tuple[int, int], tuple[float | None, float | None]] = {}
+    for lo, hi in SIZE_BUCKETS:
+        buckets[(lo, hi)] = (
+            net.stats.mean_fct_us((lo, hi)),
+            net.stats.fct_percentile_us(99, (lo, hi)),
+        )
+    return FctResult(
+        network=kind,
+        load=load,
+        n_flows=len(net.stats.flows),
+        completed=len(net.stats.completed_flows()),
+        buckets=buckets,
+    )
+
+
+def format_rows(results: list[FctResult]) -> list[str]:
+    rows = [
+        "network            load  flows done | p99 FCT (us) per size bucket"
+    ]
+    for r in results:
+        cells = []
+        for (lo, _hi), (_mean, p99) in r.buckets.items():
+            label = f"{lo // 1000}KB+" if lo else "<10KB"
+            cells.append(f"{label}:{p99:.0f}" if p99 is not None else f"{label}:-")
+        rows.append(
+            f"{r.network:>17s} {r.load:5.0%} {r.n_flows:6d} {r.completed:5d} | "
+            + "  ".join(cells)
+        )
+    return rows

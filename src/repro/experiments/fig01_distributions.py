@@ -1,0 +1,34 @@
+"""Figure 1: flow-size and byte CDFs of the three published workloads."""
+
+from __future__ import annotations
+
+from ..workloads.distributions import ALL_WORKLOADS
+
+#: Sizes at which the paper's Figure 1 x-axis is sampled.
+SAMPLE_SIZES = [10**e for e in range(2, 10)]
+
+
+def run() -> dict[str, dict[str, list[float]]]:
+    """CDF-of-flows (top panel) and CDF-of-bytes (bottom) per workload."""
+    out: dict[str, dict[str, list[float]]] = {}
+    for name, dist in ALL_WORKLOADS.items():
+        out[name] = {
+            "sizes": [float(s) for s in SAMPLE_SIZES],
+            "flow_cdf": [dist.cdf(s) for s in SAMPLE_SIZES],
+            "byte_cdf": [dist.byte_cdf(s) for s in SAMPLE_SIZES],
+            "mean_bytes": [dist.mean_bytes()],
+            "bulk_byte_fraction_15MB": [dist.bulk_byte_fraction(15e6)],
+        }
+    return out
+
+
+def format_rows(data: dict[str, dict[str, list[float]]]) -> list[str]:
+    rows = ["size_bytes " + " ".join(f"{s:>9.0e}" for s in SAMPLE_SIZES)]
+    for name, series in data.items():
+        rows.append(
+            f"{name:>10s}/flows " + " ".join(f"{v:9.3f}" for v in series["flow_cdf"])
+        )
+        rows.append(
+            f"{name:>10s}/bytes " + " ".join(f"{v:9.3f}" for v in series["byte_cdf"])
+        )
+    return rows

@@ -1,0 +1,46 @@
+"""Figure 4: path-length CDFs of the cost-equivalent 648-host trio."""
+
+from __future__ import annotations
+
+from ..analysis.costs import cost_equivalent_networks
+from ..analysis.paths import (
+    PathLengthDistribution,
+    clos_path_lengths,
+    expander_path_lengths,
+    opera_path_lengths,
+)
+from ..core.schedule import OperaSchedule
+from ..topologies.expander import ExpanderTopology
+from ..topologies.folded_clos import FoldedClos
+
+
+def run(
+    k: int = 12, n_racks: int | None = None, seed: int = 0, n_slices: int | None = None
+) -> dict[str, PathLengthDistribution]:
+    """Path CDFs for Opera, the u=7 expander and the 3:1 folded Clos.
+
+    Defaults reproduce the full 648-host comparison; ``n_slices`` can
+    subsample Opera's 108 slices for quicker runs.
+    """
+    eq = cost_equivalent_networks(k, 1.3, n_racks=n_racks)
+    sched = OperaSchedule(eq.opera_racks, eq.opera_uplinks, seed=seed)
+    slices = None if n_slices is None else range(0, sched.cycle_slices, max(1, sched.cycle_slices // n_slices))
+    expander = ExpanderTopology(
+        eq.expander_racks, eq.expander_uplinks, eq.expander_hosts_per_rack, seed=seed
+    )
+    clos = FoldedClos(k, max(1, round(eq.clos_oversubscription)))
+    return {
+        "opera": opera_path_lengths(sched, slices),
+        "expander": expander_path_lengths(expander),
+        "clos": clos_path_lengths(clos),
+    }
+
+
+def format_rows(data: dict[str, PathLengthDistribution]) -> list[str]:
+    rows = ["network    hops:cdf ..."]
+    for name, dist in data.items():
+        cdf = " ".join(f"{h}:{v:.3f}" for h, v in dist.cdf())
+        rows.append(
+            f"{name:>9s} avg={dist.average():.2f} worst={dist.worst()} | {cdf}"
+        )
+    return rows

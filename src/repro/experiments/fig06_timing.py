@@ -1,0 +1,23 @@
+"""Figure 6 / section 4.1: the reference design's time constants."""
+
+from __future__ import annotations
+
+from ..core.timing import PS_PER_US, TimingParams, worst_case_epsilon_ps
+
+
+def run(n_racks: int = 108, n_switches: int = 6) -> dict[str, float]:
+    timing = TimingParams(n_racks=n_racks, n_switches=n_switches)
+    return {
+        "epsilon_us": timing.epsilon_ps / PS_PER_US,
+        "reconfiguration_us": timing.reconfiguration_ps / PS_PER_US,
+        "slice_us": timing.slice_ps / PS_PER_US,
+        "cycle_slices": float(timing.cycle_slices),
+        "cycle_ms": timing.cycle_ps / 1e9,
+        "duty_cycle": timing.duty_cycle,
+        "bulk_threshold_MB": timing.bulk_threshold_bytes / 1e6,
+        "derived_epsilon_us": worst_case_epsilon_ps() / PS_PER_US,
+    }
+
+
+def format_rows(data: dict[str, float]) -> list[str]:
+    return [f"{key:>22s} = {value:.3f}" for key, value in data.items()]

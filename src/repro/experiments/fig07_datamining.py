@@ -1,0 +1,38 @@
+"""Figure 7: Datamining FCTs vs load across the four networks.
+
+Paper setup: Poisson arrivals of the Datamining workload at 1-40% load on
+the cost-equivalent 648-host networks; Opera admits 40% while the statics
+saturate past 25%, and non-hybrid RotorNet's short-flow FCTs are orders of
+magnitude worse. Reproduced at reduced scale (see :mod:`.fctsim`).
+"""
+
+from __future__ import annotations
+
+from ..workloads.distributions import DATAMINING
+from .fctsim import FctResult, format_rows, run_fct_experiment
+
+__all__ = ["run", "format_rows", "DEFAULT_LOADS", "DEFAULT_NETWORKS"]
+
+DEFAULT_LOADS = (0.01, 0.10, 0.25)
+DEFAULT_NETWORKS = ("opera", "expander", "clos", "rotornet-hybrid", "rotornet")
+
+
+def run(
+    loads: tuple[float, ...] = DEFAULT_LOADS,
+    networks: tuple[str, ...] = DEFAULT_NETWORKS,
+    duration_ms: float = 4.0,
+    seed: int = 0,
+) -> list[FctResult]:
+    results = []
+    for kind in networks:
+        for load in loads:
+            results.append(
+                run_fct_experiment(
+                    kind,
+                    DATAMINING,
+                    load,
+                    duration_ms=duration_ms,
+                    seed=seed,
+                )
+            )
+    return results

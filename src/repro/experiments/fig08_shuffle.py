@@ -1,0 +1,66 @@
+"""Figure 8: throughput over time for the 100 KB all-to-all shuffle.
+
+Opera carries the whole shuffle over direct (bandwidth-tax-free) circuits
+and finishes in ~60-75 ms at paper scale; the 3:1 Clos (limited capacity)
+and the u=7 expander (300%+ bandwidth tax) stretch past 200 ms. Opera runs
+in the rack-granularity fluid simulator at full 108-rack scale; the statics
+drain at their uniform-matrix max throughput.
+"""
+
+from __future__ import annotations
+
+from ..analysis.costs import cost_equivalent_networks
+from ..analysis.throughput import clos_throughput, expander_throughput
+from ..core.schedule import OperaSchedule
+from ..core.timing import TimingParams
+from ..fluid import FluidResult, RotorFluidSimulation, static_shuffle_run
+from ..topologies.expander import ExpanderTopology
+from ..workloads.patterns import all_to_all_matrix
+
+__all__ = ["run", "format_rows"]
+
+
+def run(
+    k: int = 12,
+    n_racks: int = 108,
+    bytes_per_host_pair: int = 100_000,
+    seed: int = 0,
+    max_slices: int = 5_000,
+) -> dict[str, FluidResult]:
+    eq = cost_equivalent_networks(k, 1.3, n_racks=n_racks)
+    d = eq.opera_hosts_per_rack
+    sched = OperaSchedule(n_racks, eq.opera_uplinks, seed=seed)
+    timing = TimingParams(n_racks=n_racks, n_switches=eq.opera_uplinks)
+    opera = RotorFluidSimulation(sched, timing, hosts_per_rack=d)
+    opera.add_all_to_all(bytes_per_host_pair)
+    results = {"opera": opera.run(max_slices=max_slices)}
+
+    expander = ExpanderTopology(
+        eq.expander_racks, eq.expander_uplinks, eq.expander_hosts_per_rack, seed=seed
+    )
+    theta_exp = expander_throughput(
+        expander, all_to_all_matrix(eq.expander_racks, eq.expander_hosts_per_rack)
+    )
+    results["expander"] = static_shuffle_run(
+        theta_exp, eq.expander_racks, eq.expander_hosts_per_rack, bytes_per_host_pair
+    )
+    theta_clos = clos_throughput(
+        all_to_all_matrix(n_racks, d), eq.clos_oversubscription, d
+    )
+    results["clos"] = static_shuffle_run(
+        theta_clos, n_racks, d, bytes_per_host_pair
+    )
+    return results
+
+
+def format_rows(data: dict[str, FluidResult]) -> list[str]:
+    rows = ["network   99p completion (ms)   peak thr   mid thr"]
+    for name, res in data.items():
+        series = res.throughput_series
+        peak = max(v for _t, v in series)
+        mid = [v for t, v in series[: max(1, len(series) // 2)]]
+        rows.append(
+            f"{name:>9s} {res.completion_percentile_ms(99)!s:>18} "
+            f"{peak:10.3f} {sum(mid) / len(mid):9.3f}"
+        )
+    return rows

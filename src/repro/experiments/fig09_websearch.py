@@ -1,0 +1,37 @@
+"""Figure 9: Websearch FCTs — Opera's worst case (all traffic indirect).
+
+Every Websearch flow sits below the 15 MB bulk threshold, so Opera pays the
+multi-hop bandwidth tax on all of it and only admits ~10% load; the static
+networks saturate somewhat above 25%. Reproduced at reduced scale.
+"""
+
+from __future__ import annotations
+
+from ..workloads.distributions import WEBSEARCH
+from .fctsim import FctResult, format_rows, run_fct_experiment
+
+__all__ = ["run", "format_rows", "DEFAULT_LOADS", "DEFAULT_NETWORKS"]
+
+DEFAULT_LOADS = (0.01, 0.05, 0.10)
+DEFAULT_NETWORKS = ("opera", "expander", "clos")
+
+
+def run(
+    loads: tuple[float, ...] = DEFAULT_LOADS,
+    networks: tuple[str, ...] = DEFAULT_NETWORKS,
+    duration_ms: float = 4.0,
+    seed: int = 0,
+) -> list[FctResult]:
+    results = []
+    for kind in networks:
+        for load in loads:
+            results.append(
+                run_fct_experiment(
+                    kind,
+                    WEBSEARCH,
+                    load,
+                    duration_ms=duration_ms,
+                    seed=seed,
+                )
+            )
+    return results

@@ -1,0 +1,88 @@
+"""Figure 10: total throughput vs Websearch share of a mixed workload.
+
+The Websearch fraction is low-latency load (a fraction of aggregate host
+bandwidth, forwarded multi-hop); the rest of the network runs the shuffle.
+Opera trades ~2x low-latency capacity for 2-4x bulk capacity; the statics
+serve both classes out of the same constrained fabric.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from ..analysis.costs import cost_equivalent_networks
+from ..analysis.throughput import (
+    clos_throughput,
+    expander_throughput,
+    opera_throughput,
+)
+from ..topologies.expander import ExpanderTopology
+from ..workloads.patterns import all_to_all_matrix
+
+__all__ = ["run", "format_rows", "DEFAULT_WS_LOADS"]
+
+DEFAULT_WS_LOADS = (0.01, 0.025, 0.05, 0.10, 0.20, 0.40)
+
+
+def run(
+    k: int = 12,
+    n_racks: int = 108,
+    ws_loads: tuple[float, ...] = DEFAULT_WS_LOADS,
+    seed: int = 0,
+) -> dict[str, list[tuple[float, float]]]:
+    """Total delivered throughput (per-host normalized) per network.
+
+    For each network: websearch load ``w`` is served first (it is
+    latency-sensitive and inelastic); the bulk shuffle then fills whatever
+    capacity remains. Total throughput = served websearch + bulk.
+    """
+    eq = cost_equivalent_networks(k, 1.3, n_racks=n_racks)
+    d = eq.opera_hosts_per_rack
+    uniform_opera = all_to_all_matrix(n_racks, d)
+    expander = ExpanderTopology(
+        eq.expander_racks, eq.expander_uplinks, eq.expander_hosts_per_rack, seed=seed
+    )
+    uniform_exp = all_to_all_matrix(eq.expander_racks, eq.expander_hosts_per_rack)
+    theta_exp_uniform = expander_throughput(expander, uniform_exp)
+    theta_clos_uniform = clos_throughput(uniform_opera, eq.clos_oversubscription, d)
+
+    out: dict[str, list[tuple[float, float]]] = {
+        "opera": [],
+        "expander": [],
+        "clos": [],
+    }
+    avg_hops = 3.3
+    for w in ws_loads:
+        # Opera: websearch rides the expander slices (tax ~ avg path), the
+        # shuffle rides direct circuits with what's left.
+        ll_capacity = (eq.opera_uplinks - 1) * 0.983 / (avg_hops * d)
+        ws_served = min(w, ll_capacity)
+        bulk = opera_throughput(
+            uniform_opera,
+            n_racks,
+            eq.opera_uplinks,
+            low_latency_load=ws_served,
+            hosts_per_rack=d,
+        )
+        out["opera"].append((w, ws_served + bulk))
+        # Statics: both classes share one fabric with max uniform
+        # throughput theta; websearch is served first.
+        for name, theta in (
+            ("expander", theta_exp_uniform),
+            ("clos", theta_clos_uniform),
+        ):
+            ws = min(w, theta)
+            out[name].append((w, ws + max(0.0, theta - ws)))
+    return out
+
+
+def format_rows(data: dict[str, list[tuple[float, float]]]) -> list[str]:
+    loads = [w for w, _v in data["opera"]]
+    rows = ["ws load   " + "  ".join(f"{w:6.1%}" for w in loads)]
+    for name, series in data.items():
+        rows.append(
+            f"{name:>9s} " + "  ".join(f"{v:6.3f}" for _w, v in series)
+        )
+    return rows

@@ -1,0 +1,107 @@
+"""Figures 12 and 15: throughput vs relative Opera port cost (alpha).
+
+For each alpha in [1, 2] the static networks are re-sized to equal cost
+(Appendix A) and evaluated on the hotrack / skew[0.2,1] / permutation /
+all-to-all patterns. Figure 12 is k=24 (5,184 hosts); Figure 15 is k=12
+(the paper finds nearly identical scaling, reproduced by running this with
+``k=12``).
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from ..analysis.costs import cost_equivalent_networks
+from ..analysis.throughput import (
+    clos_throughput,
+    expander_throughput,
+    opera_throughput,
+)
+from ..topologies.expander import ExpanderTopology
+from ..workloads.patterns import (
+    all_to_all_matrix,
+    hot_rack_matrix,
+    permutation_matrix,
+    skew_matrix,
+)
+
+__all__ = ["run", "format_rows", "DEFAULT_ALPHAS", "PATTERNS"]
+
+DEFAULT_ALPHAS = (1.0, 1.25, 1.5, 1.75, 2.0)
+PATTERNS = ("hotrack", "skew", "permutation", "all_to_all")
+
+
+def _pattern_matrix(pattern: str, n_racks: int, d: int, rng: random.Random):
+    if pattern == "hotrack":
+        a, b = rng.sample(range(n_racks), 2)
+        return hot_rack_matrix(n_racks, d, a, b)
+    if pattern == "skew":
+        return skew_matrix(n_racks, d, 0.2, rng)
+    if pattern == "permutation":
+        return permutation_matrix(n_racks, d, rng)
+    if pattern == "all_to_all":
+        return all_to_all_matrix(n_racks, d)
+    raise ValueError(f"unknown pattern {pattern!r}")
+
+
+def run(
+    k: int = 24,
+    alphas: tuple[float, ...] = DEFAULT_ALPHAS,
+    patterns: tuple[str, ...] = PATTERNS,
+    hotrack_trials: int = 5,
+    seed: int = 0,
+) -> dict[str, dict[str, list[tuple[float, float]]]]:
+    """``pattern -> network -> [(alpha, throughput)]`` panels."""
+    out: dict[str, dict[str, list[tuple[float, float]]]] = {
+        p: {"opera": [], "expander": [], "clos": []} for p in patterns
+    }
+    for alpha in alphas:
+        eq = cost_equivalent_networks(k, alpha)
+        d = eq.opera_hosts_per_rack
+        expander = ExpanderTopology(
+            eq.expander_racks,
+            eq.expander_uplinks,
+            eq.expander_hosts_per_rack,
+            seed=seed,
+        )
+        for pattern in patterns:
+            rng = random.Random(seed + 1)
+            trials = hotrack_trials if pattern == "hotrack" else 1
+            opera_vals, exp_vals, clos_vals = [], [], []
+            for _trial in range(trials):
+                demand_opera = _pattern_matrix(pattern, eq.opera_racks, d, rng)
+                demand_exp = _pattern_matrix(
+                    pattern, eq.expander_racks, eq.expander_hosts_per_rack, rng
+                )
+                opera_vals.append(
+                    opera_throughput(
+                        demand_opera, eq.opera_racks, eq.opera_uplinks,
+                        hosts_per_rack=d,
+                    )
+                )
+                exp_vals.append(expander_throughput(expander, demand_exp))
+                clos_vals.append(
+                    clos_throughput(demand_opera, eq.clos_oversubscription, d)
+                )
+            out[pattern]["opera"].append((alpha, float(np.mean(opera_vals))))
+            out[pattern]["expander"].append((alpha, float(np.mean(exp_vals))))
+            out[pattern]["clos"].append((alpha, float(np.mean(clos_vals))))
+    return out
+
+
+def format_rows(
+    data: dict[str, dict[str, list[tuple[float, float]]]]
+) -> list[str]:
+    rows = []
+    for pattern, networks in data.items():
+        alphas = [a for a, _v in networks["opera"]]
+        rows.append(
+            f"[{pattern}] alpha:   " + "  ".join(f"{a:5.2f}" for a in alphas)
+        )
+        for name, series in networks.items():
+            rows.append(
+                f"  {name:>9s}      " + "  ".join(f"{v:5.3f}" for _a, v in series)
+            )
+    return rows

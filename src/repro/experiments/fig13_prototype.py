@@ -1,0 +1,84 @@
+"""Figure 13: prototype RTTs with and without bulk background traffic.
+
+The paper's hardware prototype emulates 8 ToRs and 4 rotor switches inside
+one Tofino and runs a ping-pong application under an all-to-all MPI
+shuffle. We reproduce it in the packet simulator on the same 8-ToR, 4-rotor
+topology (Figure 5): random-pair 64-byte pings measure application RTT,
+first on an idle fabric, then with every host pair running bulk traffic.
+Low-latency pings queue behind at most one MTU per serialization point, so
+the "with bulk" distribution shifts right by up to ~1.2 us per hop — the
+same effect the testbed shows (3 us/hop forwarding there, serialization
+here).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.topology import OperaNetwork
+from ..net import OperaSimNetwork
+
+__all__ = ["run", "format_rows"]
+
+MS = 1_000_000_000
+
+
+def run(
+    n_pings: int = 100,
+    with_bulk_pairs: int = 64,
+    bulk_bytes: int = 2_000_000,
+    seed: int = 0,
+) -> dict[str, list[float]]:
+    """RTT samples (us) without and with bulk background."""
+    out: dict[str, list[float]] = {}
+    for label, with_bulk in (("idle", False), ("with_bulk", True)):
+        net = OperaNetwork(k=8, n_racks=8, seed=seed)
+        sim = OperaSimNetwork(net)
+        rng = random.Random(seed)
+        if with_bulk:
+            pairs = 0
+            hosts = list(range(net.n_hosts))
+            while pairs < with_bulk_pairs:
+                a, b = rng.sample(hosts, 2)
+                if net.host_rack(a) == net.host_rack(b):
+                    continue
+                sim.start_bulk_flow(a, b, bulk_bytes, start_ps=0)
+                pairs += 1
+        # Ping-pong: a tiny request, answered by a tiny reply the moment it
+        # lands. RTT is the sum of both one-way FCTs. Pings are sequenced
+        # one at a time so the reply starts exactly when the request ends.
+        rtts: list[float] = []
+        interval = 50_000_000  # 50 us between pings
+        for i in range(n_pings):
+            a, b = rng.sample(range(net.n_hosts), 2)
+            if net.host_rack(a) == net.host_rack(b):
+                b = (b + net.hosts_per_rack) % net.n_hosts
+            t0 = max(sim.sim.now, 500_000 + i * interval)
+            req = sim.start_low_latency_flow(a, b, 64, start_ps=t0)
+            deadline = t0 + 5 * MS
+            while not req.complete and sim.sim.now < deadline:
+                sim.run(until_ps=min(deadline, sim.sim.now + 100_000))
+            if not req.complete:
+                continue
+            reply = sim.start_low_latency_flow(b, a, 64, start_ps=sim.sim.now)
+            deadline = sim.sim.now + 5 * MS
+            while not reply.complete and sim.sim.now < deadline:
+                sim.run(until_ps=min(deadline, sim.sim.now + 100_000))
+            if reply.complete:
+                rtts.append((req.fct_ps + reply.fct_ps) / 1e6)
+        out[label] = sorted(rtts)
+    return out
+
+
+def format_rows(data: dict[str, list[float]]) -> list[str]:
+    rows = ["condition   n     p10     p50     p90     p99 (RTT us)"]
+    for label, rtts in data.items():
+        if not rtts:
+            rows.append(f"{label:>10s}   0")
+            continue
+        q = lambda p: rtts[min(len(rtts) - 1, int(p / 100 * len(rtts)))]
+        rows.append(
+            f"{label:>10s} {len(rtts):3d} {q(10):7.2f} {q(50):7.2f} "
+            f"{q(90):7.2f} {q(99):7.2f}"
+        )
+    return rows

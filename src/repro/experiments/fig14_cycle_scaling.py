@@ -1,0 +1,57 @@
+"""Figure 14 / Appendix B: relative cycle time vs ToR radix, with grouping.
+
+Without grouping the cycle grows with the rack count (~quadratic in k);
+dividing the circuit switches into groups of ~6 and reconfiguring one
+switch per group simultaneously keeps growth linear (k=12 -> k=64 costs
+only ~6x).
+"""
+
+from __future__ import annotations
+
+from ..core.timing import TimingParams
+from ..core.topology import default_rack_count
+
+__all__ = ["run", "format_rows", "DEFAULT_RADICES"]
+
+DEFAULT_RADICES = (12, 24, 36, 48, 64)
+GROUP_TARGET = 6
+
+
+def _grouped_size(u: int) -> int:
+    """Largest divisor of ``u`` that is at most the target group size."""
+    for g in range(min(GROUP_TARGET, u), 0, -1):
+        if u % g == 0:
+            return g
+    return 1
+
+
+def run(radices: tuple[int, ...] = DEFAULT_RADICES) -> list[dict[str, float]]:
+    reference = TimingParams(n_racks=default_rack_count(12), n_switches=6)
+    rows = []
+    for k in radices:
+        u = k // 2
+        n = default_rack_count(k)
+        ungrouped = TimingParams(n_racks=n, n_switches=u)
+        grouped = TimingParams(n_racks=n, n_switches=u, group_size=_grouped_size(u))
+        rows.append(
+            {
+                "k": float(k),
+                "racks": float(n),
+                "hosts": float(n * u),
+                "relative_cycle_no_groups": ungrouped.relative_cycle_time(reference),
+                "relative_cycle_grouped": grouped.relative_cycle_time(reference),
+                "bulk_threshold_MB_grouped": grouped.bulk_threshold_bytes / 1e6,
+            }
+        )
+    return rows
+
+
+def format_rows(rows: list[dict[str, float]]) -> list[str]:
+    out = ["   k   racks    hosts   rel-cycle(no grp)  rel-cycle(grouped)  bulk-thresh MB"]
+    for r in rows:
+        out.append(
+            f"{r['k']:4.0f} {r['racks']:7.0f} {r['hosts']:8.0f} "
+            f"{r['relative_cycle_no_groups']:18.2f} {r['relative_cycle_grouped']:19.2f} "
+            f"{r['bulk_threshold_MB_grouped']:15.1f}"
+        )
+    return out

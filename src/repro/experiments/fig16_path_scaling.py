@@ -1,0 +1,62 @@
+"""Figure 16 / Appendix C: average path length vs network scale.
+
+Average shortest-path hops for Opera and cost-comparable static expanders
+at several alpha cost points, as the ToR radix grows. Path lengths converge
+at scale, supporting the paper's claim that cost-performance is nearly
+scale-independent. Large networks use sampled BFS.
+"""
+
+from __future__ import annotations
+
+from ..analysis.costs import expander_uplinks_for_alpha
+from ..analysis.paths import sampled_average_path_length
+from ..core.schedule import OperaSchedule
+from ..core.topology import default_rack_count
+from ..topologies.expander import ExpanderTopology
+
+__all__ = ["run", "format_rows", "DEFAULT_RADICES", "DEFAULT_ALPHAS"]
+
+DEFAULT_RADICES = (12, 16, 24, 32)
+DEFAULT_ALPHAS = (1.0, 1.4, 2.0)
+
+
+def run(
+    radices: tuple[int, ...] = DEFAULT_RADICES,
+    alphas: tuple[float, ...] = DEFAULT_ALPHAS,
+    seed: int = 0,
+    n_slices: int = 6,
+    n_sources: int = 48,
+) -> list[dict[str, float]]:
+    rows = []
+    for k in radices:
+        u = k // 2
+        n = default_rack_count(k)
+        sched = OperaSchedule(n, u, seed=seed)
+        row: dict[str, float] = {
+            "k": float(k),
+            "racks": float(n),
+            "opera": sampled_average_path_length(
+                sched, n_slices=n_slices, n_sources=n_sources, seed=seed
+            ),
+        }
+        n_hosts = n * u
+        for alpha in alphas:
+            u_exp = expander_uplinks_for_alpha(k, alpha)
+            d_exp = k - u_exp
+            racks = -(-n_hosts // d_exp)
+            racks += racks % 2
+            topo = ExpanderTopology(racks, u_exp, d_exp, seed=seed)
+            row[f"expander_a{alpha}"] = topo.average_path_length()
+        rows.append(row)
+    return rows
+
+
+def format_rows(rows: list[dict[str, float]]) -> list[str]:
+    keys = [key for key in rows[0] if key not in ("k", "racks")]
+    out = ["   k   racks  " + "  ".join(f"{key:>14s}" for key in keys)]
+    for r in rows:
+        out.append(
+            f"{r['k']:4.0f} {r['racks']:7.0f}  "
+            + "  ".join(f"{r[key]:14.2f}" for key in keys)
+        )
+    return out

@@ -1,0 +1,121 @@
+"""Figures 18-20 / Appendix E: path stretch and loss under failures.
+
+Figure 18: Opera's average/worst path lengths as links, ToRs and circuit
+switches fail. Figures 19-20: the same sweeps for the 3:1 folded Clos
+(links, agg/core switches) and the u=7 expander (links, ToRs) — the Clos
+is more fragile than Opera, the bigger-fanout expander less.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..analysis.failures import (
+    PAPER_FAILURE_FRACTIONS,
+    ConnectivityReport,
+    clos_failure_report,
+    expander_failure_report,
+    opera_failure_report,
+    random_clos_link_failures,
+    random_clos_switch_failures,
+)
+from ..core.faults import FailureSet
+from ..core.schedule import OperaSchedule
+from ..topologies.expander import ExpanderTopology
+from ..topologies.folded_clos import FoldedClos
+
+__all__ = ["run_opera", "run_clos", "run_expander", "format_rows"]
+
+Sweep = list[tuple[float, ConnectivityReport]]
+
+
+def run_opera(
+    n_racks: int = 108,
+    n_switches: int = 6,
+    fractions: tuple[float, ...] = PAPER_FAILURE_FRACTIONS,
+    seed: int = 0,
+    slice_stride: int = 8,
+) -> dict[str, Sweep]:
+    """Figure 18: Opera path stretch under failures."""
+    sched = OperaSchedule(n_racks, n_switches, seed=seed)
+    slices = range(0, sched.cycle_slices, slice_stride)
+    rng = random.Random(seed)
+    out: dict[str, Sweep] = {"links": [], "racks": [], "switches": []}
+    for f in fractions:
+        out["links"].append(
+            (f, opera_failure_report(
+                sched, FailureSet.random_links(n_racks, n_switches, f, rng), slices
+            ))
+        )
+        out["racks"].append(
+            (f, opera_failure_report(
+                sched, FailureSet.random_racks(n_racks, f, rng), slices
+            ))
+        )
+        out["switches"].append(
+            (f, opera_failure_report(
+                sched, FailureSet.random_switches(n_switches, min(f, 1.0), rng), slices
+            ))
+        )
+    return out
+
+
+def run_clos(
+    k: int = 12,
+    oversubscription: int = 3,
+    fractions: tuple[float, ...] = PAPER_FAILURE_FRACTIONS,
+    seed: int = 0,
+) -> dict[str, Sweep]:
+    """Figure 19: folded Clos link and switch failures."""
+    clos = FoldedClos(k, oversubscription)
+    rng = random.Random(seed)
+    out: dict[str, Sweep] = {"links": [], "switches": []}
+    for f in fractions:
+        out["links"].append(
+            (f, clos_failure_report(
+                clos, failed_links=random_clos_link_failures(clos, f, rng)
+            ))
+        )
+        out["switches"].append(
+            (f, clos_failure_report(
+                clos, failed_switches=random_clos_switch_failures(clos, f, rng)
+            ))
+        )
+    return out
+
+
+def run_expander(
+    n_racks: int = 130,
+    uplinks: int = 7,
+    hosts_per_rack: int = 5,
+    fractions: tuple[float, ...] = PAPER_FAILURE_FRACTIONS,
+    seed: int = 0,
+) -> dict[str, Sweep]:
+    """Figure 20: u=7 expander link and ToR failures."""
+    topo = ExpanderTopology(n_racks, uplinks, hosts_per_rack, seed=seed)
+    rng = random.Random(seed)
+    out: dict[str, Sweep] = {"links": [], "racks": []}
+    for f in fractions:
+        out["links"].append(
+            (f, expander_failure_report(
+                topo, FailureSet.random_links(n_racks, uplinks, f, rng)
+            ))
+        )
+        out["racks"].append(
+            (f, expander_failure_report(
+                topo, FailureSet.random_racks(n_racks, f, rng)
+            ))
+        )
+    return out
+
+
+def format_rows(data: dict[str, Sweep], label: str = "") -> list[str]:
+    rows = [f"{label} component  fraction     loss   avg-path   worst-path"]
+    for component, series in data.items():
+        for fraction, report in series:
+            avg = report.average_path_length
+            rows.append(
+                f"{component:>10s} {fraction:9.1%} {report.any_slice_loss:8.4f} "
+                f"{avg:10.2f} {report.worst_path_length:11d}"
+            )
+    return rows

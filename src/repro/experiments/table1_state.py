@@ -1,0 +1,18 @@
+"""Table 1: Opera ruleset sizes and Tofino utilization vs datacenter size."""
+
+from __future__ import annotations
+
+from ..core.state import RuleSetSize, table1_rows
+
+__all__ = ["run", "format_rows"]
+
+
+def run() -> list[RuleSetSize]:
+    return table1_rows()
+
+
+def format_rows(rows: list[RuleSetSize]) -> list[str]:
+    out = ["#Racks   #Entries   %Utilization"]
+    for r in rows:
+        out.append(f"{r.n_racks:6d} {r.entries:10,d} {100 * r.utilization:13.1f}")
+    return out

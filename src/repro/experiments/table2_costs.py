@@ -1,0 +1,36 @@
+"""Table 2: per-port cost of a static network vs Opera, and alpha."""
+
+from __future__ import annotations
+
+from ..analysis.costs import (
+    OPERA_PORT_COSTS,
+    STATIC_PORT_COSTS,
+    alpha_estimate,
+    cost_equivalent_networks,
+    port_cost,
+)
+
+__all__ = ["run", "format_rows"]
+
+
+def run() -> dict[str, float]:
+    eq = cost_equivalent_networks(12, 1.3)
+    return {
+        "static_port_usd": port_cost(STATIC_PORT_COSTS),
+        "opera_port_usd": port_cost(OPERA_PORT_COSTS),
+        "alpha": alpha_estimate(),
+        "trio_hosts": float(eq.n_hosts),
+        "trio_expander_uplinks": float(eq.expander_uplinks),
+        "trio_expander_racks": float(eq.expander_racks),
+        "trio_clos_oversubscription": eq.clos_oversubscription,
+    }
+
+
+def format_rows(data: dict[str, float]) -> list[str]:
+    rows = ["component costs (Table 2):"]
+    for name, cost in OPERA_PORT_COSTS.items():
+        marker = "" if name in STATIC_PORT_COSTS else "  (rotor only)"
+        rows.append(f"  {name:>24s} ${cost:6.0f}{marker}")
+    for key, value in data.items():
+        rows.append(f"{key:>28s} = {value:.3f}")
+    return rows

@@ -1,0 +1,6 @@
+"""Slice-granularity fluid simulators for paper-scale experiments."""
+
+from .rotor import FluidResult, RotorFluidSimulation
+from .static import static_shuffle_run
+
+__all__ = ["FluidResult", "RotorFluidSimulation", "static_shuffle_run"]

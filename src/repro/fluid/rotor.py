@@ -1,0 +1,262 @@
+"""Slice-granularity fluid simulation of rotor networks (Figs 8 and 10).
+
+The packet simulator is exact but cannot push 648 hosts x hundreds of
+milliseconds in Python; this fluid model runs the same RotorLB logic at
+rack-pair byte granularity, one topology slice at a time:
+
+1. every up circuit (a—b) carries relay bytes for its far end first, then
+   local bytes, up to the slice's byte budget;
+2. leftover budget carries two-hop VLB traffic: local backlog for other
+   racks moves to the connected peer's relay queues (subject to headroom);
+3. optional low-latency background traffic (Figure 10's Websearch share)
+   consumes a fixed fraction of every circuit's budget, scaled by the
+   multi-hop bandwidth tax.
+
+Flow completion times fall out of per-rack-pair backlog draining: the
+paper's shuffle starts all flows at once and RotorLB round-robins packets
+across a pair's flows, so a pair's flows complete when its backlog drains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.schedule import OperaSchedule
+from ..core.timing import PS_PER_S, TimingParams
+from ..topologies.rotornet import RotorNetSchedule
+
+__all__ = ["FluidResult", "RotorFluidSimulation"]
+
+
+@dataclass
+class FluidResult:
+    """Outcome of a fluid run."""
+
+    #: (time_ms, fraction of aggregate host bandwidth delivered) per slice.
+    throughput_series: list[tuple[float, float]]
+    #: rack pair -> completion time (ms); None if unfinished at the horizon.
+    pair_completion_ms: dict[tuple[int, int], float | None]
+    delivered_bytes: float
+    offered_bytes: float
+    slices_run: int
+
+    def completion_percentile_ms(self, percentile: float) -> float | None:
+        done = sorted(
+            v for v in self.pair_completion_ms.values() if v is not None
+        )
+        if not done:
+            return None
+        idx = min(len(done) - 1, max(0, int(np.ceil(percentile / 100 * len(done))) - 1))
+        return done[idx]
+
+    @property
+    def all_complete(self) -> bool:
+        return all(v is not None for v in self.pair_completion_ms.values())
+
+
+class RotorFluidSimulation:
+    """Fluid RotorLB over an Opera or RotorNet schedule.
+
+    Parameters
+    ----------
+    schedule:
+        :class:`OperaSchedule` (offset reconfigurations; down switches skip
+        a slice) or :class:`RotorNetSchedule` (lockstep; all up).
+    timing:
+        Supplies slice duration and duty cycle.
+    link_rate_bps, hosts_per_rack:
+        Shape (throughput normalization).
+    background_ll_load:
+        Low-latency load per host (fraction of NIC) forwarded multi-hop
+        over the same fabric; its bandwidth tax reduces circuit budgets.
+    avg_path_length:
+        Bandwidth tax multiplier for the background traffic.
+    """
+
+    def __init__(
+        self,
+        schedule: OperaSchedule | RotorNetSchedule,
+        timing: TimingParams,
+        link_rate_bps: int = 10_000_000_000,
+        hosts_per_rack: int = 6,
+        background_ll_load: float = 0.0,
+        avg_path_length: float = 3.3,
+        relay_cap_bytes: float = 50e6,
+        enable_vlb: bool = True,
+    ) -> None:
+        self.schedule = schedule
+        self.timing = timing
+        self.link_rate_bps = link_rate_bps
+        self.hosts_per_rack = hosts_per_rack
+        self.n = schedule.n_racks
+        self.enable_vlb = enable_vlb
+        self.relay_cap_bytes = relay_cap_bytes
+        self.local = np.zeros((self.n, self.n))
+        self.relay = np.zeros((self.n, self.n))
+        self._offered = 0.0
+        slice_seconds = timing.slice_ps / PS_PER_S
+        budget = slice_seconds * link_rate_bps / 8 * timing.duty_cycle
+        # Background low-latency traffic steals (load * d * tax / up-links)
+        # of each circuit in expectation.
+        uplinks = getattr(schedule, "n_switches", 1)
+        up_per_slice = (
+            len(schedule.up_switches(0))
+            if isinstance(schedule, OperaSchedule)
+            else uplinks
+        )
+        ll_bytes_per_rack = (
+            background_ll_load
+            * hosts_per_rack
+            * avg_path_length
+            * slice_seconds
+            * link_rate_bps
+            / 8
+        )
+        self._ll_share = min(1.0, ll_bytes_per_rack / max(budget * up_per_slice, 1e-9))
+        self.slice_budget = budget * (1.0 - self._ll_share)
+
+    # ---------------------------------------------------------------- load
+
+    def add_demand(self, matrix_bytes: np.ndarray) -> None:
+        """Add rack-pair backlog (bytes); diagonal must be zero."""
+        if matrix_bytes.shape != (self.n, self.n):
+            raise ValueError("demand matrix shape mismatch")
+        if np.any(np.diag(matrix_bytes) != 0):
+            raise ValueError("rack-local demand never enters the fabric")
+        self.local += matrix_bytes
+        self._offered += float(matrix_bytes.sum())
+
+    def add_all_to_all(self, bytes_per_host_pair: int) -> None:
+        """The paper's shuffle: every host to every non-local host."""
+        d = self.hosts_per_rack
+        per_rack_pair = bytes_per_host_pair * d * d
+        matrix = np.full((self.n, self.n), float(per_rack_pair))
+        np.fill_diagonal(matrix, 0.0)
+        self.add_demand(matrix)
+
+    # ---------------------------------------------------------------- run
+
+    def _circuits(self, s: int) -> list[tuple[int, int]]:
+        """Directed circuits (a -> b) live during slice ``s``."""
+        out = []
+        if isinstance(self.schedule, OperaSchedule):
+            switches = self.schedule.up_switches(s)
+        else:
+            switches = range(self.schedule.n_switches)
+        for w in switches:
+            matching = self.schedule.matching_of(w, s)
+            for a in range(self.n):
+                b = matching[a]
+                if a != b:
+                    out.append((a, b))
+        return out
+
+    def run(self, max_slices: int = 10_000) -> FluidResult:
+        budget = self.slice_budget
+        slice_ms = self.timing.slice_ps / 1e9
+        series: list[tuple[float, float]] = []
+        # Bytes of each (src, dst) pair riding relay queues somewhere. The
+        # relay matrix forgets origins, so deliveries are attributed back
+        # proportionally — exact for completion purposes because a pair is
+        # done only when its outstanding total hits zero.
+        vlb_out = np.zeros_like(self.local)
+        pending_pairs = {
+            (a, b)
+            for a in range(self.n)
+            for b in range(self.n)
+            if self.local[a][b] > 0
+        }
+        completion: dict[tuple[int, int], float | None] = {
+            p: None for p in pending_pairs
+        }
+        aggregate_bytes_per_slice = (
+            self.n
+            * self.hosts_per_rack
+            * self.link_rate_bps
+            / 8
+            * (self.timing.slice_ps / PS_PER_S)
+        )
+        # Host NICs bound what a rack can source (first hops: direct sends
+        # and VLB moves) and sink (final deliveries) each slice. Relay
+        # forwarding is ToR-buffer-to-ToR-buffer and does not touch NICs.
+        nic_bytes = (
+            self.hosts_per_rack
+            * self.link_rate_bps
+            / 8
+            * (self.timing.slice_ps / PS_PER_S)
+        )
+        delivered_total = 0.0
+        s = 0
+        for s in range(max_slices):
+            delivered = 0.0
+            relay_delivered_to = np.zeros(self.n)
+            nic_out = np.full(self.n, nic_bytes)
+            nic_in = np.full(self.n, nic_bytes)
+            for a, b in self._circuits(s):
+                cap = budget
+                take = min(cap, self.relay[a][b], nic_in[b])
+                if take > 0:
+                    self.relay[a][b] -= take
+                    relay_delivered_to[b] += take
+                    nic_in[b] -= take
+                    cap -= take
+                    delivered += take
+                take = min(cap, self.local[a][b], nic_out[a], nic_in[b])
+                if take > 0:
+                    self.local[a][b] -= take
+                    nic_out[a] -= take
+                    nic_in[b] -= take
+                    cap -= take
+                    delivered += take
+                if cap <= 1.0 or not self.enable_vlb:
+                    continue
+                # VLB: ship the most backlogged other-destination bytes to b.
+                row = self.local[a]
+                headroom = self.relay_cap_bytes - self.relay[b].sum()
+                while cap > 1.0 and headroom > 1.0 and nic_out[a] > 1.0:
+                    masked = row.copy()
+                    masked[b] = 0.0
+                    x = int(np.argmax(masked))
+                    if masked[x] <= 0:
+                        break
+                    move = min(cap, row[x], headroom, nic_out[a])
+                    row[x] -= move
+                    self.relay[b][x] += move
+                    vlb_out[a][x] += move
+                    nic_out[a] -= move
+                    cap -= move
+                    headroom -= move
+            # Attribute relay deliveries back to origin pairs (pro rata).
+            for b in range(self.n):
+                if relay_delivered_to[b] <= 0:
+                    continue
+                column = vlb_out[:, b]
+                total = column.sum()
+                if total > 0:
+                    column *= max(0.0, 1.0 - relay_delivered_to[b] / total)
+            delivered_total += delivered
+            series.append(((s + 1) * slice_ms, delivered / aggregate_bytes_per_slice))
+            if pending_pairs:
+                finished = [
+                    (a, b)
+                    for (a, b) in pending_pairs
+                    if self.local[a][b] <= 1e-6 and vlb_out[a][b] <= 1e-6
+                ]
+                for p in finished:
+                    completion[p] = (s + 1) * slice_ms
+                    pending_pairs.remove(p)
+            if (
+                not pending_pairs
+                and self.local.sum() <= 1e-6
+                and self.relay.sum() <= 1e-6
+            ):
+                break
+        return FluidResult(
+            throughput_series=series,
+            pair_completion_ms=completion,
+            delivered_bytes=delivered_total,
+            offered_bytes=self._offered,
+            slices_run=s + 1,
+        )

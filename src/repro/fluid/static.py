@@ -1,0 +1,65 @@
+"""Fluid shuffle model for the static baselines (Figure 8's flat lines).
+
+Under an all-to-all shuffle the static networks deliver at a constant
+aggregate rate — their max-throughput for the uniform matrix — until the
+backlog drains (the paper staggers flow arrivals over 10 ms to avoid
+startup effects; we model the steady plateau). The plateau heights come
+from :mod:`repro.analysis.throughput`'s per-network models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .rotor import FluidResult
+
+__all__ = ["static_shuffle_run"]
+
+
+def static_shuffle_run(
+    throughput: float,
+    n_racks: int,
+    hosts_per_rack: int,
+    bytes_per_host_pair: int,
+    link_rate_bps: int = 10_000_000_000,
+    bin_ms: float = 0.1,
+    startup_ms: float = 10.0,
+    max_ms: float = 2_000.0,
+) -> FluidResult:
+    """Constant-rate drain of the shuffle backlog at ``throughput``.
+
+    ``throughput`` is normalized per host link (the network's uniform-matrix
+    max); flows ramp linearly over ``startup_ms`` (the paper's staggered
+    arrivals) and every rack pair completes when the shared backlog drains.
+    """
+    if not 0 < throughput <= 1:
+        raise ValueError("throughput must be in (0, 1]")
+    n_hosts = n_racks * hosts_per_rack
+    total_bytes = bytes_per_host_pair * n_hosts * (n_hosts - hosts_per_rack)
+    aggregate_rate = throughput * n_hosts * link_rate_bps / 8  # bytes/s
+    series: list[tuple[float, float]] = []
+    delivered = 0.0
+    t = 0.0
+    while delivered < total_bytes and t < max_ms:
+        t += bin_ms
+        ramp = min(1.0, t / startup_ms) if startup_ms > 0 else 1.0
+        step = aggregate_rate * ramp * (bin_ms / 1e3)
+        step = min(step, total_bytes - delivered)
+        delivered += step
+        series.append(
+            (t, step / (n_hosts * link_rate_bps / 8 * (bin_ms / 1e3)))
+        )
+    finish = t if delivered >= total_bytes else None
+    completion = {
+        (a, b): finish
+        for a in range(n_racks)
+        for b in range(n_racks)
+        if a != b
+    }
+    return FluidResult(
+        throughput_series=series,
+        pair_completion_ms=completion,
+        delivered_bytes=delivered,
+        offered_bytes=float(total_bytes),
+        slices_run=len(series),
+    )

@@ -1,0 +1,43 @@
+"""Packet-level event simulator (htsim substitute) with NDP and RotorLB."""
+
+from .builders import (
+    ClosSimNetwork,
+    ExpanderSimNetwork,
+    OperaSimNetwork,
+    RotorNetSimNetwork,
+    SimNetwork,
+)
+from .link import Port
+from .ndp import NdpSink, NdpSource, PullPacer, start_ndp_flow
+from .node import CONSUMED, Host, SwitchNode
+from .packet import HEADER_BYTES, MTU_BYTES, Packet, PacketKind, Priority
+from .rotorlb import BulkFlow, BulkSink, RotorLBAgent
+from .sim import Simulator
+from .stats import FlowRecord, StatsCollector
+
+__all__ = [
+    "ClosSimNetwork",
+    "ExpanderSimNetwork",
+    "OperaSimNetwork",
+    "RotorNetSimNetwork",
+    "SimNetwork",
+    "Port",
+    "NdpSink",
+    "NdpSource",
+    "PullPacer",
+    "start_ndp_flow",
+    "CONSUMED",
+    "Host",
+    "SwitchNode",
+    "HEADER_BYTES",
+    "MTU_BYTES",
+    "Packet",
+    "PacketKind",
+    "Priority",
+    "BulkFlow",
+    "BulkSink",
+    "RotorLBAgent",
+    "Simulator",
+    "FlowRecord",
+    "StatsCollector",
+]

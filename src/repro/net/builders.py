@@ -1,0 +1,706 @@
+"""Wire topologies into runnable packet-simulator networks.
+
+Each builder produces a :class:`SimNetwork`: hosts with NICs and pull
+pacers, switches with routers, and flow-starting helpers. The four networks
+of the paper's evaluation are supported:
+
+* :class:`OperaSimNetwork` — time-varying rotor circuits, slice-stamped
+  expander routing for low-latency traffic, RotorLB for bulk;
+* :class:`ExpanderSimNetwork` — static random-regular fabric, NDP sprayed
+  over equal-cost shortest paths;
+* :class:`ClosSimNetwork` — three-tier folded Clos, per-packet ECMP;
+* :class:`RotorNetSimNetwork` — lockstep rotors with RotorLB; optionally
+  *hybrid* with a separate packet fabric for low-latency traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..core.forwarding import ForwardingPipeline, TrafficClass
+from ..core.timing import PS_PER_US
+from ..core.topology import OperaNetwork
+from ..topologies.expander import ExpanderTopology
+from ..topologies.folded_clos import FoldedClos
+from ..topologies.rotornet import RotorNetTopology
+from .link import Port
+from .ndp import NdpSource, PullPacer, start_ndp_flow
+from .node import CONSUMED, Host, SwitchNode
+from .packet import Packet, PacketKind, Priority
+from .rotorlb import BulkFlow, BulkSink, RotorLBAgent
+from .sim import Simulator
+from .stats import FlowRecord, StatsCollector
+
+__all__ = [
+    "SimNetwork",
+    "OperaSimNetwork",
+    "ExpanderSimNetwork",
+    "ClosSimNetwork",
+    "RotorNetSimNetwork",
+]
+
+DEFAULT_RATE = 10_000_000_000
+DEFAULT_PROP_PS = 500_000  # 500 ns =~ 100 m of fiber
+
+
+class SimNetwork:
+    """Common harness state: engine, hosts, stats, flow helpers."""
+
+    def __init__(self, rate_bps: int = DEFAULT_RATE, prop_ps: int = DEFAULT_PROP_PS):
+        self.sim = Simulator()
+        self.stats = StatsCollector()
+        self.rate_bps = rate_bps
+        self.prop_ps = prop_ps
+        self.hosts: list[Host] = []
+        self.pacers: dict[int, PullPacer] = {}
+        self._flow_id = 0
+
+    # ------------------------------------------------------------- plumbing
+
+    def _make_hosts(self, n_hosts: int, hosts_per_rack: int) -> None:
+        for h in range(n_hosts):
+            host = Host(self.sim, h, h // hosts_per_rack)
+            self.hosts.append(host)
+            self.pacers[h] = PullPacer(self.sim, host, self.rate_bps)
+
+    def _wire_host(self, host: Host, tor: SwitchNode, **port_kwargs) -> None:
+        host.nic = Port(
+            self.sim,
+            f"host{host.host_id}->tor{host.rack}",
+            resolver=lambda _pkt, _now, tor=tor: tor,
+            rate_bps=self.rate_bps,
+            propagation_ps=self.prop_ps,
+            **port_kwargs,
+        )
+
+    def _host_port(self, tor_name: str, host: Host) -> Port:
+        return Port(
+            self.sim,
+            f"{tor_name}->host{host.host_id}",
+            resolver=lambda _pkt, _now, host=host: host,
+            rate_bps=self.rate_bps,
+            propagation_ps=self.prop_ps,
+        )
+
+    def next_flow_id(self) -> int:
+        self._flow_id += 1
+        return self._flow_id
+
+    # ----------------------------------------------------------------- flows
+
+    def start_low_latency_flow(
+        self, src: int, dst: int, size_bytes: int, start_ps: int = 0
+    ) -> FlowRecord:
+        record = FlowRecord(
+            flow_id=self.next_flow_id(),
+            src_host=src,
+            dst_host=dst,
+            size_bytes=size_bytes,
+            traffic_class=TrafficClass.LOW_LATENCY.value,
+            start_ps=start_ps,
+        )
+        start_ndp_flow(
+            self.sim,
+            self.hosts[src],
+            self.hosts[dst],
+            record,
+            self.pacers[dst],
+            self.stats,
+            priority=Priority.LOW_LATENCY,
+            start_delay_ps=max(0, start_ps - self.sim.now),
+        )
+        return record
+
+    def start_bulk_flow(
+        self, src: int, dst: int, size_bytes: int, start_ps: int = 0
+    ) -> FlowRecord:
+        """Default: bulk rides NDP too (static networks have no circuits)."""
+        record = FlowRecord(
+            flow_id=self.next_flow_id(),
+            src_host=src,
+            dst_host=dst,
+            size_bytes=size_bytes,
+            traffic_class=TrafficClass.BULK.value,
+            start_ps=start_ps,
+        )
+        start_ndp_flow(
+            self.sim,
+            self.hosts[src],
+            self.hosts[dst],
+            record,
+            self.pacers[dst],
+            self.stats,
+            priority=Priority.LOW_LATENCY,
+            start_delay_ps=max(0, start_ps - self.sim.now),
+        )
+        return record
+
+    def run(self, until_ps: int) -> None:
+        self.sim.run(until_ps=until_ps)
+
+
+# ---------------------------------------------------------------------------
+# Opera
+# ---------------------------------------------------------------------------
+
+
+class OperaSimNetwork(SimNetwork):
+    """Packet-level Opera: stamped expander routing + RotorLB circuits."""
+
+    def __init__(
+        self,
+        network: OperaNetwork,
+        rate_bps: int = DEFAULT_RATE,
+        prop_ps: int = DEFAULT_PROP_PS,
+        enable_vlb: bool = True,
+    ) -> None:
+        super().__init__(rate_bps, prop_ps)
+        self.network = network
+        self.pipeline = ForwardingPipeline.for_schedule(network.schedule)
+        sched = network.schedule
+        timing = network.timing
+        self.slice_ps = timing.slice_ps
+        self._make_hosts(network.n_hosts, network.hosts_per_rack)
+
+        self.tors: list[SwitchNode] = []
+        self.host_ports: dict[int, Port] = {}
+        self.uplink_ports: list[dict[int, Port]] = []
+        self.agents: list[RotorLBAgent] = []
+
+        slice_payload = (timing.slice_ps * rate_bps) // (8 * 1_000_000_000_000)
+        slice_payload = int(slice_payload * timing.duty_cycle)
+        host_budget = (timing.slice_ps * rate_bps) // (8 * 1_000_000_000_000)
+
+        for rack in range(network.n_racks):
+            tor = SwitchNode(self.sim, f"tor{rack}")
+            self.tors.append(tor)
+        for rack in range(network.n_racks):
+            tor = self.tors[rack]
+            for host_id in network.rack_hosts(rack):
+                host = self.hosts[host_id]
+                self._wire_host(host, tor)
+                self.host_ports[host_id] = self._host_port(tor.name, host)
+            uplinks: dict[int, Port] = {}
+            for w in range(network.n_switches):
+                uplinks[w] = Port(
+                    self.sim,
+                    f"tor{rack}-up{w}",
+                    resolver=self._uplink_resolver(rack, w),
+                    rate_bps=rate_bps,
+                    propagation_ps=prop_ps,
+                    on_undeliverable=self._make_dark_handler(rack),
+                    on_bulk_drop=self._make_dark_handler(rack),
+                )
+            self.uplink_ports.append(uplinks)
+            agent = RotorLBAgent(
+                self.sim,
+                rack,
+                rack_of=network.host_rack,
+                uplink_peer=self._make_agent_peer(rack),
+                uplinks=uplinks,
+                slice_payload_bytes=slice_payload,
+                host_budget_bytes=host_budget,
+                enable_vlb=enable_vlb,
+            )
+            self.agents.append(agent)
+            tor.router = self._make_router(rack, agent)
+        for agent in self.agents:
+            agent.peers = {r: self.agents[r] for r in range(network.n_racks)}
+        self._schedule_slices()
+
+    # ------------------------------------------------------------ time base
+
+    def current_slice(self, now_ps: int | None = None) -> int:
+        now = self.sim.now if now_ps is None else now_ps
+        return self.network.slice_at(now)
+
+    def _in_reconfiguration_window(self, now_ps: int) -> bool:
+        offset = now_ps % self.slice_ps
+        return offset >= self.network.timing.epsilon_ps
+
+    def _uplink_resolver(self, rack: int, switch: int):
+        sched = self.network.schedule
+
+        def resolve(_packet: Packet, now_ps: int):
+            s = self.current_slice(now_ps)
+            if sched.is_down(switch, s) and self._in_reconfiguration_window(now_ps):
+                return None  # circuit dark while mirrors retarget
+            peer = sched.matching_of(switch, s)[rack]
+            if peer == rack:
+                return None  # identity assignment: port idles
+            return self.tors[peer]
+
+        return resolve
+
+    def _make_dark_handler(self, rack: int):
+        def handle(packet: Packet) -> None:
+            if packet.priority is Priority.BULK and packet.kind is PacketKind.DATA:
+                self.agents[rack].requeue(packet)
+            elif packet.kind in (PacketKind.DATA, PacketKind.HEADER):
+                # Low-latency packet caught by a reconfiguration: re-route
+                # from this rack with a fresh stamp.
+                packet.slice_stamp = None
+                packet.hops += 1
+                self.tors[rack].receive(packet)
+            # Control packets caught mid-reconfiguration are simply lost;
+            # NDP recovers via its pull clock.
+
+        return handle
+
+    def _make_router(self, rack: int, agent: RotorLBAgent):
+        network = self.network
+        pipeline = self.pipeline
+
+        def route(_switch: SwitchNode, packet: Packet):
+            dst_rack = network.host_rack(packet.dst_host)
+            if packet.priority is Priority.BULK and packet.kind is PacketKind.DATA:
+                if dst_rack == rack:
+                    return self.host_ports[packet.dst_host]
+                # Bulk landing on a foreign rack: absorb as relay traffic
+                # (a missed slice or an intentional VLB first hop).
+                packet.hops += 1
+                agent.accept_relay(packet)
+                return CONSUMED
+            if dst_rack == rack:
+                return self.host_ports[packet.dst_host]
+            if packet.slice_stamp is None:
+                packet.slice_stamp = pipeline.stamp(self.current_slice())
+            hop = pipeline.low_latency_next_hop(
+                rack, dst_rack, packet.slice_stamp, salt=packet.salt + packet.hops
+            )
+            if hop is None:
+                # Stale stamp (e.g. rerouted packet): retry on current slice.
+                packet.slice_stamp = pipeline.stamp(self.current_slice())
+                hop = pipeline.low_latency_next_hop(
+                    rack, dst_rack, packet.slice_stamp, salt=packet.salt + packet.hops
+                )
+                if hop is None:
+                    return None
+            _peer, switch = hop
+            packet.hops += 1
+            return self.uplink_ports[rack][switch]
+
+        return route
+
+    # -------------------------------------------------------------- RotorLB
+
+    def _schedule_slices(self) -> None:
+        def on_slice_boundary() -> None:
+            s = self.current_slice()
+            for rack, agent in enumerate(self.agents):
+                agent._host_budget = {}
+                agent.on_slice(s, list(self.network.rack_hosts(rack)))
+            self.sim.after(self.slice_ps, on_slice_boundary)
+
+        self.sim.at(0, on_slice_boundary)
+
+    def start_bulk_flow(
+        self, src: int, dst: int, size_bytes: int, start_ps: int = 0
+    ) -> FlowRecord:
+        record = FlowRecord(
+            flow_id=self.next_flow_id(),
+            src_host=src,
+            dst_host=dst,
+            size_bytes=size_bytes,
+            traffic_class=TrafficClass.BULK.value,
+            start_ps=start_ps,
+        )
+        self.stats.flow_started(record)
+        BulkSink(self.sim, self.hosts[dst], record, self.stats)
+        flow = BulkFlow(record)
+        agent = self.agents[self.network.host_rack(src)]
+        self.sim.at(max(start_ps, self.sim.now), lambda: agent.submit(flow))
+        return record
+
+    def _make_agent_peer(self, rack: int):
+        sched = self.network.schedule
+
+        def peer_of(switch: int, slice_index: int) -> int | None:
+            if sched.is_down(switch, slice_index):
+                return None
+            peer = sched.matching_of(switch, slice_index)[rack]
+            return None if peer == rack else peer
+
+        return peer_of
+
+
+# ---------------------------------------------------------------------------
+# Static expander
+# ---------------------------------------------------------------------------
+
+
+class ExpanderSimNetwork(SimNetwork):
+    """Static expander fabric: NDP over equal-cost shortest paths."""
+
+    def __init__(
+        self,
+        topology: ExpanderTopology,
+        rate_bps: int = DEFAULT_RATE,
+        prop_ps: int = DEFAULT_PROP_PS,
+    ) -> None:
+        super().__init__(rate_bps, prop_ps)
+        self.topology = topology
+        self._make_hosts(topology.n_hosts, topology.hosts_per_rack)
+        self.tors = [
+            SwitchNode(self.sim, f"tor{r}") for r in range(topology.n_racks)
+        ]
+        self.host_ports: dict[int, Port] = {}
+        self.uplink_ports: list[dict[int, Port]] = []
+        for rack, tor in enumerate(self.tors):
+            for host_id in range(
+                rack * topology.hosts_per_rack, (rack + 1) * topology.hosts_per_rack
+            ):
+                host = self.hosts[host_id]
+                self._wire_host(host, tor)
+                self.host_ports[host_id] = self._host_port(tor.name, host)
+            ports: dict[int, Port] = {}
+            for peer, matching_idx in topology.adjacency[rack]:
+                ports[matching_idx] = Port(
+                    self.sim,
+                    f"tor{rack}-m{matching_idx}",
+                    resolver=lambda _p, _n, peer=peer: self.tors[peer],
+                    rate_bps=rate_bps,
+                    propagation_ps=prop_ps,
+                )
+            self.uplink_ports.append(ports)
+            tor.router = self._make_router(rack)
+
+    def _make_router(self, rack: int):
+        topology = self.topology
+        routes = topology.routes
+
+        def route(_switch: SwitchNode, packet: Packet):
+            dst_rack = packet.dst_host // topology.hosts_per_rack
+            if dst_rack == rack:
+                return self.host_ports[packet.dst_host]
+            hop = routes.next_hop(rack, dst_rack, salt=packet.salt + packet.hops)
+            if hop is None:
+                return None
+            _peer, matching_idx = hop
+            packet.hops += 1
+            return self.uplink_ports[rack][matching_idx]
+
+        return route
+
+
+# ---------------------------------------------------------------------------
+# Folded Clos
+# ---------------------------------------------------------------------------
+
+
+class ClosSimNetwork(SimNetwork):
+    """Three-tier folded Clos with per-packet ECMP spraying."""
+
+    def __init__(
+        self,
+        clos: FoldedClos,
+        rate_bps: int = DEFAULT_RATE,
+        prop_ps: int = DEFAULT_PROP_PS,
+    ) -> None:
+        super().__init__(rate_bps, prop_ps)
+        self.clos = clos
+        self._make_hosts(clos.n_hosts, clos.hosts_per_rack)
+        self.tors = [SwitchNode(self.sim, f"tor{r}") for r in range(clos.n_racks)]
+        self.aggs = [SwitchNode(self.sim, f"agg{a}") for a in range(clos.n_aggs)]
+        self.cores = [SwitchNode(self.sim, f"core{c}") for c in range(clos.n_cores)]
+        self.host_ports: dict[int, Port] = {}
+
+        def port_to(name: str, node: SwitchNode) -> Port:
+            return Port(
+                self.sim,
+                name,
+                resolver=lambda _p, _n, node=node: node,
+                rate_bps=rate_bps,
+                propagation_ps=prop_ps,
+            )
+
+        self.tor_up: list[dict[int, Port]] = []
+        self.agg_down: list[dict[int, Port]] = []
+        self.agg_up: list[dict[int, Port]] = []
+        self.core_down: list[dict[int, Port]] = []
+
+        for rack, tor in enumerate(self.tors):
+            for host_id in range(
+                rack * clos.hosts_per_rack, (rack + 1) * clos.hosts_per_rack
+            ):
+                host = self.hosts[host_id]
+                self._wire_host(host, tor)
+                self.host_ports[host_id] = self._host_port(tor.name, host)
+            self.tor_up.append(
+                {
+                    agg: port_to(f"tor{rack}->agg{agg}", self.aggs[agg])
+                    for agg in clos.tor_agg_links(rack)
+                }
+            )
+            tor.router = self._tor_router(rack)
+        for agg_id, agg in enumerate(self.aggs):
+            pod = agg_id // clos.aggs_per_pod
+            self.agg_down.append(
+                {
+                    rack: port_to(f"agg{agg_id}->tor{rack}", self.tors[rack])
+                    for rack in range(
+                        pod * clos.tors_per_pod, (pod + 1) * clos.tors_per_pod
+                    )
+                }
+            )
+            self.agg_up.append(
+                {
+                    core: port_to(f"agg{agg_id}->core{core}", self.cores[core])
+                    for core in clos.agg_core_links(agg_id)
+                }
+            )
+            agg.router = self._agg_router(agg_id)
+        for core_id, core in enumerate(self.cores):
+            self.core_down.append(
+                {
+                    agg: port_to(f"core{core_id}->agg{agg}", self.aggs[agg])
+                    for agg in clos.core_agg_links(core_id)
+                }
+            )
+            core.router = self._core_router(core_id)
+
+    def _tor_router(self, rack: int):
+        clos = self.clos
+
+        def route(_switch: SwitchNode, packet: Packet):
+            dst_rack = packet.dst_host // clos.hosts_per_rack
+            if dst_rack == rack:
+                return self.host_ports[packet.dst_host]
+            aggs = clos.tor_agg_links(rack)
+            agg = aggs[(packet.salt + packet.hops) % len(aggs)]
+            packet.hops += 1
+            return self.tor_up[rack][agg]
+
+        return route
+
+    def _agg_router(self, agg_id: int):
+        clos = self.clos
+        pod = agg_id // clos.aggs_per_pod
+
+        def route(_switch: SwitchNode, packet: Packet):
+            dst_rack = packet.dst_host // clos.hosts_per_rack
+            if clos.pod_of_rack(dst_rack) == pod:
+                return self.agg_down[agg_id][dst_rack]
+            cores = clos.agg_core_links(agg_id)
+            core = cores[(packet.salt + packet.hops) % len(cores)]
+            packet.hops += 1
+            return self.agg_up[agg_id][core]
+
+        return route
+
+    def _core_router(self, core_id: int):
+        clos = self.clos
+
+        def route(_switch: SwitchNode, packet: Packet):
+            dst_rack = packet.dst_host // clos.hosts_per_rack
+            dst_pod = clos.pod_of_rack(dst_rack)
+            group = core_id // clos.cores_per_group
+            agg = dst_pod * clos.aggs_per_pod + group
+            packet.hops += 1
+            return self.core_down[core_id][agg]
+
+        return route
+
+
+# ---------------------------------------------------------------------------
+# RotorNet
+# ---------------------------------------------------------------------------
+
+
+class RotorNetSimNetwork(SimNetwork):
+    """Lockstep RotorNet with RotorLB; optional hybrid packet fabric."""
+
+    def __init__(
+        self,
+        topology: RotorNetTopology,
+        rate_bps: int = DEFAULT_RATE,
+        prop_ps: int = DEFAULT_PROP_PS,
+        slice_ps: int = 100 * PS_PER_US,
+        reconfiguration_ps: int = 10 * PS_PER_US,
+    ) -> None:
+        super().__init__(rate_bps, prop_ps)
+        self.topology = topology
+        self.slice_ps = slice_ps
+        self.reconfiguration_ps = reconfiguration_ps
+        sched = topology.schedule
+        self._make_hosts(topology.n_hosts, topology.hosts_per_rack)
+        self.tors = [
+            SwitchNode(self.sim, f"tor{r}") for r in range(topology.n_racks)
+        ]
+        self.host_ports: dict[int, Port] = {}
+        self.uplink_ports: list[dict[int, Port]] = []
+        self.agents: list[RotorLBAgent] = []
+        self.fabric: SwitchNode | None = None
+        self.fabric_up: list[Port] = []
+        self.fabric_down: list[Port] = []
+
+        usable = slice_ps - reconfiguration_ps
+        slice_payload = (usable * rate_bps) // (8 * 1_000_000_000_000)
+        host_budget = (slice_ps * rate_bps) // (8 * 1_000_000_000_000)
+
+        if topology.hybrid:
+            self.fabric = SwitchNode(self.sim, "pkt-fabric")
+            self.fabric.router = self._fabric_router()
+
+        for rack, tor in enumerate(self.tors):
+            for host_id in range(
+                rack * topology.hosts_per_rack,
+                (rack + 1) * topology.hosts_per_rack,
+            ):
+                host = self.hosts[host_id]
+                self._wire_host(host, tor)
+                self.host_ports[host_id] = self._host_port(tor.name, host)
+            ports: dict[int, Port] = {}
+            for w in range(topology.n_rotor_switches):
+                ports[w] = Port(
+                    self.sim,
+                    f"tor{rack}-rotor{w}",
+                    resolver=self._rotor_resolver(rack, w),
+                    rate_bps=rate_bps,
+                    propagation_ps=prop_ps,
+                    on_undeliverable=self._make_requeue(rack),
+                    on_bulk_drop=self._make_requeue(rack),
+                )
+            self.uplink_ports.append(ports)
+            if topology.hybrid:
+                assert self.fabric is not None
+                self.fabric_up.append(
+                    Port(
+                        self.sim,
+                        f"tor{rack}->fabric",
+                        resolver=lambda _p, _n: self.fabric,
+                        rate_bps=rate_bps,
+                        propagation_ps=prop_ps,
+                    )
+                )
+                self.fabric_down.append(
+                    Port(
+                        self.sim,
+                        f"fabric->tor{rack}",
+                        resolver=lambda _p, _n, r=rack: self.tors[r],
+                        rate_bps=rate_bps,
+                        propagation_ps=prop_ps,
+                    )
+                )
+            agent = RotorLBAgent(
+                self.sim,
+                rack,
+                rack_of=topology.host_rack,
+                uplink_peer=self._make_agent_peer(rack),
+                uplinks=ports,
+                slice_payload_bytes=slice_payload,
+                host_budget_bytes=host_budget,
+            )
+            self.agents.append(agent)
+            tor.router = self._make_router(rack, agent)
+        for agent in self.agents:
+            agent.peers = {r: self.agents[r] for r in range(topology.n_racks)}
+        self._schedule_slices()
+
+    def current_slice(self, now_ps: int | None = None) -> int:
+        now = self.sim.now if now_ps is None else now_ps
+        return (now // self.slice_ps) % self.topology.schedule.cycle_slices
+
+    def _rotor_resolver(self, rack: int, switch: int):
+        sched = self.topology.schedule
+
+        def resolve(_packet: Packet, now_ps: int):
+            # All rotors reconfigure in unison at each boundary: the fabric
+            # is dark for the final r of every slice.
+            if now_ps % self.slice_ps >= self.slice_ps - self.reconfiguration_ps:
+                return None
+            peer = sched.matching_of(switch, self.current_slice(now_ps))[rack]
+            return None if peer == rack else self.tors[peer]
+
+        return resolve
+
+    def _make_agent_peer(self, rack: int):
+        sched = self.topology.schedule
+
+        def peer_of(switch: int, slice_index: int) -> int | None:
+            peer = sched.matching_of(switch, slice_index)[rack]
+            return None if peer == rack else peer
+
+        return peer_of
+
+    def _make_requeue(self, rack: int):
+        def handle(packet: Packet) -> None:
+            if packet.kind is PacketKind.DATA:
+                self.agents[rack].requeue(packet)
+
+        return handle
+
+    def _fabric_router(self):
+        topology = self.topology
+
+        def route(_switch: SwitchNode, packet: Packet):
+            dst_rack = topology.host_rack(packet.dst_host)
+            return self.fabric_down[dst_rack]
+
+        return route
+
+    def _make_router(self, rack: int, agent: RotorLBAgent):
+        topology = self.topology
+
+        def route(_switch: SwitchNode, packet: Packet):
+            dst_rack = topology.host_rack(packet.dst_host)
+            if packet.priority is Priority.BULK and packet.kind is PacketKind.DATA:
+                if dst_rack == rack:
+                    return self.host_ports[packet.dst_host]
+                packet.hops += 1
+                agent.accept_relay(packet)
+                return CONSUMED
+            if dst_rack == rack:
+                return self.host_ports[packet.dst_host]
+            if topology.hybrid:
+                packet.hops += 1
+                return self.fabric_up[rack]
+            # Non-hybrid RotorNet has no low-latency service: control and
+            # "low-latency" data alike must wait in RotorLB queues, which is
+            # exactly the paper's point (Figure 7c). They are treated as
+            # bulk at the flow level; anything else is dropped here.
+            return None
+
+        return route
+
+    def _schedule_slices(self) -> None:
+        def on_slice_boundary() -> None:
+            s = self.current_slice()
+            for rack, agent in enumerate(self.agents):
+                hosts = list(
+                    range(
+                        rack * self.topology.hosts_per_rack,
+                        (rack + 1) * self.topology.hosts_per_rack,
+                    )
+                )
+                agent.on_slice(s, hosts)
+            self.sim.after(self.slice_ps, on_slice_boundary)
+
+        self.sim.at(0, on_slice_boundary)
+
+    def start_bulk_flow(
+        self, src: int, dst: int, size_bytes: int, start_ps: int = 0
+    ) -> FlowRecord:
+        record = FlowRecord(
+            flow_id=self.next_flow_id(),
+            src_host=src,
+            dst_host=dst,
+            size_bytes=size_bytes,
+            traffic_class=TrafficClass.BULK.value,
+            start_ps=start_ps,
+        )
+        self.stats.flow_started(record)
+        BulkSink(self.sim, self.hosts[dst], record, self.stats)
+        flow = BulkFlow(record)
+        agent = self.agents[self.topology.host_rack(src)]
+        self.sim.at(max(start_ps, self.sim.now), lambda: agent.submit(flow))
+        return record
+
+    def start_low_latency_flow(
+        self, src: int, dst: int, size_bytes: int, start_ps: int = 0
+    ) -> FlowRecord:
+        if self.topology.hybrid:
+            return super().start_low_latency_flow(src, dst, size_bytes, start_ps)
+        # Non-hybrid: low-latency flows ride the rotor fabric as bulk.
+        return self.start_bulk_flow(src, dst, size_bytes, start_ps)

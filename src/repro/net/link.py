@@ -1,0 +1,176 @@
+"""Output-queued port model with priority queues and NDP trimming.
+
+Each directed link is represented by its sender-side :class:`Port`:
+per-priority FIFO queues, a serializer (one packet at a time at line rate)
+and fixed propagation delay. The receive side is a *resolver* callback so
+dynamic topologies (Opera's rotor circuits) can pick the far end at the
+moment photons enter the fiber; static links resolve to a fixed node.
+
+NDP's switch behaviour (Handley et al. [24]) is implemented here: when a
+low-latency data packet arrives to a full data queue, its payload is
+*trimmed* — the 64-byte header continues at control priority so the
+receiver learns of the loss in well under an RTT. Control packets are
+served with strict priority; bulk sits below low-latency data (section 4.2:
+"NICs and ToRs each perform priority queuing").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from ..core.timing import PS_PER_S
+from .packet import HEADER_BYTES, Packet, PacketKind, Priority
+from .sim import Simulator
+
+__all__ = ["Port", "PortStats"]
+
+
+class PortStats:
+    """Counters for one port."""
+
+    __slots__ = (
+        "sent_packets",
+        "sent_bytes",
+        "trimmed",
+        "dropped_control",
+        "dropped_bulk",
+        "undeliverable",
+    )
+
+    def __init__(self) -> None:
+        self.sent_packets = 0
+        self.sent_bytes = 0
+        self.trimmed = 0
+        self.dropped_control = 0
+        self.dropped_bulk = 0
+        self.undeliverable = 0
+
+
+class Port:
+    """Sender side of one directed link.
+
+    Parameters
+    ----------
+    sim, name:
+        Engine and a debug label.
+    rate_bps, propagation_ps:
+        Line rate and one-way fiber delay.
+    resolver:
+        ``resolver(packet, now_ps)`` returns the receiving node (anything
+        with ``receive(packet)``) or ``None`` when the circuit is dark /
+        mismatched; ``None`` routes the packet to ``on_undeliverable``.
+    data_queue_bytes:
+        NDP trim threshold for the low-latency data queue (12 KB in §4.2.1;
+        an equal-sized header queue backs it).
+    control_queue_bytes, bulk_queue_bytes:
+        Capacities of the control/header and bulk queues.
+    trimming:
+        Disable to model plain drop-tail (non-NDP baselines).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        resolver: Callable[[Packet, int], object | None],
+        rate_bps: int = 10_000_000_000,
+        propagation_ps: int = 500_000,
+        data_queue_bytes: int = 12_000,
+        control_queue_bytes: int = 12_000,
+        bulk_queue_bytes: int = 256_000,
+        trimming: bool = True,
+        on_undeliverable: Callable[[Packet], None] | None = None,
+        on_bulk_drop: Callable[[Packet], None] | None = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.resolver = resolver
+        self.rate_bps = rate_bps
+        self.propagation_ps = propagation_ps
+        self.data_queue_bytes = data_queue_bytes
+        self.control_queue_bytes = control_queue_bytes
+        self.bulk_queue_bytes = bulk_queue_bytes
+        self.trimming = trimming
+        self.on_undeliverable = on_undeliverable
+        self.on_bulk_drop = on_bulk_drop
+        self._queues: dict[Priority, deque[Packet]] = {
+            Priority.CONTROL: deque(),
+            Priority.LOW_LATENCY: deque(),
+            Priority.BULK: deque(),
+        }
+        self._bytes = {p: 0 for p in Priority}
+        self.busy = False
+        self.stats = PortStats()
+
+    # ----------------------------------------------------------------- queue
+
+    def serialization_ps(self, size_bytes: int) -> int:
+        return (size_bytes * 8 * PS_PER_S) // self.rate_bps
+
+    def queued_bytes(self, priority: Priority | None = None) -> int:
+        if priority is None:
+            return sum(self._bytes.values())
+        return self._bytes[priority]
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Queue a packet for transmission; returns False if dropped."""
+        if packet.priority is Priority.LOW_LATENCY and packet.kind is PacketKind.DATA:
+            if self._bytes[Priority.LOW_LATENCY] + packet.size_bytes > self.data_queue_bytes:
+                if not self.trimming:
+                    return False  # drop-tail
+                packet.trim()
+                self.stats.trimmed += 1
+        if packet.priority is Priority.CONTROL:
+            if self._bytes[Priority.CONTROL] + packet.size_bytes > self.control_queue_bytes:
+                self.stats.dropped_control += 1
+                return False
+        elif packet.priority is Priority.BULK:
+            if self._bytes[Priority.BULK] + packet.size_bytes > self.bulk_queue_bytes:
+                self.stats.dropped_bulk += 1
+                if self.on_bulk_drop is not None:
+                    self.on_bulk_drop(packet)
+                return False
+        packet.enqueued_ps = self.sim.now
+        self._queues[packet.priority].append(packet)
+        self._bytes[packet.priority] += packet.size_bytes
+        if not self.busy:
+            self._start_transmission()
+        return True
+
+    # ------------------------------------------------------------ serializer
+
+    def _pop(self) -> Packet | None:
+        for priority in Priority:
+            queue = self._queues[priority]
+            if queue:
+                packet = queue.popleft()
+                self._bytes[priority] -= packet.size_bytes
+                return packet
+        return None
+
+    def _start_transmission(self) -> None:
+        packet = self._pop()
+        if packet is None:
+            self.busy = False
+            return
+        self.busy = True
+        # The far end is fixed the moment the first bit enters the fiber.
+        target = self.resolver(packet, self.sim.now)
+        self.sim.after(
+            self.serialization_ps(packet.size_bytes),
+            self._transmission_done,
+            packet,
+            target,
+        )
+
+    def _transmission_done(self, packet: Packet, target: object | None) -> None:
+        self.stats.sent_packets += 1
+        self.stats.sent_bytes += packet.size_bytes
+        if target is None:
+            self.stats.undeliverable += 1
+            if self.on_undeliverable is not None:
+                self.on_undeliverable(packet)
+        else:
+            self.sim.after(self.propagation_ps, target.receive, packet)  # type: ignore[attr-defined]
+        self._start_transmission()

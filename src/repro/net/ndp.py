@@ -1,0 +1,224 @@
+"""NDP transport (Handley et al. [24]) — Opera's low-latency protocol.
+
+The pieces the paper relies on (section 4.2.1) are implemented faithfully:
+
+* **Zero-RTT start** — the source blasts an initial window immediately.
+* **Packet trimming** — overloaded switch queues cut payloads; the header
+  still reaches the receiver (at control priority), which NACKs so the
+  source can requeue the payload for retransmission. No timeouts are needed
+  because metadata is never lost.
+* **Receiver-driven pacing** — the receiver issues PULL packets clocked at
+  its line rate (one MTU's serialization per PULL, shared across that
+  host's active flows); each PULL releases one packet at the source,
+  retransmissions first.
+* **Priority queueing** — ACK/NACK/PULL/headers ride the control queue.
+
+Sources and sinks attach to :class:`~repro.net.node.Host` objects; the
+fabric between them is whatever topology the builder wired.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .node import Host
+from .packet import HEADER_BYTES, MTU_BYTES, Packet, PacketKind, Priority
+from .sim import Simulator
+from .stats import FlowRecord, StatsCollector
+
+__all__ = ["NdpSource", "NdpSink", "PullPacer", "start_ndp_flow"]
+
+#: Default initial window, in packets (~1 BDP for the networks simulated).
+DEFAULT_INITIAL_WINDOW = 12
+
+
+class PullPacer:
+    """Per-host PULL clock: one PULL per MTU serialization time."""
+
+    def __init__(self, sim: Simulator, host: Host, rate_bps: int) -> None:
+        self.sim = sim
+        self.host = host
+        self.interval_ps = (MTU_BYTES * 8 * 1_000_000_000_000) // rate_bps
+        self._tokens: deque["NdpSink"] = deque()
+        self._running = False
+
+    def request(self, sink: "NdpSink") -> None:
+        self._tokens.append(sink)
+        if not self._running:
+            self._running = True
+            self.sim.after(0, self._tick)
+
+    def _tick(self) -> None:
+        while self._tokens:
+            sink = self._tokens.popleft()
+            if sink.finished:
+                continue  # completed flows relinquish their tokens
+            sink.emit_pull()
+            self.sim.after(self.interval_ps, self._tick)
+            return
+        self._running = False
+
+
+class NdpSource:
+    """Sender half of one NDP flow."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        record: FlowRecord,
+        priority: Priority = Priority.LOW_LATENCY,
+        initial_window: int = DEFAULT_INITIAL_WINDOW,
+        mtu: int = MTU_BYTES,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.record = record
+        self.priority = priority
+        self.mtu = mtu
+        payload = mtu - HEADER_BYTES
+        self.n_packets = max(1, -(-record.size_bytes // payload))
+        self.initial_window = initial_window
+        self._next_new = 0
+        self._rtx: deque[int] = deque()
+        self._acked: set[int] = set()
+        self._pulls_banked = 0
+        host.sources[record.flow_id] = self
+
+    # ---------------------------------------------------------------- sizes
+
+    def packet_bytes(self, seq: int) -> int:
+        payload = self.mtu - HEADER_BYTES
+        remaining = self.record.size_bytes - seq * payload
+        return HEADER_BYTES + max(1, min(payload, remaining))
+
+    def payload_bytes(self, seq: int) -> int:
+        return self.packet_bytes(seq) - HEADER_BYTES
+
+    # ----------------------------------------------------------------- wire
+
+    def start(self) -> None:
+        """Zero-RTT: transmit the initial window immediately."""
+        for _ in range(min(self.initial_window, self.n_packets)):
+            self._send_next()
+
+    def _emit(self, seq: int) -> None:
+        packet = Packet(
+            flow_id=self.record.flow_id,
+            kind=PacketKind.DATA,
+            src_host=self.record.src_host,
+            dst_host=self.record.dst_host,
+            seq=seq,
+            size_bytes=self.packet_bytes(seq),
+            priority=self.priority,
+            salt=hash((self.record.flow_id, seq, 0x9E3779B9)) & 0x7FFFFFFF,
+        )
+        self.host.send(packet)
+
+    def _send_next(self) -> bool:
+        if self._rtx:
+            self._emit(self._rtx.popleft())
+            return True
+        if self._next_new < self.n_packets:
+            self._emit(self._next_new)
+            self._next_new += 1
+            return True
+        return False
+
+    # -------------------------------------------------------------- receive
+
+    def on_packet(self, packet: Packet) -> None:
+        if packet.kind is PacketKind.ACK:
+            self._acked.add(packet.seq)
+        elif packet.kind is PacketKind.NACK:
+            if packet.seq not in self._acked:
+                self._rtx.append(packet.seq)
+                self.record.retransmissions += 1
+                # A banked pull (sent while we had nothing new) releases it.
+                if self._pulls_banked > 0:
+                    self._pulls_banked -= 1
+                    self._send_next()
+        elif packet.kind is PacketKind.PULL:
+            if not self._send_next():
+                self._pulls_banked += 1
+
+
+class NdpSink:
+    """Receiver half of one NDP flow: ACK/NACK + paced PULLs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        record: FlowRecord,
+        source_host: Host,
+        pacer: PullPacer,
+        stats: StatsCollector,
+        payload_of: "NdpSource",
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.record = record
+        self.pacer = pacer
+        self.stats = stats
+        self.source = payload_of
+        self._received: set[int] = set()
+        self._pull_seq = 0
+        host.sinks[record.flow_id] = self
+
+    @property
+    def finished(self) -> bool:
+        return self.record.complete
+
+    def _control(self, kind: PacketKind, seq: int) -> Packet:
+        return Packet(
+            flow_id=self.record.flow_id,
+            kind=kind,
+            src_host=self.record.dst_host,
+            dst_host=self.record.src_host,
+            seq=seq,
+            size_bytes=HEADER_BYTES,
+            priority=Priority.CONTROL,
+            salt=hash((self.record.flow_id, seq, kind.value)) & 0x7FFFFFFF,
+        )
+
+    def emit_pull(self) -> None:
+        self._pull_seq += 1
+        self.host.send(self._control(PacketKind.PULL, self._pull_seq))
+
+    def on_packet(self, packet: Packet) -> None:
+        if packet.kind is PacketKind.DATA:
+            self.host.send(self._control(PacketKind.ACK, packet.seq))
+            if packet.seq not in self._received:
+                self._received.add(packet.seq)
+                self.stats.delivered(
+                    self.record.flow_id,
+                    self.source.payload_bytes(packet.seq),
+                    self.sim.now,
+                )
+            if not self.finished:
+                self.pacer.request(self)
+        elif packet.kind is PacketKind.HEADER:
+            # Trimmed: payload lost; request retransmission and keep pulling.
+            self.host.send(self._control(PacketKind.NACK, packet.seq))
+            if not self.finished:
+                self.pacer.request(self)
+
+
+def start_ndp_flow(
+    sim: Simulator,
+    src: Host,
+    dst: Host,
+    record: FlowRecord,
+    pacer: PullPacer,
+    stats: StatsCollector,
+    priority: Priority = Priority.LOW_LATENCY,
+    initial_window: int = DEFAULT_INITIAL_WINDOW,
+    start_delay_ps: int = 0,
+) -> NdpSource:
+    """Wire up source+sink for one flow and schedule its start."""
+    source = NdpSource(sim, src, record, priority, initial_window)
+    NdpSink(sim, dst, record, src, pacer, stats, source)
+    stats.flow_started(record)
+    sim.after(start_delay_ps, source.start)
+    return source

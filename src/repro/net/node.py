@@ -1,0 +1,87 @@
+"""Hosts and switches for the packet simulator."""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from .link import Port
+from .packet import Packet, PacketKind
+from .sim import Simulator
+
+__all__ = ["Host", "SwitchNode", "FlowEndpoint", "MAX_HOPS", "CONSUMED"]
+
+#: TTL guard: a packet bouncing more ToR hops than this is dropped.
+MAX_HOPS = 32
+
+#: Sentinel a router returns when it absorbed the packet itself (e.g. a
+#: RotorLB agent queueing a relay packet) rather than forwarding it.
+CONSUMED = object()
+
+
+class FlowEndpoint(Protocol):
+    """Transport endpoints attached to hosts implement this."""
+
+    def on_packet(self, packet: Packet) -> None: ...
+
+
+class Host:
+    """An end host: one NIC port toward its ToR plus transport endpoints."""
+
+    def __init__(self, sim: Simulator, host_id: int, rack: int) -> None:
+        self.sim = sim
+        self.host_id = host_id
+        self.rack = rack
+        self.nic: Port | None = None  # wired by the builder
+        #: flow_id -> sender endpoint (receives ACK/NACK/PULL).
+        self.sources: dict[int, FlowEndpoint] = {}
+        #: flow_id -> receiver endpoint (receives DATA/HEADER).
+        self.sinks: dict[int, FlowEndpoint] = {}
+        self.dropped = 0
+
+    def send(self, packet: Packet) -> bool:
+        assert self.nic is not None, "host NIC not wired"
+        return self.nic.enqueue(packet)
+
+    def receive(self, packet: Packet) -> None:
+        if packet.kind in (PacketKind.DATA, PacketKind.HEADER):
+            endpoint = self.sinks.get(packet.flow_id)
+        else:
+            endpoint = self.sources.get(packet.flow_id)
+        if endpoint is None:
+            self.dropped += 1
+            return
+        endpoint.on_packet(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Host({self.host_id}, rack={self.rack})"
+
+
+class SwitchNode:
+    """A packet switch: routing is a pluggable callback.
+
+    ``router(switch, packet)`` returns the egress :class:`Port`, or ``None``
+    to drop (the drop is counted; transports recover via NDP trimming or
+    RotorLB requeueing upstream).
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.router: Callable[["SwitchNode", Packet], Port | None] | None = None
+        self.drops = 0
+
+    def receive(self, packet: Packet) -> None:
+        assert self.router is not None, f"{self.name}: no router installed"
+        if packet.hops > MAX_HOPS:
+            self.drops += 1
+            return
+        port = self.router(self, packet)
+        if port is CONSUMED:
+            return
+        if port is None:
+            self.drops += 1
+            return
+        port.enqueue(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SwitchNode({self.name})"

@@ -1,0 +1,72 @@
+"""Packet model for the event simulator.
+
+NDP's wire format distinguishes full data packets from *trimmed* headers
+(payload cut at an overloaded queue, header forwarded at control priority so
+the receiver learns of the loss immediately) and the control packets (ACK,
+NACK, PULL) that drive the receiver-paced protocol. RotorLB bulk packets
+carry their intended next-rack so a ToR can detect a missed slice.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["PacketKind", "Priority", "Packet", "HEADER_BYTES", "MTU_BYTES"]
+
+HEADER_BYTES = 64
+MTU_BYTES = 1500
+
+
+class PacketKind(enum.Enum):
+    DATA = "data"  # full payload (NDP or RotorLB)
+    HEADER = "header"  # trimmed NDP data packet
+    ACK = "ack"
+    NACK = "nack"
+    PULL = "pull"
+    HELLO = "hello"  # failure-detection protocol (section 3.6.2)
+
+
+class Priority(enum.IntEnum):
+    """Queue service classes: lower value served first."""
+
+    CONTROL = 0  # trimmed headers, ACK/NACK/PULL, hellos
+    LOW_LATENCY = 1  # NDP data of latency-sensitive flows
+    BULK = 2  # RotorLB data
+
+
+@dataclass
+class Packet:
+    """One simulated packet. Mutable: hops/stamps update in flight."""
+
+    flow_id: int
+    kind: PacketKind
+    src_host: int
+    dst_host: int
+    seq: int
+    size_bytes: int
+    priority: Priority
+    #: Topology slice stamped at the first ToR (Opera low-latency routing).
+    slice_stamp: int | None = None
+    #: Per-packet salt for equal-cost path spraying.
+    salt: int = 0
+    #: ToR-to-ToR hops taken so far (TTL guard).
+    hops: int = 0
+    #: RotorLB: the rack this packet must reach on its next circuit hop.
+    next_rack: int | None = None
+    #: RotorLB: final destination rack when relaying via an intermediate.
+    relay_to: int | None = None
+    #: Filled by the sink for FCT accounting.
+    enqueued_ps: int = 0
+
+    def trim(self) -> None:
+        """Cut the payload: the packet becomes a control-priority header."""
+        if self.kind is not PacketKind.DATA:
+            raise ValueError("only data packets can be trimmed")
+        self.kind = PacketKind.HEADER
+        self.size_bytes = HEADER_BYTES
+        self.priority = Priority.CONTROL
+
+    @property
+    def is_control(self) -> bool:
+        return self.priority is Priority.CONTROL

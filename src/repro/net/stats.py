@@ -1,0 +1,125 @@
+"""Flow bookkeeping: completion times and delivered-throughput series."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..core.timing import PS_PER_S
+
+__all__ = ["FlowRecord", "StatsCollector"]
+
+
+@dataclass
+class FlowRecord:
+    """Lifecycle of one flow."""
+
+    flow_id: int
+    src_host: int
+    dst_host: int
+    size_bytes: int
+    traffic_class: str
+    start_ps: int
+    end_ps: int | None = None
+    delivered_bytes: int = 0
+    retransmissions: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return self.end_ps is not None
+
+    @property
+    def fct_ps(self) -> int | None:
+        if self.end_ps is None:
+            return None
+        return self.end_ps - self.start_ps
+
+
+class StatsCollector:
+    """Tracks flows and a binned goodput time series."""
+
+    def __init__(self, throughput_bin_ps: int = 1_000_000_000) -> None:
+        self.flows: dict[int, FlowRecord] = {}
+        self.throughput_bin_ps = throughput_bin_ps
+        self._bins: dict[int, int] = {}
+
+    # ----------------------------------------------------------------- flows
+
+    def flow_started(self, record: FlowRecord) -> FlowRecord:
+        if record.flow_id in self.flows:
+            raise ValueError(f"duplicate flow id {record.flow_id}")
+        self.flows[record.flow_id] = record
+        return record
+
+    def delivered(self, flow_id: int, n_bytes: int, now_ps: int) -> None:
+        record = self.flows[flow_id]
+        record.delivered_bytes += n_bytes
+        self._bins[now_ps // self.throughput_bin_ps] = (
+            self._bins.get(now_ps // self.throughput_bin_ps, 0) + n_bytes
+        )
+        if record.delivered_bytes >= record.size_bytes and record.end_ps is None:
+            record.end_ps = now_ps
+
+    # ------------------------------------------------------------------ FCTs
+
+    def completed_flows(self) -> list[FlowRecord]:
+        return [f for f in self.flows.values() if f.complete]
+
+    def completion_fraction(self) -> float:
+        if not self.flows:
+            return 1.0
+        return len(self.completed_flows()) / len(self.flows)
+
+    def fct_percentile_us(
+        self,
+        percentile: float,
+        size_range: tuple[int, int] | None = None,
+        traffic_class: str | None = None,
+    ) -> float | None:
+        """FCT percentile in microseconds over completed flows."""
+        fcts = sorted(
+            f.fct_ps
+            for f in self.completed_flows()
+            if (size_range is None or size_range[0] <= f.size_bytes < size_range[1])
+            and (traffic_class is None or f.traffic_class == traffic_class)
+        )
+        if not fcts:
+            return None
+        if not 0 <= percentile <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        idx = min(len(fcts) - 1, max(0, math.ceil(percentile / 100 * len(fcts)) - 1))
+        return fcts[idx] / 1e6
+
+    def mean_fct_us(self, size_range: tuple[int, int] | None = None) -> float | None:
+        fcts = [
+            f.fct_ps
+            for f in self.completed_flows()
+            if size_range is None or size_range[0] <= f.size_bytes < size_range[1]
+        ]
+        if not fcts:
+            return None
+        return sum(fcts) / len(fcts) / 1e6
+
+    # ------------------------------------------------------------ throughput
+
+    def throughput_series(
+        self, n_hosts: int, link_rate_bps: int = 10_000_000_000
+    ) -> list[tuple[float, float]]:
+        """``(time_ms, normalized goodput)`` per bin (Figure 8's y-axis)."""
+        if not self._bins:
+            return []
+        aggregate = n_hosts * link_rate_bps
+        out = []
+        for index in range(max(self._bins) + 1):
+            delivered = self._bins.get(index, 0)
+            bits_per_s = delivered * 8 * PS_PER_S / self.throughput_bin_ps
+            out.append(
+                (
+                    index * self.throughput_bin_ps / 1e9,
+                    bits_per_s / aggregate,
+                )
+            )
+        return out
+
+    def total_delivered_bytes(self) -> int:
+        return sum(f.delivered_bytes for f in self.flows.values())

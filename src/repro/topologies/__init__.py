@@ -1,0 +1,14 @@
+"""Cost-equivalent baseline topologies: folded Clos, expander, RotorNet."""
+
+from .expander import ExpanderTopology, sample_disjoint_matchings
+from .folded_clos import ClosNode, FoldedClos
+from .rotornet import RotorNetSchedule, RotorNetTopology
+
+__all__ = [
+    "ExpanderTopology",
+    "sample_disjoint_matchings",
+    "ClosNode",
+    "FoldedClos",
+    "RotorNetSchedule",
+    "RotorNetTopology",
+]

@@ -1,0 +1,161 @@
+"""Three-tier folded-Clos (fat-tree) topology with ToR oversubscription.
+
+The paper's cost-equivalent packet-switched baseline (sections 2.3 and 5) is
+an M:1 oversubscribed folded Clos built from ``k``-port switches:
+
+* **ToR tier** — each ToR serves ``d = k * F / (F + 1)`` hosts with
+  ``u = k / (F + 1)`` uplinks (an ``F : 1`` oversubscription);
+* **aggregation tier** — pods of ``k/2`` ToRs and ``u`` aggregation
+  switches; every ToR has one link to every aggregation switch in its pod;
+* **core tier** — aggregation switches use their remaining ``k/2`` ports to
+  reach ``k/2`` core switches; core switch ``g*(k/2)+i`` links once to the
+  aggregation switch at position ``g`` of every pod.
+
+At full scale (``k`` pods) this hosts ``(F/(F+1)) * k^3 / 2`` servers — with
+``k = 12`` and ``F = 3`` exactly the 648 hosts of the paper's comparison,
+and ``F = 3`` matches its 3:1 oversubscription. Routing is ECMP over the
+(2 intra-pod / 4 cross-pod switch-hop) shortest paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FoldedClos", "ClosNode"]
+
+
+@dataclass(frozen=True)
+class ClosNode:
+    """A switch in the folded Clos, identified by tier and index."""
+
+    tier: str  # "tor" | "agg" | "core"
+    index: int
+
+
+class FoldedClos:
+    """An ``F:1``-oversubscribed three-tier folded Clos of ``k``-port switches.
+
+    Parameters
+    ----------
+    k:
+        Switch radix (all tiers use the same radix).
+    oversubscription:
+        ``F`` — the ratio of ToR downlinks to uplinks. ``F + 1`` must
+        divide ``k``. ``F = 1`` gives a fully-provisioned fat tree.
+    n_pods:
+        Number of pods; defaults to the maximum ``k``.
+    """
+
+    def __init__(self, k: int, oversubscription: int = 3, n_pods: int | None = None):
+        if k < 4 or k % 2:
+            raise ValueError(f"switch radix must be an even integer >= 4, got {k}")
+        if oversubscription < 1:
+            raise ValueError("oversubscription factor must be >= 1")
+        if k % (oversubscription + 1):
+            raise ValueError(
+                f"F+1={oversubscription + 1} must divide the radix k={k}"
+            )
+        self.k = k
+        self.oversubscription = oversubscription
+        self.tor_uplinks = k // (oversubscription + 1)
+        self.hosts_per_rack = k - self.tor_uplinks
+        self.tors_per_pod = k // 2
+        self.aggs_per_pod = self.tor_uplinks
+        self.n_pods = n_pods if n_pods is not None else k
+        if not 1 <= self.n_pods <= k:
+            raise ValueError(f"pod count must be in [1, {k}]")
+        self.n_racks = self.n_pods * self.tors_per_pod
+        self.cores_per_group = k // 2
+        self.n_cores = self.aggs_per_pod * self.cores_per_group
+        self.n_aggs = self.n_pods * self.aggs_per_pod
+
+    # ----------------------------------------------------------------- shape
+
+    @property
+    def n_hosts(self) -> int:
+        return self.n_racks * self.hosts_per_rack
+
+    @property
+    def n_switches(self) -> int:
+        """Total packet switches (ToR + aggregation + core)."""
+        return self.n_racks + self.n_aggs + self.n_cores
+
+    def host_rack(self, host: int) -> int:
+        if not 0 <= host < self.n_hosts:
+            raise ValueError(f"host {host} out of range")
+        return host // self.hosts_per_rack
+
+    def pod_of_rack(self, rack: int) -> int:
+        if not 0 <= rack < self.n_racks:
+            raise ValueError(f"rack {rack} out of range")
+        return rack // self.tors_per_pod
+
+    # ------------------------------------------------------------- structure
+
+    def aggs_of_pod(self, pod: int) -> range:
+        return range(pod * self.aggs_per_pod, (pod + 1) * self.aggs_per_pod)
+
+    def agg_position(self, agg: int) -> int:
+        """Position of an aggregation switch within its pod (its group)."""
+        return agg % self.aggs_per_pod
+
+    def cores_of_group(self, group: int) -> range:
+        return range(group * self.cores_per_group, (group + 1) * self.cores_per_group)
+
+    def tor_agg_links(self, rack: int) -> list[int]:
+        """Aggregation switches with a direct link from this ToR."""
+        return list(self.aggs_of_pod(self.pod_of_rack(rack)))
+
+    def agg_core_links(self, agg: int) -> list[int]:
+        """Core switches with a direct link from this aggregation switch."""
+        return list(self.cores_of_group(self.agg_position(agg)))
+
+    def core_agg_links(self, core: int) -> list[int]:
+        """Aggregation switches (one per pod) linked to this core switch."""
+        group = core // self.cores_per_group
+        return [pod * self.aggs_per_pod + group for pod in range(self.n_pods)]
+
+    # --------------------------------------------------------------- routing
+
+    def rack_distance(self, rack_a: int, rack_b: int) -> int:
+        """Switch-to-switch hops between two ToRs (0 same, 2 pod, 4 core)."""
+        if rack_a == rack_b:
+            return 0
+        if self.pod_of_rack(rack_a) == self.pod_of_rack(rack_b):
+            return 2
+        return 4
+
+    def path_length_counts(self) -> dict[int, int]:
+        """Histogram of inter-rack hop counts over ordered pairs (Fig. 4)."""
+        same_pod = self.tors_per_pod - 1
+        cross = self.n_racks - self.tors_per_pod
+        return {
+            2: self.n_racks * same_pod,
+            4: self.n_racks * cross,
+        }
+
+    def average_path_length(self) -> float:
+        counts = self.path_length_counts()
+        total = sum(counts.values())
+        return sum(h * c for h, c in counts.items()) / total
+
+    def ecmp_paths(self, rack_a: int, rack_b: int) -> int:
+        """Number of equal-cost shortest paths between two ToRs."""
+        if rack_a == rack_b:
+            return 0
+        if self.pod_of_rack(rack_a) == self.pod_of_rack(rack_b):
+            return self.aggs_per_pod
+        return self.aggs_per_pod * self.cores_per_group
+
+    # ------------------------------------------------------------- capacity
+
+    @property
+    def bisection_fraction(self) -> float:
+        """Cross-network capacity per host-link (1/F for this design)."""
+        return 1.0 / self.oversubscription
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FoldedClos(k={self.k}, {self.oversubscription}:1, "
+            f"pods={self.n_pods}, racks={self.n_racks}, hosts={self.n_hosts})"
+        )

@@ -1,0 +1,173 @@
+"""RotorNet baseline (Mellette et al., SIGCOMM 2017; paper section 5.1).
+
+RotorNet is Opera's closest ancestor: ToR uplinks connect to rotor circuit
+switches that cycle through fixed matchings, and bulk traffic uses RotorLB
+(direct + two-hop Valiant load balancing). The differences we model:
+
+* **Lockstep reconfiguration** — all rotor switches advance simultaneously
+  at every slice boundary (Figure 3a), so there is no always-on multi-hop
+  connectivity; during reconfiguration the whole fabric is dark, and the
+  cycle is ``n_racks / u`` slices (u matchings are live at once).
+* **No low-latency service** — a *non-hybrid* RotorNet sends even small
+  flows through buffered rotor circuits (three orders of magnitude slower
+  for short flows, Figure 7c); a *hybrid* RotorNet instead diverts one of
+  the ``u`` uplinks to a separate packet-switched fabric, at 1.33x cost.
+
+The schedule reuses Opera's factorization machinery, so every rack pair is
+directly connected exactly once per cycle.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..core.lifting import lifted_random_factorization
+from ..core.matchings import Matching, verify_factorization
+
+__all__ = ["RotorNetSchedule", "RotorNetTopology"]
+
+
+class RotorNetSchedule:
+    """Lockstep rotor schedule: all switches advance at every boundary."""
+
+    def __init__(
+        self,
+        n_racks: int,
+        n_switches: int,
+        seed: int | None = 0,
+        factorization: Sequence[Matching] | None = None,
+        validate: bool = True,
+    ) -> None:
+        if n_switches <= 0:
+            raise ValueError("need at least one rotor switch")
+        if n_racks % n_switches:
+            raise ValueError(
+                f"{n_racks} racks not divisible by {n_switches} switches"
+            )
+        self.n_racks = n_racks
+        self.n_switches = n_switches
+        rng = random.Random(seed)
+        if factorization is None:
+            factorization = lifted_random_factorization(n_racks, rng)
+        else:
+            factorization = list(factorization)
+        if validate:
+            verify_factorization(factorization, n_racks)
+        self.matchings: list[Matching] = list(factorization)
+        order = list(range(n_racks))
+        rng.shuffle(order)
+        per_switch = n_racks // n_switches
+        self._switch_matchings = [
+            order[w * per_switch : (w + 1) * per_switch]
+            for w in range(n_switches)
+        ]
+
+    @property
+    def matchings_per_switch(self) -> int:
+        return self.n_racks // self.n_switches
+
+    @property
+    def cycle_slices(self) -> int:
+        """u matchings are live simultaneously, so the cycle is N/u slices."""
+        return self.matchings_per_switch
+
+    def matching_of(self, switch: int, slice_index: int) -> Matching:
+        idx = slice_index % self.cycle_slices
+        return self.matchings[self._switch_matchings[switch][idx]]
+
+    def neighbors(self, rack: int, slice_index: int) -> list[tuple[int, int]]:
+        """``(peer, switch)`` circuits for ``rack`` during a slice."""
+        out = []
+        for w in range(self.n_switches):
+            peer = self.matching_of(w, slice_index)[rack]
+            if peer != rack:
+                out.append((peer, w))
+        return out
+
+    def direct_switch(self, rack_a: int, rack_b: int, slice_index: int) -> int | None:
+        for w in range(self.n_switches):
+            if self.matching_of(w, slice_index)[rack_a] == rack_b:
+                return w
+        return None
+
+    def direct_slices(self, rack_a: int, rack_b: int) -> tuple[int, ...]:
+        if rack_a == rack_b:
+            raise ValueError("a rack has no circuit to itself")
+        return tuple(
+            s
+            for s in range(self.cycle_slices)
+            if self.direct_switch(rack_a, rack_b, s) is not None
+        )
+
+    def verify_cycle_connectivity(self) -> None:
+        covered: set[tuple[int, int]] = set()
+        for s in range(self.cycle_slices):
+            for w in range(self.n_switches):
+                matching = self.matching_of(w, s)
+                for a in range(self.n_racks):
+                    b = matching[a]
+                    if a < b:
+                        covered.add((a, b))
+        want = self.n_racks * (self.n_racks - 1) // 2
+        if len(covered) != want:
+            raise AssertionError(
+                f"cycle covers {len(covered)} rack pairs, expected {want}"
+            )
+
+
+class RotorNetTopology:
+    """A RotorNet deployment: rotor uplinks plus an optional hybrid fabric.
+
+    Parameters
+    ----------
+    n_racks, hosts_per_rack:
+        Shape; ToR radix is ``hosts_per_rack + uplinks (+ 1 if hybrid)``.
+    n_rotor_switches:
+        Rotor uplinks per ToR.
+    hybrid:
+        When set, one additional uplink per ToR faces a packet-switched
+        fabric used exclusively by low-latency traffic (the paper models
+        this variant at 1.33x the cost of the all-optical network).
+    """
+
+    def __init__(
+        self,
+        n_racks: int,
+        n_rotor_switches: int,
+        hosts_per_rack: int,
+        hybrid: bool = False,
+        seed: int | None = 0,
+    ) -> None:
+        self.schedule = RotorNetSchedule(n_racks, n_rotor_switches, seed=seed)
+        self.n_racks = n_racks
+        self.n_rotor_switches = n_rotor_switches
+        self.hosts_per_rack = hosts_per_rack
+        self.hybrid = hybrid
+
+    @property
+    def n_hosts(self) -> int:
+        return self.n_racks * self.hosts_per_rack
+
+    @property
+    def packet_uplinks_per_rack(self) -> int:
+        return 1 if self.hybrid else 0
+
+    @property
+    def cost_factor(self) -> float:
+        """Approximate cost relative to the non-hybrid network (section 5.1)."""
+        if not self.hybrid:
+            return 1.0
+        return (self.n_rotor_switches + 2) / (self.n_rotor_switches + 0.5)
+
+    def host_rack(self, host: int) -> int:
+        if not 0 <= host < self.n_hosts:
+            raise ValueError(f"host {host} out of range")
+        return host // self.hosts_per_rack
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "hybrid" if self.hybrid else "non-hybrid"
+        return (
+            f"RotorNetTopology({kind}, racks={self.n_racks}, "
+            f"rotors={self.n_rotor_switches}, hosts={self.n_hosts})"
+        )

@@ -1,0 +1,36 @@
+"""Workloads: published flow-size distributions and synthetic patterns."""
+
+from .arrivals import FlowArrival, PoissonArrivals
+from .distributions import (
+    ALL_WORKLOADS,
+    DATAMINING,
+    HADOOP,
+    WEBSEARCH,
+    FlowSizeDistribution,
+)
+from .patterns import (
+    all_to_all_matrix,
+    hot_rack_matrix,
+    permutation_flows,
+    permutation_matrix,
+    shuffle_flows,
+    skew_matrix,
+    websearch_background_matrix,
+)
+
+__all__ = [
+    "FlowArrival",
+    "PoissonArrivals",
+    "ALL_WORKLOADS",
+    "DATAMINING",
+    "HADOOP",
+    "WEBSEARCH",
+    "FlowSizeDistribution",
+    "all_to_all_matrix",
+    "hot_rack_matrix",
+    "permutation_flows",
+    "permutation_matrix",
+    "shuffle_flows",
+    "skew_matrix",
+    "websearch_background_matrix",
+]

@@ -1,0 +1,110 @@
+"""Poisson flow-arrival processes (paper sections 5.1 and 5.3).
+
+The paper drives the Datamining and Websearch experiments with a Poisson
+flow-arrival process whose rate is set relative to the aggregate bandwidth
+of all host links: at load ``rho``, hosts collectively inject
+``rho * n_hosts * link_rate`` bits per second of offered traffic, so the
+arrival rate is ``rho * n_hosts * link_rate / (8 * E[flow size])`` flows/s.
+Sources and destinations are chosen uniformly at random (destinations from
+a different host, optionally a different rack).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.timing import PS_PER_S
+from .distributions import FlowSizeDistribution
+
+__all__ = ["FlowArrival", "PoissonArrivals"]
+
+
+@dataclass(frozen=True)
+class FlowArrival:
+    """One flow injected into the network."""
+
+    time_ps: int
+    src_host: int
+    dst_host: int
+    size_bytes: int
+    flow_id: int
+
+
+class PoissonArrivals:
+    """Poisson flow generator over uniformly random host pairs.
+
+    Parameters
+    ----------
+    distribution:
+        Flow-size distribution to sample.
+    load:
+        Offered load as a fraction of aggregate host-link bandwidth.
+    n_hosts, link_rate_bps:
+        Shape of the network being driven.
+    hosts_per_rack:
+        When given, destinations are drawn from a different *rack* (the
+        paper's workloads are inter-rack).
+    """
+
+    def __init__(
+        self,
+        distribution: FlowSizeDistribution,
+        load: float,
+        n_hosts: int,
+        link_rate_bps: int = 10_000_000_000,
+        hosts_per_rack: int | None = None,
+        seed: int | None = 0,
+    ) -> None:
+        if not 0 < load:
+            raise ValueError("load must be positive")
+        if n_hosts < 2:
+            raise ValueError("need at least two hosts")
+        self.distribution = distribution
+        self.load = load
+        self.n_hosts = n_hosts
+        self.link_rate_bps = link_rate_bps
+        self.hosts_per_rack = hosts_per_rack
+        self.rng = random.Random(seed)
+        mean_bits = 8.0 * distribution.mean_bytes()
+        self.flows_per_second = load * n_hosts * link_rate_bps / mean_bits
+
+    @property
+    def mean_interarrival_ps(self) -> float:
+        return PS_PER_S / self.flows_per_second
+
+    def _pick_pair(self) -> tuple[int, int]:
+        src = self.rng.randrange(self.n_hosts)
+        while True:
+            dst = self.rng.randrange(self.n_hosts)
+            if dst == src:
+                continue
+            if (
+                self.hosts_per_rack is not None
+                and dst // self.hosts_per_rack == src // self.hosts_per_rack
+            ):
+                continue
+            return src, dst
+
+    def flows(
+        self, duration_ps: int, start_ps: int = 0
+    ) -> Iterator[FlowArrival]:
+        """Yield arrivals with time < ``start_ps + duration_ps`` in order."""
+        t = float(start_ps)
+        flow_id = 0
+        end = start_ps + duration_ps
+        while True:
+            t += -math.log(1.0 - self.rng.random()) * self.mean_interarrival_ps
+            if t >= end:
+                return
+            src, dst = self._pick_pair()
+            yield FlowArrival(
+                time_ps=int(t),
+                src_host=src,
+                dst_host=dst,
+                size_bytes=self.distribution.sample(self.rng),
+                flow_id=flow_id,
+            )
+            flow_id += 1

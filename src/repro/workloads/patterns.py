@@ -1,0 +1,184 @@
+"""Synthetic traffic patterns from the paper's evaluation (sections 5.2–5.6).
+
+Rack-level demand matrices are expressed in units of *host links*: entry
+``D[a][b]`` is the offered load from rack ``a`` to rack ``b`` as a multiple
+of one host's link rate, so a rack with ``d`` hosts can offer at most ``d``
+units of egress. Patterns:
+
+* ``all_to_all`` — the shuffle of section 5.2: every rack sends its full
+  egress spread uniformly over all other racks.
+* ``permutation`` — section 5.6: each *host* sends at full rate to one
+  non-rack-local host (aggregated to racks here).
+* ``hot_rack`` — section 5.6: a single rack sends its full egress to one
+  other rack (maximum skew).
+* ``skew`` — section 5.6's skew[p, 1] (after [29]): a fraction ``p`` of
+  racks are active and run a rack-level permutation among themselves at
+  full rate; the rest are silent.
+
+Host-level generators for the packet simulator accompany each.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+__all__ = [
+    "all_to_all_matrix",
+    "permutation_matrix",
+    "hot_rack_matrix",
+    "skew_matrix",
+    "websearch_background_matrix",
+    "shuffle_flows",
+    "permutation_flows",
+]
+
+
+def _empty(n_racks: int) -> np.ndarray:
+    return np.zeros((n_racks, n_racks), dtype=float)
+
+
+def all_to_all_matrix(n_racks: int, hosts_per_rack: int) -> np.ndarray:
+    """Uniform shuffle: each rack spreads ``d`` units over the others."""
+    if n_racks < 2:
+        raise ValueError("need at least two racks")
+    demand = _empty(n_racks)
+    per_pair = hosts_per_rack / (n_racks - 1)
+    demand[:, :] = per_pair
+    np.fill_diagonal(demand, 0.0)
+    return demand
+
+
+def _rack_disjoint_bijection(
+    hosts: list[int], hosts_per_rack: int, rng: random.Random
+) -> dict[int, int]:
+    """A bijection on ``hosts`` where no host maps within its own rack.
+
+    A random shuffle followed by swap repairs: any position mapped within
+    its own rack trades targets with a random other position when the trade
+    resolves the violation without creating a new one.
+    """
+    targets = list(hosts)
+    rng.shuffle(targets)
+    n = len(hosts)
+
+    def ok(i: int) -> bool:
+        return hosts[i] // hosts_per_rack != targets[i] // hosts_per_rack
+
+    for _round in range(50):
+        bad = [i for i in range(n) if not ok(i)]
+        if not bad:
+            return dict(zip(hosts, targets))
+        for i in bad:
+            for _try in range(100):
+                j = rng.randrange(n)
+                if j == i:
+                    continue
+                targets[i], targets[j] = targets[j], targets[i]
+                if ok(i) and ok(j):
+                    break
+                targets[i], targets[j] = targets[j], targets[i]
+    raise ValueError("could not find a rack-disjoint host bijection")
+
+
+def permutation_matrix(
+    n_racks: int, hosts_per_rack: int, rng: random.Random | None = None
+) -> np.ndarray:
+    """Host-level random permutation, aggregated to rack demand.
+
+    Each host sends one unit to exactly one host of another rack and
+    receives exactly one unit (a bijection), so every rack offers and
+    receives exactly ``d`` units — the paper's admissible permutation.
+    """
+    rng = rng or random.Random(0)
+    hosts = list(range(n_racks * hosts_per_rack))
+    mapping = _rack_disjoint_bijection(hosts, hosts_per_rack, rng)
+    demand = _empty(n_racks)
+    for src, dst in mapping.items():
+        demand[src // hosts_per_rack][dst // hosts_per_rack] += 1.0
+    return demand
+
+
+def hot_rack_matrix(
+    n_racks: int, hosts_per_rack: int, src: int = 0, dst: int = 1
+) -> np.ndarray:
+    """One rack sends its full egress to one other rack."""
+    if src == dst:
+        raise ValueError("hot pair must be distinct racks")
+    demand = _empty(n_racks)
+    demand[src][dst] = float(hosts_per_rack)
+    return demand
+
+
+def skew_matrix(
+    n_racks: int,
+    hosts_per_rack: int,
+    active_fraction: float,
+    rng: random.Random | None = None,
+) -> np.ndarray:
+    """skew[p, 1]: a fraction ``p`` of racks communicate among themselves.
+
+    Each host of an active rack sends one unit to a uniformly random host
+    in a *different* active rack; inactive racks are silent.
+    """
+    if not 0 < active_fraction <= 1:
+        raise ValueError("active fraction must be in (0, 1]")
+    rng = rng or random.Random(0)
+    n_active = max(2, round(active_fraction * n_racks))
+    active = rng.sample(range(n_racks), n_active)
+    hosts = [
+        rack * hosts_per_rack + h for rack in active for h in range(hosts_per_rack)
+    ]
+    mapping = _rack_disjoint_bijection(hosts, hosts_per_rack, rng)
+    demand = _empty(n_racks)
+    for src, dst in mapping.items():
+        demand[src // hosts_per_rack][dst // hosts_per_rack] += 1.0
+    return demand
+
+
+def websearch_background_matrix(
+    n_racks: int, hosts_per_rack: int, load: float
+) -> np.ndarray:
+    """Uniform low-latency background at ``load`` of host capacity (Fig 10)."""
+    if not 0 <= load <= 1:
+        raise ValueError("load must be in [0, 1]")
+    return all_to_all_matrix(n_racks, hosts_per_rack) * load
+
+
+# ----------------------------------------------------------- host level
+
+
+def shuffle_flows(
+    n_hosts: int, flow_bytes: int = 100_000
+) -> list[tuple[int, int, int]]:
+    """All-to-all shuffle flow set: ``(src, dst, bytes)`` per host pair.
+
+    Section 5.2 uses 100 KB flows (the Facebook Hadoop median inter-rack
+    flow size), all tagged bulk and started simultaneously.
+    """
+    return [
+        (src, dst, flow_bytes)
+        for src in range(n_hosts)
+        for dst in range(n_hosts)
+        if src != dst
+    ]
+
+
+def permutation_flows(
+    n_hosts: int,
+    hosts_per_rack: int,
+    flow_bytes: int,
+    rng: random.Random | None = None,
+) -> list[tuple[int, int, int]]:
+    """Each host sends one flow to a unique non-rack-local host."""
+    rng = rng or random.Random(0)
+    for _attempt in range(200):
+        targets = list(range(n_hosts))
+        rng.shuffle(targets)
+        if all(
+            src // hosts_per_rack != dst // hosts_per_rack
+            for src, dst in enumerate(targets)
+        ):
+            return [(src, dst, flow_bytes) for src, dst in enumerate(targets)]
+    raise ValueError("could not find a rack-disjoint permutation")

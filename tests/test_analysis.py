@@ -1,0 +1,207 @@
+"""Tests for expansion, path-length and failure analyses (Figs 4, 11, 16-20)."""
+
+import random
+
+import pytest
+
+from repro.analysis.expansion import (
+    adjacency_matrix,
+    expander_spectrum,
+    opera_slice_spectra,
+    ramanujan_gap,
+    spectral_gap,
+)
+from repro.analysis.failures import (
+    clos_failure_report,
+    expander_failure_report,
+    opera_failure_report,
+    random_clos_link_failures,
+    random_clos_switch_failures,
+)
+from repro.analysis.paths import (
+    clos_path_lengths,
+    expander_path_lengths,
+    opera_path_lengths,
+    sampled_average_path_length,
+)
+from repro.core.faults import FailureSet
+from repro.core.schedule import OperaSchedule
+from repro.topologies.expander import ExpanderTopology
+from repro.topologies.folded_clos import FoldedClos
+
+
+@pytest.fixture(scope="module")
+def sched():
+    return OperaSchedule(24, 6, seed=0)
+
+
+@pytest.fixture(scope="module")
+def expander():
+    return ExpanderTopology(24, 5, 4, seed=0)
+
+
+class TestExpansion:
+    def test_ramanujan_gap(self):
+        assert ramanujan_gap(5) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            ramanujan_gap(0.5)
+
+    def test_slice_spectra_positive(self, sched):
+        reports = opera_slice_spectra(sched, slices=range(4))
+        assert len(reports) == 4
+        for r in reports:
+            assert r.spectral_gap > 0
+            assert r.average_path_length >= 1.0
+            assert r.worst_path_length >= 2
+
+    def test_ramanujan_fraction_reasonable(self, sched):
+        """App. D: Opera slices are close to optimal expanders."""
+        for r in opera_slice_spectra(sched, slices=range(6)):
+            assert 0.3 < r.ramanujan_fraction < 2.5
+
+    def test_expander_spectrum(self, expander):
+        report = expander_spectrum(expander)
+        assert report.degree == pytest.approx(5.0)
+        assert report.spectral_gap > 0
+
+    def test_adjacency_matrix_symmetric(self, expander):
+        mat = adjacency_matrix(expander.adjacency)
+        assert (mat == mat.T).all()
+        assert mat.sum() == 24 * 5
+
+    def test_spectral_gap_of_complete_graph(self):
+        # K_n has eigenvalues n-1 and -1: gap = (n-1) - (-1) = n.
+        import numpy as np
+
+        n = 8
+        mat = np.ones((n, n)) - np.eye(n)
+        assert spectral_gap(mat) == pytest.approx(n)
+
+
+class TestPathLengths:
+    def test_opera_distribution(self, sched):
+        dist = opera_path_lengths(sched)
+        assert dist.total == sched.cycle_slices * 24 * 23
+        assert dist.fraction_at_most(dist.worst()) == pytest.approx(1.0)
+        assert 1.0 < dist.average() < 4.0
+
+    def test_cdf_monotone(self, sched):
+        cdf = opera_path_lengths(sched).cdf()
+        values = [v for _h, v in cdf]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(1.0)
+
+    def test_expander_distribution(self, expander):
+        dist = expander_path_lengths(expander)
+        assert dist.total == 24 * 23
+        assert dist.average() < 3.0
+
+    def test_clos_distribution(self):
+        clos = FoldedClos(8, 3)
+        dist = clos_path_lengths(clos)
+        assert set(dist.counts) == {2, 4}
+        assert dist.average() > 3.0  # dominated by cross-pod traffic
+
+    def test_figure4_ordering(self, sched, expander):
+        """Figure 4: Opera ~ expander << folded Clos."""
+        opera = opera_path_lengths(sched).average()
+        exp = expander_path_lengths(expander).average()
+        clos = clos_path_lengths(FoldedClos(8, 3)).average()
+        assert opera < clos
+        assert exp < clos
+
+    def test_sampled_average_close_to_exact(self, sched):
+        exact = opera_path_lengths(sched).average()
+        sampled = sampled_average_path_length(
+            sched, n_slices=sched.cycle_slices, n_sources=24
+        )
+        assert sampled == pytest.approx(exact, rel=0.02)
+
+
+class TestOperaFailures:
+    def test_no_failures_no_loss(self, sched):
+        report = opera_failure_report(sched, FailureSet.none())
+        assert report.worst_slice_loss == 0.0
+        assert report.any_slice_loss == 0.0
+        assert report.worst_path_length >= 2
+
+    def test_loss_ordering(self, sched):
+        report = opera_failure_report(
+            sched,
+            FailureSet.random_links(24, 6, 0.2, random.Random(0)),
+        )
+        assert report.any_slice_loss >= report.worst_slice_loss
+
+    def test_failures_stretch_paths(self, sched):
+        clean = opera_failure_report(sched, FailureSet.none())
+        failed = opera_failure_report(
+            sched,
+            FailureSet.random_links(24, 6, 0.2, random.Random(1)),
+        )
+        assert failed.average_path_length >= clean.average_path_length
+
+    def test_small_switch_failures_tolerated(self, sched):
+        """Figure 11: Opera withstands 2/6 circuit switches w/o loss."""
+        report = opera_failure_report(
+            sched, FailureSet(switches=frozenset({0, 3}))
+        )
+        assert report.any_slice_loss == 0.0
+
+    def test_many_switch_failures_disconnect(self, sched):
+        report = opera_failure_report(
+            sched, FailureSet(switches=frozenset({0, 1, 2, 3, 4}))
+        )
+        assert report.worst_slice_loss > 0.0
+
+    def test_failed_racks_excluded(self, sched):
+        report = opera_failure_report(
+            sched, FailureSet(racks=frozenset({0, 1}))
+        )
+        # Pairs among the 22 live racks should mostly stay connected.
+        assert report.any_slice_loss < 0.1
+
+
+class TestStaticFailures:
+    def test_expander_no_failures(self, expander):
+        report = expander_failure_report(expander, FailureSet.none())
+        assert report.any_slice_loss == 0.0
+
+    def test_expander_with_rack_failures(self, expander):
+        report = expander_failure_report(
+            expander, FailureSet.random_racks(24, 0.2, random.Random(0))
+        )
+        assert 0.0 <= report.any_slice_loss < 0.5
+
+    def test_clos_no_failures(self):
+        clos = FoldedClos(8, 3)
+        report = clos_failure_report(clos)
+        assert report.any_slice_loss == 0.0
+        assert report.average_path_length > 2.0
+
+    def test_clos_link_failures_cause_loss(self):
+        clos = FoldedClos(8, 3)
+        rng = random.Random(0)
+        report = clos_failure_report(
+            clos, failed_links=random_clos_link_failures(clos, 0.4, rng)
+        )
+        assert report.any_slice_loss > 0.0
+
+    def test_clos_switch_failures(self):
+        clos = FoldedClos(8, 3)
+        rng = random.Random(1)
+        report = clos_failure_report(
+            clos, failed_switches=random_clos_switch_failures(clos, 0.2, rng)
+        )
+        assert report.average_path_length >= 2.0
+
+    def test_clos_fault_tolerance_weaker_than_expander(self, expander):
+        """App. E: the 3:1 Clos loses connectivity before the expander."""
+        rng_a, rng_b = random.Random(2), random.Random(2)
+        clos = FoldedClos(8, 3)
+        clos_report = clos_failure_report(
+            clos, failed_links=random_clos_link_failures(clos, 0.3, rng_a)
+        )
+        exp_report = expander_failure_report(
+            expander, FailureSet.random_links(24, 5, 0.3, rng_b)
+        )
+        assert clos_report.any_slice_loss >= exp_report.any_slice_loss

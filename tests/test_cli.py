@@ -1,0 +1,38 @@
+"""Tests for the experiment-runner CLI."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig08", "table1", "fig12"):
+            assert name in out
+
+    def test_registry_covers_all_paper_artifacts(self):
+        expected = {
+            "fig01", "fig04", "fig06", "fig07", "fig08", "fig09", "fig10",
+            "fig11", "fig12", "fig13", "fig14", "fig16", "fig17", "fig18",
+            "table1", "table2",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "12,096" in out
+
+    def test_run_fig06(self, capsys):
+        assert main(["fig06"]) == 0
+        assert "cycle_ms" in capsys.readouterr().out
+
+    def test_run_fig14(self, capsys):
+        assert main(["fig14"]) == 0
+        assert "rel-cycle" in capsys.readouterr().out

@@ -1,0 +1,72 @@
+"""Tests for the cost-normalization model (Appendix A, Table 2)."""
+
+import pytest
+
+from repro.analysis.costs import (
+    OPERA_PORT_COSTS,
+    STATIC_PORT_COSTS,
+    alpha_estimate,
+    clos_hosts,
+    clos_oversubscription_for_alpha,
+    cost_equivalent_networks,
+    expander_racks_for_hosts,
+    expander_uplinks_for_alpha,
+    port_cost,
+)
+
+
+class TestTable2:
+    def test_static_port_cost(self):
+        assert port_cost(STATIC_PORT_COSTS) == pytest.approx(215.0)
+
+    def test_opera_port_cost(self):
+        assert port_cost(OPERA_PORT_COSTS) == pytest.approx(275.0)
+
+    def test_alpha_about_1_3(self):
+        assert alpha_estimate() == pytest.approx(1.28, abs=0.03)
+
+
+class TestAppendixA:
+    def test_clos_oversubscription(self):
+        # alpha = 2(T-1)/F with T=3: alpha=1.3 -> F ~= 3 (the 3:1 Clos).
+        assert clos_oversubscription_for_alpha(1.3) == pytest.approx(3.08, abs=0.01)
+        assert clos_oversubscription_for_alpha(4.0) == pytest.approx(1.0)
+
+    def test_clos_hosts_648(self):
+        # H = (4F/(F+1))(k/2)^3: F=3 exactly, k=12 -> 648 hosts.
+        assert clos_hosts(12, 4 / 3.0) == pytest.approx(648.0)
+
+    def test_expander_u7(self):
+        assert expander_uplinks_for_alpha(12, 1.3) == 7
+
+    def test_expander_650_hosts(self):
+        assert expander_racks_for_hosts(12, 1.3, 648) == 130
+
+    def test_expander_u_monotone_in_alpha(self):
+        us = [expander_uplinks_for_alpha(24, a) for a in (1.0, 1.3, 1.7, 2.0)]
+        assert us == sorted(us)
+        assert us[0] == 12  # alpha=1: u = d = k/2
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            clos_oversubscription_for_alpha(0)
+        with pytest.raises(ValueError):
+            expander_uplinks_for_alpha(12, -1)
+
+
+class TestEquivalentTrio:
+    def test_paper_reference(self):
+        eq = cost_equivalent_networks(12, 1.3)
+        assert eq.n_hosts == 648
+        assert eq.opera_racks == 108
+        assert eq.opera_uplinks == 6
+        assert eq.expander_racks == 130
+        assert eq.expander_uplinks == 7
+        assert eq.expander_hosts_per_rack == 5
+        assert eq.clos_oversubscription == pytest.approx(3.08, abs=0.01)
+
+    def test_k24(self):
+        eq = cost_equivalent_networks(24, 1.3)
+        assert eq.opera_racks == 432
+        assert eq.n_hosts == 5184
+        assert eq.expander_uplinks == 14

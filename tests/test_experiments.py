@@ -1,0 +1,137 @@
+"""Smoke tests for the per-figure experiment modules (tiny configurations).
+
+The benchmarks run the paper-scale versions; these tests exercise the same
+code paths quickly so a broken experiment fails in the unit suite, not just
+in a long benchmark run.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fctsim,
+    fig01_distributions,
+    fig04_path_lengths,
+    fig06_timing,
+    fig08_shuffle,
+    fig10_mixed,
+    fig11_faults,
+    fig12_cost_sensitivity,
+    fig13_prototype,
+    fig14_cycle_scaling,
+    fig16_path_scaling,
+    fig17_spectral,
+    fig18_failure_paths,
+    table1_state,
+    table2_costs,
+)
+from repro.workloads.distributions import WEBSEARCH
+
+
+class TestCheapExperiments:
+    def test_fig01(self):
+        data = fig01_distributions.run()
+        assert set(data) == {"datamining", "websearch", "hadoop"}
+        assert fig01_distributions.format_rows(data)
+
+    def test_fig06(self):
+        data = fig06_timing.run()
+        assert data["cycle_slices"] == 108
+        assert fig06_timing.format_rows(data)
+
+    def test_fig14(self):
+        rows = fig14_cycle_scaling.run((12, 24))
+        assert rows[0]["relative_cycle_no_groups"] == 1.0
+        assert fig14_cycle_scaling.format_rows(rows)
+
+    def test_table1(self):
+        rows = table1_state.run()
+        assert len(rows) == 6
+        assert table1_state.format_rows(rows)
+
+    def test_table2(self):
+        data = table2_costs.run()
+        assert data["opera_port_usd"] > data["static_port_usd"]
+        assert table2_costs.format_rows(data)
+
+
+class TestGraphExperiments:
+    def test_fig04_small(self):
+        data = fig04_path_lengths.run(k=12, n_racks=24, n_slices=4)
+        assert data["opera"].average() < data["clos"].average()
+        assert fig04_path_lengths.format_rows(data)
+
+    def test_fig11_small(self):
+        data = fig11_faults.run(n_racks=24, n_switches=6, fractions=(0.1, 0.4), slice_stride=6)
+        assert set(data) == {"links", "racks", "switches"}
+        assert fig11_faults.format_rows(data)
+
+    def test_fig16_small(self):
+        rows = fig16_path_scaling.run(radices=(12,), alphas=(1.4,), n_slices=2, n_sources=16)
+        assert rows[0]["opera"] > 1.0
+        assert fig16_path_scaling.format_rows(rows)
+
+    def test_fig17_small(self):
+        data = fig17_spectral.run(n_racks=24, n_switches=6, n_hosts=144, slice_stride=6)
+        assert data["opera"] and data["static"]
+        assert fig17_spectral.format_rows(data)
+
+    def test_fig18_small(self):
+        data = fig18_failure_paths.run_opera(
+            n_racks=24, n_switches=6, fractions=(0.1,), slice_stride=6
+        )
+        assert data["links"][0][1].average_path_length > 1.0
+        assert fig18_failure_paths.format_rows(data)
+
+    def test_fig19_small(self):
+        data = fig18_failure_paths.run_clos(k=8, fractions=(0.1,))
+        assert data["links"] and data["switches"]
+
+    def test_fig20_small(self):
+        data = fig18_failure_paths.run_expander(
+            n_racks=24, uplinks=5, hosts_per_rack=3, fractions=(0.1,)
+        )
+        assert data["links"] and data["racks"]
+
+
+class TestThroughputExperiments:
+    def test_fig08_small(self):
+        data = fig08_shuffle.run(k=12, n_racks=24, bytes_per_host_pair=20_000)
+        assert data["opera"].all_complete
+        rows = fig08_shuffle.format_rows(data)
+        assert len(rows) == 4
+
+    def test_fig10_small(self):
+        data = fig10_mixed.run(k=12, n_racks=24, ws_loads=(0.01, 0.10))
+        assert data["opera"][0][1] > data["clos"][0][1]
+        assert fig10_mixed.format_rows(data)
+
+    def test_fig12_small(self):
+        data = fig12_cost_sensitivity.run(
+            k=12, alphas=(1.3,), patterns=("hotrack", "all_to_all"), hotrack_trials=2
+        )
+        assert data["all_to_all"]["opera"][0][1] > data["all_to_all"]["clos"][0][1]
+        assert fig12_cost_sensitivity.format_rows(data)
+
+
+class TestPacketExperiments:
+    def test_build_all_network_kinds(self):
+        for kind in ("opera", "expander", "clos", "rotornet", "rotornet-hybrid"):
+            net = fctsim.build_network(kind)
+            assert net.hosts
+
+    def test_build_unknown_kind(self):
+        with pytest.raises(ValueError):
+            fctsim.build_network("token-ring")
+
+    def test_fct_experiment_smoke(self):
+        result = fctsim.run_fct_experiment(
+            "opera", WEBSEARCH, load=0.05, duration_ms=1.0, drain_ms=5.0
+        )
+        assert result.network == "opera"
+        assert result.completed <= result.n_flows
+        assert fctsim.format_rows([result])
+
+    def test_fig13_tiny(self):
+        data = fig13_prototype.run(n_pings=6, with_bulk_pairs=4, bulk_bytes=100_000)
+        assert len(data["idle"]) >= 4
+        assert fig13_prototype.format_rows(data)

@@ -1,0 +1,135 @@
+"""Tests for the fluid simulators (Figures 8 and 10 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import OperaSchedule
+from repro.core.timing import TimingParams
+from repro.fluid import RotorFluidSimulation, static_shuffle_run
+from repro.topologies.rotornet import RotorNetSchedule
+
+
+@pytest.fixture(scope="module")
+def small_setup():
+    sched = OperaSchedule(24, 6, seed=0)
+    timing = TimingParams(n_racks=24, n_switches=6)
+    return sched, timing
+
+
+def make_sim(sched, timing, **kwargs):
+    return RotorFluidSimulation(sched, timing, hosts_per_rack=3, **kwargs)
+
+
+class TestRotorFluid:
+    def test_conservation(self, small_setup):
+        sched, timing = small_setup
+        sim = make_sim(sched, timing)
+        sim.add_all_to_all(50_000)
+        result = sim.run(max_slices=3000)
+        assert result.all_complete
+        assert result.delivered_bytes == pytest.approx(result.offered_bytes, rel=1e-9)
+
+    def test_diagonal_rejected(self, small_setup):
+        sched, timing = small_setup
+        sim = make_sim(sched, timing)
+        demand = np.eye(24) * 100
+        with pytest.raises(ValueError):
+            sim.add_demand(demand)
+
+    def test_shape_mismatch_rejected(self, small_setup):
+        sched, timing = small_setup
+        sim = make_sim(sched, timing)
+        with pytest.raises(ValueError):
+            sim.add_demand(np.zeros((4, 4)))
+
+    def test_throughput_bounded(self, small_setup):
+        sched, timing = small_setup
+        sim = make_sim(sched, timing)
+        sim.add_all_to_all(100_000)
+        result = sim.run(max_slices=5000)
+        for _t, v in result.throughput_series:
+            assert 0.0 <= v <= 1.001
+
+    def test_uniform_throughput_near_duty_bound(self, small_setup):
+        """All-to-all rides direct circuits: plateau ~ (u-1)/u * duty.
+
+        Uses the 1:1-provisioned shape (d = u = 6) the bound assumes.
+        """
+        sched, timing = small_setup
+        sim = RotorFluidSimulation(sched, timing, hosts_per_rack=6)
+        sim.add_all_to_all(200_000)
+        result = sim.run(max_slices=8000)
+        mid = [v for t, v in result.throughput_series[: result.slices_run // 2]]
+        plateau = float(np.mean(mid))
+        bound = (5 / 6) * timing.duty_cycle
+        assert 0.8 * bound < plateau <= bound * 1.02
+
+    def test_hot_pair_uses_vlb(self, small_setup):
+        sched, timing = small_setup
+        demand = np.zeros((24, 24))
+        demand[0][1] = 30e6
+        with_vlb = make_sim(sched, timing)
+        with_vlb.add_demand(demand.copy())
+        res_vlb = with_vlb.run(max_slices=8000)
+        without = make_sim(sched, timing, enable_vlb=False)
+        without.add_demand(demand.copy())
+        res_novlb = without.run(max_slices=8000)
+        t_vlb = res_vlb.pair_completion_ms[(0, 1)]
+        t_novlb = res_novlb.pair_completion_ms[(0, 1)]
+        assert t_vlb is not None and t_novlb is not None
+        assert t_vlb < t_novlb / 2  # VLB multiplies the hot pair's capacity
+
+    def test_background_load_slows_bulk(self, small_setup):
+        sched, timing = small_setup
+        free = make_sim(sched, timing)
+        free.add_all_to_all(50_000)
+        loaded = make_sim(sched, timing, background_ll_load=0.10)
+        loaded.add_all_to_all(50_000)
+        t_free = free.run(max_slices=5000).completion_percentile_ms(99)
+        t_loaded = loaded.run(max_slices=5000).completion_percentile_ms(99)
+        assert t_free is not None and t_loaded is not None
+        assert t_loaded > t_free
+
+    def test_rotornet_schedule_supported(self):
+        sched = RotorNetSchedule(24, 6, seed=0)
+        timing = TimingParams(n_racks=24, n_switches=6)
+        sim = RotorFluidSimulation(sched, timing, hosts_per_rack=3)
+        sim.add_all_to_all(50_000)
+        result = sim.run(max_slices=4000)
+        assert result.all_complete
+
+    def test_unfinished_at_horizon(self, small_setup):
+        sched, timing = small_setup
+        sim = make_sim(sched, timing)
+        sim.add_all_to_all(10_000_000)
+        result = sim.run(max_slices=10)
+        assert not result.all_complete
+        assert result.completion_percentile_ms(99) is None
+
+
+class TestStaticShuffle:
+    def test_conservation(self):
+        result = static_shuffle_run(
+            throughput=1 / 3,
+            n_racks=24,
+            hosts_per_rack=3,
+            bytes_per_host_pair=50_000,
+        )
+        assert result.delivered_bytes == pytest.approx(result.offered_bytes)
+        assert result.all_complete
+
+    def test_lower_throughput_takes_longer(self):
+        fast = static_shuffle_run(0.5, 24, 3, 50_000)
+        slow = static_shuffle_run(0.25, 24, 3, 50_000)
+        assert (
+            slow.completion_percentile_ms(99) > fast.completion_percentile_ms(99)
+        )
+
+    def test_plateau_height(self):
+        result = static_shuffle_run(0.4, 24, 3, 500_000, startup_ms=1.0)
+        mid = [v for t, v in result.throughput_series if t > 2.0][:50]
+        assert np.mean(mid) == pytest.approx(0.4, rel=0.05)
+
+    def test_invalid_throughput(self):
+        with pytest.raises(ValueError):
+            static_shuffle_run(0.0, 24, 3, 1000)

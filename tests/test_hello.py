@@ -1,0 +1,98 @@
+"""Tests for the hello failure-detection protocol (section 3.6.2)."""
+
+import random
+
+import pytest
+
+from repro.core.faults import FailureSet
+from repro.core.hello import (
+    DeadCircuit,
+    HelloProtocol,
+    slices_to_full_knowledge,
+)
+from repro.core.schedule import OperaSchedule
+
+
+@pytest.fixture(scope="module")
+def sched():
+    return OperaSchedule(16, 4, seed=0)
+
+
+class TestGroundTruth:
+    def test_no_failures_no_dead_circuits(self, sched):
+        protocol = HelloProtocol(sched, FailureSet.none())
+        assert protocol.all_dead_circuits() == set()
+        assert protocol.fully_informed()
+
+    def test_failed_link_kills_its_circuits(self, sched):
+        failures = FailureSet(links=frozenset({(0, 1)}))
+        protocol = HelloProtocol(sched, failures)
+        dead = protocol.all_dead_circuits()
+        assert dead
+        assert all(c.switch == 1 and (c.rack_a == 0 or c.rack_b == 0) for c in dead)
+
+    def test_failed_switch_kills_everything_on_it(self, sched):
+        failures = FailureSet(switches=frozenset({2}))
+        protocol = HelloProtocol(sched, failures)
+        dead = protocol.all_dead_circuits()
+        assert dead
+        assert {c.switch for c in dead} == {2}
+
+
+class TestDetectionAndGossip:
+    def test_endpoints_detect_first(self, sched):
+        failures = FailureSet(links=frozenset({(3, 0)}))
+        protocol = HelloProtocol(sched, failures)
+        protocol.run_cycles(1)
+        # Rack 3 has seen every one of its dead circuits fail.
+        assert any(3 in (c.rack_a, c.rack_b) for c in protocol.knowledge[3])
+
+    def test_two_cycle_bound_link_failures(self, sched):
+        rng = random.Random(1)
+        failures = FailureSet.random_links(16, 4, 0.05, rng)
+        steps = slices_to_full_knowledge(sched, failures)
+        assert steps is not None
+        assert steps <= 2 * sched.cycle_slices
+
+    def test_two_cycle_bound_switch_failure(self, sched):
+        steps = slices_to_full_knowledge(
+            sched, FailureSet(switches=frozenset({1}))
+        )
+        assert steps is not None
+        assert steps <= 2 * sched.cycle_slices
+
+    def test_two_cycle_bound_rack_failures(self, sched):
+        rng = random.Random(3)
+        failures = FailureSet.random_racks(16, 0.12, rng)
+        steps = slices_to_full_knowledge(sched, failures)
+        assert steps is not None
+        assert steps <= 2 * sched.cycle_slices
+
+    def test_reference_scale_two_cycle_bound(self):
+        sched = OperaSchedule(48, 6, seed=0)
+        rng = random.Random(5)
+        failures = FailureSet.random_links(48, 6, 0.04, rng)
+        steps = slices_to_full_knowledge(sched, failures)
+        assert steps is not None
+        assert steps <= 2 * sched.cycle_slices
+
+    def test_deficit_monotone(self, sched):
+        failures = FailureSet.random_links(16, 4, 0.1, random.Random(2))
+        protocol = HelloProtocol(sched, failures)
+        deficits = []
+        for _ in range(2 * sched.cycle_slices):
+            protocol.step()
+            deficits.append(protocol.knowledge_deficit())
+        assert deficits == sorted(deficits, reverse=True)
+        assert deficits[-1] == 0
+
+    def test_failed_racks_learn_nothing(self, sched):
+        failures = FailureSet(racks=frozenset({5}))
+        protocol = HelloProtocol(sched, failures)
+        protocol.run_cycles(2)
+        assert protocol.knowledge[5] == set()
+
+    def test_dead_circuit_ordering(self):
+        a = DeadCircuit(0, 1, 2)
+        b = DeadCircuit(0, 2, 1)
+        assert a < b

@@ -1,0 +1,73 @@
+"""Tests for graph lifting (paper section 3.3)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lifting import lift_factorization, lifted_random_factorization
+from repro.core.matchings import (
+    round_robin_factorization,
+    verify_factorization,
+)
+
+even_n = st.integers(min_value=1, max_value=12).map(lambda k: 2 * k)
+
+
+class TestLift:
+    @given(even_n)
+    @settings(max_examples=12, deadline=None)
+    def test_deterministic_lift_is_valid(self, n):
+        base = round_robin_factorization(n)
+        lifted = lift_factorization(base)
+        verify_factorization(lifted, 2 * n)
+
+    @given(even_n, st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=12, deadline=None)
+    def test_random_lift_is_valid(self, n, seed):
+        base = round_robin_factorization(n)
+        lifted = lift_factorization(base, random.Random(seed))
+        verify_factorization(lifted, 2 * n)
+
+    def test_double_lift(self):
+        base = round_robin_factorization(6)
+        lifted = lift_factorization(lift_factorization(base, random.Random(0)))
+        verify_factorization(lifted, 24)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            lift_factorization([])
+
+    def test_lift_count(self):
+        base = round_robin_factorization(8)
+        assert len(lift_factorization(base)) == 16
+
+
+class TestLiftedRandomFactorization:
+    def test_small_falls_back_to_direct(self):
+        factors = lifted_random_factorization(10, random.Random(0))
+        verify_factorization(factors, 10)
+
+    def test_large_uses_lifting(self):
+        # 1024 = 512 * 2: one lift from the default 512 threshold.
+        factors = lifted_random_factorization(1024, random.Random(0), base_threshold=512)
+        verify_factorization(factors, 1024)
+
+    def test_threshold_forces_lifting(self):
+        factors = lifted_random_factorization(48, random.Random(0), base_threshold=16)
+        verify_factorization(factors, 48)
+
+    def test_odd_quotient_backs_off(self):
+        # 24 = 6 * 4 with threshold 5: would want base 3 (odd), backs off to 6.
+        factors = lifted_random_factorization(24, random.Random(0), base_threshold=5)
+        verify_factorization(factors, 24)
+
+    def test_rejects_odd(self):
+        with pytest.raises(ValueError):
+            lifted_random_factorization(9)
+
+    def test_deterministic(self):
+        a = lifted_random_factorization(64, random.Random(5), base_threshold=16)
+        b = lifted_random_factorization(64, random.Random(5), base_threshold=16)
+        assert a == b

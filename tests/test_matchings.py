@@ -1,0 +1,147 @@
+"""Unit and property tests for K_n factorizations (paper section 3.3)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matchings import (
+    FactorizationError,
+    identity_matching,
+    is_involution,
+    matching_edges,
+    random_factorization,
+    relabel_matching,
+    round_robin_factorization,
+    verify_factorization,
+)
+
+even_n = st.integers(min_value=1, max_value=20).map(lambda k: 2 * k)
+
+
+class TestRoundRobin:
+    def test_small_exact(self):
+        factors = round_robin_factorization(4)
+        assert len(factors) == 4
+        verify_factorization(factors, 4)
+
+    def test_rejects_odd(self):
+        with pytest.raises(ValueError):
+            round_robin_factorization(7)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            round_robin_factorization(0)
+
+    def test_two_racks(self):
+        factors = round_robin_factorization(2)
+        verify_factorization(factors, 2)
+
+    @given(even_n)
+    @settings(max_examples=20, deadline=None)
+    def test_valid_factorization(self, n):
+        verify_factorization(round_robin_factorization(n), n)
+
+    @given(even_n)
+    @settings(max_examples=20, deadline=None)
+    def test_contains_identity_exactly_once(self, n):
+        factors = round_robin_factorization(n)
+        ident = identity_matching(n)
+        assert factors.count(ident) == 1
+
+    @given(even_n)
+    @settings(max_examples=20, deadline=None)
+    def test_proper_factors_are_perfect_matchings(self, n):
+        for factor in round_robin_factorization(n)[:-1]:
+            assert all(factor[i] != i for i in range(n))
+            assert is_involution(factor)
+
+
+class TestRandomFactorization:
+    @given(even_n, st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_valid(self, n, seed):
+        factors = random_factorization(n, random.Random(seed))
+        verify_factorization(factors, n)
+
+    def test_deterministic_given_seed(self):
+        a = random_factorization(16, random.Random(42))
+        b = random_factorization(16, random.Random(42))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = random_factorization(16, random.Random(1))
+        b = random_factorization(16, random.Random(2))
+        assert a != b
+
+    def test_reference_scale(self):
+        factors = random_factorization(108, random.Random(0))
+        verify_factorization(factors, 108)
+
+    def test_rejects_odd(self):
+        with pytest.raises(ValueError):
+            random_factorization(9)
+
+
+class TestHelpers:
+    def test_identity_is_involution(self):
+        assert is_involution(identity_matching(6))
+
+    def test_non_permutation_rejected(self):
+        assert not is_involution((0, 0, 1))
+
+    def test_non_involution_rejected(self):
+        assert not is_involution((1, 2, 0))  # a 3-cycle
+
+    def test_out_of_range_rejected(self):
+        assert not is_involution((5, 0, 1))
+
+    def test_matching_edges_skips_loops(self):
+        edges = list(matching_edges((1, 0, 2)))
+        assert edges == [(0, 1)]
+
+    def test_matching_edges_with_loops(self):
+        edges = list(matching_edges((1, 0, 2), include_loops=True))
+        assert edges == [(0, 1), (2, 2)]
+
+    @given(even_n, st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_relabel_preserves_involution(self, n, seed):
+        rng = random.Random(seed)
+        factors = round_robin_factorization(n)
+        sigma = list(range(n))
+        rng.shuffle(sigma)
+        for factor in factors:
+            assert is_involution(relabel_matching(factor, sigma))
+
+    def test_relabel_connects_images(self):
+        matching = (1, 0, 3, 2)
+        sigma = (2, 3, 0, 1)
+        out = relabel_matching(matching, sigma)
+        # 0-1 in the original means sigma[0]=2 pairs with sigma[1]=3.
+        assert out[2] == 3 and out[3] == 2
+
+
+class TestVerifyFactorization:
+    def test_detects_wrong_count(self):
+        factors = round_robin_factorization(6)[:-1]
+        with pytest.raises(FactorizationError, match="expected 6"):
+            verify_factorization(factors, 6)
+
+    def test_detects_duplicate_coverage(self):
+        factors = round_robin_factorization(6)
+        factors[1] = factors[0]
+        with pytest.raises(FactorizationError, match="covered more than once"):
+            verify_factorization(factors, 6)
+
+    def test_detects_non_involution(self):
+        factors = [list(f) for f in round_robin_factorization(4)]
+        factors[0] = [1, 2, 3, 0]
+        with pytest.raises(FactorizationError, match="not an involution"):
+            verify_factorization(factors, 4)
+
+    def test_detects_wrong_size(self):
+        factors = [f + (0,) for f in round_robin_factorization(4)]
+        with pytest.raises(FactorizationError, match="size"):
+            verify_factorization(factors, 4)

@@ -1,0 +1,133 @@
+"""Cross-module property-based tests on Opera's structural invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.faults import FailureSet
+from repro.core.forwarding import ForwardingPipeline
+from repro.core.routing import OperaRouting, build_adjacency
+from repro.core.schedule import OperaSchedule
+from repro.core.timing import TimingParams
+
+
+def schedule_shapes():
+    """Valid (n_racks, n_switches) pairs with u >= 4 for expander slices."""
+    return st.sampled_from(
+        [(8, 4), (16, 4), (20, 5), (24, 4), (24, 6), (32, 4), (36, 6)]
+    )
+
+
+class TestScheduleInvariants:
+    @given(schedule_shapes(), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=12, deadline=None)
+    def test_direct_circuits_per_cycle(self, shape, seed):
+        """Every pair is directly connected group_size - 1 slices/cycle."""
+        n, u = shape
+        sched = OperaSchedule(n, u, seed=seed)
+        rng = random.Random(seed)
+        for _ in range(5):
+            a, b = rng.sample(range(n), 2)
+            assert len(sched.direct_slices(a, b)) == sched.group_size - 1
+
+    @given(schedule_shapes(), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=10, deadline=None)
+    def test_matchings_disjoint_within_slice(self, shape, seed):
+        """No two switches implement the same circuit simultaneously."""
+        n, u = shape
+        sched = OperaSchedule(n, u, seed=seed)
+        for s in range(min(sched.cycle_slices, 8)):
+            seen = set()
+            for w in range(u):
+                matching = sched.matching_of(w, s)
+                for a in range(n):
+                    b = matching[a]
+                    if a < b:
+                        assert (a, b) not in seen
+                        seen.add((a, b))
+
+    @given(schedule_shapes(), st.integers(min_value=0, max_value=20))
+    @settings(max_examples=10, deadline=None)
+    def test_every_slice_is_connected_expander(self, shape, seed):
+        n, u = shape
+        sched = OperaSchedule(n, u, seed=seed)
+        routing = OperaRouting(sched)
+        for s in range(sched.cycle_slices):
+            assert routing.routes(s).reachable_pairs() == n * (n - 1)
+
+
+class TestRoutingInvariants:
+    @given(
+        schedule_shapes(),
+        st.integers(min_value=0, max_value=20),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_stamped_paths_are_loop_free(self, shape, seed, salt):
+        """Following next hops for a fixed stamp always terminates."""
+        n, u = shape
+        sched = OperaSchedule(n, u, seed=seed)
+        pipe = ForwardingPipeline.for_schedule(sched)
+        rng = random.Random(seed + salt)
+        stamp = rng.randrange(sched.cycle_slices)
+        src, dst = rng.sample(range(n), 2)
+        node = src
+        visited = {src}
+        for _hop in range(n):
+            hop = pipe.low_latency_next_hop(node, dst, stamp, salt=salt)
+            if hop is None:
+                break
+            node = hop[0]
+            assert node not in visited or node == dst
+            visited.add(node)
+            if node == dst:
+                break
+        assert node == dst
+
+    @given(schedule_shapes(), st.integers(min_value=0, max_value=20))
+    @settings(max_examples=8, deadline=None)
+    def test_failure_routing_is_subgraph(self, shape, seed):
+        """Routes under failures only use surviving circuits."""
+        n, u = shape
+        sched = OperaSchedule(n, u, seed=seed)
+        failures = FailureSet.random_links(n, u, 0.1, random.Random(seed))
+        adj = build_adjacency(sched, 0, failures)
+        for rack, edges in enumerate(adj):
+            for peer, switch in edges:
+                assert failures.circuit_ok(rack, peer, switch)
+
+
+class TestTimingInvariants:
+    @given(
+        schedule_shapes(),
+        st.integers(min_value=10, max_value=200),
+        st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_cycle_is_product_of_parts(self, shape, eps_us, r_us):
+        n, u = shape
+        timing = TimingParams(
+            n_racks=n,
+            n_switches=u,
+            epsilon_ps=eps_us * 1_000_000,
+            reconfiguration_ps=r_us * 1_000_000,
+        )
+        assert timing.cycle_ps == timing.cycle_slices * timing.slice_ps
+        assert 0 < timing.duty_cycle < 1
+        assert timing.bulk_threshold_bytes > 0
+
+    @given(st.integers(min_value=1, max_value=40))
+    @settings(max_examples=20, deadline=None)
+    def test_guard_band_coefficients(self, guard_us):
+        """1%/us low-latency, ~0.17%/us bulk for the reference design."""
+        timing = TimingParams(
+            n_racks=108, n_switches=6, guard_ps=guard_us * 1_000_000
+        )
+        assert (1 - timing.low_latency_capacity_factor) == pytest.approx(
+            0.01 * guard_us
+        )
+        assert (1 - timing.bulk_capacity_factor) == pytest.approx(
+            guard_us / 600, rel=1e-9
+        )

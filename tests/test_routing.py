@@ -1,0 +1,170 @@
+"""Tests for per-slice routing (paper section 3.4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.faults import FailureSet
+from repro.core.routing import (
+    UNREACHABLE,
+    OperaRouting,
+    SliceRoutes,
+    build_adjacency,
+)
+from repro.core.schedule import OperaSchedule
+
+
+@pytest.fixture(scope="module")
+def sched():
+    return OperaSchedule(16, 4, seed=0)
+
+
+@pytest.fixture(scope="module")
+def routing(sched):
+    return OperaRouting(sched)
+
+
+class TestAdjacency:
+    def test_down_switch_excluded(self, sched):
+        for s in range(sched.cycle_slices):
+            adj = build_adjacency(sched, s)
+            down = set(sched.down_switches(s))
+            for rack in range(sched.n_racks):
+                for _peer, switch in adj[rack]:
+                    assert switch not in down
+
+    def test_symmetric(self, sched):
+        adj = build_adjacency(sched, 0)
+        for rack, edges in enumerate(adj):
+            for peer, switch in edges:
+                assert (rack, switch) in adj[peer]
+
+    def test_failed_switch_removed(self, sched):
+        failures = FailureSet(switches=frozenset({1}))
+        adj = build_adjacency(sched, 0, failures)
+        for edges in adj:
+            assert all(switch != 1 for _peer, switch in edges)
+
+    def test_failed_link_removed(self, sched):
+        adj_ok = build_adjacency(sched, 0)
+        target = None
+        for rack, edges in enumerate(adj_ok):
+            if edges:
+                target = (rack, edges[0][1])
+                break
+        failures = FailureSet(links=frozenset({target}))
+        adj = build_adjacency(sched, 0, failures)
+        rack, switch = target
+        assert all(w != switch for _p, w in adj[rack])
+
+    def test_failed_rack_isolated(self, sched):
+        failures = FailureSet(racks=frozenset({2}))
+        adj = build_adjacency(sched, 0, failures)
+        assert adj[2] == []
+        for edges in adj:
+            assert all(peer != 2 for peer, _w in edges)
+
+
+class TestSliceRoutes:
+    def test_self_distance_zero(self, routing):
+        routes = routing.routes(0)
+        for rack in range(routes.n):
+            assert routes.dist[rack][rack] == 0
+
+    def test_connected_at_16_racks(self, routing, sched):
+        for s in range(sched.cycle_slices):
+            assert routing.routes(s).reachable_pairs() == 16 * 15
+
+    def test_distance_symmetric(self, routing):
+        routes = routing.routes(3)
+        for a in range(routes.n):
+            for b in range(routes.n):
+                assert routes.dist[a][b] == routes.dist[b][a]
+
+    def test_next_hop_decreases_distance(self, routing):
+        routes = routing.routes(1)
+        for src in range(routes.n):
+            for dst in range(routes.n):
+                if src == dst:
+                    continue
+                for peer, _switch in routes.next_hops(src, dst):
+                    assert routes.dist[peer][dst] == routes.dist[src][dst] - 1
+
+    def test_shortest_path_valid(self, routing):
+        routes = routing.routes(2)
+        adj = {
+            (rack, peer)
+            for rack, edges in enumerate(routes.adjacency)
+            for peer, _switch in edges
+        }
+        for src, dst in [(0, 15), (3, 9), (14, 1)]:
+            path = routes.shortest_path(src, dst)
+            assert path is not None
+            assert path[0] == src and path[-1] == dst
+            assert len(path) - 1 == routes.dist[src][dst]
+            for a, b in zip(path, path[1:]):
+                assert (a, b) in adj
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_salted_next_hop_still_shortest(self, salt):
+        sched = OperaSchedule(16, 4, seed=2)
+        routes = OperaRouting(sched).routes(0)
+        hop = routes.next_hop(0, 9, salt=salt)
+        assert hop is not None
+        peer, _switch = hop
+        assert routes.dist[peer][9] == routes.dist[0][9] - 1
+
+    def test_no_next_hop_to_self(self, routing):
+        assert routing.routes(0).next_hops(4, 4) == []
+
+    def test_disconnected_pair(self):
+        # All switches failed: nothing is reachable.
+        sched = OperaSchedule(8, 4, seed=0)
+        failures = FailureSet(switches=frozenset(range(4)))
+        routes = SliceRoutes.for_slice(sched, 0, failures)
+        assert routes.dist[0][1] == UNREACHABLE
+        assert routes.next_hops(0, 1) == []
+        assert routes.shortest_path(0, 1) is None
+
+
+class TestOperaRouting:
+    def test_cache_returns_same_object(self, routing):
+        assert routing.routes(5) is routing.routes(5)
+
+    def test_slice_wraps_modulo_cycle(self, routing, sched):
+        assert routing.routes(0) is routing.routes(sched.cycle_slices)
+
+    def test_histogram_totals(self, routing, sched):
+        hist = routing.path_length_histogram()
+        expected = sched.cycle_slices * 16 * 15
+        assert sum(hist.values()) == expected
+
+    def test_histogram_has_direct_paths(self, routing):
+        hist = routing.path_length_histogram()
+        assert hist.get(1, 0) > 0
+
+
+class TestPathLengthShape:
+    """Figure 4 sanity at reference scale (one shared expensive fixture)."""
+
+    @pytest.fixture(scope="class")
+    def reference_routing(self):
+        sched = OperaSchedule(108, 6, seed=0)
+        return OperaRouting(sched)
+
+    def test_every_slice_connected(self, reference_routing):
+        for s in (0, 17, 53, 99):
+            assert reference_routing.routes(s).reachable_pairs() == 108 * 107
+
+    def test_path_lengths_match_figure4(self, reference_routing):
+        counts = {}
+        for s in (0, 17, 53, 99):
+            for h, c in reference_routing.routes(s).path_length_counts().items():
+                counts[h] = counts.get(h, 0) + c
+        total = sum(counts.values())
+        # Direct neighbours: 5 per rack in a 108-rack slice -> ~4.6%.
+        assert 0.03 < counts.get(1, 0) / total < 0.06
+        # The bulk of pairs are 3-4 hops; almost everything within 5.
+        within5 = sum(c for h, c in counts.items() if h <= 5) / total
+        assert within5 > 0.99

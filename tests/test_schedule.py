@@ -1,0 +1,198 @@
+"""Tests for the rotor schedule (paper sections 3.1–3.3, Appendix B)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedule import OperaSchedule
+
+
+@pytest.fixture(scope="module")
+def small():
+    """The paper's Figure 5 scale: 8 ToRs, 4 rotor switches."""
+    return OperaSchedule(8, 4, seed=0)
+
+
+@pytest.fixture(scope="module")
+def medium():
+    return OperaSchedule(24, 4, seed=1)
+
+
+class TestShape:
+    def test_matchings_per_switch(self, small):
+        assert small.matchings_per_switch == 2
+
+    def test_cycle_slices_default_group(self, small):
+        # One global group: group_size = n_switches, cycle = n_racks slices.
+        assert small.group_size == 4
+        assert small.cycle_slices == 8
+
+    def test_grouped_cycle_is_shorter(self):
+        # u=6 in two groups of 3: two switches reconfigure at a time, and the
+        # remaining four matchings per slice still form a connected union.
+        grouped = OperaSchedule(24, 6, group_size=3, seed=0)
+        assert grouped.n_groups == 2
+        assert grouped.cycle_slices == 12
+
+    def test_invalid_group_size(self):
+        with pytest.raises(ValueError):
+            OperaSchedule(8, 4, group_size=3)
+
+    def test_racks_not_divisible(self):
+        with pytest.raises(ValueError):
+            OperaSchedule(10, 4)
+
+    def test_no_switches(self):
+        with pytest.raises(ValueError):
+            OperaSchedule(8, 0)
+
+
+class TestDownSwitches:
+    def test_exactly_one_down_per_slice_default(self, small):
+        for s in range(small.cycle_slices):
+            assert len(small.down_switches(s)) == 1
+
+    def test_one_down_per_group(self):
+        sched = OperaSchedule(24, 6, group_size=3, seed=0)
+        for s in range(sched.cycle_slices):
+            down = sched.down_switches(s)
+            assert len(down) == 2  # one per group
+            # one member of each group: groups are {0,1,2} and {3,4,5}
+            assert len({w // 3 for w in down}) == 2
+
+    def test_every_switch_reconfigures_each_round(self, small):
+        # Over group_size consecutive slices, each switch is down exactly once.
+        for start in range(small.cycle_slices):
+            downs = [
+                w
+                for s in range(start, start + small.group_size)
+                for w in small.down_switches(s)
+            ]
+            assert sorted(downs) == list(range(small.n_switches))
+
+
+class TestMatchingRotation:
+    def test_holding_period(self, small):
+        """A switch holds each matching for group_size slices."""
+        for w in range(small.n_switches):
+            indices = [
+                small.matching_index_of(w, s) for s in range(small.cycle_slices)
+            ]
+            for idx in range(small.matchings_per_switch):
+                assert indices.count(idx) == small.group_size
+
+    def test_all_matchings_shown_each_cycle(self, medium):
+        for w in range(medium.n_switches):
+            shown = {
+                medium.matching_index_of(w, s)
+                for s in range(medium.cycle_slices)
+            }
+            assert shown == set(range(medium.matchings_per_switch))
+
+    def test_cycle_wraps(self, small):
+        for w in range(small.n_switches):
+            assert small.matching_of(w, 0) == small.matching_of(
+                w, small.cycle_slices
+            )
+
+    def test_advance_happens_at_down_slice_boundary(self, small):
+        """A switch shows a new matching right after its down slice."""
+        for w in range(small.n_switches):
+            for s in range(small.cycle_slices - 1):
+                before = small.matching_index_of(w, s)
+                after = small.matching_index_of(w, s + 1)
+                if small.is_down(w, s):
+                    assert after == (before + 1) % small.matchings_per_switch
+                else:
+                    assert after == before
+
+
+class TestConnectivity:
+    def test_cycle_covers_all_pairs(self, small):
+        small.verify_cycle_connectivity()
+
+    def test_cycle_covers_all_pairs_medium(self, medium):
+        medium.verify_cycle_connectivity()
+
+    def test_direct_slices_count(self, medium):
+        """Each pair is directly connected group_size - 1 slices per cycle."""
+        for a, b in [(0, 5), (3, 17), (10, 11)]:
+            assert len(medium.direct_slices(a, b)) == medium.group_size - 1
+
+    def test_direct_slices_rejects_self(self, small):
+        with pytest.raises(ValueError):
+            small.direct_slices(3, 3)
+
+    def test_direct_switch_matches_direct_slices(self, small):
+        for s in small.direct_slices(0, 1):
+            assert small.direct_switch(0, 1, s) is not None
+
+    def test_wait_slices_zero_when_connected(self, small):
+        s = small.direct_slices(2, 6)[0]
+        assert small.wait_slices_for_direct(2, 6, s) == 0
+
+    def test_wait_slices_bounded_by_cycle(self, small):
+        for s in range(small.cycle_slices):
+            wait = small.wait_slices_for_direct(0, 7, s)
+            assert 0 <= wait < small.cycle_slices
+
+
+class TestNeighbors:
+    def test_neighbors_counts(self, small):
+        """Up to u-1 up uplinks; identity assignments idle the port."""
+        for s in range(small.cycle_slices):
+            for rack in range(small.n_racks):
+                neighbors = small.neighbors(rack, s)
+                assert len(neighbors) <= small.n_switches - 1
+                for peer, switch in neighbors:
+                    assert peer != rack
+                    assert not small.is_down(switch, s)
+
+    def test_neighbors_symmetric(self, small):
+        for s in range(small.cycle_slices):
+            for rack in range(small.n_racks):
+                for peer, switch in small.neighbors(rack, s):
+                    back = small.neighbors(peer, s)
+                    assert (rack, switch) in back
+
+    def test_adjacency_matches_neighbors(self, small):
+        for s in range(small.cycle_slices):
+            adj = small.slice_adjacency(s)
+            for rack in range(small.n_racks):
+                assert sorted(adj[rack]) == sorted(
+                    peer for peer, _ in small.neighbors(rack, s)
+                )
+
+    def test_include_down_adds_edges(self, small):
+        s = 0
+        with_down = sum(len(x) for x in small.slice_adjacency(s, include_down=True))
+        without = sum(len(x) for x in small.slice_adjacency(s))
+        assert with_down >= without
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        a = OperaSchedule(16, 4, seed=9)
+        b = OperaSchedule(16, 4, seed=9)
+        for s in range(a.cycle_slices):
+            for w in range(4):
+                assert a.matching_of(w, s) == b.matching_of(w, s)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_slice_functions_periodic(self, s):
+        sched = OperaSchedule(8, 4, seed=3)
+        base = s % sched.cycle_slices
+        assert sched.down_switches(s) == sched.down_switches(base)
+        for w in range(sched.n_switches):
+            assert sched.matching_of(w, s) == sched.matching_of(w, base)
+
+
+class TestTimingIntegration:
+    def test_timing_from_schedule(self):
+        sched = OperaSchedule(108, 6, seed=0)
+        timing = sched.timing()
+        assert timing.cycle_slices == sched.cycle_slices == 108
+        assert timing.slice_ps == 100_000_000  # 100 us
+        assert abs(timing.duty_cycle - 0.9833) < 1e-3
+        assert abs(timing.cycle_ps / 1e9 - 10.8) < 1e-6  # ~10.7 ms in paper

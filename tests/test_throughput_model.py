@@ -1,0 +1,142 @@
+"""Tests for the flow-level throughput models (Figures 10, 12, 15)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis.throughput import (
+    RotorFluidModel,
+    clos_throughput,
+    expander_link_loads,
+    expander_throughput,
+    opera_throughput,
+)
+from repro.topologies.expander import ExpanderTopology
+from repro.workloads.patterns import (
+    all_to_all_matrix,
+    hot_rack_matrix,
+    permutation_matrix,
+    skew_matrix,
+)
+
+
+@pytest.fixture(scope="module")
+def paper_expander():
+    return ExpanderTopology(130, 7, 5, seed=0)
+
+
+class TestClosModel:
+    def test_pattern_independent(self):
+        """Paper: Clos throughput is independent of traffic pattern."""
+        values = set()
+        for demand in (
+            all_to_all_matrix(72, 9),
+            permutation_matrix(72, 9, random.Random(0)),
+            hot_rack_matrix(72, 9),
+            skew_matrix(72, 9, 0.2, random.Random(1)),
+        ):
+            values.add(round(clos_throughput(demand, 3.0, 9), 6))
+        assert len(values) == 1
+        assert values.pop() == pytest.approx(1 / 3)
+
+    def test_scales_with_oversubscription(self):
+        demand = all_to_all_matrix(72, 9)
+        assert clos_throughput(demand, 2.0, 9) == pytest.approx(0.5)
+        assert clos_throughput(demand, 4.0, 9) == pytest.approx(0.25)
+
+    def test_zero_demand_full_throughput(self):
+        assert clos_throughput(np.zeros((4, 4)), 3.0, 9) == 1.0
+
+    def test_invalid_f(self):
+        with pytest.raises(ValueError):
+            clos_throughput(np.zeros((4, 4)), 0.5, 9)
+
+
+class TestExpanderModel:
+    def test_link_loads_conserve_demand_hops(self, paper_expander):
+        demand = hot_rack_matrix(130, 5, 0, 1)
+        neighbor = [
+            sorted({p for p, _w in edges}) for edges in paper_expander.adjacency
+        ]
+        loads = expander_link_loads(neighbor, demand)
+        dist = paper_expander.routes.dist[0][1]
+        assert sum(loads.values()) == pytest.approx(5.0 * dist)
+
+    def test_uniform_traffic_throughput(self, paper_expander):
+        theta = expander_throughput(paper_expander, all_to_all_matrix(130, 5))
+        # Ideal bound u/(d * Lavg) ~ 0.52; shortest-path ECMP is below it.
+        assert 0.15 < theta <= 0.55
+
+    def test_less_skew_less_throughput(self, paper_expander):
+        """Paper: expander throughput drops as traffic becomes uniform."""
+        hot = np.mean(
+            [
+                expander_throughput(
+                    paper_expander, hot_rack_matrix(130, 5, a, b)
+                )
+                for a, b in [(0, 1), (10, 90), (40, 77), (5, 121)]
+            ]
+        )
+        perm = expander_throughput(
+            paper_expander, permutation_matrix(130, 5, random.Random(0))
+        )
+        assert hot > perm
+
+    def test_zero_demand(self, paper_expander):
+        assert expander_throughput(paper_expander, np.zeros((130, 130))) == 1.0
+
+
+class TestRotorFluidModel:
+    def test_rack_capacity(self):
+        model = RotorFluidModel(108, 6, duty_cycle=0.983)
+        assert model.rack_capacity == pytest.approx(5 * 0.983)
+
+    def test_all_to_all_near_full(self):
+        """Shuffle rides direct paths: throughput ~ (u-1)/u * duty (§5.2)."""
+        theta = opera_throughput(all_to_all_matrix(108, 6), 108, 6)
+        assert 0.75 < theta < 0.85
+
+    def test_hot_rack_vlb(self):
+        theta = opera_throughput(hot_rack_matrix(108, 6), 108, 6)
+        assert 0.75 < theta < 0.85
+
+    def test_skew_between(self):
+        hot = opera_throughput(hot_rack_matrix(108, 6), 108, 6)
+        skew = opera_throughput(skew_matrix(108, 6, 0.2, random.Random(1)), 108, 6)
+        perm = opera_throughput(
+            permutation_matrix(108, 6, random.Random(2)), 108, 6
+        )
+        # Paper: Opera dips with decreasing skew, then recovers for uniform.
+        assert perm < skew < hot
+
+    def test_low_latency_load_reduces_bulk(self):
+        demand = all_to_all_matrix(108, 6)
+        free = opera_throughput(demand, 108, 6, hosts_per_rack=6)
+        loaded = opera_throughput(
+            demand, 108, 6, low_latency_load=0.10, hosts_per_rack=6
+        )
+        assert loaded < free
+
+    def test_infeasible_background_gives_zero(self):
+        demand = all_to_all_matrix(108, 6)
+        theta = opera_throughput(
+            demand, 108, 6, low_latency_load=0.9, hosts_per_rack=6
+        )
+        assert theta == 0.0
+
+    def test_zero_demand(self):
+        assert opera_throughput(np.zeros((108, 108)), 108, 6) == 1.0
+
+    def test_rotornet_mode_has_more_uplinks(self):
+        """Lockstep RotorNet uses all u uplinks but has no expander paths."""
+        demand = all_to_all_matrix(108, 6)
+        opera = RotorFluidModel(108, 6, duty_cycle=0.983)
+        rotornet = RotorFluidModel(
+            108,
+            6,
+            duty_cycle=0.9,
+            up_fraction=1.0,
+            direct_fraction=6 / 108,
+        )
+        assert rotornet.throughput(demand) >= opera.throughput(demand)

@@ -1,0 +1,116 @@
+"""Tests for Opera's time constants (paper section 4.1, Figure 6, App. B)."""
+
+import pytest
+
+from repro.core.timing import (
+    PS_PER_US,
+    TimingParams,
+    serialization_ps,
+    worst_case_epsilon_ps,
+)
+
+
+class TestSerialization:
+    def test_mtu_at_10g(self):
+        assert serialization_ps(1500) == 1_200_000  # 1.2 us exactly
+
+    def test_header_at_10g(self):
+        assert serialization_ps(64) == 51_200  # 51.2 ns exactly
+
+    def test_other_rate(self):
+        assert serialization_ps(1500, rate_bps=40_000_000_000) == 300_000
+
+
+class TestEpsilon:
+    def test_paper_parameters_give_about_100us(self):
+        eps = worst_case_epsilon_ps()
+        assert 90 * PS_PER_US <= eps <= 110 * PS_PER_US
+
+    def test_scales_with_hops(self):
+        assert worst_case_epsilon_ps(worst_path_hops=10) == 2 * worst_case_epsilon_ps(
+            worst_path_hops=5
+        )
+
+
+class TestReferenceDesign:
+    """The k=12, 108-rack constants quoted throughout section 4."""
+
+    @pytest.fixture()
+    def timing(self):
+        return TimingParams(n_racks=108, n_switches=6)
+
+    def test_slice_duration(self, timing):
+        assert timing.slice_ps == 100 * PS_PER_US
+
+    def test_cycle_slices(self, timing):
+        assert timing.cycle_slices == 108
+
+    def test_cycle_time_matches_paper(self, timing):
+        # Paper: "a cycle time of 10.7 ms" (we get 10.8 with round numbers).
+        assert abs(timing.cycle_ps / 1e9 - 10.8) < 0.2
+
+    def test_duty_cycle_98_percent(self, timing):
+        assert abs(timing.duty_cycle - 0.983) < 0.002
+
+    def test_inter_reconfiguration_about_6_epsilon(self, timing):
+        # Paper: "The inter-reconfiguration period on a single switch is
+        # about 6 epsilon".
+        assert timing.holding_ps == 6 * timing.slice_ps
+
+    def test_bulk_threshold_about_15MB(self, timing):
+        # 10 Gb/s * 10.8 ms = 13.5 MB; the paper rounds to 15 MB.
+        assert 12e6 < timing.bulk_threshold_bytes < 16e6
+
+
+class TestGuardBands:
+    def test_guard_costs_1_percent_per_us_low_latency(self):
+        timing = TimingParams(
+            n_racks=108, n_switches=6, guard_ps=1 * PS_PER_US
+        )
+        assert abs((1 - timing.low_latency_capacity_factor) - 0.01) < 1e-9
+
+    def test_guard_costs_point2_percent_per_us_bulk(self):
+        timing = TimingParams(
+            n_racks=108, n_switches=6, guard_ps=1 * PS_PER_US
+        )
+        assert abs((1 - timing.bulk_capacity_factor) - 0.00167) < 2e-4
+
+    def test_zero_guard_full_capacity(self):
+        timing = TimingParams(n_racks=108, n_switches=6)
+        assert timing.low_latency_capacity_factor == 1.0
+        assert timing.bulk_capacity_factor == 1.0
+
+    def test_oversized_guard_rejected(self):
+        with pytest.raises(ValueError):
+            TimingParams(
+                n_racks=108, n_switches=6, guard_ps=60 * PS_PER_US
+            )
+
+
+class TestGrouping:
+    """Appendix B: grouped reconfiguration shortens the cycle."""
+
+    def test_group_shortens_cycle(self):
+        ungrouped = TimingParams(n_racks=3072, n_switches=32)
+        grouped = TimingParams(n_racks=3072, n_switches=32, group_size=8)
+        assert grouped.cycle_slices * 4 == ungrouped.cycle_slices
+
+    def test_figure14_factor_of_6(self):
+        """k=12 -> k=64 with groups of ~6 raises cycle time ~6x (App. B)."""
+        reference = TimingParams(n_racks=108, n_switches=6)
+        large = TimingParams(n_racks=3072, n_switches=32, group_size=8)
+        ratio = large.relative_cycle_time(reference)
+        assert 4 < ratio < 8
+
+    def test_figure14_quadratic_without_groups(self):
+        reference = TimingParams(n_racks=108, n_switches=6)
+        large = TimingParams(n_racks=3072, n_switches=32)
+        assert abs(large.relative_cycle_time(reference) - 3072 / 108) < 1e-9
+
+    def test_invalid_group(self):
+        with pytest.raises(ValueError):
+            TimingParams(n_racks=108, n_switches=6, group_size=4)
+
+    def test_indivisible_racks(self):
+        with pytest.raises(ValueError):
+            TimingParams(n_racks=100, n_switches=6)

@@ -1,0 +1,171 @@
+"""Tests for the baseline topologies (folded Clos, expander, RotorNet)."""
+
+import pytest
+
+from repro.topologies.expander import ExpanderTopology, sample_disjoint_matchings
+from repro.topologies.folded_clos import FoldedClos
+from repro.topologies.rotornet import RotorNetSchedule, RotorNetTopology
+
+import random
+
+
+class TestSampleDisjointMatchings:
+    def test_disjoint_and_perfect(self):
+        ms = sample_disjoint_matchings(20, 5, random.Random(0))
+        assert len(ms) == 5
+        seen = set()
+        for m in ms:
+            for v in range(20):
+                assert m[m[v]] == v and m[v] != v
+                edge = (min(v, m[v]), max(v, m[v]))
+                seen.add((ms.index(m), edge))
+        edges = {e for _i, e in seen}
+        assert len(edges) == 5 * 10
+
+    def test_rejects_odd(self):
+        with pytest.raises(ValueError):
+            sample_disjoint_matchings(9, 3, random.Random(0))
+
+    def test_rejects_too_many(self):
+        with pytest.raises(ValueError):
+            sample_disjoint_matchings(4, 4, random.Random(0))
+
+
+class TestExpander:
+    @pytest.fixture(scope="class")
+    def paper_expander(self):
+        """The 650-host u=7 expander of the paper's comparison."""
+        return ExpanderTopology(130, 7, 5, seed=0)
+
+    def test_shape(self, paper_expander):
+        assert paper_expander.n_hosts == 650
+        assert paper_expander.k == 12
+
+    def test_regular(self, paper_expander):
+        for edges in paper_expander.adjacency:
+            assert len(edges) == 7
+
+    def test_connected(self, paper_expander):
+        assert paper_expander.routes.reachable_pairs() == 130 * 129
+
+    def test_path_lengths_short(self, paper_expander):
+        # Figure 4: the u=7 expander's paths are almost all <= 4 hops.
+        dist = paper_expander.path_length_counts()
+        total = sum(dist.values())
+        assert sum(c for h, c in dist.items() if h <= 4) / total > 0.99
+        assert 2.0 < paper_expander.average_path_length() < 3.5
+
+    def test_host_rack(self, paper_expander):
+        assert paper_expander.host_rack(0) == 0
+        assert paper_expander.host_rack(649) == 129
+        with pytest.raises(ValueError):
+            paper_expander.host_rack(650)
+
+    def test_rejects_low_degree(self):
+        with pytest.raises(ValueError):
+            ExpanderTopology(10, 2, 4)
+
+    def test_deterministic(self):
+        a = ExpanderTopology(20, 4, 4, seed=3)
+        b = ExpanderTopology(20, 4, 4, seed=3)
+        assert a.matchings == b.matchings
+
+
+class TestFoldedClos:
+    @pytest.fixture(scope="class")
+    def clos(self):
+        """The paper's 648-host 3:1 folded Clos."""
+        return FoldedClos(12, 3)
+
+    def test_shape_matches_paper(self, clos):
+        assert clos.n_hosts == 648
+        assert clos.hosts_per_rack == 9
+        assert clos.tor_uplinks == 3
+        assert clos.n_racks == 72
+        assert clos.n_pods == 12
+
+    def test_full_fat_tree(self):
+        ft = FoldedClos(4, 1)
+        assert ft.n_hosts == 16  # classic k=4 fat tree
+        assert ft.tor_uplinks == 2
+
+    def test_port_counts_respected(self, clos):
+        # Aggregation switches: tors_per_pod down + cores_per_group up = k.
+        assert clos.tors_per_pod + clos.cores_per_group == clos.k
+        # Core switches: one port per pod <= k.
+        assert clos.n_pods <= clos.k
+
+    def test_core_wiring_bidirectional(self, clos):
+        for agg in range(clos.n_aggs):
+            for core in clos.agg_core_links(agg):
+                assert agg in clos.core_agg_links(core)
+
+    def test_rack_distance(self, clos):
+        assert clos.rack_distance(0, 0) == 0
+        assert clos.rack_distance(0, 1) == 2  # same pod
+        assert clos.rack_distance(0, clos.tors_per_pod) == 4  # cross pod
+
+    def test_path_histogram_total(self, clos):
+        counts = clos.path_length_counts()
+        assert sum(counts.values()) == clos.n_racks * (clos.n_racks - 1)
+
+    def test_ecmp_path_counts(self, clos):
+        assert clos.ecmp_paths(0, 1) == clos.aggs_per_pod
+        assert (
+            clos.ecmp_paths(0, clos.tors_per_pod)
+            == clos.aggs_per_pod * clos.cores_per_group
+        )
+
+    def test_bisection(self, clos):
+        assert clos.bisection_fraction == pytest.approx(1 / 3)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            FoldedClos(13, 3)
+        with pytest.raises(ValueError):
+            FoldedClos(12, 4)  # F+1=5 does not divide 12
+        with pytest.raises(ValueError):
+            FoldedClos(12, 3, n_pods=13)
+
+
+class TestRotorNet:
+    @pytest.fixture(scope="class")
+    def sched(self):
+        return RotorNetSchedule(16, 4, seed=0)
+
+    def test_cycle_is_racks_over_switches(self, sched):
+        assert sched.cycle_slices == 4
+
+    def test_all_switches_active_every_slice(self, sched):
+        for s in range(sched.cycle_slices):
+            for rack in range(16):
+                neighbors = sched.neighbors(rack, s)
+                # all four uplinks live (minus any identity assignment)
+                assert len(neighbors) >= 3
+
+    def test_cycle_covers_all_pairs(self, sched):
+        sched.verify_cycle_connectivity()
+
+    def test_direct_slices_nonempty(self, sched):
+        for a, b in [(0, 1), (3, 9), (14, 2)]:
+            assert len(sched.direct_slices(a, b)) >= 1
+
+    def test_direct_slices_rejects_self(self, sched):
+        with pytest.raises(ValueError):
+            sched.direct_slices(1, 1)
+
+    def test_topology_wrapper(self):
+        net = RotorNetTopology(16, 4, 4, hybrid=False, seed=0)
+        assert net.n_hosts == 64
+        assert net.packet_uplinks_per_rack == 0
+        assert net.cost_factor == 1.0
+
+    def test_hybrid_costs_more(self):
+        hybrid = RotorNetTopology(20, 5, 5, hybrid=True, seed=0)
+        assert hybrid.packet_uplinks_per_rack == 1
+        # Paper: ~1.33x for the 6-uplink reference design (5 rotor + 1 pkt).
+        assert 1.2 < hybrid.cost_factor < 1.4
+
+    def test_indivisible(self):
+        with pytest.raises(ValueError):
+            RotorNetSchedule(10, 4)

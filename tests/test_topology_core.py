@@ -1,0 +1,167 @@
+"""Tests for the OperaNetwork deployment object and forwarding/state models."""
+
+import pytest
+
+from repro.core.forwarding import ForwardingPipeline, TrafficClass, classify_flow
+from repro.core.state import TOFINO_RULE_CAPACITY, ruleset_size, table1_rows
+from repro.core.topology import OperaNetwork, default_rack_count
+
+
+class TestDefaultRackCount:
+    def test_reference_sizes(self):
+        assert default_rack_count(12) == 108
+        assert default_rack_count(24) == 432
+        assert default_rack_count(64) == 3072
+
+    def test_divisibility(self):
+        for k in (8, 12, 16, 20, 24, 32, 48):
+            n = default_rack_count(k)
+            assert n % 2 == 0
+            assert n % (k // 2) == 0
+
+    def test_rejects_odd_radix(self):
+        with pytest.raises(ValueError):
+            default_rack_count(13)
+
+
+class TestOperaNetwork:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return OperaNetwork(k=8, n_racks=16, seed=0)
+
+    def test_reference_648(self):
+        net = OperaNetwork.reference_648()
+        assert net.n_hosts == 648
+        assert net.n_racks == 108
+        assert net.n_switches == 6
+        assert net.hosts_per_rack == 6
+
+    def test_host_rack_mapping(self, net):
+        assert net.hosts_per_rack == 4
+        assert net.host_rack(0) == 0
+        assert net.host_rack(4) == 1
+        assert net.host_rack(net.n_hosts - 1) == net.n_racks - 1
+
+    def test_rack_hosts_roundtrip(self, net):
+        for rack in range(net.n_racks):
+            for host in net.rack_hosts(rack):
+                assert net.host_rack(host) == rack
+
+    def test_host_out_of_range(self, net):
+        with pytest.raises(ValueError):
+            net.host_rack(net.n_hosts)
+
+    def test_rack_out_of_range(self, net):
+        with pytest.raises(ValueError):
+            net.rack_hosts(net.n_racks)
+
+    def test_slice_at_time(self, net):
+        slice_ps = net.timing.slice_ps
+        assert net.slice_at(0) == 0
+        assert net.slice_at(slice_ps - 1) == 0
+        assert net.slice_at(slice_ps) == 1
+        assert net.slice_at(net.timing.cycle_ps) == 0
+
+    def test_slice_start_inverse(self, net):
+        for s in range(net.schedule.cycle_slices):
+            assert net.slice_at(net.slice_start_ps(s)) == s
+
+    def test_invalid_shapes(self):
+        with pytest.raises(ValueError):
+            OperaNetwork(k=7)
+        with pytest.raises(ValueError):
+            OperaNetwork(k=8, n_racks=15)
+        with pytest.raises(ValueError):
+            OperaNetwork(k=12, n_racks=100)  # not divisible by u=6
+
+
+class TestClassification:
+    def test_below_threshold_is_low_latency(self):
+        assert classify_flow(10_000, 15_000_000) is TrafficClass.LOW_LATENCY
+
+    def test_at_threshold_is_bulk(self):
+        assert classify_flow(15_000_000, 15_000_000) is TrafficClass.BULK
+
+    def test_tag_overrides_size(self):
+        assert (
+            classify_flow(100, 15_000_000, tagged=TrafficClass.BULK)
+            is TrafficClass.BULK
+        )
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            classify_flow(-1, 100)
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            classify_flow(10, 0)
+
+
+class TestForwardingPipeline:
+    @pytest.fixture(scope="class")
+    def pipe(self):
+        net = OperaNetwork(k=8, n_racks=16, seed=0)
+        return ForwardingPipeline.for_schedule(net.schedule)
+
+    def test_stamp_wraps(self, pipe):
+        cycle = pipe.schedule.cycle_slices
+        assert pipe.stamp(cycle + 3) == 3
+
+    def test_low_latency_hop_progresses(self, pipe):
+        routes = pipe.routing.routes(0)
+        hop = pipe.low_latency_next_hop(0, 9, 0)
+        assert hop is not None
+        peer, _switch = hop
+        assert routes.dist[peer][9] < routes.dist[0][9]
+
+    def test_no_hop_at_destination(self, pipe):
+        assert pipe.low_latency_next_hop(5, 5, 0) is None
+
+    def test_path_reaches_destination(self, pipe):
+        path = pipe.low_latency_path(2, 13, 4)
+        assert path is not None
+        assert path[0] == 2 and path[-1] == 13
+
+    def test_bulk_direct_switch_agrees_with_schedule(self, pipe):
+        sched = pipe.schedule
+        for s in range(sched.cycle_slices):
+            w = pipe.bulk_direct_switch(0, 1, s)
+            assert w == sched.direct_switch(0, 1, s)
+
+    def test_bulk_wait_reaches_zero(self, pipe):
+        sched = pipe.schedule
+        hits = [
+            s
+            for s in range(sched.cycle_slices)
+            if pipe.bulk_wait_slices(0, 7, s) == 0
+        ]
+        assert hits == list(sched.direct_slices(0, 7))
+
+
+class TestRoutingState:
+    def test_table1_exact_counts(self):
+        expected = {
+            108: (12_096, 0.7),
+            252: (65_268, 3.8),
+            520: (276_120, 16.2),
+            768: (600_576, 35.3),
+            1008: (1_032_192, 60.7),
+            1200: (1_461_600, 85.9),
+        }
+        for row in table1_rows():
+            entries, util_pct = expected[row.n_racks]
+            assert row.entries == entries
+            assert round(100 * row.utilization, 1) == util_pct
+
+    def test_ruleset_monotone_in_racks(self):
+        sizes = [ruleset_size(n, 6).entries for n in (50, 100, 200, 400)]
+        assert sizes == sorted(sizes)
+
+    def test_capacity_positive(self):
+        assert TOFINO_RULE_CAPACITY > 1_000_000
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            ruleset_size(1, 6)
+        with pytest.raises(ValueError):
+            ruleset_size(108, 1)

@@ -1,0 +1,173 @@
+"""Tests for workload distributions, arrivals and traffic patterns."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.distributions import (
+    ALL_WORKLOADS,
+    DATAMINING,
+    HADOOP,
+    WEBSEARCH,
+    FlowSizeDistribution,
+)
+from repro.workloads.patterns import (
+    all_to_all_matrix,
+    hot_rack_matrix,
+    permutation_flows,
+    permutation_matrix,
+    shuffle_flows,
+    skew_matrix,
+)
+
+
+class TestDistributions:
+    def test_registry(self):
+        assert set(ALL_WORKLOADS) == {"datamining", "websearch", "hadoop"}
+
+    @pytest.mark.parametrize("dist", [DATAMINING, WEBSEARCH, HADOOP])
+    def test_cdf_monotone(self, dist):
+        xs = [dist.points[0][0] * (1.6**i) for i in range(30)]
+        vals = [dist.cdf(x) for x in xs]
+        assert vals == sorted(vals)
+        assert vals[-1] <= 1.0
+
+    @pytest.mark.parametrize("dist", [DATAMINING, WEBSEARCH, HADOOP])
+    def test_quantile_inverts_cdf(self, dist):
+        for q in (0.05, 0.25, 0.5, 0.75, 0.95):
+            x = dist.quantile(q)
+            assert abs(dist.cdf(x) - q) < 0.02
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_samples_in_range(self, seed):
+        rng = random.Random(seed)
+        for dist in (DATAMINING, WEBSEARCH, HADOOP):
+            size = dist.sample(rng)
+            assert dist.points[0][0] <= size <= dist.points[-1][0]
+
+    def test_datamining_spans_paper_range(self):
+        # "flows in this workload range in size from 100 bytes to 1 GB"
+        assert DATAMINING.points[0][0] == 100
+        assert DATAMINING.points[-1][0] == 1_000_000_000
+
+    def test_datamining_mostly_bulk_bytes(self):
+        # Figure 1 bottom: the vast majority of datamining bytes are in
+        # flows above Opera's 15 MB threshold.
+        assert DATAMINING.bulk_byte_fraction(15_000_000) > 0.75
+
+    def test_websearch_all_below_threshold(self):
+        # Section 5.3: Websearch has no flows above 15 MB -> worst case.
+        assert WEBSEARCH.bulk_byte_fraction(15_000_000) == pytest.approx(0.0)
+        assert WEBSEARCH.cdf(15_000_000) == 1.0
+
+    def test_hadoop_median_small(self):
+        assert HADOOP.quantile(0.5) < 10_000
+
+    def test_mean_positive_and_ordered(self):
+        # Datamining's heavy tail dominates the other workloads' means.
+        assert DATAMINING.mean_bytes() > WEBSEARCH.mean_bytes() > 0
+
+    def test_byte_cdf_bounds(self):
+        for dist in (DATAMINING, WEBSEARCH, HADOOP):
+            assert dist.byte_cdf(dist.points[0][0]) == pytest.approx(0.0, abs=1e-6)
+            assert dist.byte_cdf(dist.points[-1][0]) == pytest.approx(1.0)
+
+    def test_invalid_cdf_rejected(self):
+        with pytest.raises(ValueError):
+            FlowSizeDistribution("bad", ((100, 0.5), (200, 1.0)))
+        with pytest.raises(ValueError):
+            FlowSizeDistribution("bad", ((200, 0.0), (100, 1.0)))
+        with pytest.raises(ValueError):
+            FlowSizeDistribution("bad", ((100, 0.0),))
+
+
+class TestPoissonArrivals:
+    def test_rate_matches_load(self):
+        gen = PoissonArrivals(WEBSEARCH, load=0.1, n_hosts=64, seed=1)
+        # offered bits/s = load * hosts * rate
+        expected = 0.1 * 64 * 10_000_000_000
+        assert gen.flows_per_second * 8 * WEBSEARCH.mean_bytes() == pytest.approx(
+            expected
+        )
+
+    def test_flows_sorted_and_bounded(self):
+        gen = PoissonArrivals(WEBSEARCH, load=0.2, n_hosts=64, seed=2)
+        flows = list(gen.flows(duration_ps=10**9))
+        assert flows, "expected arrivals within 1 ms at 20% load"
+        times = [f.time_ps for f in flows]
+        assert times == sorted(times)
+        assert all(t < 10**9 for t in times)
+
+    def test_interrack_only(self):
+        gen = PoissonArrivals(
+            WEBSEARCH, load=0.5, n_hosts=64, hosts_per_rack=4, seed=3
+        )
+        for f in gen.flows(duration_ps=10**8):
+            assert f.src_host // 4 != f.dst_host // 4
+
+    def test_empirical_rate(self):
+        gen = PoissonArrivals(HADOOP, load=0.3, n_hosts=32, seed=4)
+        flows = list(gen.flows(duration_ps=10**10))  # 10 ms
+        expected = gen.flows_per_second * 0.01
+        assert flows and abs(len(flows) - expected) < 5 * expected**0.5 + 5
+
+    def test_invalid_load(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(WEBSEARCH, load=0, n_hosts=4)
+
+
+class TestPatterns:
+    def test_all_to_all_row_sums(self):
+        demand = all_to_all_matrix(10, 6)
+        assert np.allclose(demand.sum(axis=1), 6.0)
+        assert np.allclose(np.diag(demand), 0.0)
+
+    def test_permutation_bijective(self):
+        demand = permutation_matrix(12, 4, random.Random(0))
+        assert np.allclose(demand.sum(axis=1), 4.0)
+        assert np.allclose(demand.sum(axis=0), 4.0)
+        assert np.allclose(np.diag(demand), 0.0)
+
+    def test_hot_rack(self):
+        demand = hot_rack_matrix(8, 6, src=2, dst=5)
+        assert demand[2][5] == 6.0
+        assert demand.sum() == 6.0
+
+    def test_hot_rack_rejects_self(self):
+        with pytest.raises(ValueError):
+            hot_rack_matrix(8, 6, src=1, dst=1)
+
+    def test_skew_only_active(self):
+        demand = skew_matrix(20, 4, 0.2, random.Random(0))
+        senders = set(np.nonzero(demand.sum(axis=1))[0])
+        receivers = set(np.nonzero(demand.sum(axis=0))[0])
+        assert len(senders) == 4  # 20% of 20 racks
+        assert receivers <= senders
+        assert np.allclose(demand.sum(), 4 * 4)
+
+    def test_skew_full_fraction_is_permutation_like(self):
+        demand = skew_matrix(10, 4, 1.0, random.Random(1))
+        assert np.allclose(demand.sum(axis=1), 4.0)
+
+    def test_skew_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            skew_matrix(10, 4, 0.0)
+
+    def test_shuffle_flows_complete(self):
+        flows = shuffle_flows(6, 1000)
+        assert len(flows) == 30
+        assert all(size == 1000 for _s, _d, size in flows)
+        assert all(s != d for s, d, _b in flows)
+
+    def test_permutation_flows_rack_disjoint(self):
+        flows = permutation_flows(24, 4, 5000, random.Random(0))
+        assert len(flows) == 24
+        dsts = {d for _s, d, _b in flows}
+        assert len(dsts) == 24  # bijection
+        for s, d, _b in flows:
+            assert s // 4 != d // 4
