@@ -1,12 +1,12 @@
 """Figure 1: published flow-size distributions (flows and bytes CDFs)."""
 
-from conftest import emit, run_once
+from conftest import emit, run_scenario
 
 from repro.experiments import fig01_distributions as exp
 
 
 def test_fig01_flow_distributions(benchmark):
-    data = run_once(benchmark, exp.run)
+    data = run_scenario(benchmark, "fig01")
     emit("Figure 1: flow/byte CDFs", exp.format_rows(data))
     # Paper: vast majority of datamining *bytes* are in bulk (>15 MB) flows,
     # while websearch has none at all above the threshold.

@@ -1,12 +1,12 @@
 """Figure 6 / section 4.1: topology-slice time constants."""
 
-from conftest import emit, run_once
+from conftest import emit, run_scenario
 
 from repro.experiments import fig06_timing as exp
 
 
 def test_fig06_timing_constants(benchmark):
-    data = run_once(benchmark, exp.run)
+    data = run_scenario(benchmark, "fig06")
     emit("Figure 6 / section 4.1: time constants", exp.format_rows(data))
     assert data["slice_us"] == 100.0
     assert data["cycle_slices"] == 108

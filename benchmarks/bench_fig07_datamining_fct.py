@@ -1,17 +1,17 @@
 """Figure 7: Datamining FCTs vs load on the four networks (reduced scale)."""
 
-from conftest import emit, run_once
+from conftest import emit, run_scenario
 
 from repro.experiments import fig07_datamining as exp
 
 
 def test_fig07_datamining_fct(benchmark):
-    results = run_once(
+    results = run_scenario(
         benchmark,
-        exp.run,
-        (0.01, 0.10, 0.25),
-        ("opera", "expander", "clos", "rotornet-hybrid", "rotornet"),
-        3.0,  # ms of arrivals per configuration (reduced scale)
+        "fig07",
+        loads=(0.01, 0.10, 0.25),
+        networks=("opera", "expander", "clos", "rotornet-hybrid", "rotornet"),
+        duration_ms=3.0,  # ms of arrivals per configuration (reduced scale)
     )
     emit("Figure 7: Datamining FCT (reduced scale)", exp.format_rows(results))
     by = {(r.network, r.load): r for r in results}

@@ -1,12 +1,12 @@
 """Figure 8: 100 KB all-to-all shuffle throughput over time (paper scale)."""
 
-from conftest import emit, run_once
+from conftest import emit, run_scenario
 
 from repro.experiments import fig08_shuffle as exp
 
 
 def test_fig08_shuffle_throughput(benchmark):
-    data = run_once(benchmark, exp.run)
+    data = run_scenario(benchmark, "fig08")
     emit("Figure 8: shuffle (648 hosts, 100 KB all-to-all)", exp.format_rows(data))
     opera = data["opera"].completion_percentile_ms(99)
     expander = data["expander"].completion_percentile_ms(99)

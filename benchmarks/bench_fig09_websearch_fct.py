@@ -1,17 +1,17 @@
 """Figure 9: Websearch FCTs — all-indirect worst case (reduced scale)."""
 
-from conftest import emit, run_once
+from conftest import emit, run_scenario
 
 from repro.experiments import fig09_websearch as exp
 
 
 def test_fig09_websearch_fct(benchmark):
-    results = run_once(
+    results = run_scenario(
         benchmark,
-        exp.run,
-        (0.01, 0.05, 0.10),
-        ("opera", "expander", "clos"),
-        5.0,
+        "fig09",
+        loads=(0.01, 0.05, 0.10),
+        networks=("opera", "expander", "clos"),
+        duration_ms=5.0,
     )
     emit("Figure 9: Websearch FCT (reduced scale)", exp.format_rows(results))
     by = {(r.network, r.load): r for r in results}

@@ -1,12 +1,12 @@
 """Figure 10: throughput vs Websearch share of a mixed workload."""
 
-from conftest import emit, run_once
+from conftest import emit, run_scenario
 
 from repro.experiments import fig10_mixed as exp
 
 
 def test_fig10_mixed_traffic(benchmark):
-    data = run_once(benchmark, exp.run)
+    data = run_scenario(benchmark, "fig10")
     emit("Figure 10: mixed Websearch + shuffle", exp.format_rows(data))
     opera = dict(data["opera"])
     expander = dict(data["expander"])

@@ -1,12 +1,12 @@
 """Figure 11: connectivity loss under random failures (108-rack Opera)."""
 
-from conftest import emit, run_once
+from conftest import emit, run_scenario
 
 from repro.experiments import fig11_faults as exp
 
 
 def test_fig11_fault_tolerance(benchmark):
-    data = run_once(benchmark, exp.run)
+    data = run_scenario(benchmark, "fig11")
     emit("Figure 11: Opera fault tolerance", exp.format_rows(data))
     links = dict((f, r) for f, r in data["links"])
     racks = dict((f, r) for f, r in data["racks"])

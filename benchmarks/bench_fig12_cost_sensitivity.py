@@ -1,12 +1,12 @@
 """Figure 12: throughput vs alpha at k=24 (5,184 hosts)."""
 
-from conftest import emit, run_once
+from conftest import emit, run_scenario
 
 from repro.experiments import fig12_cost_sensitivity as exp
 
 
 def test_fig12_cost_sensitivity_k24(benchmark):
-    data = run_once(benchmark, exp.run, 24, (1.0, 1.3, 1.7, 2.0))
+    data = run_scenario(benchmark, "fig12", k=24, alphas=(1.0, 1.3, 1.7, 2.0))
     emit("Figure 12: throughput vs alpha (k=24)", exp.format_rows(data))
     alpha = 1.3
 

@@ -1,12 +1,12 @@
 """Figure 13: prototype RTTs with and without bulk background traffic."""
 
-from conftest import emit, run_once
+from conftest import emit, run_scenario
 
 from repro.experiments import fig13_prototype as exp
 
 
 def test_fig13_prototype_rtt(benchmark):
-    data = run_once(benchmark, exp.run, 80)
+    data = run_scenario(benchmark, "fig13", n_pings=80)
     emit("Figure 13: ping-pong RTT (8 ToRs x 4 rotors)", exp.format_rows(data))
     idle, busy = data["idle"], data["with_bulk"]
     assert len(idle) >= 60 and len(busy) >= 60

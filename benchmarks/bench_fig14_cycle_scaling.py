@@ -1,12 +1,12 @@
 """Figure 14 / Appendix B: relative cycle time vs ToR radix."""
 
-from conftest import emit, run_once
+from conftest import emit, run_scenario
 
 from repro.experiments import fig14_cycle_scaling as exp
 
 
 def test_fig14_cycle_scaling(benchmark):
-    rows = run_once(benchmark, exp.run)
+    rows = run_scenario(benchmark, "fig14")
     emit("Figure 14: cycle time scaling", exp.format_rows(rows))
     by_k = {r["k"]: r for r in rows}
     # Paper: without groups, k=64 costs ~28x the k=12 cycle (quadratic)...

@@ -1,12 +1,12 @@
 """Figure 15: throughput vs alpha at k=12 (matches Figure 12's scaling)."""
 
-from conftest import emit, run_once
+from conftest import emit, run_scenario
 
 from repro.experiments import fig12_cost_sensitivity as exp
 
 
 def test_fig15_cost_sensitivity_k12(benchmark):
-    data = run_once(benchmark, exp.run, 12, (1.0, 1.3, 1.7, 2.0))
+    data = run_scenario(benchmark, "fig12", k=12, alphas=(1.0, 1.3, 1.7, 2.0))
     emit("Figure 15: throughput vs alpha (k=12)", exp.format_rows(data))
 
     def value(pattern, network, alpha=1.3):

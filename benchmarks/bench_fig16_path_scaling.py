@@ -1,12 +1,12 @@
 """Figure 16 / Appendix C: average path length vs network scale."""
 
-from conftest import emit, run_once
+from conftest import emit, run_scenario
 
 from repro.experiments import fig16_path_scaling as exp
 
 
 def test_fig16_path_scaling(benchmark):
-    rows = run_once(benchmark, exp.run, (12, 16, 24))
+    rows = run_scenario(benchmark, "fig16", radices=(12, 16, 24))
     emit("Figure 16: average path length vs scale", exp.format_rows(rows))
     # Paper: Opera's average path length stays within ~1 hop of the
     # cost-comparable expanders and converges at larger scale.

@@ -1,12 +1,12 @@
 """Table 1: ruleset sizes and Tofino utilization."""
 
-from conftest import emit, run_once
+from conftest import emit, run_scenario
 
 from repro.experiments import table1_state as exp
 
 
 def test_table1_routing_state(benchmark):
-    rows = run_once(benchmark, exp.run)
+    rows = run_scenario(benchmark, "table1")
     emit("Table 1: routing state scalability", exp.format_rows(rows))
     expected = {
         108: 12_096,

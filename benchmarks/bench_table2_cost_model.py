@@ -1,12 +1,12 @@
 """Table 2 / Appendix A: port costs and the cost-equivalent trio."""
 
-from conftest import emit, run_once
+from conftest import emit, run_scenario
 
 from repro.experiments import table2_costs as exp
 
 
 def test_table2_cost_model(benchmark):
-    data = run_once(benchmark, exp.run)
+    data = run_scenario(benchmark, "table2")
     emit("Table 2: cost model", exp.format_rows(data))
     assert data["static_port_usd"] == 215.0
     assert data["opera_port_usd"] == 275.0

@@ -1,99 +1,237 @@
-"""Command-line interface: regenerate any paper table or figure.
+"""Command-line interface over the scenario registry.
 
 Usage::
 
-    python -m repro.cli list
-    python -m repro.cli fig04
-    python -m repro.cli table1
-    python -m repro.cli fig12 --k 12
+    python -m repro.cli list [--tag analysis]
+    python -m repro.cli run fig04 fig16 --workers 4
+    python -m repro.cli run --tag analysis
+    python -m repro.cli run fig04 --set k=12 --set n_slices=9 --no-cache
+    python -m repro.cli sweep fig04 --set k=8,12,16 --workers 4
 
-Each experiment prints the same rows the corresponding benchmark emits;
-heavyweight packet-level figures accept their module defaults only (use
-the benchmarks for parameterized runs).
+``run`` accepts scenario names (globs work: ``'fig1*'``) and/or ``--tag``
+selections and executes them through the shared :class:`repro.scenarios.Runner`
+— the same code path the pytest benchmarks use — with a multiprocessing
+worker pool (``--workers``) and a content-addressed result cache (default
+``~/.cache/opera-repro``; override with ``--cache-dir`` or
+``$REPRO_CACHE_DIR``, skip reads with ``--no-cache``, disable entirely with
+``--cache-dir ''``). ``sweep`` runs one scenario over the cartesian grid of
+comma-separated ``--set`` values.
+
+The legacy spelling ``python -m repro.cli fig04 [--k 12]`` still works and
+maps onto ``run``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable
 
-from . import experiments as E
+from .scenarios import (
+    ResultCache,
+    Runner,
+    ScenarioError,
+    ScenarioExecutionError,
+    all_scenarios,
+    all_tags,
+)
 
-__all__ = ["main", "EXPERIMENTS"]
-
-
-def _simple(module) -> Callable[[argparse.Namespace], list[str]]:
-    def runner(_args: argparse.Namespace) -> list[str]:
-        return module.format_rows(module.run())
-
-    return runner
-
-
-def _fig04(args: argparse.Namespace) -> list[str]:
-    data = E.fig04_path_lengths.run(k=args.k, n_slices=27)
-    return E.fig04_path_lengths.format_rows(data)
+__all__ = ["main"]
 
 
-def _fig12(args: argparse.Namespace) -> list[str]:
-    data = E.fig12_cost_sensitivity.run(k=args.k)
-    return E.fig12_cost_sensitivity.format_rows(data)
+def _parse_sets(pairs: list[str]) -> dict[str, str]:
+    overrides: dict[str, str] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ScenarioError(f"--set expects key=value, got {pair!r}")
+        overrides[key.strip()] = value.strip()
+    return overrides
 
 
-def _fig18(args: argparse.Namespace) -> list[str]:
-    rows: list[str] = []
-    rows += E.fig18_failure_paths.format_rows(E.fig18_failure_paths.run_opera(), "opera")
-    rows += E.fig18_failure_paths.format_rows(E.fig18_failure_paths.run_clos(), "clos")
-    rows += E.fig18_failure_paths.format_rows(
-        E.fig18_failure_paths.run_expander(), "expander"
+def _make_runner(args: argparse.Namespace) -> Runner:
+    cache: ResultCache | None
+    if args.cache_dir == "":
+        cache = None
+    else:
+        cache = ResultCache(args.cache_dir)  # None -> default location
+    return Runner(
+        workers=args.workers,
+        cache=cache,
+        use_cache=not args.no_cache,
+        base_seed=args.seed,
     )
-    return rows
 
 
-EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], list[str]]]] = {
-    "fig01": ("flow-size distributions (Figure 1)", _simple(E.fig01_distributions)),
-    "fig04": ("path-length CDFs (Figure 4)", _fig04),
-    "fig06": ("time constants (Figure 6 / §4.1)", _simple(E.fig06_timing)),
-    "fig07": ("Datamining FCTs, reduced scale (Figure 7)", _simple(E.fig07_datamining)),
-    "fig08": ("shuffle throughput (Figure 8)", _simple(E.fig08_shuffle)),
-    "fig09": ("Websearch FCTs, reduced scale (Figure 9)", _simple(E.fig09_websearch)),
-    "fig10": ("mixed-traffic throughput (Figure 10)", _simple(E.fig10_mixed)),
-    "fig11": ("fault tolerance (Figure 11)", _simple(E.fig11_faults)),
-    "fig12": ("cost sensitivity (Figures 12/15)", _fig12),
-    "fig13": ("prototype RTTs (Figure 13)", _simple(E.fig13_prototype)),
-    "fig14": ("cycle-time scaling (Figure 14)", _simple(E.fig14_cycle_scaling)),
-    "fig16": ("path-length scaling (Figure 16)", _simple(E.fig16_path_scaling)),
-    "fig17": ("spectral gaps (Figure 17)", _simple(E.fig17_spectral)),
-    "fig18": ("failure path stretch (Figures 18-20)", _fig18),
-    "table1": ("routing state (Table 1)", _simple(E.table1_state)),
-    "table2": ("port costs (Table 2)", _simple(E.table2_costs)),
-}
+def _print_results(results, quiet: bool) -> None:
+    for res in results:
+        sc_note = " [cached]" if res.cached else f" [{res.duration_s:.2f}s]"
+        print(f"=== {res.name}{sc_note} params={res.params} ===")
+        if not quiet:
+            for row in res.rows:
+                print(row)
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    scenarios = all_scenarios()
+    if args.tag:
+        scenarios = [sc for sc in scenarios if any(t in sc.tags for t in args.tag)]
+    for sc in scenarios:
+        tags = ",".join(sc.tags)
+        print(f"{sc.name:>7s}  {sc.cost:>6s}  [{tags}]  {sc.description}")
+    if not args.tag:
+        print(f"\ntags: {', '.join(all_tags())}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
+    if not args.names and not args.tag:
+        print("nothing selected: give scenario names and/or --tag", file=sys.stderr)
+        return 2
+    results = runner.run(
+        names=args.names, tags=args.tag, overrides=_parse_sets(args.set)
+    )
+    _print_results(results, args.quiet)
+    return 0
+
+
+def _grid_values(sc, key: str, text: str) -> list:
+    """One ``--set`` value -> the grid points it contributes to a sweep.
+
+    Commas separate grid points (``--set k=8,12`` is two runs). For a
+    tuple-typed parameter each comma element is its own one-element-tuple
+    point (``--set radices=12,16`` sweeps (12,) then (16,)); semicolons
+    group multi-element tuples (``--set radices=12,16;24,32`` sweeps
+    (12, 16) then (24, 32), and a trailing ``;`` pins one whole tuple:
+    ``--set 'networks=opera,clos;'``).
+    """
+    if key not in sc.params:
+        # Unknown keys surface through bind()'s strict validation with the
+        # scenario's accepted-parameter list, not a KeyError here.
+        return [text]
+    param = sc.params[key]
+    if ";" in text:
+        return [param.coerce(group) for group in text.split(";") if group.strip()]
+    return [param.coerce(v) for v in text.split(",")]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
+    sets = _parse_sets(args.set)
+    if not sets:
+        print("sweep needs at least one --set key=v1,v2,...", file=sys.stderr)
+        return 2
+    from .scenarios import get
+
+    sc = get(args.name)
+    grid = {key: _grid_values(sc, key, value) for key, value in sets.items()}
+    results = runner.sweep(args.name, grid)
+    _print_results(results, args.quiet)
+    return 0
+
+
+def _add_exec_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="parameter override (repeatable); sweep takes comma lists",
+    )
+    sub.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker-pool size (>1 enables multiprocessing)",
+    )
+    sub.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore cached results (fresh runs are still stored)",
+    )
+    sub.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache root (default ~/.cache/opera-repro); '' disables the cache",
+    )
+    sub.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="base seed; scenarios taking a seed get a derived per-scenario one",
+    )
+    sub.add_argument(
+        "--quiet", action="store_true", help="print headers only, not rows"
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Opera reproduction scenario runner"
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    p_list = sub.add_parser("list", help="list registered scenarios")
+    p_list.add_argument("--tag", action="append", default=[], help="filter by tag")
+    p_list.set_defaults(fn=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run scenarios by name/glob/tag")
+    p_run.add_argument("names", nargs="*", help="scenario names or globs")
+    p_run.add_argument("--tag", action="append", default=[], help="select by tag")
+    _add_exec_options(p_run)
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="grid-sweep one scenario's parameters")
+    p_sweep.add_argument("name", help="scenario name")
+    _add_exec_options(p_sweep)
+    p_sweep.set_defaults(fn=_cmd_sweep)
+
+    return parser
+
+
+def _rewrite_legacy(argv: list[str]) -> list[str]:
+    """Map ``repro.cli fig04 [--k 12]`` onto the ``run`` subcommand."""
+    if not argv or argv[0] in ("list", "run", "sweep") or argv[0].startswith("-"):
+        return argv
+    head, rest = argv[0], list(argv[1:])
+    out = ["run", head]
+    while rest:
+        tok = rest.pop(0)
+        if tok == "--k":
+            if not rest:
+                break
+            out += ["--set", f"k={rest.pop(0)}"]
+        elif tok.startswith("--k="):
+            out += ["--set", f"k={tok.split('=', 1)[1]}"]
+        else:
+            out.append(tok)
+    return out
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro", description="Opera reproduction experiment runner"
-    )
-    parser.add_argument(
-        "experiment",
-        help="experiment id (e.g. fig08, table1) or 'list'",
-    )
-    parser.add_argument(
-        "--k", type=int, default=12, help="ToR radix for sized experiments"
-    )
+    argv = list(sys.argv[1:] if argv is None else argv)
+    argv = _rewrite_legacy(argv)
+    parser = _build_parser()
     args = parser.parse_args(argv)
-    if args.experiment == "list":
-        for name, (description, _fn) in EXPERIMENTS.items():
-            print(f"{name:>7s}  {description}")
-        return 0
-    if args.experiment not in EXPERIMENTS:
-        print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
+    if not getattr(args, "fn", None):
+        parser.print_help()
         return 2
-    description, runner = EXPERIMENTS[args.experiment]
-    print(f"=== {args.experiment}: {description} ===")
-    for row in runner(args):
-        print(row)
-    return 0
+    try:
+        return args.fn(args)
+    except ScenarioExecutionError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed early; exit quietly like cat does.
+        # Re-point stdout at devnull so interpreter shutdown doesn't raise
+        # a second time while flushing the dead pipe.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 from ..workloads.distributions import ALL_WORKLOADS
+from ..scenarios import scenario
 
 #: Sizes at which the paper's Figure 1 x-axis is sampled.
 SAMPLE_SIZES = [10**e for e in range(2, 10)]
 
 
+@scenario("fig01", tags=("analysis", "workloads"), cost="cheap",
+          title="flow-size distributions (Figure 1)")
 def run() -> dict[str, dict[str, list[float]]]:
     """CDF-of-flows (top panel) and CDF-of-bytes (bottom) per workload."""
     out: dict[str, dict[str, list[float]]] = {}

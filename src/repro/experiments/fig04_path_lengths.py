@@ -12,8 +12,11 @@ from ..analysis.paths import (
 from ..core.schedule import OperaSchedule
 from ..topologies.expander import ExpanderTopology
 from ..topologies.folded_clos import FoldedClos
+from ..scenarios import scenario
 
 
+@scenario("fig04", tags=("analysis", "graph"), cost="medium",
+          title="path-length CDFs (Figure 4)", defaults={"n_slices": 27})
 def run(
     k: int = 12, n_racks: int | None = None, seed: int = 0, n_slices: int | None = None
 ) -> dict[str, PathLengthDistribution]:

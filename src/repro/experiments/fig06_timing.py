@@ -3,8 +3,11 @@
 from __future__ import annotations
 
 from ..core.timing import PS_PER_US, TimingParams, worst_case_epsilon_ps
+from ..scenarios import scenario
 
 
+@scenario("fig06", tags=("analysis", "timing"), cost="cheap",
+          title="time constants (Figure 6 / §4.1)")
 def run(n_racks: int = 108, n_switches: int = 6) -> dict[str, float]:
     timing = TimingParams(n_racks=n_racks, n_switches=n_switches)
     return {

@@ -9,6 +9,7 @@ magnitude worse. Reproduced at reduced scale (see :mod:`.fctsim`).
 from __future__ import annotations
 
 from ..workloads.distributions import DATAMINING
+from ..scenarios import scenario
 from .fctsim import FctResult, format_rows, run_fct_experiment
 
 __all__ = ["run", "format_rows", "DEFAULT_LOADS", "DEFAULT_NETWORKS"]
@@ -17,6 +18,8 @@ DEFAULT_LOADS = (0.01, 0.10, 0.25)
 DEFAULT_NETWORKS = ("opera", "expander", "clos", "rotornet-hybrid", "rotornet")
 
 
+@scenario("fig07", tags=("packet", "fct"), cost="heavy",
+          title="Datamining FCTs, reduced scale (Figure 7)")
 def run(
     loads: tuple[float, ...] = DEFAULT_LOADS,
     networks: tuple[str, ...] = DEFAULT_NETWORKS,

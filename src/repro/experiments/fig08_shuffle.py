@@ -16,10 +16,13 @@ from ..core.timing import TimingParams
 from ..fluid import FluidResult, RotorFluidSimulation, static_shuffle_run
 from ..topologies.expander import ExpanderTopology
 from ..workloads.patterns import all_to_all_matrix
+from ..scenarios import scenario
 
 __all__ = ["run", "format_rows"]
 
 
+@scenario("fig08", tags=("fluid", "throughput"), cost="medium",
+          title="shuffle throughput (Figure 8)")
 def run(
     k: int = 12,
     n_racks: int = 108,

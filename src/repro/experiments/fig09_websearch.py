@@ -8,6 +8,7 @@ networks saturate somewhat above 25%. Reproduced at reduced scale.
 from __future__ import annotations
 
 from ..workloads.distributions import WEBSEARCH
+from ..scenarios import scenario
 from .fctsim import FctResult, format_rows, run_fct_experiment
 
 __all__ = ["run", "format_rows", "DEFAULT_LOADS", "DEFAULT_NETWORKS"]
@@ -16,6 +17,8 @@ DEFAULT_LOADS = (0.01, 0.05, 0.10)
 DEFAULT_NETWORKS = ("opera", "expander", "clos")
 
 
+@scenario("fig09", tags=("packet", "fct"), cost="heavy",
+          title="Websearch FCTs, reduced scale (Figure 9)")
 def run(
     loads: tuple[float, ...] = DEFAULT_LOADS,
     networks: tuple[str, ...] = DEFAULT_NETWORKS,

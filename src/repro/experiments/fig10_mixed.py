@@ -20,12 +20,15 @@ from ..analysis.throughput import (
 )
 from ..topologies.expander import ExpanderTopology
 from ..workloads.patterns import all_to_all_matrix
+from ..scenarios import scenario
 
 __all__ = ["run", "format_rows", "DEFAULT_WS_LOADS"]
 
 DEFAULT_WS_LOADS = (0.01, 0.025, 0.05, 0.10, 0.20, 0.40)
 
 
+@scenario("fig10", tags=("fluid", "throughput"), cost="heavy",
+          title="mixed-traffic throughput (Figure 10)")
 def run(
     k: int = 12,
     n_racks: int = 108,

@@ -18,10 +18,13 @@ from ..analysis.failures import (
 )
 from ..core.faults import FailureSet
 from ..core.schedule import OperaSchedule
+from ..scenarios import scenario
 
 __all__ = ["run", "format_rows"]
 
 
+@scenario("fig11", tags=("analysis", "faults"), cost="medium",
+          title="fault tolerance (Figure 11)")
 def run(
     n_racks: int = 108,
     n_switches: int = 6,

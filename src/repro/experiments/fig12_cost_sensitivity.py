@@ -26,6 +26,7 @@ from ..workloads.patterns import (
     permutation_matrix,
     skew_matrix,
 )
+from ..scenarios import scenario
 
 __all__ = ["run", "format_rows", "DEFAULT_ALPHAS", "PATTERNS"]
 
@@ -46,6 +47,8 @@ def _pattern_matrix(pattern: str, n_racks: int, d: int, rng: random.Random):
     raise ValueError(f"unknown pattern {pattern!r}")
 
 
+@scenario("fig12", tags=("analysis", "costs"), cost="cheap",
+          title="cost sensitivity (Figures 12/15)", defaults={"k": 12})
 def run(
     k: int = 24,
     alphas: tuple[float, ...] = DEFAULT_ALPHAS,

@@ -17,12 +17,15 @@ import random
 
 from ..core.topology import OperaNetwork
 from ..net import OperaSimNetwork
+from ..scenarios import scenario
 
 __all__ = ["run", "format_rows"]
 
 MS = 1_000_000_000
 
 
+@scenario("fig13", tags=("packet",), cost="medium",
+          title="prototype RTTs (Figure 13)")
 def run(
     n_pings: int = 100,
     with_bulk_pairs: int = 64,

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from ..core.timing import TimingParams
 from ..core.topology import default_rack_count
+from ..scenarios import scenario
 
 __all__ = ["run", "format_rows", "DEFAULT_RADICES"]
 
@@ -25,6 +26,8 @@ def _grouped_size(u: int) -> int:
     return 1
 
 
+@scenario("fig14", tags=("analysis", "timing"), cost="cheap",
+          title="cycle-time scaling (Figure 14)")
 def run(radices: tuple[int, ...] = DEFAULT_RADICES) -> list[dict[str, float]]:
     reference = TimingParams(n_racks=default_rack_count(12), n_switches=6)
     rows = []

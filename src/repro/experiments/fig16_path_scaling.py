@@ -13,6 +13,7 @@ from ..analysis.paths import sampled_average_path_length
 from ..core.schedule import OperaSchedule
 from ..core.topology import default_rack_count
 from ..topologies.expander import ExpanderTopology
+from ..scenarios import scenario
 
 __all__ = ["run", "format_rows", "DEFAULT_RADICES", "DEFAULT_ALPHAS"]
 
@@ -20,6 +21,8 @@ DEFAULT_RADICES = (12, 16, 24, 32)
 DEFAULT_ALPHAS = (1.0, 1.4, 2.0)
 
 
+@scenario("fig16", tags=("analysis", "graph"), cost="medium",
+          title="path-length scaling (Figure 16)")
 def run(
     radices: tuple[int, ...] = DEFAULT_RADICES,
     alphas: tuple[float, ...] = DEFAULT_ALPHAS,

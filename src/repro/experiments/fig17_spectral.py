@@ -15,10 +15,13 @@ from ..analysis.expansion import (
 )
 from ..core.schedule import OperaSchedule
 from ..topologies.expander import ExpanderTopology
+from ..scenarios import scenario
 
 __all__ = ["run", "format_rows"]
 
 
+@scenario("fig17", tags=("analysis", "graph"), cost="medium",
+          title="spectral gaps (Figure 17)")
 def run(
     n_racks: int = 108,
     n_switches: int = 6,

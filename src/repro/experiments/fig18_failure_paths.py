@@ -21,12 +21,41 @@ from ..analysis.failures import (
 )
 from ..core.faults import FailureSet
 from ..core.schedule import OperaSchedule
+from ..scenarios import scenario
 from ..topologies.expander import ExpanderTopology
 from ..topologies.folded_clos import FoldedClos
 
-__all__ = ["run_opera", "run_clos", "run_expander", "format_rows"]
+__all__ = ["run", "run_opera", "run_clos", "run_expander", "format_rows", "format_networks"]
 
 Sweep = list[tuple[float, ConnectivityReport]]
+
+
+@scenario("fig18", tags=("analysis", "faults"), cost="medium",
+          title="failure path stretch (Figures 18-20)", formatter="format_networks")
+def run(
+    n_racks: int = 108,
+    n_switches: int = 6,
+    fractions: tuple[float, ...] = PAPER_FAILURE_FRACTIONS,
+    seed: int = 0,
+    slice_stride: int = 8,
+) -> dict[str, dict[str, Sweep]]:
+    """Uniform entry: all three networks' failure sweeps (Figures 18-20).
+
+    The Clos and expander shapes stay at their paper defaults (they are
+    cost-equivalent to the Opera instance only at the defaults anyway);
+    ``fractions`` and ``seed`` apply to all three.
+    """
+    return {
+        "opera": run_opera(
+            n_racks=n_racks,
+            n_switches=n_switches,
+            fractions=fractions,
+            seed=seed,
+            slice_stride=slice_stride,
+        ),
+        "clos": run_clos(fractions=fractions, seed=seed),
+        "expander": run_expander(fractions=fractions, seed=seed),
+    }
 
 
 def run_opera(
@@ -118,4 +147,11 @@ def format_rows(data: dict[str, Sweep], label: str = "") -> list[str]:
                 f"{component:>10s} {fraction:9.1%} {report.any_slice_loss:8.4f} "
                 f"{avg:10.2f} {report.worst_path_length:11d}"
             )
+    return rows
+
+
+def format_networks(data: dict[str, dict[str, Sweep]]) -> list[str]:
+    rows: list[str] = []
+    for network, sweeps in data.items():
+        rows += format_rows(sweeps, network)
     return rows

@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 from ..core.state import RuleSetSize, table1_rows
+from ..scenarios import scenario
 
 __all__ = ["run", "format_rows"]
 
 
+@scenario("table1", tags=("analysis", "state"), cost="cheap",
+          title="routing state (Table 1)")
 def run() -> list[RuleSetSize]:
     return table1_rows()
 

@@ -9,10 +9,13 @@ from ..analysis.costs import (
     cost_equivalent_networks,
     port_cost,
 )
+from ..scenarios import scenario
 
 __all__ = ["run", "format_rows"]
 
 
+@scenario("table2", tags=("analysis", "costs"), cost="cheap",
+          title="port costs (Table 2)")
 def run() -> dict[str, float]:
     eq = cost_equivalent_networks(12, 1.3)
     return {

@@ -45,6 +45,23 @@ class Simulator:
 
         Returns the number of events processed by this call. ``until_ps``
         is inclusive: events at exactly that time still run.
+
+        Clock contract (relied on by pollers and the scenario runner; see
+        ``tests/test_sim_engine.py``):
+
+        * If the run goes idle before the horizon — the heap empties, or
+          every remaining event lies beyond ``until_ps`` — the clock
+          *advances to* ``until_ps`` even though no event ran there, so
+          callers polling in fixed time chunks always make progress.
+        * If ``max_events`` stops the run first, ``now`` deliberately stays
+          at the last processed event's time, *behind* the horizon: the
+          budget expiring says nothing about the interval up to
+          ``until_ps`` being quiet, and jumping ahead would let a later
+          ``at()`` target a time the clock had silently skipped. This
+          includes the boundary case where the budget is exhausted on the
+          very last pending event: ``now`` still does not advance, because
+          the run cannot know the heap is quiet through ``until_ps``
+          without spending another event's worth of budget to look.
         """
         processed = 0
         heap = self._heap

@@ -1,0 +1,50 @@
+"""Scenario registry + parallel experiment runner.
+
+The seam between "a paper artifact exists as a module" and "anything can
+run it": experiments register a declarative :class:`Scenario` (name,
+parameter schema, tags, cost hint) and every consumer — the CLI, the
+benchmark harness, sweeps, future workloads — goes through the shared
+:class:`Runner`, which adds deterministic per-scenario seeding, a
+content-addressed on-disk result cache, and a multiprocessing worker
+pool. See ``README.md`` ("Scenario API") for the user-facing guide.
+"""
+
+from .cache import CACHE_FORMAT_VERSION, ResultCache, default_cache_dir
+from .encode import EncodeError, canonical_json, content_hash, to_jsonable
+from .registry import (
+    Param,
+    Scenario,
+    ScenarioError,
+    all_scenarios,
+    all_tags,
+    get,
+    load_builtin,
+    register,
+    scenario,
+    select,
+)
+from .runner import Runner, ScenarioExecutionError, ScenarioResult, derive_seed
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "ResultCache",
+    "default_cache_dir",
+    "EncodeError",
+    "canonical_json",
+    "content_hash",
+    "to_jsonable",
+    "Param",
+    "Scenario",
+    "ScenarioError",
+    "all_scenarios",
+    "all_tags",
+    "get",
+    "load_builtin",
+    "register",
+    "scenario",
+    "select",
+    "Runner",
+    "ScenarioExecutionError",
+    "ScenarioResult",
+    "derive_seed",
+]

@@ -1,0 +1,104 @@
+"""Content-addressed on-disk result cache.
+
+A cache entry is addressed by the sha256 of ``(format version, scenario
+name, canonical params JSON)`` — re-running any scenario with the same
+parameters is a file read instead of a simulation. Entries live under
+``$REPRO_CACHE_DIR`` (default ``~/.cache/opera-repro``) as::
+
+    <root>/<scenario>/<hash>.json
+
+one human-inspectable JSON document per run, written atomically so a
+killed worker never leaves a torn entry behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Mapping
+
+from .encode import canonical_json, content_hash
+
+__all__ = ["ResultCache", "default_cache_dir", "CACHE_FORMAT_VERSION"]
+
+#: Bump to invalidate every existing entry when the stored layout changes.
+CACHE_FORMAT_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path("~/.cache/opera-repro").expanduser()
+
+
+class ResultCache:
+    """JSON result store keyed by scenario name + exact parameters."""
+
+    def __init__(self, root: str | os.PathLike[str] | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def key(self, name: str, params: Mapping[str, Any]) -> str:
+        return content_hash(
+            {
+                "version": CACHE_FORMAT_VERSION,
+                "scenario": name,
+                "params": dict(params),
+            }
+        )
+
+    def path(self, name: str, params: Mapping[str, Any]) -> Path:
+        return self.root / name / f"{self.key(name, params)}.json"
+
+    def get(self, name: str, params: Mapping[str, Any]) -> dict[str, Any] | None:
+        """The stored document, or ``None`` on miss/corruption."""
+        path = self.path(name, params)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def put(
+        self, name: str, params: Mapping[str, Any], document: Mapping[str, Any]
+    ) -> Path:
+        """Atomically persist ``document`` for this (name, params) key."""
+        path = self.path(name, params)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        body = json.dumps(dict(document), indent=1, sort_keys=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(body)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self, name: str | None = None) -> int:
+        """Delete entries (all, or one scenario's); returns count removed."""
+        removed = 0
+        roots = [self.root / name] if name else [self.root]
+        for root in roots:
+            if not root.is_dir():
+                continue
+            for entry in root.rglob("*.json"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    # Convenience used by tests and the CLI's cache-status line.
+    def has(self, name: str, params: Mapping[str, Any]) -> bool:
+        return self.path(name, params).is_file()
+
+    def params_json(self, params: Mapping[str, Any]) -> str:
+        return canonical_json(dict(params))

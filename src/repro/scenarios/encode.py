@@ -1,0 +1,66 @@
+"""Deterministic JSON encoding of experiment results.
+
+Experiment ``run()`` functions return plain-python data — dataclasses,
+dicts (sometimes with tuple keys), tuples, lists, numbers. The cache and
+the golden-regression fixtures need a canonical JSON form that round-trips
+bit-identically across runs, so the encoding is structural and explicit:
+
+* dataclasses encode as ``{field: value}`` in field order,
+* mappings with non-string keys encode as ``{"__pairs__": [[k, v], ...]}``
+  in insertion order (python dicts preserve it),
+* tuples and lists both encode as JSON arrays,
+* sets encode sorted by ``repr`` for determinism.
+
+Objects outside this vocabulary raise :class:`EncodeError`; callers treat
+that as "rows-only cacheable" rather than guessing at a lossy repr.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+__all__ = ["EncodeError", "to_jsonable", "canonical_json", "content_hash"]
+
+
+class EncodeError(TypeError):
+    """A value has no deterministic JSON encoding."""
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert ``value`` to JSON-encodable python data."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: to_jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        if all(isinstance(k, str) for k in value):
+            return {k: to_jsonable(v) for k, v in value.items()}
+        return {
+            "__pairs__": [[to_jsonable(k), to_jsonable(v)] for k, v in value.items()]
+        }
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return [to_jsonable(v) for v in sorted(value, key=repr)]
+    if isinstance(value, range):
+        return [value.start, value.stop, value.step]
+    raise EncodeError(f"no deterministic JSON encoding for {type(value).__name__}")
+
+
+def canonical_json(value: Any) -> str:
+    """Canonical (sorted-key, compact) JSON text of ``to_jsonable(value)``."""
+    return json.dumps(
+        to_jsonable(value), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def content_hash(value: Any) -> str:
+    """Stable sha256 hex digest of a value's canonical JSON."""
+    import hashlib
+
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()

@@ -1,0 +1,304 @@
+"""Declarative scenario registry.
+
+Every paper artifact (and any future workload) is described by a
+:class:`Scenario`: a name, a parameter schema derived from the entry
+point's signature, a set of tags (``analysis`` / ``fluid`` / ``packet``),
+and a cost hint. Experiment modules register themselves with the
+:func:`scenario` decorator::
+
+    from ..scenarios import scenario
+
+    @scenario("fig04", tags=("analysis", "graph"), cost="medium",
+              title="path-length CDFs (Figure 4)")
+    def run(k: int = 12, n_racks: int | None = None, seed: int = 0): ...
+
+Registration is import-time and side-effect free beyond the registry
+dict, so worker processes reconstruct the full registry simply by
+importing :mod:`repro.experiments` (see :func:`load_builtin`).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import importlib
+import inspect
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+__all__ = [
+    "Param",
+    "Scenario",
+    "ScenarioError",
+    "scenario",
+    "register",
+    "get",
+    "all_scenarios",
+    "all_tags",
+    "select",
+    "load_builtin",
+]
+
+#: Recognised cost hints, cheapest first (used for ordering ``list`` output
+#: and for scheduling expensive scenarios first in the worker pool).
+COST_HINTS = ("cheap", "medium", "heavy")
+
+_TRUE = frozenset({"1", "true", "yes", "on"})
+_FALSE = frozenset({"0", "false", "no", "off"})
+
+
+class ScenarioError(ValueError):
+    """Unknown scenario, unknown parameter, or malformed override."""
+
+
+@dataclass(frozen=True)
+class Param:
+    """One entry of a scenario's parameter schema."""
+
+    name: str
+    default: Any
+
+    def coerce(self, text: str) -> Any:
+        """Parse a ``--set name=value`` string to the default's type.
+
+        Tuples parse as comma-separated element lists typed after the
+        default tuple's first element; booleans accept ``true/false`` and
+        friends; ``None`` defaults try int, then float, then keep the
+        string (the literal ``none`` stays ``None``).
+        """
+        default = self.default
+        try:
+            if isinstance(default, bool):
+                low = text.strip().lower()
+                if low in _TRUE:
+                    return True
+                if low in _FALSE:
+                    return False
+                raise ValueError(f"not a boolean: {text!r}")
+            if isinstance(default, int):
+                return int(text)
+            if isinstance(default, float):
+                return float(text)
+            if isinstance(default, (tuple, list)):
+                elem = default[0] if len(default) else None
+                parts = [p for p in (s.strip() for s in text.split(",")) if p]
+                return tuple(_coerce_free(p, elem) for p in parts)
+            if default is None:
+                return _coerce_free(text, None)
+            return text
+        except ValueError as exc:
+            raise ScenarioError(
+                f"cannot parse {text!r} for parameter {self.name!r} "
+                f"(default {default!r}): {exc}"
+            ) from None
+
+
+def _coerce_free(text: str, like: Any) -> Any:
+    """Coerce ``text`` after an element exemplar, or by best effort."""
+    if isinstance(like, bool):
+        return Param("<elem>", like).coerce(text)
+    if isinstance(like, int):
+        return int(text)
+    if isinstance(like, float):
+        return float(text)
+    if isinstance(like, str):
+        return text
+    if text.strip().lower() == "none":
+        return None
+    for caster in (int, float):
+        try:
+            return caster(text)
+        except ValueError:
+            pass
+    return text
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A registered, parameterized, tagged experiment entry point."""
+
+    name: str
+    func: Callable[..., Any]
+    module: str
+    description: str
+    tags: tuple[str, ...] = ()
+    cost: str = "cheap"
+    params: dict[str, Param] = field(default_factory=dict)
+    formatter: str = "format_rows"
+
+    # ------------------------------------------------------------ parameters
+
+    def defaults(self) -> dict[str, Any]:
+        return {p.name: p.default for p in self.params.values()}
+
+    def bind(
+        self, overrides: Mapping[str, Any] | None = None, *, strict: bool = True
+    ) -> dict[str, Any]:
+        """Full parameter dict: schema defaults + ``overrides``.
+
+        String override values are coerced to the schema's types; non-string
+        values pass through unchanged (callers already hold python values).
+        With ``strict`` off, keys the scenario doesn't accept are silently
+        dropped (used when one ``--set`` applies across a selection).
+        """
+        params = self.defaults()
+        for key, value in (overrides or {}).items():
+            if key not in self.params:
+                if strict:
+                    raise ScenarioError(
+                        f"scenario {self.name!r} has no parameter {key!r} "
+                        f"(accepts: {', '.join(self.params) or 'none'})"
+                    )
+                continue
+            if isinstance(value, str):
+                value = self.params[key].coerce(value)
+            params[key] = value
+        return params
+
+    def accepts(self, key: str) -> bool:
+        return key in self.params
+
+    # ------------------------------------------------------------- execution
+
+    def execute(self, **params: Any) -> Any:
+        """Run the underlying entry point with ``params``."""
+        return self.func(**params)
+
+    def format(self, value: Any) -> list[str]:
+        """Human-readable rows for a :meth:`execute` result."""
+        formatter = getattr(sys.modules[self.module], self.formatter, None)
+        if formatter is None:
+            return [repr(value)]
+        return formatter(value)
+
+    def matches(self, token: str) -> bool:
+        """True if ``token`` names this scenario exactly or as a glob."""
+        return token == self.name or fnmatch.fnmatchcase(self.name, token)
+
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register(sc: Scenario) -> Scenario:
+    """Insert (or replace, e.g. on module reload) a scenario."""
+    _REGISTRY[sc.name] = sc
+    return sc
+
+
+def scenario(
+    name: str,
+    *,
+    tags: Sequence[str] = (),
+    cost: str = "cheap",
+    title: str | None = None,
+    defaults: Mapping[str, Any] | None = None,
+    formatter: str = "format_rows",
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Decorator: register ``fn`` as scenario ``name``; returns ``fn``.
+
+    The parameter schema is read from the signature (every keyword with a
+    default becomes a :class:`Param`); ``defaults`` overrides individual
+    schema defaults without touching the function's own (used where the
+    registry wants a cheaper default than the library API, e.g. fig04's
+    slice subsampling). ``title`` overrides the docstring-derived
+    description.
+    """
+    if cost not in COST_HINTS:
+        raise ValueError(f"cost hint must be one of {COST_HINTS}, got {cost!r}")
+
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+        params: dict[str, Param] = {}
+        for p in inspect.signature(fn).parameters.values():
+            if p.kind in (p.VAR_POSITIONAL, p.VAR_KEYWORD):
+                continue
+            if p.default is inspect.Parameter.empty:
+                raise ValueError(
+                    f"scenario {name!r}: parameter {p.name!r} has no default; "
+                    "scenario entry points must be fully defaulted"
+                )
+            params[p.name] = Param(p.name, p.default)
+        for key, value in (defaults or {}).items():
+            if key not in params:
+                raise ValueError(
+                    f"scenario {name!r}: defaults override unknown "
+                    f"parameter {key!r}"
+                )
+            params[key] = Param(key, value)
+        description = title or (inspect.getdoc(fn) or name).splitlines()[0]
+        register(
+            Scenario(
+                name=name,
+                func=fn,
+                module=fn.__module__,
+                description=description,
+                tags=tuple(tags),
+                cost=cost,
+                params=params,
+                formatter=formatter,
+            )
+        )
+        return fn
+
+    return decorate
+
+
+def load_builtin() -> None:
+    """Import every bundled experiment module (idempotent).
+
+    Registration happens as a decorator side effect, so importing the
+    :mod:`repro.experiments` package populates the registry — in the parent
+    process and in every worker alike.
+    """
+    importlib.import_module("repro.experiments")
+
+
+def get(name: str) -> Scenario:
+    load_builtin()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ScenarioError(
+            f"unknown scenario {name!r}; known: {known}"
+        ) from None
+
+
+def all_scenarios() -> list[Scenario]:
+    """Every registered scenario, sorted by name."""
+    load_builtin()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def all_tags() -> list[str]:
+    load_builtin()
+    return sorted({t for sc in _REGISTRY.values() for t in sc.tags})
+
+
+def select(
+    names: Iterable[str] = (), tags: Iterable[str] = ()
+) -> list[Scenario]:
+    """Scenarios matching any name/glob in ``names`` or any tag in ``tags``.
+
+    Order follows the registry's sorted order; unknown names (that match
+    nothing, even as a glob) and unknown tags raise :class:`ScenarioError`.
+    """
+    load_builtin()
+    names = list(names)
+    tags = list(tags)
+    known_tags = set(all_tags())
+    for tag in tags:
+        if tag not in known_tags:
+            raise ScenarioError(
+                f"unknown tag {tag!r}; known: {', '.join(sorted(known_tags))}"
+            )
+    picked: list[Scenario] = []
+    for sc in all_scenarios():
+        if any(sc.matches(token) for token in names) or any(
+            t in sc.tags for t in tags
+        ):
+            picked.append(sc)
+    for token in names:
+        if not any(sc.matches(token) for sc in picked):
+            known = ", ".join(sorted(_REGISTRY))
+            raise ScenarioError(f"unknown scenario {token!r}; known: {known}")
+    return picked

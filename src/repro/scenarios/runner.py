@@ -1,0 +1,287 @@
+"""Parallel scenario executor with per-scenario seeds and result caching.
+
+The :class:`Runner` is the single execution path shared by the CLI, the
+pytest-benchmark harness, and the test suite: resolve a selection of
+registered scenarios, bind parameter overrides, derive deterministic
+per-scenario seeds, consult the content-addressed cache, and fan the
+remaining work out over a ``multiprocessing`` pool (heavy scenarios
+first). Workers rebuild the registry by importing :mod:`repro.experiments`
+— only the ``(scenario name, params)`` job descriptor crosses the process
+boundary, never a function object.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from . import registry
+from .cache import ResultCache
+from .encode import EncodeError, to_jsonable
+from .registry import Scenario, ScenarioError
+
+__all__ = ["Runner", "ScenarioResult", "ScenarioExecutionError", "derive_seed"]
+
+
+class ScenarioExecutionError(RuntimeError):
+    """A scenario raised; carries the worker-side traceback text."""
+
+    def __init__(self, name: str, params: Mapping[str, Any], tb: str) -> None:
+        super().__init__(f"scenario {name!r} failed with params {dict(params)!r}:\n{tb}")
+        self.scenario = name
+        self.params = dict(params)
+        self.worker_traceback = tb
+
+
+def derive_seed(base_seed: int, name: str) -> int:
+    """Stable 32-bit seed for one scenario of a seeded batch run.
+
+    Hash-derived (not ``base_seed + i``) so the seed a scenario gets does
+    not depend on which other scenarios were selected alongside it.
+    """
+    digest = hashlib.sha256(f"{base_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario execution (live or cache hit)."""
+
+    name: str
+    params: dict[str, Any]
+    rows: list[str]
+    payload: Any = None
+    value: Any = None
+    cached: bool = False
+    duration_s: float = 0.0
+
+
+@dataclass
+class _Job:
+    scenario: Scenario
+    params: dict[str, Any]
+
+
+def _execute(name: str, params: dict[str, Any]) -> tuple[dict[str, Any], Any]:
+    """Run one scenario; return (cacheable doc, raw python value)."""
+    registry.load_builtin()
+    sc = registry.get(name)
+    start = time.perf_counter()
+    try:
+        value = sc.execute(**params)
+        duration = time.perf_counter() - start
+        # Formatters are scenario code too: a formatter crash must surface
+        # as a ScenarioExecutionError with context, not escape pool.map raw.
+        rows = sc.format(value)
+        try:
+            payload = to_jsonable(value)
+        except EncodeError:
+            payload = None
+    except Exception:
+        doc = {"scenario": name, "params": params, "error": traceback.format_exc()}
+        return doc, None
+    doc = {
+        "scenario": name,
+        "params": params,
+        "rows": rows,
+        "payload": payload,
+        "duration_s": duration,
+    }
+    return doc, value
+
+
+def _execute_job(job: tuple[str, dict[str, Any]]) -> dict[str, Any]:
+    """Pool worker entry: only the picklable doc crosses the boundary."""
+    name, params = job
+    doc, _value = _execute(name, params)
+    return doc
+
+
+class Runner:
+    """Execute selections of registered scenarios, cached and in parallel.
+
+    Parameters
+    ----------
+    workers:
+        Worker-pool size; ``None`` and values ``<= 1`` run in-process
+        (keeping rich python return values available to callers).
+    cache:
+        A :class:`ResultCache`, or ``None`` to disable caching entirely.
+    use_cache:
+        When off, the cache (if any) is still *written* but never read —
+        matching the CLI's ``--no-cache`` refresh semantics.
+    base_seed:
+        When set, every selected scenario that accepts a ``seed`` parameter
+        and wasn't explicitly overridden gets :func:`derive_seed`'s stable
+        per-scenario value instead of its schema default.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        cache: ResultCache | None = None,
+        use_cache: bool = True,
+        base_seed: int | None = None,
+    ) -> None:
+        self.workers = workers
+        self.cache = cache
+        self.use_cache = use_cache
+        self.base_seed = base_seed
+
+    # ------------------------------------------------------------ resolution
+
+    def resolve(
+        self,
+        names: Iterable[str] = (),
+        tags: Iterable[str] = (),
+        overrides: Mapping[str, Any] | None = None,
+    ) -> list[_Job]:
+        """Selection -> fully-bound jobs (overrides coerced per scenario).
+
+        A single override set applies across the whole selection: each key
+        must be accepted by at least one selected scenario (else it is a
+        typo and raises), and binds loosely everywhere else.
+        """
+        scenarios = registry.select(names, tags)
+        overrides = dict(overrides or {})
+        for key in overrides:
+            if not any(sc.accepts(key) for sc in scenarios):
+                accepted = sorted({p for sc in scenarios for p in sc.params})
+                raise ScenarioError(
+                    f"no selected scenario accepts parameter {key!r} "
+                    f"(accepted: {', '.join(accepted) or 'none'})"
+                )
+        strict = len(scenarios) == 1
+        return [
+            _Job(sc, self._bind_with_seed(sc, overrides, strict=strict))
+            for sc in scenarios
+        ]
+
+    def _bind_with_seed(
+        self, sc: Scenario, overrides: Mapping[str, Any], *, strict: bool = True
+    ) -> dict[str, Any]:
+        """Bind overrides, then apply the base-seed derivation policy."""
+        params = sc.bind(overrides, strict=strict)
+        if (
+            self.base_seed is not None
+            and sc.accepts("seed")
+            and "seed" not in overrides
+        ):
+            params["seed"] = derive_seed(self.base_seed, sc.name)
+        return params
+
+    # ------------------------------------------------------------- execution
+
+    def execute(self, name: str, **overrides: Any) -> Any:
+        """Run one scenario in-process and return its raw python value.
+
+        This is the benchmark entry point: same registry, same parameter
+        binding and validation as the CLI, no cache, no pool — so a
+        pytest-benchmark measurement times exactly the scenario body.
+        """
+        sc = registry.get(name)
+        return sc.execute(**sc.bind(overrides))
+
+    def run(
+        self,
+        names: Iterable[str] = (),
+        tags: Iterable[str] = (),
+        overrides: Mapping[str, Any] | None = None,
+    ) -> list[ScenarioResult]:
+        """Resolve a selection and execute it; results in selection order."""
+        return self._run_jobs(self.resolve(names, tags, overrides))
+
+    def sweep(
+        self,
+        name: str,
+        grid: Mapping[str, Sequence[Any]],
+        overrides: Mapping[str, Any] | None = None,
+    ) -> list[ScenarioResult]:
+        """Run ``name`` once per point of the cartesian parameter grid."""
+        sc = registry.get(name)
+        fixed = dict(overrides or {})
+        keys = list(grid)
+        jobs = []
+        for combo in itertools.product(*(grid[k] for k in keys)):
+            point = dict(fixed)
+            point.update(zip(keys, combo))
+            jobs.append(_Job(sc, self._bind_with_seed(sc, point)))
+        return self._run_jobs(jobs)
+
+    # -------------------------------------------------------------- internal
+
+    def _run_jobs(self, jobs: list[_Job]) -> list[ScenarioResult]:
+        results: dict[int, ScenarioResult] = {}
+        misses: list[tuple[int, _Job]] = []
+        for i, job in enumerate(jobs):
+            doc = (
+                self.cache.get(job.scenario.name, job.params)
+                if (self.cache is not None and self.use_cache)
+                else None
+            )
+            if doc is not None and "rows" in doc:
+                results[i] = ScenarioResult(
+                    name=job.scenario.name,
+                    params=job.params,
+                    rows=list(doc["rows"]),
+                    payload=doc.get("payload"),
+                    cached=True,
+                    duration_s=float(doc.get("duration_s", 0.0)),
+                )
+            else:
+                misses.append((i, job))
+
+        n_workers = self.workers or 0
+        if n_workers > 1 and len(misses) > 1:
+            docs = self._run_pool(misses, n_workers)
+        else:
+            docs = []
+            for i, job in misses:
+                doc, value = _execute(job.scenario.name, job.params)
+                docs.append((i, doc, value))
+
+        # Cache every success before surfacing any failure: one bad scenario
+        # in a batch must not throw away minutes of completed work.
+        failure: ScenarioExecutionError | None = None
+        for i, doc, value in docs:
+            job = jobs[i]
+            if "error" in doc:
+                if failure is None:
+                    failure = ScenarioExecutionError(
+                        job.scenario.name, job.params, doc["error"]
+                    )
+                continue
+            if self.cache is not None:
+                self.cache.put(job.scenario.name, job.params, doc)
+            results[i] = ScenarioResult(
+                name=job.scenario.name,
+                params=job.params,
+                rows=list(doc["rows"]),
+                payload=doc.get("payload"),
+                value=value,
+                cached=False,
+                duration_s=float(doc.get("duration_s", 0.0)),
+            )
+        if failure is not None:
+            raise failure
+        return [results[i] for i in range(len(jobs))]
+
+    def _run_pool(
+        self, misses: list[tuple[int, _Job]], n_workers: int
+    ) -> list[tuple[int, dict[str, Any], Any]]:
+        # Schedule expensive scenarios first so the pool tail is short.
+        cost_rank = {c: r for r, c in enumerate(registry.COST_HINTS)}
+        ordered = sorted(
+            misses, key=lambda m: cost_rank.get(m[1].scenario.cost, 0), reverse=True
+        )
+        payloads = [(job.scenario.name, job.params) for _i, job in ordered]
+        with multiprocessing.Pool(min(n_workers, len(ordered))) as pool:
+            docs = pool.map(_execute_job, payloads)
+        # In-process executions keep the raw value; pooled ones do not
+        # (results cross the process boundary as rows + JSON payload).
+        return [(i, doc, None) for (i, _job), doc in zip(ordered, docs)]

@@ -1,16 +1,30 @@
-"""Tests for the experiment-runner CLI."""
+"""Tests for the scenario-runner CLI (list / run / sweep + legacy spelling)."""
 
 import pytest
 
-from repro.cli import EXPERIMENTS, main
+from repro.cli import main
+from repro.scenarios import all_scenarios
 
 
-class TestCli:
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Never let CLI tests read or write the user's real result cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+class TestList:
     def test_list(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         for name in ("fig08", "table1", "fig12"):
             assert name in out
+        assert "tags:" in out
+
+    def test_list_tag_filter(self, capsys):
+        assert main(["list", "--tag", "packet"]) == 0
+        out = capsys.readouterr().out
+        assert "fig07" in out and "fig13" in out
+        assert "table1" not in out
 
     def test_registry_covers_all_paper_artifacts(self):
         expected = {
@@ -18,21 +32,74 @@ class TestCli:
             "fig11", "fig12", "fig13", "fig14", "fig16", "fig17", "fig18",
             "table1", "table2",
         }
-        assert set(EXPERIMENTS) == expected
+        assert {sc.name for sc in all_scenarios()} == expected
 
-    def test_unknown_experiment(self, capsys):
-        assert main(["fig99"]) == 2
-        assert "unknown experiment" in capsys.readouterr().err
+
+class TestRun:
+    def test_unknown_scenario(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
 
     def test_run_table1(self, capsys):
-        assert main(["table1"]) == 0
-        out = capsys.readouterr().out
-        assert "12,096" in out
+        assert main(["run", "table1"]) == 0
+        assert "12,096" in capsys.readouterr().out
 
-    def test_run_fig06(self, capsys):
+    def test_run_fig06_with_override(self, capsys):
+        assert main(["run", "fig06", "--set", "n_racks=216"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle_ms" in out
+        assert "'n_racks': 216" in out
+
+    def test_run_by_tag(self, capsys):
+        assert main(["run", "--tag", "timing", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "fig06" in out and "fig14" in out
+
+    def test_second_run_hits_cache(self, capsys):
+        assert main(["run", "fig06", "--quiet"]) == 0
+        assert "[cached]" not in capsys.readouterr().out
+        assert main(["run", "fig06", "--quiet"]) == 0
+        assert "[cached]" in capsys.readouterr().out
+
+    def test_no_cache_skips_reads(self, capsys):
+        assert main(["run", "fig06", "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["run", "fig06", "--quiet", "--no-cache"]) == 0
+        assert "[cached]" not in capsys.readouterr().out
+
+    def test_empty_selection_errors(self, capsys):
+        assert main(["run"]) == 2
+        assert "nothing selected" in capsys.readouterr().err
+
+    def test_bad_override_errors(self, capsys):
+        assert main(["run", "fig06", "--set", "bogus=1"]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_sweep_grid(self, capsys):
+        assert main(
+            ["sweep", "fig06", "--set", "n_racks=108,216", "--quiet"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "'n_racks': 108" in out and "'n_racks': 216" in out
+
+    def test_sweep_requires_set(self, capsys):
+        assert main(["sweep", "fig06"]) == 2
+        assert "--set" in capsys.readouterr().err
+
+
+class TestLegacySpelling:
+    def test_bare_experiment_name(self, capsys):
+        assert main(["table1"]) == 0
+        assert "12,096" in capsys.readouterr().out
+
+    def test_legacy_k_flag(self, capsys):
         assert main(["fig06"]) == 0
         assert "cycle_ms" in capsys.readouterr().out
+        assert main(["fig04", "--k", "12", "--quiet"]) == 0
+        assert "'k': 12" in capsys.readouterr().out
 
-    def test_run_fig14(self, capsys):
-        assert main(["fig14"]) == 0
-        assert "rel-cycle" in capsys.readouterr().out
+    def test_legacy_unknown_name(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err

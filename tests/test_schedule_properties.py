@@ -1,0 +1,141 @@
+"""Property tests for the Opera schedule and matching factorization.
+
+The three invariants the scenario runner leans on (ISSUE 1):
+
+* every topology slice instantiates perfect matchings — each up switch's
+  matching is an involution permutation of the racks,
+* guard bands never overlap adjacent slices (2 * guard < slice), and
+* the union of matchings over one full cycle covers every unordered rack
+  pair, each seen in exactly ``group_size - 1`` slices.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lifting import lifted_random_factorization
+from repro.core.matchings import (
+    is_involution,
+    matching_edges,
+    verify_factorization,
+)
+from repro.core.schedule import OperaSchedule
+from repro.core.timing import PS_PER_US, TimingParams
+
+
+def schedule_shapes():
+    """Valid (n_racks, n_switches) pairs small enough for exhaustive walks."""
+    return st.sampled_from(
+        [(8, 4), (12, 4), (12, 6), (16, 4), (20, 5), (24, 6), (30, 6)]
+    )
+
+
+class TestSlicesArePerfectMatchings:
+    @given(schedule_shapes(), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=12, deadline=None)
+    def test_every_active_matching_is_an_involution_permutation(self, shape, seed):
+        n, u = shape
+        sched = OperaSchedule(n, u, seed=seed)
+        for s in range(sched.cycle_slices):
+            for w, matching in sched.active_matchings(s).items():
+                assert len(matching) == n
+                assert sorted(matching) == list(range(n))  # permutation
+                assert is_involution(matching)  # symmetric pairing
+                assert not sched.is_down(w, s)
+
+    @given(schedule_shapes(), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=12, deadline=None)
+    def test_slice_degree_matches_up_switch_count(self, shape, seed):
+        """Each rack has one circuit per up switch, minus idle self-loops."""
+        n, u = shape
+        sched = OperaSchedule(n, u, seed=seed)
+        for s in range(0, sched.cycle_slices, max(1, sched.cycle_slices // 6)):
+            up = sched.up_switches(s)
+            adj = sched.slice_adjacency(s)
+            for rack in range(n):
+                loops = sum(
+                    1 for w in up if sched.matching_of(w, s)[rack] == rack
+                )
+                assert len(adj[rack]) == len(up) - loops
+
+    @given(
+        st.sampled_from([8, 12, 16, 20, 24, 30]),
+        st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_lifted_factorization_is_exact_cover_of_involutions(self, n, seed):
+        factors = lifted_random_factorization(n, random.Random(seed))
+        assert len(factors) == n
+        assert all(is_involution(f) for f in factors)
+        verify_factorization(factors, n)  # disjoint + exact edge cover
+
+
+class TestGuardBands:
+    @given(
+        st.integers(min_value=1, max_value=200 * PS_PER_US),
+        st.integers(min_value=0, max_value=50 * PS_PER_US),
+        st.integers(min_value=0, max_value=150 * PS_PER_US),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_guard_windows_never_overlap_adjacent_slices(
+        self, epsilon_ps, reconfiguration_ps, guard_ps
+    ):
+        """Either construction rejects the guard, or windows are disjoint.
+
+        The guard window around reconfiguration boundary ``i`` is
+        ``[i * slice - guard, i * slice + guard]``; adjacent boundaries are
+        one slice apart, so disjointness is exactly ``2 * guard < slice``.
+        """
+        try:
+            timing = TimingParams(
+                n_racks=108,
+                n_switches=6,
+                epsilon_ps=epsilon_ps,
+                reconfiguration_ps=reconfiguration_ps,
+                guard_ps=guard_ps,
+            )
+        except ValueError:
+            # Construction must only refuse guards that would overlap (or
+            # degenerate epsilon); never reject a harmless guard.
+            assert 2 * guard_ps >= epsilon_ps + reconfiguration_ps
+            return
+        slice_ps = timing.slice_ps
+        windows = [
+            (i * slice_ps - timing.guard_ps, i * slice_ps + timing.guard_ps)
+            for i in range(1, 4)
+        ]
+        for (a_lo, a_hi), (b_lo, b_hi) in zip(windows, windows[1:]):
+            assert a_hi < b_lo  # a full-rate gap remains inside each slice
+        # Guards consume capacity but must never consume all of it.
+        assert 0.0 < timing.low_latency_capacity_factor <= 1.0
+        assert 0.0 < timing.bulk_capacity_factor <= 1.0
+
+    def test_overlapping_guard_rejected(self):
+        with pytest.raises(ValueError, match="guard band"):
+            TimingParams(
+                n_racks=108,
+                n_switches=6,
+                epsilon_ps=90 * PS_PER_US,
+                reconfiguration_ps=10 * PS_PER_US,
+                guard_ps=50 * PS_PER_US,  # 2 * 50 us >= 100 us slice
+            )
+
+
+class TestCycleCoverage:
+    @given(schedule_shapes(), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=10, deadline=None)
+    def test_union_over_cycle_covers_all_rack_pairs(self, shape, seed):
+        n, u = shape
+        sched = OperaSchedule(n, u, seed=seed)
+        seen: dict[tuple[int, int], int] = {}
+        for s in range(sched.cycle_slices):
+            for matching in sched.active_matchings(s).values():
+                for edge in matching_edges(matching):
+                    seen[edge] = seen.get(edge, 0) + 1
+        all_pairs = {(a, b) for a in range(n) for b in range(a + 1, n)}
+        assert set(seen) == all_pairs
+        # Each pair's owning switch shows it group_size slices per cycle,
+        # one of which is the switch's own down slice.
+        assert set(seen.values()) == {sched.group_size - 1}

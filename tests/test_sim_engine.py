@@ -79,6 +79,55 @@ class TestSimulator:
         sim.run(until_ps=123)
         assert sim.now == 123
 
+    def test_max_events_leaves_now_behind_horizon(self):
+        # Contract: when the event budget (not the horizon) stops the run,
+        # the clock stays at the last processed event — the runner cannot
+        # claim the rest of the interval was quiet.
+        sim = Simulator()
+        for t in (10, 20, 30):
+            sim.at(t, lambda: None)
+        processed = sim.run(until_ps=100, max_events=2)
+        assert processed == 2
+        assert sim.now == 20  # behind the horizon by design
+        assert sim.pending == 1
+        # A later chunked call resumes cleanly and then idles to the horizon.
+        processed = sim.run(until_ps=100, max_events=10)
+        assert processed == 1
+        assert sim.now == 100
+        assert sim.events_processed == 3
+
+    def test_max_events_exhausted_on_last_event_does_not_advance(self):
+        # Boundary: the budget runs out exactly as the heap empties; the
+        # clock still must not jump to the horizon (the run can't know the
+        # heap is quiet without budget left to look).
+        sim = Simulator()
+        sim.at(10, lambda: None)
+        sim.at(20, lambda: None)
+        assert sim.run(until_ps=500, max_events=2) == 2
+        assert sim.now == 20
+        # With budget to spare the same drain idles forward as usual.
+        assert sim.run(until_ps=500, max_events=5) == 0
+        assert sim.now == 500
+
+    def test_horizon_wins_over_max_events(self):
+        # Events beyond the horizon don't count against the budget and the
+        # idle-advance still applies when the horizon (not the budget)
+        # bounds the run.
+        sim = Simulator()
+        sim.at(10, lambda: None)
+        sim.at(900, lambda: None)
+        assert sim.run(until_ps=100, max_events=5) == 1
+        assert sim.now == 100
+        assert sim.pending == 1
+
+    def test_scheduling_into_skipped_interval_is_rejected(self):
+        # Companion to the idle-advance: once the clock reached the horizon,
+        # the skipped interval is really in the past.
+        sim = Simulator()
+        sim.run(until_ps=50)
+        with pytest.raises(ValueError):
+            sim.at(25, lambda: None)
+
 
 class TestPort:
     def _port(self, sim, sink, **kwargs):
