@@ -3,48 +3,19 @@
 Larger groups shorten the cycle (lower bulk waiting, smaller amortization
 threshold) but take more switches down per slice (less instantaneous
 expander capacity and direct supply). Swept on a 48-rack, 12-switch
-network.
+network through the registered ``ablation_grouping`` scenario.
 """
 
-from conftest import emit, run_once
+from conftest import emit, run_scenario
 
-from repro.core.routing import OperaRouting
-from repro.core.schedule import OperaSchedule
-from repro.core.timing import TimingParams
-
-
-def _run():
-    rows = []
-    for group in (12, 6, 4, 3):
-        sched = OperaSchedule(48, 12, group_size=group, seed=0)
-        timing = TimingParams(n_racks=48, n_switches=12, group_size=group)
-        routing = OperaRouting(sched)
-        hist = routing.path_length_histogram()
-        total = sum(hist.values())
-        avg = sum(h * c for h, c in hist.items()) / total
-        rows.append(
-            {
-                "group": group,
-                "down_per_slice": 12 // group,
-                "cycle_slices": sched.cycle_slices,
-                "cycle_ms": timing.cycle_ps / 1e9,
-                "threshold_MB": timing.bulk_threshold_bytes / 1e6,
-                "avg_path": avg,
-            }
-        )
-    return rows
+from repro.experiments.ablations import format_grouping
 
 
 def test_ablation_grouping(benchmark):
-    rows = run_once(benchmark, _run)
+    rows = run_scenario(benchmark, "ablation_grouping")
     emit(
         "Ablation: reconfiguration group size (48 racks, u=12)",
-        [
-            f"group {r['group']:2d} ({r['down_per_slice']} down/slice): "
-            f"cycle {r['cycle_slices']:3d} slices = {r['cycle_ms']:5.2f} ms, "
-            f"threshold {r['threshold_MB']:4.1f} MB, avg path {r['avg_path']:.2f}"
-            for r in rows
-        ],
+        format_grouping(rows),
     )
     by = {r["group"]: r for r in rows}
     # Smaller groups -> shorter cycles (less bulk delay)...

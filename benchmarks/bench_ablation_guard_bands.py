@@ -2,60 +2,18 @@
 
 The paper: "each us of guard time contributes a 1% relative reduction in
 low-latency capacity and a 0.2% reduction for bulk traffic", and bulk
-throughput scales with the duty cycle. Swept here over 0-10 us guards.
+throughput scales with the duty cycle. Swept over 0-10 us guards through
+the registered ``ablation_guard_bands`` scenario.
 """
 
-from conftest import emit, run_once
+from conftest import emit, run_scenario
 
-from repro.core.schedule import OperaSchedule
-from repro.core.timing import PS_PER_US, TimingParams
-from repro.fluid import RotorFluidSimulation
-
-
-def _run():
-    rows = []
-    for guard_us in (0, 1, 2, 5, 10):
-        timing = TimingParams(
-            n_racks=108, n_switches=6, guard_ps=guard_us * PS_PER_US
-        )
-        sched = OperaSchedule(24, 6, seed=0)
-        fluid_timing = TimingParams(
-            n_racks=24, n_switches=6, guard_ps=guard_us * PS_PER_US
-        )
-        sim = RotorFluidSimulation(
-            sched,
-            TimingParams(
-                n_racks=24,
-                n_switches=6,
-                reconfiguration_ps=fluid_timing.reconfiguration_ps
-                + 2 * guard_us * PS_PER_US,
-            ),
-            hosts_per_rack=6,
-        )
-        sim.add_all_to_all(100_000)
-        res = sim.run(max_slices=6000)
-        mid = [v for _t, v in res.throughput_series[: res.slices_run // 2]]
-        rows.append(
-            {
-                "guard_us": guard_us,
-                "ll_factor": timing.low_latency_capacity_factor,
-                "bulk_factor": timing.bulk_capacity_factor,
-                "shuffle_throughput": sum(mid) / len(mid),
-            }
-        )
-    return rows
+from repro.experiments.ablations import format_guard_bands
 
 
 def test_ablation_guard_bands(benchmark):
-    rows = run_once(benchmark, _run)
-    emit(
-        "Ablation: guard bands",
-        [
-            f"guard {r['guard_us']:2d} us: low-latency x{r['ll_factor']:.3f}  "
-            f"bulk x{r['bulk_factor']:.4f}  shuffle thr {r['shuffle_throughput']:.3f}"
-            for r in rows
-        ],
-    )
+    rows = run_scenario(benchmark, "ablation_guard_bands")
+    emit("Ablation: guard bands", format_guard_bands(rows))
     by = {r["guard_us"]: r for r in rows}
     # Paper's coefficients: 1%/us low-latency, ~0.2%/us bulk.
     assert abs((1 - by[1]["ll_factor"]) - 0.01) < 1e-6

@@ -3,54 +3,21 @@
 The paper adopts RotorNet's automatic transition to Valiant load balancing
 for skewed bulk traffic. This ablation quantifies it: a single hot rack
 pair with and without VLB, in both the fluid model and the packet
-simulator.
+simulator, through the registered ``ablation_vlb`` scenario.
 """
 
-import numpy as np
-from conftest import emit, run_once
+from conftest import emit, run_scenario
 
-from repro.core.schedule import OperaSchedule
-from repro.core.timing import TimingParams
-from repro.core.topology import OperaNetwork
-from repro.fluid import RotorFluidSimulation
-from repro.net import OperaSimNetwork
-
-MS = 1_000_000_000
-
-
-def _run():
-    # Fluid, paper scale: 30 MB rack-pair backlog.
-    results = {}
-    for vlb in (True, False):
-        sched = OperaSchedule(108, 6, seed=0)
-        timing = TimingParams(n_racks=108, n_switches=6)
-        sim = RotorFluidSimulation(sched, timing, hosts_per_rack=6, enable_vlb=vlb)
-        demand = np.zeros((108, 108))
-        demand[0][1] = 30e6
-        sim.add_demand(demand)
-        res = sim.run(max_slices=8000)
-        results[("fluid", vlb)] = res.pair_completion_ms[(0, 1)]
-    # Packet level, reduced scale: 2 MB host flow.
-    for vlb in (True, False):
-        sim = OperaSimNetwork(OperaNetwork(k=8, n_racks=8, seed=0), enable_vlb=vlb)
-        rec = sim.start_bulk_flow(0, 30, 2_000_000)
-        sim.run(60 * MS)
-        results[("packet", vlb)] = rec.fct_ps / 1e9 if rec.complete else None
-    return results
+from repro.experiments.ablations import format_vlb
 
 
 def test_ablation_vlb(benchmark):
-    results = run_once(benchmark, _run)
-    rows = [
-        f"{level:>7s} vlb={vlb!s:5s} completion: "
-        + (f"{value:.2f} ms" if value is not None else "unfinished")
-        for (level, vlb), value in results.items()
-    ]
-    emit("Ablation: two-hop VLB for skewed bulk traffic", rows)
+    results = run_scenario(benchmark, "ablation_vlb")
+    emit("Ablation: two-hop VLB for skewed bulk traffic", format_vlb(results))
     # VLB multiplies a hot pair's capacity by spreading over all racks:
     # expect a large completion-time improvement at both fidelities.
-    assert results[("fluid", True)] < results[("fluid", False)] / 2
-    assert results[("packet", True)] is not None
-    assert results[("packet", False)] is None or (
-        results[("packet", True)] <= results[("packet", False)]
+    assert results["fluid_vlb=True"] < results["fluid_vlb=False"] / 2
+    assert results["packet_vlb=True"] is not None
+    assert results["packet_vlb=False"] is None or (
+        results["packet_vlb=True"] <= results["packet_vlb=False"]
     )

@@ -1,0 +1,36 @@
+"""Engine throughput: fig07 microbenchmark under both schedulers.
+
+Runs the fixed Figure 7 packet workload through the heap and timing-wheel
+schedulers, asserts the fast-path engine's floor, and writes a local
+``BENCH_engine.local.json`` snapshot. The *committed* ``BENCH_engine.json``
+(the CI perf-smoke anchor) is only updated deliberately, via::
+
+    PYTHONPATH=src python benchmarks/engine_microbench.py \
+        --repeat 3 --output BENCH_engine.json
+"""
+
+import json
+from pathlib import Path
+
+from conftest import emit, run_once
+
+from engine_microbench import PRE_PR_REFERENCE, format_rows, run_microbench
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_engine.local.json"
+
+
+def test_engine_microbench(benchmark):
+    doc = run_once(benchmark, run_microbench)
+    emit("Engine microbenchmark (fig07 workload)", format_rows(doc))
+    ARTIFACT.write_text(json.dumps(doc, indent=2) + "\n")
+    heap = doc["engines"]["heap"]
+    wheel = doc["engines"]["wheel"]
+    # Identical workload, identical results: both schedulers dispatch the
+    # same number of events and hops (bit-identical runs).
+    assert heap["events"] == wheel["events"]
+    assert heap["packet_hops"] == wheel["packet_hops"]
+    # The fast-path engine must stay comfortably ahead of the pre-PR
+    # engine's event throughput on the reference stream (>=3x at commit
+    # time; this floor only guards against catastrophic regressions since
+    # CI machines vary).
+    assert heap["reference_events_per_sec"] > PRE_PR_REFERENCE["events_per_sec"]

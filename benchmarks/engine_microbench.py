@@ -1,0 +1,237 @@
+"""Engine microbenchmark: the fig07 packet workload, events/sec tracked.
+
+Runs the Figure 7 reduced-scale workload (Datamining arrivals at 10% load
+over all five evaluation networks, 4 ms of arrivals + 10 ms drain) under
+each scheduler and records throughput to ``BENCH_engine.json`` so the
+engine's perf trajectory is tracked from PR 2 on.
+
+Metrics per engine configuration:
+
+* ``events`` / ``wall_s`` / ``events_per_sec`` — raw dispatch throughput.
+  Note that the fast-path engine *eliminates* events (no per-packet
+  transmission-done event on an idle line), so its raw events/sec
+  understates the win: fewer, heavier events remain.
+* ``packet_hops`` / ``hops_per_sec`` — simulated work per second, the
+  event-structure-independent measure.
+* ``reference_events_per_sec`` — the pre-PR engine's event count for this
+  exact workload divided by the current wall time: throughput denominated
+  in the *reference* event stream, directly comparable across engine
+  rewrites (this is the number the CI perf-smoke gate and the >=3x
+  acceptance threshold use).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/engine_microbench.py \
+        --output BENCH_engine.json [--check BENCH_engine.json] [--repeat 3]
+
+``--check`` compares the fresh run against a committed artifact and exits
+non-zero on a >2x regression of ``reference_events_per_sec``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.fctsim import build_network
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.distributions import DATAMINING
+
+MS = 1_000_000_000
+
+#: The fixed microbenchmark workload (the fig07 reduced-scale point).
+WORKLOAD = {
+    "networks": ["opera", "expander", "clos", "rotornet-hybrid", "rotornet"],
+    "k": 8,
+    "n_racks": 8,
+    "load": 0.10,
+    "duration_ms": 4.0,
+    "drain_ms": 10.0,
+    "size_cap": 3_000_000,
+    "seed": 0,
+}
+
+#: Pre-PR (single-heap, one-event-per-packet) engine measured on this exact
+#: workload — committed alongside the fast-path engine so every future run
+#: reports its speedup against the same anchor. Event counts are exact
+#: (deterministic); the wall clock is the machine that produced this PR.
+PRE_PR_REFERENCE = {
+    "events": 970_020,
+    "wall_s": 3.182,
+    "events_per_sec": 304_845,
+}
+
+
+def _all_ports(net):
+    """Every Port of a SimNetwork (NICs, host ports, fabric/uplink ports)."""
+    for host in net.hosts:
+        if host.nic is not None:
+            yield host.nic
+    yield from getattr(net, "host_ports", {}).values()
+    for group in ("uplink_ports", "tor_up", "agg_down", "agg_up", "core_down"):
+        for ports in getattr(net, group, []):
+            yield from ports.values()
+    yield from getattr(net, "fabric_up", [])
+    yield from getattr(net, "fabric_down", [])
+
+
+def run_network(kind: str, scheduler: str) -> dict:
+    """One network of the workload; returns events/hops/wall."""
+    import os
+
+    prev = os.environ.get("REPRO_SCHEDULER")
+    os.environ["REPRO_SCHEDULER"] = scheduler
+    try:
+        t0 = time.perf_counter()
+        net = build_network(
+            kind, k=WORKLOAD["k"], n_racks=WORKLOAD["n_racks"], seed=WORKLOAD["seed"]
+        )
+        arrivals = PoissonArrivals(
+            DATAMINING.truncated(WORKLOAD["size_cap"]),
+            load=WORKLOAD["load"],
+            n_hosts=len(net.hosts),
+            hosts_per_rack=sum(1 for h in net.hosts if h.rack == 0),
+            seed=WORKLOAD["seed"],
+        )
+        threshold = getattr(
+            getattr(net, "network", None), "bulk_threshold_bytes", 1 << 62
+        )
+        for flow in arrivals.flows(duration_ps=int(WORKLOAD["duration_ms"] * MS)):
+            if flow.size_bytes >= threshold:
+                net.start_bulk_flow(
+                    flow.src_host, flow.dst_host, flow.size_bytes, flow.time_ps
+                )
+            else:
+                net.start_low_latency_flow(
+                    flow.src_host, flow.dst_host, flow.size_bytes, flow.time_ps
+                )
+        net.run(
+            until_ps=int((WORKLOAD["duration_ms"] + WORKLOAD["drain_ms"]) * MS)
+        )
+        wall = time.perf_counter() - t0
+    finally:
+        if prev is None:
+            os.environ.pop("REPRO_SCHEDULER", None)
+        else:
+            os.environ["REPRO_SCHEDULER"] = prev
+    hops = sum(port.stats.sent_packets for port in _all_ports(net))
+    return {
+        "network": kind,
+        "events": net.sim.events_processed,
+        "packet_hops": hops,
+        "wall_s": wall,
+        "flows": len(net.stats.flows),
+        "completed": len(net.stats.completed_flows()),
+    }
+
+
+def run_engine(scheduler: str, repeat: int = 1) -> dict:
+    """The full workload under one scheduler; best-of-``repeat`` wall."""
+    best: list[dict] | None = None
+    for _ in range(repeat):
+        rows = [run_network(kind, scheduler) for kind in WORKLOAD["networks"]]
+        if best is None or sum(r["wall_s"] for r in rows) < sum(
+            r["wall_s"] for r in best
+        ):
+            best = rows
+    assert best is not None
+    events = sum(r["events"] for r in best)
+    hops = sum(r["packet_hops"] for r in best)
+    wall = sum(r["wall_s"] for r in best)
+    return {
+        "scheduler": scheduler,
+        "events": events,
+        "packet_hops": hops,
+        "wall_s": round(wall, 4),
+        "events_per_sec": int(events / wall),
+        "hops_per_sec": int(hops / wall),
+        "reference_events_per_sec": int(PRE_PR_REFERENCE["events"] / wall),
+        "per_network": best,
+    }
+
+
+def run_microbench(
+    schedulers: tuple[str, ...] = ("heap", "wheel"), repeat: int = 1
+) -> dict:
+    engines = {s: run_engine(s, repeat=repeat) for s in schedulers}
+    heap = engines.get("heap") or next(iter(engines.values()))
+    return {
+        "benchmark": "fig07-engine-microbench",
+        "workload": WORKLOAD,
+        "pre_pr_reference": PRE_PR_REFERENCE,
+        "engines": engines,
+        "speedup_wall_vs_pre_pr": round(
+            PRE_PR_REFERENCE["wall_s"] / heap["wall_s"], 2
+        ),
+        "speedup_reference_eps_vs_pre_pr": round(
+            heap["reference_events_per_sec"] / PRE_PR_REFERENCE["events_per_sec"], 2
+        ),
+    }
+
+
+def format_rows(doc: dict) -> list[str]:
+    rows = []
+    for name, eng in doc["engines"].items():
+        rows.append(
+            f"{name:>6s}: {eng['events']:8d} events in {eng['wall_s']:6.3f} s "
+            f"= {eng['events_per_sec']:>9,d} ev/s  "
+            f"({eng['hops_per_sec']:>9,d} hops/s, "
+            f"{eng['reference_events_per_sec']:>9,d} ref-ev/s)"
+        )
+    ref = doc["pre_pr_reference"]
+    rows.append(
+        f"pre-PR: {ref['events']:8d} events in {ref['wall_s']:6.3f} s "
+        f"= {ref['events_per_sec']:>9,d} ev/s"
+    )
+    rows.append(
+        f"speedup vs pre-PR: {doc['speedup_wall_vs_pre_pr']}x wall, "
+        f"{doc['speedup_reference_eps_vs_pre_pr']}x reference events/sec"
+    )
+    return rows
+
+
+def check_regression(doc: dict, committed_path: Path) -> int:
+    """Exit status: non-zero on a >2x reference-events/sec regression."""
+    committed = json.loads(committed_path.read_text())
+    baseline = committed["engines"]["heap"]["reference_events_per_sec"]
+    fresh = doc["engines"]["heap"]["reference_events_per_sec"]
+    floor = baseline / 2
+    print(
+        f"perf-smoke: fresh {fresh:,d} ref-ev/s vs committed {baseline:,d} "
+        f"(floor {floor:,.0f})"
+    )
+    if fresh < floor:
+        print("perf-smoke: FAIL — >2x events/sec regression", file=sys.stderr)
+        return 1
+    print("perf-smoke: ok")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the JSON artifact here")
+    parser.add_argument("--check", type=Path, default=None,
+                        help="committed BENCH_engine.json to gate against")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="take the best of N runs per engine")
+    parser.add_argument("--schedulers", default="heap,wheel",
+                        help="comma-separated scheduler list")
+    args = parser.parse_args(argv)
+    schedulers = tuple(s for s in args.schedulers.split(",") if s)
+    doc = run_microbench(schedulers, repeat=args.repeat)
+    for row in format_rows(doc):
+        print(row)
+    if args.output is not None:
+        args.output.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    if args.check is not None and args.check.exists():
+        return check_regression(doc, args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

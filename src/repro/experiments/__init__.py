@@ -12,6 +12,7 @@ run closer to paper scale where feasible.
 """
 
 from . import (
+    ablations,
     fig01_distributions,
     fig04_path_lengths,
     fig06_timing,
@@ -31,6 +32,7 @@ from . import (
 )
 
 __all__ = [
+    "ablations",
     "fig01_distributions",
     "fig04_path_lengths",
     "fig06_timing",

@@ -1,0 +1,210 @@
+"""Design-choice ablations, registered as first-class scenarios.
+
+The three ablations the paper's design rests on — reconfiguration-group
+size (Appendix B), synchronization guard bands (section 3.5) and RotorLB's
+two-hop VLB (section 4.2.2) — used to live only as bespoke benchmark
+helpers. Registering them with the scenario registry gives them the CLI,
+the result cache, sweeps and the shared benchmark harness for free:
+
+    python -m repro.cli run --tag ablation
+    python -m repro.cli sweep ablation_grouping --set groups=12,6,4,3
+
+``benchmarks/bench_ablation_*.py`` wrap these entry points through
+``run_scenario()`` exactly like the figure benches do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.routing import OperaRouting
+from ..core.schedule import OperaSchedule
+from ..core.timing import PS_PER_US, TimingParams
+from ..fluid import RotorFluidSimulation
+from ..net import OperaSimNetwork
+from ..core.topology import OperaNetwork
+from ..scenarios import scenario
+
+__all__ = [
+    "run_grouping",
+    "run_guard_bands",
+    "run_vlb",
+    "format_grouping",
+    "format_guard_bands",
+    "format_vlb",
+]
+
+MS = 1_000_000_000
+
+
+# ---------------------------------------------------------------- grouping
+
+
+@scenario(
+    "ablation_grouping",
+    tags=("analysis", "ablation"),
+    cost="cheap",
+    title="Ablation: reconfiguration group size (Appendix B)",
+    formatter="format_grouping",
+)
+def run_grouping(
+    n_racks: int = 48,
+    n_switches: int = 12,
+    groups: tuple[int, ...] = (12, 6, 4, 3),
+    seed: int = 0,
+) -> list[dict]:
+    """Cycle time / threshold / path-length trade-off vs group size.
+
+    Larger groups shorten the cycle (lower bulk waiting, smaller
+    amortization threshold) but take more switches down per slice (less
+    instantaneous expander capacity and direct supply).
+    """
+    rows = []
+    for group in groups:
+        sched = OperaSchedule(n_racks, n_switches, group_size=group, seed=seed)
+        timing = TimingParams(
+            n_racks=n_racks, n_switches=n_switches, group_size=group
+        )
+        routing = OperaRouting(sched)
+        hist = routing.path_length_histogram()
+        total = sum(hist.values())
+        avg = sum(h * c for h, c in hist.items()) / total
+        rows.append(
+            {
+                "group": group,
+                "down_per_slice": n_switches // group,
+                "cycle_slices": sched.cycle_slices,
+                "cycle_ms": timing.cycle_ps / 1e9,
+                "threshold_MB": timing.bulk_threshold_bytes / 1e6,
+                "avg_path": avg,
+            }
+        )
+    return rows
+
+
+def format_grouping(rows: list[dict]) -> list[str]:
+    return [
+        f"group {r['group']:2d} ({r['down_per_slice']} down/slice): "
+        f"cycle {r['cycle_slices']:3d} slices = {r['cycle_ms']:5.2f} ms, "
+        f"threshold {r['threshold_MB']:4.1f} MB, avg path {r['avg_path']:.2f}"
+        for r in rows
+    ]
+
+
+# ------------------------------------------------------------- guard bands
+
+
+@scenario(
+    "ablation_guard_bands",
+    tags=("fluid", "ablation"),
+    cost="medium",
+    title="Ablation: synchronization guard bands (section 3.5)",
+    formatter="format_guard_bands",
+)
+def run_guard_bands(
+    guards_us: tuple[int, ...] = (0, 1, 2, 5, 10),
+    n_racks: int = 24,
+    n_switches: int = 6,
+    shuffle_bytes: int = 100_000,
+    max_slices: int = 6000,
+    seed: int = 0,
+) -> list[dict]:
+    """Capacity factors and measured shuffle throughput vs guard time.
+
+    The paper: "each us of guard time contributes a 1% relative reduction
+    in low-latency capacity and a 0.2% reduction for bulk traffic".
+    """
+    rows = []
+    for guard_us in guards_us:
+        # Capacity factors use the same geometry as the measured fluid sim
+        # (they depend on slice/holding time, i.e. on n_switches only).
+        timing = TimingParams(
+            n_racks=n_racks, n_switches=n_switches, guard_ps=guard_us * PS_PER_US
+        )
+        sched = OperaSchedule(n_racks, n_switches, seed=seed)
+        fluid_timing = TimingParams(n_racks=n_racks, n_switches=n_switches)
+        sim = RotorFluidSimulation(
+            sched,
+            TimingParams(
+                n_racks=n_racks,
+                n_switches=n_switches,
+                reconfiguration_ps=fluid_timing.reconfiguration_ps
+                + 2 * guard_us * PS_PER_US,
+            ),
+            hosts_per_rack=n_switches,
+        )
+        sim.add_all_to_all(shuffle_bytes)
+        res = sim.run(max_slices=max_slices)
+        mid = [v for _t, v in res.throughput_series[: res.slices_run // 2]]
+        rows.append(
+            {
+                "guard_us": guard_us,
+                "ll_factor": timing.low_latency_capacity_factor,
+                "bulk_factor": timing.bulk_capacity_factor,
+                "shuffle_throughput": sum(mid) / len(mid),
+            }
+        )
+    return rows
+
+
+def format_guard_bands(rows: list[dict]) -> list[str]:
+    return [
+        f"guard {r['guard_us']:2d} us: low-latency x{r['ll_factor']:.3f}  "
+        f"bulk x{r['bulk_factor']:.4f}  shuffle thr {r['shuffle_throughput']:.3f}"
+        for r in rows
+    ]
+
+
+# -------------------------------------------------------------------- VLB
+
+
+@scenario(
+    "ablation_vlb",
+    tags=("fluid", "packet", "ablation"),
+    cost="heavy",
+    title="Ablation: two-hop VLB for skewed bulk traffic (section 4.2.2)",
+    formatter="format_vlb",
+)
+def run_vlb(
+    fluid_racks: int = 108,
+    fluid_demand_bytes: float = 30e6,
+    packet_flow_bytes: int = 2_000_000,
+    seed: int = 0,
+) -> dict:
+    """Hot rack-pair completion time with and without VLB, both fidelities.
+
+    A single skewed rack pair is served either direct-only or with
+    RotorNet-style automatic transition to two-hop Valiant load balancing;
+    VLB multiplies the pair's capacity by spreading it over all racks.
+    """
+    results: dict[str, float | None] = {}
+    for vlb in (True, False):
+        sched = OperaSchedule(fluid_racks, 6, seed=seed)
+        timing = TimingParams(n_racks=fluid_racks, n_switches=6)
+        sim = RotorFluidSimulation(
+            sched, timing, hosts_per_rack=6, enable_vlb=vlb
+        )
+        demand = np.zeros((fluid_racks, fluid_racks))
+        demand[0][1] = fluid_demand_bytes
+        sim.add_demand(demand)
+        res = sim.run(max_slices=8000)
+        results[f"fluid_vlb={vlb}"] = res.pair_completion_ms[(0, 1)]
+    for vlb in (True, False):
+        sim = OperaSimNetwork(
+            OperaNetwork(k=8, n_racks=8, seed=seed), enable_vlb=vlb
+        )
+        rec = sim.start_bulk_flow(0, 30, packet_flow_bytes)
+        sim.run(60 * MS)
+        results[f"packet_vlb={vlb}"] = (
+            rec.fct_ps / 1e9 if rec.complete else None
+        )
+    return results
+
+
+def format_vlb(results: dict) -> list[str]:
+    rows = []
+    for key, value in results.items():
+        level, _, vlb = key.partition("_vlb=")
+        cell = f"{value:.2f} ms" if value is not None else "unfinished"
+        rows.append(f"{level:>7s} vlb={vlb:5s} completion: {cell}")
+    return rows

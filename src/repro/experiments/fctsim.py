@@ -3,16 +3,19 @@
 Runs a Poisson flow workload over any of the four simulated networks and
 reports flow-completion-time percentiles per flow-size bucket — the y-axis
 of Figures 7 and 9. Pure-Python packet simulation cannot reach the paper's
-648 hosts x seconds horizons, so the default scale is a cost-comparable
-8-rack (32-host) instance of each network with capped flow sizes; the
-*relative* FCT behaviour (who saturates first, where bulk vs low-latency
-splits) is what carries over, and the same code runs larger scales when
-given the time.
+648 hosts x seconds horizons at interactive speed, so the experiments run
+at a ``REPRO_SCALE`` profile (:data:`SCALE_PROFILES`): ``default`` is a
+cost-comparable 16-rack (64-host) instance of each network with capped
+flow sizes — raised from 8 racks when the fast-path engine landed — and
+``paper`` is the full 648-host k=12 deployment for when wall-clock time is
+available. The *relative* FCT behaviour (who saturates first, where bulk
+vs low-latency splits) is what carries over across profiles.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from ..core.topology import OperaNetwork
 from ..net import (
@@ -28,7 +31,14 @@ from ..topologies.rotornet import RotorNetTopology
 from ..workloads.arrivals import PoissonArrivals
 from ..workloads.distributions import FlowSizeDistribution
 
-__all__ = ["FctResult", "build_network", "run_fct_experiment", "SIZE_BUCKETS"]
+__all__ = [
+    "FctResult",
+    "build_network",
+    "run_fct_experiment",
+    "resolve_scale",
+    "SCALE_PROFILES",
+    "SIZE_BUCKETS",
+]
 
 MS = 1_000_000_000
 
@@ -40,6 +50,27 @@ SIZE_BUCKETS: list[tuple[int, int]] = [
     (1_000_000, 1 << 62),
 ]
 
+#: ``REPRO_SCALE`` profiles for the packet-level figures: ``(k, n_racks,
+#: duration_factor)``. ``ci`` is a fast smoke configuration, ``default``
+#: the regular reduced-scale reproduction (raised from 8 to 16 racks when
+#: the fast-path engine landed), ``paper`` the full 648-host, k=12
+#: deployment of the paper's evaluation. Select per run with
+#: ``--set scale=paper`` or process-wide with ``REPRO_SCALE=paper``.
+SCALE_PROFILES: dict[str, tuple[int, int, float]] = {
+    "ci": (8, 8, 0.25),
+    "default": (8, 16, 1.0),
+    "paper": (12, 108, 1.0),
+}
+
+
+def resolve_scale(scale: str) -> tuple[int, int, float]:
+    """``scale`` profile name -> ``(k, n_racks, duration_factor)``."""
+    try:
+        return SCALE_PROFILES[scale]
+    except KeyError:
+        known = ", ".join(sorted(SCALE_PROFILES))
+        raise ValueError(f"unknown scale profile {scale!r}; known: {known}") from None
+
 
 @dataclass
 class FctResult:
@@ -50,11 +81,14 @@ class FctResult:
     #: bucket -> (mean_us, p99_us) over completed flows.
     buckets: dict[tuple[int, int], tuple[float | None, float | None]]
 
+    @cached_property
+    def _p99_by_lo(self) -> dict[int, float | None]:
+        # Derived lookup, not a dataclass field: stays out of the cache /
+        # golden payload encoding (which walks dataclasses.fields only).
+        return {a: p99 for (a, _b), (_mean, p99) in self.buckets.items()}
+
     def bucket_p99(self, lo: int) -> float | None:
-        for (a, b), (_mean, p99) in self.buckets.items():
-            if a == lo:
-                return p99
-        return None
+        return self._p99_by_lo.get(lo)
 
 
 def build_network(kind: str, k: int = 8, n_racks: int = 8, seed: int = 0) -> SimNetwork:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from ..workloads.distributions import DATAMINING
 from ..scenarios import scenario
-from .fctsim import FctResult, format_rows, run_fct_experiment
+from .fctsim import FctResult, format_rows, resolve_scale, run_fct_experiment
 
 __all__ = ["run", "format_rows", "DEFAULT_LOADS", "DEFAULT_NETWORKS"]
 
@@ -25,7 +25,10 @@ def run(
     networks: tuple[str, ...] = DEFAULT_NETWORKS,
     duration_ms: float = 4.0,
     seed: int = 0,
+    scale: str = "default",
 ) -> list[FctResult]:
+    """Datamining FCTs per load/network at a ``REPRO_SCALE`` profile."""
+    k, n_racks, duration_factor = resolve_scale(scale)
     results = []
     for kind in networks:
         for load in loads:
@@ -34,7 +37,9 @@ def run(
                     kind,
                     DATAMINING,
                     load,
-                    duration_ms=duration_ms,
+                    duration_ms=duration_ms * duration_factor,
+                    k=k,
+                    n_racks=n_racks,
                     seed=seed,
                 )
             )

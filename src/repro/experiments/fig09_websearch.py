@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from ..workloads.distributions import WEBSEARCH
 from ..scenarios import scenario
-from .fctsim import FctResult, format_rows, run_fct_experiment
+from .fctsim import FctResult, format_rows, resolve_scale, run_fct_experiment
 
 __all__ = ["run", "format_rows", "DEFAULT_LOADS", "DEFAULT_NETWORKS"]
 
@@ -24,7 +24,10 @@ def run(
     networks: tuple[str, ...] = DEFAULT_NETWORKS,
     duration_ms: float = 4.0,
     seed: int = 0,
+    scale: str = "default",
 ) -> list[FctResult]:
+    """Websearch FCTs per load/network at a ``REPRO_SCALE`` profile."""
+    k, n_racks, duration_factor = resolve_scale(scale)
     results = []
     for kind in networks:
         for load in loads:
@@ -33,7 +36,9 @@ def run(
                     kind,
                     WEBSEARCH,
                     load,
-                    duration_ms=duration_ms,
+                    duration_ms=duration_ms * duration_factor,
+                    k=k,
+                    n_racks=n_racks,
                     seed=seed,
                 )
             )

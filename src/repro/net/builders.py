@@ -27,7 +27,7 @@ from ..topologies.rotornet import RotorNetTopology
 from .link import Port
 from .ndp import NdpSource, PullPacer, start_ndp_flow
 from .node import CONSUMED, Host, SwitchNode
-from .packet import Packet, PacketKind, Priority
+from .packet import Packet, PacketKind, Priority, release
 from .rotorlb import BulkFlow, BulkSink, RotorLBAgent
 from .sim import Simulator
 from .stats import FlowRecord, StatsCollector
@@ -68,7 +68,7 @@ class SimNetwork:
         host.nic = Port(
             self.sim,
             f"host{host.host_id}->tor{host.rack}",
-            resolver=lambda _pkt, _now, tor=tor: tor,
+            target=tor,
             rate_bps=self.rate_bps,
             propagation_ps=self.prop_ps,
             **port_kwargs,
@@ -78,7 +78,7 @@ class SimNetwork:
         return Port(
             self.sim,
             f"{tor_name}->host{host.host_id}",
-            resolver=lambda _pkt, _now, host=host: host,
+            target=host,
             rate_bps=self.rate_bps,
             propagation_ps=self.prop_ps,
         )
@@ -161,6 +161,7 @@ class OperaSimNetwork(SimNetwork):
         sched = network.schedule
         timing = network.timing
         self.slice_ps = timing.slice_ps
+        self._cycle_slices = sched.cycle_slices
         self._make_hosts(network.n_hosts, network.hosts_per_rack)
 
         self.tors: list[SwitchNode] = []
@@ -196,7 +197,7 @@ class OperaSimNetwork(SimNetwork):
             agent = RotorLBAgent(
                 self.sim,
                 rack,
-                rack_of=network.host_rack,
+                rack_of=lambda host, _d=network.hosts_per_rack: host // _d,
                 uplink_peer=self._make_agent_peer(rack),
                 uplinks=uplinks,
                 slice_payload_bytes=slice_payload,
@@ -213,23 +214,33 @@ class OperaSimNetwork(SimNetwork):
 
     def current_slice(self, now_ps: int | None = None) -> int:
         now = self.sim.now if now_ps is None else now_ps
-        return self.network.slice_at(now)
+        return (now // self.slice_ps) % self._cycle_slices
 
     def _in_reconfiguration_window(self, now_ps: int) -> bool:
         offset = now_ps % self.slice_ps
         return offset >= self.network.timing.epsilon_ps
 
     def _uplink_resolver(self, rack: int, switch: int):
+        # Per-slice peer/down lookups are pure functions of the schedule;
+        # precompute them once per port so the per-packet resolver is two
+        # integer ops and a table index.
         sched = self.network.schedule
+        cycle = sched.cycle_slices
+        tors = self.tors
+        peer_tor: list[SwitchNode | None] = []
+        down: list[bool] = []
+        for s in range(cycle):
+            peer = sched.matching_of(switch, s)[rack]
+            peer_tor.append(None if peer == rack else tors[peer])
+            down.append(sched.is_down(switch, s))
+        slice_ps = self.slice_ps
+        epsilon_ps = self.network.timing.epsilon_ps
 
         def resolve(_packet: Packet, now_ps: int):
-            s = self.current_slice(now_ps)
-            if sched.is_down(switch, s) and self._in_reconfiguration_window(now_ps):
+            s = (now_ps // slice_ps) % cycle
+            if down[s] and now_ps % slice_ps >= epsilon_ps:
                 return None  # circuit dark while mirrors retarget
-            peer = sched.matching_of(switch, s)[rack]
-            if peer == rack:
-                return None  # identity assignment: port idles
-            return self.tors[peer]
+            return peer_tor[s]  # None on an identity assignment: port idles
 
         return resolve
 
@@ -243,43 +254,60 @@ class OperaSimNetwork(SimNetwork):
                 packet.slice_stamp = None
                 packet.hops += 1
                 self.tors[rack].receive(packet)
-            # Control packets caught mid-reconfiguration are simply lost;
-            # NDP recovers via its pull clock.
+            else:
+                # Control packets caught mid-reconfiguration are simply
+                # lost; NDP recovers via its pull clock.
+                release(packet)
 
         return handle
 
     def _make_router(self, rack: int, agent: RotorLBAgent):
-        network = self.network
-        pipeline = self.pipeline
+        routing = self.pipeline.routing
+        hosts_per_rack = self.network.hosts_per_rack
+        host_ports = self.host_ports
+        slice_ps = self.slice_ps
+        cycle = self._cycle_slices
+        sim = self.sim
+        _BULK = Priority.BULK
+        _DATA = PacketKind.DATA
+        # Equal-cost option lists are pure functions of (stamp, dst_rack);
+        # memoize them per router so the per-packet cost is one dict hit.
+        hop_cache: dict[tuple[int, int], list[tuple[int, int]]] = {}
+
+        def next_hop(dst_rack: int, stamp: int, salt: int):
+            key = (stamp, dst_rack)
+            options = hop_cache.get(key)
+            if options is None:
+                options = routing.routes(stamp).next_hops(rack, dst_rack)
+                hop_cache[key] = options
+            if not options:
+                return None
+            return options[salt % len(options)]
 
         def route(_switch: SwitchNode, packet: Packet):
-            dst_rack = network.host_rack(packet.dst_host)
-            if packet.priority is Priority.BULK and packet.kind is PacketKind.DATA:
+            dst_rack = packet.dst_host // hosts_per_rack
+            if packet.priority is _BULK and packet.kind is _DATA:
                 if dst_rack == rack:
-                    return self.host_ports[packet.dst_host]
+                    return host_ports[packet.dst_host]
                 # Bulk landing on a foreign rack: absorb as relay traffic
                 # (a missed slice or an intentional VLB first hop).
                 packet.hops += 1
                 agent.accept_relay(packet)
                 return CONSUMED
             if dst_rack == rack:
-                return self.host_ports[packet.dst_host]
-            if packet.slice_stamp is None:
-                packet.slice_stamp = pipeline.stamp(self.current_slice())
-            hop = pipeline.low_latency_next_hop(
-                rack, dst_rack, packet.slice_stamp, salt=packet.salt + packet.hops
-            )
+                return host_ports[packet.dst_host]
+            stamp = packet.slice_stamp
+            if stamp is None:
+                stamp = packet.slice_stamp = (sim.now // slice_ps) % cycle
+            hop = next_hop(dst_rack, stamp, packet.salt + packet.hops)
             if hop is None:
                 # Stale stamp (e.g. rerouted packet): retry on current slice.
-                packet.slice_stamp = pipeline.stamp(self.current_slice())
-                hop = pipeline.low_latency_next_hop(
-                    rack, dst_rack, packet.slice_stamp, salt=packet.salt + packet.hops
-                )
+                stamp = packet.slice_stamp = (sim.now // slice_ps) % cycle
+                hop = next_hop(dst_rack, stamp, packet.salt + packet.hops)
                 if hop is None:
                     return None
-            _peer, switch = hop
             packet.hops += 1
-            return self.uplink_ports[rack][switch]
+            return self.uplink_ports[rack][hop[1]]
 
         return route
 
@@ -315,12 +343,20 @@ class OperaSimNetwork(SimNetwork):
 
     def _make_agent_peer(self, rack: int):
         sched = self.network.schedule
+        cycle = sched.cycle_slices
+        table: list[list[int | None]] = []
+        for switch in range(self.network.n_switches):
+            row: list[int | None] = []
+            for s in range(cycle):
+                if sched.is_down(switch, s):
+                    row.append(None)
+                else:
+                    peer = sched.matching_of(switch, s)[rack]
+                    row.append(None if peer == rack else peer)
+            table.append(row)
 
         def peer_of(switch: int, slice_index: int) -> int | None:
-            if sched.is_down(switch, slice_index):
-                return None
-            peer = sched.matching_of(switch, slice_index)[rack]
-            return None if peer == rack else peer
+            return table[switch][slice_index % cycle]
 
         return peer_of
 
@@ -359,7 +395,7 @@ class ExpanderSimNetwork(SimNetwork):
                 ports[matching_idx] = Port(
                     self.sim,
                     f"tor{rack}-m{matching_idx}",
-                    resolver=lambda _p, _n, peer=peer: self.tors[peer],
+                    target=self.tors[peer],
                     rate_bps=rate_bps,
                     propagation_ps=prop_ps,
                 )
@@ -367,19 +403,27 @@ class ExpanderSimNetwork(SimNetwork):
             tor.router = self._make_router(rack)
 
     def _make_router(self, rack: int):
-        topology = self.topology
-        routes = topology.routes
+        routes = self.topology.routes
+        hosts_per_rack = self.topology.hosts_per_rack
+        host_ports = self.host_ports
+        uplinks = self.uplink_ports[rack]
+        # Memoize the equal-cost option list per destination rack (the
+        # static expander's tables never change).
+        hop_cache: dict[int, list[tuple[int, int]]] = {}
 
         def route(_switch: SwitchNode, packet: Packet):
-            dst_rack = packet.dst_host // topology.hosts_per_rack
+            dst_rack = packet.dst_host // hosts_per_rack
             if dst_rack == rack:
-                return self.host_ports[packet.dst_host]
-            hop = routes.next_hop(rack, dst_rack, salt=packet.salt + packet.hops)
-            if hop is None:
+                return host_ports[packet.dst_host]
+            options = hop_cache.get(dst_rack)
+            if options is None:
+                options = routes.next_hops(rack, dst_rack)
+                hop_cache[dst_rack] = options
+            if not options:
                 return None
-            _peer, matching_idx = hop
+            hop = options[(packet.salt + packet.hops) % len(options)]
             packet.hops += 1
-            return self.uplink_ports[rack][matching_idx]
+            return uplinks[hop[1]]
 
         return route
 
@@ -410,7 +454,7 @@ class ClosSimNetwork(SimNetwork):
             return Port(
                 self.sim,
                 name,
-                resolver=lambda _p, _n, node=node: node,
+                target=node,
                 rate_bps=rate_bps,
                 propagation_ps=prop_ps,
             )
@@ -462,43 +506,54 @@ class ClosSimNetwork(SimNetwork):
 
     def _tor_router(self, rack: int):
         clos = self.clos
+        hosts_per_rack = clos.hosts_per_rack
+        host_ports = self.host_ports
+        tor_up = self.tor_up[rack]
+        up_ports = [tor_up[agg] for agg in clos.tor_agg_links(rack)]
+        n_up = len(up_ports)
 
         def route(_switch: SwitchNode, packet: Packet):
-            dst_rack = packet.dst_host // clos.hosts_per_rack
+            dst_rack = packet.dst_host // hosts_per_rack
             if dst_rack == rack:
-                return self.host_ports[packet.dst_host]
-            aggs = clos.tor_agg_links(rack)
-            agg = aggs[(packet.salt + packet.hops) % len(aggs)]
+                return host_ports[packet.dst_host]
+            port = up_ports[(packet.salt + packet.hops) % n_up]
             packet.hops += 1
-            return self.tor_up[rack][agg]
+            return port
 
         return route
 
     def _agg_router(self, agg_id: int):
         clos = self.clos
         pod = agg_id // clos.aggs_per_pod
+        hosts_per_rack = clos.hosts_per_rack
+        tors_per_pod = clos.tors_per_pod
+        agg_down = self.agg_down[agg_id]
+        agg_up = self.agg_up[agg_id]
+        up_ports = [agg_up[core] for core in clos.agg_core_links(agg_id)]
+        n_up = len(up_ports)
 
         def route(_switch: SwitchNode, packet: Packet):
-            dst_rack = packet.dst_host // clos.hosts_per_rack
-            if clos.pod_of_rack(dst_rack) == pod:
-                return self.agg_down[agg_id][dst_rack]
-            cores = clos.agg_core_links(agg_id)
-            core = cores[(packet.salt + packet.hops) % len(cores)]
+            dst_rack = packet.dst_host // hosts_per_rack
+            if dst_rack // tors_per_pod == pod:
+                return agg_down[dst_rack]
+            port = up_ports[(packet.salt + packet.hops) % n_up]
             packet.hops += 1
-            return self.agg_up[agg_id][core]
+            return port
 
         return route
 
     def _core_router(self, core_id: int):
         clos = self.clos
+        hosts_per_rack = clos.hosts_per_rack
+        tors_per_pod = clos.tors_per_pod
+        aggs_per_pod = clos.aggs_per_pod
+        group = core_id // clos.cores_per_group
+        core_down = self.core_down[core_id]
 
         def route(_switch: SwitchNode, packet: Packet):
-            dst_rack = packet.dst_host // clos.hosts_per_rack
-            dst_pod = clos.pod_of_rack(dst_rack)
-            group = core_id // clos.cores_per_group
-            agg = dst_pod * clos.aggs_per_pod + group
+            dst_pod = packet.dst_host // hosts_per_rack // tors_per_pod
             packet.hops += 1
-            return self.core_down[core_id][agg]
+            return core_down[dst_pod * aggs_per_pod + group]
 
         return route
 
@@ -569,7 +624,7 @@ class RotorNetSimNetwork(SimNetwork):
                     Port(
                         self.sim,
                         f"tor{rack}->fabric",
-                        resolver=lambda _p, _n: self.fabric,
+                        target=self.fabric,
                         rate_bps=rate_bps,
                         propagation_ps=prop_ps,
                     )
@@ -578,7 +633,7 @@ class RotorNetSimNetwork(SimNetwork):
                     Port(
                         self.sim,
                         f"fabric->tor{rack}",
-                        resolver=lambda _p, _n, r=rack: self.tors[r],
+                        target=self.tors[rack],
                         rate_bps=rate_bps,
                         propagation_ps=prop_ps,
                     )
@@ -604,23 +659,37 @@ class RotorNetSimNetwork(SimNetwork):
 
     def _rotor_resolver(self, rack: int, switch: int):
         sched = self.topology.schedule
+        cycle = sched.cycle_slices
+        tors = self.tors
+        peer_tor: list[SwitchNode | None] = []
+        for s in range(cycle):
+            peer = sched.matching_of(switch, s)[rack]
+            peer_tor.append(None if peer == rack else tors[peer])
+        slice_ps = self.slice_ps
+        usable_ps = slice_ps - self.reconfiguration_ps
 
         def resolve(_packet: Packet, now_ps: int):
             # All rotors reconfigure in unison at each boundary: the fabric
             # is dark for the final r of every slice.
-            if now_ps % self.slice_ps >= self.slice_ps - self.reconfiguration_ps:
+            if now_ps % slice_ps >= usable_ps:
                 return None
-            peer = sched.matching_of(switch, self.current_slice(now_ps))[rack]
-            return None if peer == rack else self.tors[peer]
+            return peer_tor[(now_ps // slice_ps) % cycle]
 
         return resolve
 
     def _make_agent_peer(self, rack: int):
         sched = self.topology.schedule
+        cycle = sched.cycle_slices
+        table: list[list[int | None]] = []
+        for switch in range(self.topology.n_rotor_switches):
+            row: list[int | None] = []
+            for s in range(cycle):
+                peer = sched.matching_of(switch, s)[rack]
+                row.append(None if peer == rack else peer)
+            table.append(row)
 
         def peer_of(switch: int, slice_index: int) -> int | None:
-            peer = sched.matching_of(switch, slice_index)[rack]
-            return None if peer == rack else peer
+            return table[switch][slice_index % cycle]
 
         return peer_of
 
@@ -628,6 +697,8 @@ class RotorNetSimNetwork(SimNetwork):
         def handle(packet: Packet) -> None:
             if packet.kind is PacketKind.DATA:
                 self.agents[rack].requeue(packet)
+            else:
+                release(packet)
 
         return handle
 
@@ -641,21 +712,26 @@ class RotorNetSimNetwork(SimNetwork):
         return route
 
     def _make_router(self, rack: int, agent: RotorLBAgent):
-        topology = self.topology
+        hosts_per_rack = self.topology.hosts_per_rack
+        host_ports = self.host_ports
+        hybrid = self.topology.hybrid
+        fabric_up = self.fabric_up[rack] if hybrid else None
+        _BULK = Priority.BULK
+        _DATA = PacketKind.DATA
 
         def route(_switch: SwitchNode, packet: Packet):
-            dst_rack = topology.host_rack(packet.dst_host)
-            if packet.priority is Priority.BULK and packet.kind is PacketKind.DATA:
+            dst_rack = packet.dst_host // hosts_per_rack
+            if packet.priority is _BULK and packet.kind is _DATA:
                 if dst_rack == rack:
-                    return self.host_ports[packet.dst_host]
+                    return host_ports[packet.dst_host]
                 packet.hops += 1
                 agent.accept_relay(packet)
                 return CONSUMED
             if dst_rack == rack:
-                return self.host_ports[packet.dst_host]
-            if topology.hybrid:
+                return host_ports[packet.dst_host]
+            if hybrid:
                 packet.hops += 1
-                return self.fabric_up[rack]
+                return fabric_up
             # Non-hybrid RotorNet has no low-latency service: control and
             # "low-latency" data alike must wait in RotorLB queues, which is
             # exactly the paper's point (Figure 7c). They are treated as

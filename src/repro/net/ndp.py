@@ -22,7 +22,14 @@ from __future__ import annotations
 from collections import deque
 
 from .node import Host
-from .packet import HEADER_BYTES, MTU_BYTES, Packet, PacketKind, Priority
+from .packet import (
+    HEADER_BYTES,
+    MTU_BYTES,
+    Packet,
+    PacketKind,
+    Priority,
+    acquire,
+)
 from .sim import Simulator
 from .stats import FlowRecord, StatsCollector
 
@@ -103,15 +110,16 @@ class NdpSource:
             self._send_next()
 
     def _emit(self, seq: int) -> None:
-        packet = Packet(
-            flow_id=self.record.flow_id,
-            kind=PacketKind.DATA,
-            src_host=self.record.src_host,
-            dst_host=self.record.dst_host,
-            seq=seq,
-            size_bytes=self.packet_bytes(seq),
-            priority=self.priority,
-            salt=hash((self.record.flow_id, seq, 0x9E3779B9)) & 0x7FFFFFFF,
+        record = self.record
+        packet = acquire(
+            record.flow_id,
+            PacketKind.DATA,
+            record.src_host,
+            record.dst_host,
+            seq,
+            self.packet_bytes(seq),
+            self.priority,
+            salt=hash((record.flow_id, seq, 0x9E3779B9)) & 0x7FFFFFFF,
         )
         self.host.send(packet)
 
@@ -171,15 +179,16 @@ class NdpSink:
         return self.record.complete
 
     def _control(self, kind: PacketKind, seq: int) -> Packet:
-        return Packet(
-            flow_id=self.record.flow_id,
-            kind=kind,
-            src_host=self.record.dst_host,
-            dst_host=self.record.src_host,
-            seq=seq,
-            size_bytes=HEADER_BYTES,
-            priority=Priority.CONTROL,
-            salt=hash((self.record.flow_id, seq, kind.value)) & 0x7FFFFFFF,
+        record = self.record
+        return acquire(
+            record.flow_id,
+            kind,
+            record.dst_host,
+            record.src_host,
+            seq,
+            HEADER_BYTES,
+            Priority.CONTROL,
+            salt=hash((record.flow_id, seq, kind.value)) & 0x7FFFFFFF,
         )
 
     def emit_pull(self) -> None:

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Callable, Protocol
 
 from .link import Port
-from .packet import Packet, PacketKind
+from .packet import Packet, PacketKind, release
 from .sim import Simulator
 
 __all__ = ["Host", "SwitchNode", "FlowEndpoint", "MAX_HOPS", "CONSUMED"]
@@ -17,15 +17,25 @@ MAX_HOPS = 32
 #: RotorLB agent queueing a relay packet) rather than forwarding it.
 CONSUMED = object()
 
+_DATA = PacketKind.DATA
+_HEADER = PacketKind.HEADER
+
 
 class FlowEndpoint(Protocol):
-    """Transport endpoints attached to hosts implement this."""
+    """Transport endpoints attached to hosts implement this.
+
+    ``on_packet`` must not retain (or re-send) the packet object after it
+    returns: the host recycles delivered packets through the free list in
+    :mod:`repro.net.packet`.
+    """
 
     def on_packet(self, packet: Packet) -> None: ...
 
 
 class Host:
     """An end host: one NIC port toward its ToR plus transport endpoints."""
+
+    __slots__ = ("sim", "host_id", "rack", "nic", "sources", "sinks", "dropped")
 
     def __init__(self, sim: Simulator, host_id: int, rack: int) -> None:
         self.sim = sim
@@ -43,14 +53,17 @@ class Host:
         return self.nic.enqueue(packet)
 
     def receive(self, packet: Packet) -> None:
-        if packet.kind in (PacketKind.DATA, PacketKind.HEADER):
+        kind = packet.kind
+        if kind is _DATA or kind is _HEADER:
             endpoint = self.sinks.get(packet.flow_id)
         else:
             endpoint = self.sources.get(packet.flow_id)
         if endpoint is None:
             self.dropped += 1
-            return
-        endpoint.on_packet(packet)
+        else:
+            endpoint.on_packet(packet)
+        # Packets die at hosts: recycle them for the next allocation.
+        release(packet)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Host({self.host_id}, rack={self.rack})"
@@ -64,6 +77,8 @@ class SwitchNode:
     RotorLB requeueing upstream).
     """
 
+    __slots__ = ("sim", "name", "router", "drops")
+
     def __init__(self, sim: Simulator, name: str) -> None:
         self.sim = sim
         self.name = name
@@ -71,15 +86,18 @@ class SwitchNode:
         self.drops = 0
 
     def receive(self, packet: Packet) -> None:
-        assert self.router is not None, f"{self.name}: no router installed"
+        router = self.router
+        assert router is not None, f"{self.name}: no router installed"
         if packet.hops > MAX_HOPS:
             self.drops += 1
+            release(packet)
             return
-        port = self.router(self, packet)
+        port = router(self, packet)
         if port is CONSUMED:
             return
         if port is None:
             self.drops += 1
+            release(packet)
             return
         port.enqueue(packet)
 

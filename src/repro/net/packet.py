@@ -5,26 +5,42 @@ NDP's wire format distinguishes full data packets from *trimmed* headers
 the receiver learns of the loss immediately) and the control packets (ACK,
 NACK, PULL) that drive the receiver-paced protocol. RotorLB bulk packets
 carry their intended next-rack so a ToR can detect a missed slice.
+
+Hot-path notes: a simulation allocates one :class:`Packet` per data MTU and
+several control packets per delivery, so the class is ``__slots__``-only
+(no per-instance dict) and both :class:`PacketKind` and :class:`Priority`
+are ``IntEnum``\\ s — their members are ints on the wire-format hot path and
+singletons, so the protocol code compares them with ``is``. Dead packets
+are recycled through a free list (:func:`acquire` / :func:`release`) instead
+of being re-allocated; endpoints must therefore not retain a packet object
+after ``on_packet`` returns (see :class:`~repro.net.node.FlowEndpoint`).
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 
-__all__ = ["PacketKind", "Priority", "Packet", "HEADER_BYTES", "MTU_BYTES"]
+__all__ = [
+    "PacketKind",
+    "Priority",
+    "Packet",
+    "HEADER_BYTES",
+    "MTU_BYTES",
+    "acquire",
+    "release",
+]
 
 HEADER_BYTES = 64
 MTU_BYTES = 1500
 
 
-class PacketKind(enum.Enum):
-    DATA = "data"  # full payload (NDP or RotorLB)
-    HEADER = "header"  # trimmed NDP data packet
-    ACK = "ack"
-    NACK = "nack"
-    PULL = "pull"
-    HELLO = "hello"  # failure-detection protocol (section 3.6.2)
+class PacketKind(enum.IntEnum):
+    DATA = 0  # full payload (NDP or RotorLB)
+    HEADER = 1  # trimmed NDP data packet
+    ACK = 2
+    NACK = 3
+    PULL = 4
+    HELLO = 5  # failure-detection protocol (section 3.6.2)
 
 
 class Priority(enum.IntEnum):
@@ -35,38 +51,151 @@ class Priority(enum.IntEnum):
     BULK = 2  # RotorLB data
 
 
-@dataclass
+_KIND_DATA = PacketKind.DATA
+_KIND_HEADER = PacketKind.HEADER
+_PRIO_CONTROL = Priority.CONTROL
+
+
 class Packet:
     """One simulated packet. Mutable: hops/stamps update in flight."""
 
-    flow_id: int
-    kind: PacketKind
-    src_host: int
-    dst_host: int
-    seq: int
-    size_bytes: int
-    priority: Priority
-    #: Topology slice stamped at the first ToR (Opera low-latency routing).
-    slice_stamp: int | None = None
-    #: Per-packet salt for equal-cost path spraying.
-    salt: int = 0
-    #: ToR-to-ToR hops taken so far (TTL guard).
-    hops: int = 0
-    #: RotorLB: the rack this packet must reach on its next circuit hop.
-    next_rack: int | None = None
-    #: RotorLB: final destination rack when relaying via an intermediate.
-    relay_to: int | None = None
-    #: Filled by the sink for FCT accounting.
-    enqueued_ps: int = 0
+    __slots__ = (
+        "flow_id",
+        "kind",
+        "src_host",
+        "dst_host",
+        "seq",
+        "size_bytes",
+        "priority",
+        "slice_stamp",
+        "salt",
+        "hops",
+        "next_rack",
+        "relay_to",
+        "enqueued_ps",
+        "_pooled",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        kind: PacketKind,
+        src_host: int,
+        dst_host: int,
+        seq: int,
+        size_bytes: int,
+        priority: Priority,
+        slice_stamp: int | None = None,
+        salt: int = 0,
+        hops: int = 0,
+        next_rack: int | None = None,
+        relay_to: int | None = None,
+        enqueued_ps: int = 0,
+    ) -> None:
+        self.flow_id = flow_id
+        self.kind = kind
+        self.src_host = src_host
+        self.dst_host = dst_host
+        self.seq = seq
+        self.size_bytes = size_bytes
+        self.priority = priority
+        #: Topology slice stamped at the first ToR (Opera low-latency routing).
+        self.slice_stamp = slice_stamp
+        #: Per-packet salt for equal-cost path spraying.
+        self.salt = salt
+        #: ToR-to-ToR hops taken so far (TTL guard).
+        self.hops = hops
+        #: RotorLB: the rack this packet must reach on its next circuit hop.
+        self.next_rack = next_rack
+        #: RotorLB: final destination rack when relaying via an intermediate.
+        self.relay_to = relay_to
+        #: Filled by the sink for FCT accounting.
+        self.enqueued_ps = enqueued_ps
+        self._pooled = False
 
     def trim(self) -> None:
         """Cut the payload: the packet becomes a control-priority header."""
-        if self.kind is not PacketKind.DATA:
+        if self.kind is not _KIND_DATA:
             raise ValueError("only data packets can be trimmed")
-        self.kind = PacketKind.HEADER
+        self.kind = _KIND_HEADER
         self.size_bytes = HEADER_BYTES
-        self.priority = Priority.CONTROL
+        self.priority = _PRIO_CONTROL
 
     @property
     def is_control(self) -> bool:
-        return self.priority is Priority.CONTROL
+        return self.priority is _PRIO_CONTROL
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Packet(flow={self.flow_id}, kind={self.kind.name}, "
+            f"seq={self.seq}, {self.src_host}->{self.dst_host}, "
+            f"{self.size_bytes}B, prio={self.priority.name})"
+        )
+
+
+# ----------------------------------------------------------------- free list
+#
+# ACK/NACK/PULL/header churn dominates allocation in NDP-heavy runs: every
+# delivered data packet spawns at least one control packet that dies at the
+# far host one RTT later. The pool recycles those objects. All fields are
+# reassigned on acquire, so a recycled packet carries no state over; the
+# `_pooled` flag makes a double release a no-op rather than a corruption.
+
+_POOL: list[Packet] = []
+_POOL_MAX = 8192
+
+
+def acquire(
+    flow_id: int,
+    kind: PacketKind,
+    src_host: int,
+    dst_host: int,
+    seq: int,
+    size_bytes: int,
+    priority: Priority,
+    slice_stamp: int | None = None,
+    salt: int = 0,
+    next_rack: int | None = None,
+    relay_to: int | None = None,
+) -> Packet:
+    """A packet from the free list (or a fresh one), fully re-initialised."""
+    pool = _POOL
+    if pool:
+        packet = pool.pop()
+        packet._pooled = False
+        packet.flow_id = flow_id
+        packet.kind = kind
+        packet.src_host = src_host
+        packet.dst_host = dst_host
+        packet.seq = seq
+        packet.size_bytes = size_bytes
+        packet.priority = priority
+        packet.slice_stamp = slice_stamp
+        packet.salt = salt
+        packet.hops = 0
+        packet.next_rack = next_rack
+        packet.relay_to = relay_to
+        packet.enqueued_ps = 0
+        return packet
+    return Packet(
+        flow_id,
+        kind,
+        src_host,
+        dst_host,
+        seq,
+        size_bytes,
+        priority,
+        slice_stamp=slice_stamp,
+        salt=salt,
+        next_rack=next_rack,
+        relay_to=relay_to,
+    )
+
+
+def release(packet: Packet) -> None:
+    """Return a dead packet to the free list (idempotent)."""
+    if packet._pooled:
+        return
+    packet._pooled = True
+    if len(_POOL) < _POOL_MAX:
+        _POOL.append(packet)

@@ -28,7 +28,7 @@ from typing import Callable
 
 from .link import Port
 from .node import Host
-from .packet import HEADER_BYTES, MTU_BYTES, Packet, PacketKind, Priority
+from .packet import HEADER_BYTES, MTU_BYTES, Packet, PacketKind, Priority, acquire
 from .sim import Simulator
 from .stats import FlowRecord, StatsCollector
 
@@ -54,14 +54,14 @@ class BulkFlow:
         self.unsent_bytes -= payload
         seq = self.next_seq
         self.next_seq += 1
-        return Packet(
-            flow_id=self.record.flow_id,
-            kind=PacketKind.DATA,
-            src_host=self.record.src_host,
-            dst_host=self.record.dst_host,
-            seq=seq,
-            size_bytes=HEADER_BYTES + payload,
-            priority=Priority.BULK,
+        return acquire(
+            self.record.flow_id,
+            PacketKind.DATA,
+            self.record.src_host,
+            self.record.dst_host,
+            seq,
+            HEADER_BYTES + payload,
+            Priority.BULK,
             next_rack=next_rack,
             relay_to=relay_to,
         )

@@ -1,27 +1,57 @@
 """Discrete-event simulation engine (the htsim substitute's core).
 
-A single binary heap of ``(time_ps, sequence, callback, args)`` entries.
-Time is integer picoseconds throughout — 1500 B at 10 Gb/s serializes in
-exactly 1,200,000 ps — so event ordering is exact and runs are bit-for-bit
-reproducible. Ties break by scheduling order.
+Events are ``(time_ps, sequence, callback, args)`` entries dispatched in
+``(time_ps, sequence)`` order. Time is integer picoseconds throughout —
+1500 B at 10 Gb/s serializes in exactly 1,200,000 ps — so event ordering is
+exact and runs are bit-for-bit reproducible. Ties break by scheduling
+order.
+
+Two interchangeable schedulers back the engine:
+
+* ``"heap"`` (default) — a single binary heap (C-implemented ``heapq``);
+* ``"wheel"`` — a :class:`~repro.net.wheel.TimingWheel` calendar queue with
+  lazily-sorted FIFO buckets, O(1) insertion independent of the pending
+  count.
+
+Both produce bit-identical event order (``tests/test_schedulers.py`` runs
+full packet workloads under each and compares every observable);
+``benchmarks/engine_microbench.py`` measures their relative throughput.
+Select per instance with ``Simulator(scheduler="wheel")`` or process-wide
+with ``REPRO_SCHEDULER=wheel`` in the environment.
 """
 
 from __future__ import annotations
 
-import heapq
+import os
+from heapq import heappop, heappush
 from typing import Any, Callable
 
-__all__ = ["Simulator"]
+from .wheel import TimingWheel
+
+__all__ = ["Simulator", "SCHEDULERS"]
+
+#: Recognised scheduler names.
+SCHEDULERS = ("heap", "wheel")
 
 
 class Simulator:
-    """Minimal deterministic event loop."""
+    """Minimal deterministic event loop with a pluggable scheduler."""
 
-    __slots__ = ("now", "_heap", "_seq", "events_processed")
+    __slots__ = ("now", "scheduler", "_heap", "_wheel", "_seq", "events_processed")
 
-    def __init__(self) -> None:
+    def __init__(self, scheduler: str | None = None) -> None:
+        if scheduler is None:
+            scheduler = os.environ.get("REPRO_SCHEDULER", "") or "heap"
+        if scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; known: {', '.join(SCHEDULERS)}"
+            )
         self.now: int = 0
+        self.scheduler = scheduler
         self._heap: list[tuple[int, int, Callable[..., None], tuple[Any, ...]]] = []
+        self._wheel: TimingWheel | None = (
+            TimingWheel() if scheduler == "wheel" else None
+        )
         self._seq = 0
         self.events_processed = 0
 
@@ -31,17 +61,29 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule in the past ({time_ps} < {self.now})"
             )
-        self._seq += 1
-        heapq.heappush(self._heap, (time_ps, self._seq, callback, args))
+        self._seq = seq = self._seq + 1
+        if self._wheel is None:
+            heappush(self._heap, (time_ps, seq, callback, args))
+        else:
+            self._wheel.push(time_ps, seq, callback, args)
 
     def after(self, delay_ps: int, callback: Callable[..., None], *args: Any) -> None:
         """Schedule ``callback(*args)`` after ``delay_ps``."""
-        self.at(self.now + delay_ps, callback, *args)
+        time_ps = self.now + delay_ps
+        if time_ps < self.now:
+            raise ValueError(
+                f"cannot schedule in the past ({time_ps} < {self.now})"
+            )
+        self._seq = seq = self._seq + 1
+        if self._wheel is None:
+            heappush(self._heap, (time_ps, seq, callback, args))
+        else:
+            self._wheel.push(time_ps, seq, callback, args)
 
     def run(
         self, until_ps: int | None = None, max_events: int | None = None
     ) -> int:
-        """Drain events until the horizon/heap is exhausted.
+        """Drain events until the horizon/queue is exhausted.
 
         Returns the number of events processed by this call. ``until_ps``
         is inclusive: events at exactly that time still run.
@@ -49,7 +91,7 @@ class Simulator:
         Clock contract (relied on by pollers and the scenario runner; see
         ``tests/test_sim_engine.py``):
 
-        * If the run goes idle before the horizon — the heap empties, or
+        * If the run goes idle before the horizon — the queue empties, or
           every remaining event lies beyond ``until_ps`` — the clock
           *advances to* ``until_ps`` even though no event ran there, so
           callers polling in fixed time chunks always make progress.
@@ -60,24 +102,51 @@ class Simulator:
           ``at()`` target a time the clock had silently skipped. This
           includes the boundary case where the budget is exhausted on the
           very last pending event: ``now`` still does not advance, because
-          the run cannot know the heap is quiet through ``until_ps``
+          the run cannot know the queue is quiet through ``until_ps``
           without spending another event's worth of budget to look.
         """
         processed = 0
-        heap = self._heap
-        while heap:
-            if until_ps is not None and heap[0][0] > until_ps:
-                break
-            if max_events is not None and processed >= max_events:
-                break
-            time_ps, _seq, callback, args = heapq.heappop(heap)
-            self.now = time_ps
-            callback(*args)
-            processed += 1
+        wheel = self._wheel
+        if wheel is None:
+            heap = self._heap
+            if max_events is None and until_ps is not None:
+                # Hot path: drain to a horizon with no event budget.
+                pop = heappop
+                while heap and heap[0][0] <= until_ps:
+                    time_ps, _seq, callback, args = pop(heap)
+                    self.now = time_ps
+                    callback(*args)
+                    processed += 1
+            else:
+                while heap:
+                    if until_ps is not None and heap[0][0] > until_ps:
+                        break
+                    if max_events is not None and processed >= max_events:
+                        break
+                    time_ps, _seq, callback, args = heappop(heap)
+                    self.now = time_ps
+                    callback(*args)
+                    processed += 1
+            quiet = not heap or (until_ps is not None and heap[0][0] > until_ps)
+        else:
+            while True:
+                head = wheel.peek_time()
+                if head is None:
+                    break
+                if until_ps is not None and head > until_ps:
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                time_ps, _seq, callback, args = wheel.pop()
+                self.now = time_ps
+                callback(*args)
+                processed += 1
+            head = wheel.peek_time()
+            quiet = head is None or (until_ps is not None and head > until_ps)
         if (
             until_ps is not None
             and self.now < until_ps
-            and (not heap or heap[0][0] > until_ps)
+            and quiet
             and (max_events is None or processed < max_events)
         ):
             # Idle until the horizon: advance the clock so callers polling
@@ -88,4 +157,6 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        return len(self._heap)
+        if self._wheel is None:
+            return len(self._heap)
+        return len(self._wheel)

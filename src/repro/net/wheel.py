@@ -1,0 +1,186 @@
+"""Timing-wheel event scheduler (calendar queue with FIFO buckets).
+
+An alternative to the binary heap inside :class:`~repro.net.sim.Simulator`,
+selectable with ``Simulator(scheduler="wheel")``. The wheel hashes each
+event's timestamp into a ring of fixed-width slots; events beyond the
+current rotation wait in an overflow list and are redistributed when the
+cursor wraps. Slots are plain FIFO lists that are sorted lazily — by
+``(time_ps, sequence)`` — only when the cursor reaches them, so insertion
+is O(1) and the dispatch order is *bit-identical* to the heap's
+``(time_ps, sequence)`` order (``tests/test_schedulers.py`` pins this with
+differential runs of full packet workloads).
+
+Why keep both: the heap's push/pop is C-implemented and hard to beat from
+pure Python at small pending-set sizes, but its cost grows O(log n) with
+the pending-event count while the wheel's stays O(1); the engine
+microbenchmark (``benchmarks/engine_microbench.py``) records both so the
+crossover is measured, not guessed.
+
+Invariants relied on (and guaranteed by the Simulator):
+
+* pushes never go backwards in time — every ``push(t, ...)`` satisfies
+  ``t >= floor`` where ``floor`` is the timestamp of the last popped event;
+* sequence numbers are unique and monotonically increasing, so sorting a
+  bucket never compares the (incomparable) callback elements of two
+  entries.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Any, Callable
+
+__all__ = ["TimingWheel"]
+
+#: Entry = (time_ps, sequence, callback, args) — identical to a heap entry.
+_Entry = tuple[int, int, Callable[..., None], tuple[Any, ...]]
+
+#: Default slot width, ~1.05 us: comparable to one MTU serialization at
+#: 10 Gb/s, so back-to-back packet events land in neighbouring slots.
+DEFAULT_SLOT_PS = 1 << 20
+#: Default ring size; with the default slot width one rotation spans
+#: ~2.1 ms of simulated time.
+DEFAULT_N_SLOTS = 1 << 11
+
+
+class TimingWheel:
+    """Single-level calendar queue with lazy-sorted FIFO buckets."""
+
+    __slots__ = (
+        "slot_ps",
+        "n_slots",
+        "horizon_ps",
+        "_slots",
+        "_overflow",
+        "_base",
+        "_cursor",
+        "_ready",
+        "_ready_pos",
+        "_ready_active",
+        "_count",
+        "_floor",
+    )
+
+    def __init__(
+        self, slot_ps: int = DEFAULT_SLOT_PS, n_slots: int = DEFAULT_N_SLOTS
+    ) -> None:
+        if slot_ps <= 0 or n_slots <= 0:
+            raise ValueError("slot width and slot count must be positive")
+        self.slot_ps = slot_ps
+        self.n_slots = n_slots
+        self.horizon_ps = slot_ps * n_slots
+        self._slots: list[list[_Entry]] = [[] for _ in range(n_slots)]
+        self._overflow: list[_Entry] = []
+        self._base = 0  # absolute time of slot 0 in the current rotation
+        self._cursor = 0  # slot currently being drained
+        self._ready: list[_Entry] = []  # sorted front of the queue
+        self._ready_pos = 0
+        self._ready_active = False
+        self._count = 0
+        self._floor = 0  # time of the last popped entry
+
+    def __len__(self) -> int:
+        return self._count
+
+    # ------------------------------------------------------------------ push
+
+    def push(
+        self, time_ps: int, seq: int, callback: Callable[..., None], args: tuple
+    ) -> None:
+        """Insert an entry; ``time_ps`` must be >= the last popped time."""
+        entry = (time_ps, seq, callback, args)
+        if self._count == 0:
+            # Empty wheel: drop any fully-consumed ready list and re-anchor
+            # the rotation at the dispatch floor so slot indices stay valid
+            # for every future (>= floor) push.
+            self._ready.clear()
+            self._ready_pos = 0
+            self._ready_active = False
+            self._rebase_to(self._floor)
+        self._count += 1
+        base = self._base
+        if time_ps >= base + self.horizon_ps:
+            self._overflow.append(entry)
+            return
+        if self._ready_active and time_ps < base + (self._cursor + 1) * self.slot_ps:
+            # Lands inside the slot currently being drained: merge into the
+            # sorted ready list. Uniqueness/monotonicity of seq guarantees
+            # the insertion point is at or after the consumed prefix.
+            insort(self._ready, entry)
+            return
+        self._slots[(time_ps - base) // self.slot_ps].append(entry)
+
+    # ------------------------------------------------------------------- pop
+
+    def peek_time(self) -> int | None:
+        """Earliest pending timestamp, or ``None`` when empty."""
+        entry = self._front()
+        return None if entry is None else entry[0]
+
+    def pop(self) -> _Entry:
+        """Remove and return the earliest entry (FIFO among equal times)."""
+        entry = self._front()
+        if entry is None:
+            raise IndexError("pop from an empty TimingWheel")
+        self._ready_pos += 1
+        self._count -= 1
+        self._floor = entry[0]
+        return entry
+
+    # -------------------------------------------------------------- internal
+
+    def _front(self) -> _Entry | None:
+        while True:
+            if self._ready_pos < len(self._ready):
+                return self._ready[self._ready_pos]
+            if self._count == 0:
+                return None
+            if self._ready_active:
+                # Finished draining the cursor slot; move past it.
+                self._ready.clear()
+                self._ready_pos = 0
+                self._ready_active = False
+                self._cursor += 1
+            in_slots = self._count - len(self._overflow)
+            if in_slots == 0:
+                # Everything pending sits beyond this rotation: jump the
+                # wheel to the rotation holding the earliest overflow entry.
+                self._rebase_to(min(self._overflow)[0])
+                continue
+            slots = self._slots
+            cursor = self._cursor
+            n = self.n_slots
+            while cursor < n and not slots[cursor]:
+                cursor += 1
+            if cursor == n:
+                self._cursor = 0
+                self._rebase(self._base + self.horizon_ps)
+                continue
+            self._cursor = cursor
+            bucket = slots[cursor]
+            bucket.sort()  # (time, seq) order; seq unique, so total
+            self._ready = bucket
+            slots[cursor] = []
+            self._ready_pos = 0
+            self._ready_active = True
+
+    def _rebase_to(self, time_ps: int) -> None:
+        """Re-anchor the rotation so that ``time_ps`` falls inside it."""
+        self._cursor = 0
+        self._rebase((time_ps // self.horizon_ps) * self.horizon_ps)
+
+    def _rebase(self, new_base: int) -> None:
+        """Advance the rotation window and pull matured overflow entries in."""
+        self._base = new_base
+        if not self._overflow:
+            return
+        end = new_base + self.horizon_ps
+        slot_ps = self.slot_ps
+        slots = self._slots
+        keep: list[_Entry] = []
+        for entry in self._overflow:
+            if entry[0] < end:
+                slots[(entry[0] - new_base) // slot_ps].append(entry)
+            else:
+                keep.append(entry)
+        self._overflow = keep

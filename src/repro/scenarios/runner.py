@@ -15,6 +15,7 @@ from __future__ import annotations
 import hashlib
 import itertools
 import multiprocessing
+import os
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -36,6 +37,22 @@ class ScenarioExecutionError(RuntimeError):
         self.scenario = name
         self.params = dict(params)
         self.worker_traceback = tb
+
+
+def _apply_scale_env(
+    sc: Scenario, params: dict[str, Any], overrides: Mapping[str, Any]
+) -> None:
+    """Fold the ``REPRO_SCALE`` profile into a scenario's bound params.
+
+    Any scenario accepting a ``scale`` parameter follows the environment
+    profile (``ci`` | ``default`` | ``paper``) unless the caller overrode
+    ``scale`` explicitly. The substitution happens at bind time so cached
+    results are keyed by the *effective* profile, never by ambient
+    environment state.
+    """
+    env = os.environ.get("REPRO_SCALE")
+    if env and sc.accepts("scale") and "scale" not in overrides:
+        params["scale"] = env
 
 
 def derive_seed(base_seed: int, name: str) -> int:
@@ -165,7 +182,7 @@ class Runner:
     def _bind_with_seed(
         self, sc: Scenario, overrides: Mapping[str, Any], *, strict: bool = True
     ) -> dict[str, Any]:
-        """Bind overrides, then apply the base-seed derivation policy."""
+        """Bind overrides, then apply the seed and scale-profile policies."""
         params = sc.bind(overrides, strict=strict)
         if (
             self.base_seed is not None
@@ -173,6 +190,7 @@ class Runner:
             and "seed" not in overrides
         ):
             params["seed"] = derive_seed(self.base_seed, sc.name)
+        _apply_scale_env(sc, params, overrides)
         return params
 
     # ------------------------------------------------------------- execution
@@ -185,7 +203,9 @@ class Runner:
         pytest-benchmark measurement times exactly the scenario body.
         """
         sc = registry.get(name)
-        return sc.execute(**sc.bind(overrides))
+        params = sc.bind(overrides)
+        _apply_scale_env(sc, params, overrides)
+        return sc.execute(**params)
 
     def run(
         self,

@@ -31,6 +31,7 @@ class TestList:
             "fig01", "fig04", "fig06", "fig07", "fig08", "fig09", "fig10",
             "fig11", "fig12", "fig13", "fig14", "fig16", "fig17", "fig18",
             "table1", "table2",
+            "ablation_grouping", "ablation_guard_bands", "ablation_vlb",
         }
         assert {sc.name for sc in all_scenarios()} == expected
 

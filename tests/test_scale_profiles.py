@@ -1,0 +1,86 @@
+"""The REPRO_SCALE profile wiring: fctsim presets, scenario params, env.
+
+``fig07``/``fig09`` accept ``scale: ci | default | paper`` and the Runner
+substitutes the ``REPRO_SCALE`` environment profile at bind time (so cache
+keys always record the *effective* profile). Explicit ``--set scale=...``
+overrides beat the environment.
+"""
+
+import pytest
+
+from repro.experiments.fctsim import SCALE_PROFILES, resolve_scale
+from repro.scenarios import Runner, get
+
+
+class TestProfiles:
+    def test_known_profiles(self):
+        assert set(SCALE_PROFILES) == {"ci", "default", "paper"}
+        for name in SCALE_PROFILES:
+            k, n_racks, duration_factor = resolve_scale(name)
+            assert k % 2 == 0 and n_racks > 0 and duration_factor > 0
+
+    def test_default_raised_beyond_ci(self):
+        _k_ci, racks_ci, _f_ci = resolve_scale("ci")
+        _k_def, racks_def, _f_def = resolve_scale("default")
+        k_paper, racks_paper, _f = resolve_scale("paper")
+        assert racks_def > racks_ci or _f_def > _f_ci
+        # Paper profile is the 648-host k=12 reference deployment.
+        assert (k_paper, racks_paper) == (12, 108)
+        assert racks_paper * (k_paper // 2) == 648
+
+    def test_unknown_profile_raises_with_known_list(self):
+        with pytest.raises(ValueError, match="paper"):
+            resolve_scale("huge")
+
+
+class TestScenarioWiring:
+    def test_fig07_and_fig09_expose_scale(self):
+        for name in ("fig07", "fig09"):
+            sc = get(name)
+            assert sc.accepts("scale")
+            assert sc.params["scale"].default == "default"
+
+    def test_env_profile_injected_at_bind_time(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "ci")
+        jobs = Runner().resolve(names=["fig07"])
+        assert jobs[0].params["scale"] == "ci"
+
+    def test_explicit_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "ci")
+        jobs = Runner().resolve(names=["fig07"], overrides={"scale": "paper"})
+        assert jobs[0].params["scale"] == "paper"
+
+    def test_no_env_keeps_schema_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        jobs = Runner().resolve(names=["fig07"])
+        assert jobs[0].params["scale"] == "default"
+
+    def test_scale_blind_scenarios_unaffected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        jobs = Runner().resolve(names=["fig04"])
+        assert "scale" not in jobs[0].params
+
+    def test_ci_profile_runs_fast_and_small(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "ci")
+        results = Runner().execute(
+            "fig07", loads=(0.05,), networks=("opera",), duration_ms=2.0
+        )
+        assert len(results) == 1
+        # ci quarters the arrival horizon at the old 8-rack shape.
+        assert results[0].n_flows < 60
+
+
+class TestAblationRegistration:
+    def test_ablations_registered_with_tags_and_params(self):
+        grouping = get("ablation_grouping")
+        assert "ablation" in grouping.tags
+        assert grouping.accepts("groups") and grouping.accepts("seed")
+        guard = get("ablation_guard_bands")
+        assert "ablation" in guard.tags and guard.accepts("guards_us")
+        vlb = get("ablation_vlb")
+        assert "ablation" in vlb.tags and vlb.accepts("packet_flow_bytes")
+
+    def test_ablation_grouping_runs_through_runner(self):
+        rows = Runner().execute("ablation_grouping", groups=(12, 6))
+        assert [r["group"] for r in rows] == [12, 6]
+        assert rows[1]["cycle_ms"] < rows[0]["cycle_ms"]

@@ -68,7 +68,12 @@ class TestRegistry:
     def test_builtin_scenarios_registered(self):
         names = {sc.name for sc in all_scenarios()}
         assert {"fig04", "fig07", "fig16", "fig18", "table1", "table2"} <= names
-        assert len(names) == 16
+        assert {
+            "ablation_grouping",
+            "ablation_guard_bands",
+            "ablation_vlb",
+        } <= names
+        assert len(names) == 19
 
     def test_schema_from_signature_with_registry_defaults(self):
         sc = get("fig04")

@@ -1,0 +1,214 @@
+"""Differential tests: the timing wheel is bit-identical to the heap.
+
+The engine contract is that scheduler choice is *invisible*: identical
+workloads dispatch identical event sequences — same timestamps, same
+tie-break order, same clock trajectory — under ``scheduler="heap"`` and
+``scheduler="wheel"``. These tests pin that with random event cascades
+(property-style, many seeds), with the engine's run-contract corner cases,
+and with a full packet workload compared observable-by-observable.
+"""
+
+import random
+
+import pytest
+
+from repro.experiments.fctsim import MS, build_network
+from repro.net.sim import SCHEDULERS, Simulator
+from repro.net.wheel import TimingWheel
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.distributions import DATAMINING
+
+
+def random_cascade(scheduler: str, seed: int) -> tuple:
+    """Seeded self-scheduling event storm; returns every observable."""
+    sim = Simulator(scheduler=scheduler)
+    rng = random.Random(seed)
+    trace = []
+
+    def fire(tag):
+        trace.append((sim.now, tag))
+        # Subcritical branching (mean < 1) so every cascade dies out.
+        for i in range(rng.choices((0, 1, 2), weights=(5, 3, 2))[0]):
+            # Mix of immediate (tie-producing), short and far-future delays
+            # (far ones exercise the wheel's overflow list).
+            delay = rng.choice(
+                (0, rng.randrange(1, 2_000_000), rng.randrange(1, 5_000_000_000))
+            )
+            sim.after(delay, fire, f"{tag}.{i}")
+
+    for i in range(40):
+        sim.at(rng.randrange(0, 50_000_000), fire, str(i))
+    # Chunked draining with budgets exercises resume paths in both modes.
+    sim.run(until_ps=100_000_000, max_events=500)
+    sim.run(until_ps=2_000_000_000)
+    sim.run(max_events=3_000)
+    sim.run()
+    return tuple(trace), sim.now, sim.events_processed, sim.pending
+
+
+class TestDifferentialCascades:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_heap_and_wheel_trace_identically(self, seed):
+        assert random_cascade("heap", seed) == random_cascade("wheel", seed)
+
+    def test_cascades_produce_work(self):
+        trace, _now, events, pending = random_cascade("heap", 0)
+        assert events > 100 and pending == 0
+        assert any(t for t, _tag in trace)
+
+
+class TestWheelEngineContract:
+    """The Simulator run() contract holds under the wheel scheduler."""
+
+    def test_ties_fifo(self):
+        sim = Simulator(scheduler="wheel")
+        seen = []
+        for tag in "xyz":
+            sim.at(5, seen.append, tag)
+        sim.run()
+        assert seen == ["x", "y", "z"]
+
+    def test_idle_advance_and_rejection_of_skipped_interval(self):
+        sim = Simulator(scheduler="wheel")
+        sim.run(until_ps=123)
+        assert sim.now == 123
+        with pytest.raises(ValueError):
+            sim.at(25, lambda: None)
+
+    def test_max_events_leaves_now_behind_horizon(self):
+        sim = Simulator(scheduler="wheel")
+        for t in (10, 20, 30):
+            sim.at(t, lambda: None)
+        assert sim.run(until_ps=100, max_events=2) == 2
+        assert sim.now == 20
+        assert sim.pending == 1
+        assert sim.run(until_ps=100, max_events=10) == 1
+        assert sim.now == 100
+
+    def test_far_future_events_cross_many_rotations(self):
+        # Horizon is slot_ps * n_slots; schedule well beyond several
+        # rotations to exercise overflow redistribution and fast-forward.
+        sim = Simulator(scheduler="wheel")
+        seen = []
+        horizon = TimingWheel().horizon_ps
+        times = [7 * horizon + 3, 2 * horizon, 123, 5 * horizon + 9]
+        for t in times:
+            sim.at(t, seen.append, t)
+        sim.run()
+        assert seen == sorted(times)
+        assert sim.now == max(times)
+
+    def test_reuse_after_drain_reanchors(self):
+        sim = Simulator(scheduler="wheel")
+        sim.at(10, lambda: None)
+        sim.run()
+        assert sim.now == 10
+        seen = []
+        sim.at(20_000_000_000, seen.append, "late")
+        sim.run()
+        assert seen == ["late"] and sim.now == 20_000_000_000
+
+
+class TestWheelUnit:
+    def test_pop_empty_raises(self):
+        wheel = TimingWheel()
+        assert wheel.peek_time() is None
+        with pytest.raises(IndexError):
+            wheel.pop()
+
+    def test_fifo_within_bucket_and_across_buckets(self):
+        wheel = TimingWheel(slot_ps=100, n_slots=8)
+        entries = [(50, 1), (50, 2), (120, 3), (40, 4), (799, 5), (800, 6)]
+        for t, seq in entries:
+            wheel.push(t, seq, lambda: None, ())
+        popped = []
+        while len(wheel):
+            t, seq, _cb, _args = wheel.pop()
+            popped.append((t, seq))
+        assert popped == sorted(entries)
+
+    def test_insert_into_bucket_being_drained(self):
+        wheel = TimingWheel(slot_ps=1000, n_slots=4)
+        wheel.push(10, 1, lambda: None, ())
+        wheel.push(500, 2, lambda: None, ())
+        assert wheel.pop()[:2] == (10, 1)
+        # Same bucket, later time, pushed mid-drain: must slot in order.
+        wheel.push(200, 3, lambda: None, ())
+        assert wheel.pop()[:2] == (200, 3)
+        assert wheel.pop()[:2] == (500, 2)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            TimingWheel(slot_ps=0)
+        with pytest.raises(ValueError):
+            TimingWheel(n_slots=0)
+
+
+class TestUnknownScheduler:
+    def test_rejected_with_known_list(self):
+        with pytest.raises(ValueError, match="heap"):
+            Simulator(scheduler="calendar")
+
+    def test_known_names(self):
+        assert set(SCHEDULERS) == {"heap", "wheel"}
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHEDULER", "wheel")
+        assert Simulator().scheduler == "wheel"
+        monkeypatch.delenv("REPRO_SCHEDULER")
+        assert Simulator().scheduler == "heap"
+
+
+def packet_workload(scheduler: str, seed: int = 11) -> dict:
+    """A small mixed fig07-style run; returns the full observable state."""
+    import os
+
+    prev = os.environ.get("REPRO_SCHEDULER")
+    os.environ["REPRO_SCHEDULER"] = scheduler
+    try:
+        net = build_network("opera", k=8, n_racks=8, seed=seed)
+        arrivals = PoissonArrivals(
+            DATAMINING.truncated(500_000),
+            load=0.15,
+            n_hosts=len(net.hosts),
+            hosts_per_rack=4,
+            seed=seed,
+        )
+        threshold = net.network.bulk_threshold_bytes
+        for flow in arrivals.flows(duration_ps=int(1.0 * MS)):
+            if flow.size_bytes >= threshold:
+                net.start_bulk_flow(
+                    flow.src_host, flow.dst_host, flow.size_bytes, flow.time_ps
+                )
+            else:
+                net.start_low_latency_flow(
+                    flow.src_host, flow.dst_host, flow.size_bytes, flow.time_ps
+                )
+        net.run(until_ps=int(5.0 * MS))
+    finally:
+        if prev is None:
+            os.environ.pop("REPRO_SCHEDULER", None)
+        else:
+            os.environ["REPRO_SCHEDULER"] = prev
+    return {
+        "events": net.sim.events_processed,
+        "final_now": net.sim.now,
+        "fcts": [
+            (fid, rec.fct_ps, rec.delivered_bytes, rec.retransmissions)
+            for fid, rec in sorted(net.stats.flows.items())
+        ],
+    }
+
+
+class TestPacketWorkloadDifferential:
+    def test_full_packet_run_bit_identical(self):
+        heap = packet_workload("heap")
+        wheel = packet_workload("wheel")
+        assert heap["events"] == wheel["events"]
+        assert heap["final_now"] == wheel["final_now"]
+        assert heap["fcts"] == wheel["fcts"]
+
+    def test_workload_is_non_trivial(self):
+        heap = packet_workload("heap")
+        assert heap["events"] > 10_000
+        assert sum(1 for _f, fct, *_r in heap["fcts"] if fct is not None) > 10
