@@ -19,24 +19,41 @@ Metrics per engine configuration:
   rewrites (this is the number the CI perf-smoke gate and the >=3x
   acceptance threshold use).
 
+Two further phases feed the artifact:
+
+* ``--depths`` — a synthetic heap-vs-wheel steady-state bench at
+  paper-scale pending depths (prefill N events, then pop-one/push-one).
+  The per-profile default scheduler (``fctsim.SCHEDULER_BY_SCALE``) is
+  picked from its committed results.
+* ``--sharded-workers N[,M...]`` — the sharded fig07 grid through the
+  scenario Runner at ``--sharded-scale``, recording wall and cells/sec
+  per worker count (the CI perf-smoke job gates on cells/sec with the
+  same >2x rule as events/sec).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/engine_microbench.py \
-        --output BENCH_engine.json [--check BENCH_engine.json] [--repeat 3]
+        --output BENCH_engine.json [--check BENCH_engine.json] [--repeat 3] \
+        [--depths] [--sharded-workers 1,2 --sharded-scale ci]
 
 ``--check`` compares the fresh run against a committed artifact and exits
-non-zero on a >2x regression of ``reference_events_per_sec``.
+non-zero on a >2x regression of ``reference_events_per_sec`` (and of
+sharded cells/sec when both artifacts carry the sharded phase).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 import time
+from heapq import heappop, heappush
 from pathlib import Path
 
 from repro.experiments.fctsim import build_network
+from repro.net.wheel import TimingWheel
 from repro.workloads.arrivals import PoissonArrivals
 from repro.workloads.distributions import DATAMINING
 
@@ -172,6 +189,120 @@ def run_microbench(
     }
 
 
+# ---------------------------------------------------------- depth microbench
+
+#: Pending-event depths the scale profiles actually reach, estimated from
+#: deployment size (ports + in-flight flows scale with hosts): ci = 64
+#: hosts, default = 64 hosts at full horizon, paper = 648 hosts.
+PROFILE_DEPTH_ESTIMATE = {"ci": 512, "default": 4096, "paper": 32768}
+
+DEPTHS = (512, 4096, 32768, 262144)
+
+
+def _depth_point(scheduler: str, depth: int, ops: int) -> float:
+    """Steady-state ops/sec at ``depth`` pending events (pop one, push one).
+
+    Delays follow a deterministic LCG over the engine's real magnitudes
+    (0.5-2.5 us in integer picoseconds — packet serialization and
+    propagation steps), so bucket spread matches what the wheel sees in a
+    packet run.
+    """
+    x = 0x2545F4914F6CDD1D
+    def delay() -> int:
+        nonlocal x
+        x = (x * 6364136223846793005 + 1442695040888963407) & (2**64 - 1)
+        return 500_000 + (x >> 40) % 2_000_000
+
+    now = 0
+    seq = 0
+    if scheduler == "heap":
+        heap: list = []
+        for _ in range(depth):
+            seq += 1
+            heappush(heap, (now + delay(), seq, None, ()))
+        start = time.perf_counter()
+        for _ in range(ops):
+            now = heap[0][0]
+            heappop(heap)
+            seq += 1
+            heappush(heap, (now + delay(), seq, None, ()))
+        return ops / (time.perf_counter() - start)
+    wheel = TimingWheel()
+    for _ in range(depth):
+        seq += 1
+        wheel.push(now + delay(), seq, None, ())
+    start = time.perf_counter()
+    for _ in range(ops):
+        entry = wheel.pop()
+        now = entry[0]
+        seq += 1
+        wheel.push(now + delay(), seq, None, ())
+    return ops / (time.perf_counter() - start)
+
+
+def run_depth_bench(depths: tuple[int, ...] = DEPTHS, ops: int = 100_000) -> dict:
+    """Heap vs wheel ops/sec per pending depth + winner per scale profile."""
+    per_depth = {}
+    for depth in depths:
+        heap_ops = _depth_point("heap", depth, ops)
+        wheel_ops = _depth_point("wheel", depth, ops)
+        per_depth[str(depth)] = {
+            "heap_ops_per_sec": int(heap_ops),
+            "wheel_ops_per_sec": int(wheel_ops),
+            "winner": "heap" if heap_ops >= wheel_ops else "wheel",
+        }
+    winner_by_profile = {}
+    for profile, estimate in PROFILE_DEPTH_ESTIMATE.items():
+        nearest = min(depths, key=lambda d: abs(d - estimate))
+        winner_by_profile[profile] = per_depth[str(nearest)]["winner"]
+    return {
+        "ops_per_point": ops,
+        "per_depth": per_depth,
+        "profile_depth_estimate": PROFILE_DEPTH_ESTIMATE,
+        "winner_by_profile": winner_by_profile,
+    }
+
+
+# ----------------------------------------------------------- sharded fig07
+
+
+def run_sharded_bench(scale: str, workers_list: tuple[int, ...]) -> dict:
+    """The full fig07 grid through the sharded Runner, per worker count.
+
+    Every run starts from a cold cell cache (fresh temp dir), so the wall
+    clock measures execution + merge, not cache reads; cells/sec is the
+    scheduling-level throughput number the CI gate tracks.
+    """
+    from repro.scenarios import ResultCache, Runner, get
+
+    plan = get("fig07").shard_plan(**get("fig07").bind({"scale": scale}))
+    runs = {}
+    base_wall = None
+    for workers in workers_list:
+        with tempfile.TemporaryDirectory() as tmp:
+            start = time.perf_counter()
+            result = Runner(workers=workers, cache=ResultCache(tmp)).run(
+                names=["fig07"], overrides={"scale": scale}
+            )[0]
+            wall = time.perf_counter() - start
+        assert result.cells is not None and result.cells[0] == len(plan)
+        if base_wall is None:
+            base_wall = wall
+        runs[f"workers_{workers}"] = {
+            "workers": workers,
+            "wall_s": round(wall, 4),
+            "cells": len(plan),
+            "cells_per_sec": round(len(plan) / wall, 4),
+            "speedup_vs_first": round(base_wall / wall, 2),
+        }
+    return {
+        "scale": scale,
+        "cells": len(plan),
+        "cpu_count": os.cpu_count(),
+        "runs": runs,
+    }
+
+
 def format_rows(doc: dict) -> list[str]:
     rows = []
     for name, eng in doc["engines"].items():
@@ -190,11 +321,43 @@ def format_rows(doc: dict) -> list[str]:
         f"speedup vs pre-PR: {doc['speedup_wall_vs_pre_pr']}x wall, "
         f"{doc['speedup_reference_eps_vs_pre_pr']}x reference events/sec"
     )
+    if "scheduler_depths" in doc:
+        for depth, point in doc["scheduler_depths"]["per_depth"].items():
+            rows.append(
+                f"depth {int(depth):7,d}: heap {point['heap_ops_per_sec']:>10,d} "
+                f"ops/s  wheel {point['wheel_ops_per_sec']:>10,d} ops/s  "
+                f"-> {point['winner']}"
+            )
+        winners = doc["scheduler_depths"]["winner_by_profile"]
+        rows.append(
+            "scheduler per profile: "
+            + "  ".join(f"{p}={w}" for p, w in winners.items())
+        )
+    for scale, record in doc.get("sharded", {}).items():
+        for run in record["runs"].values():
+            rows.append(
+                f"sharded fig07 ({scale}, {run['workers']} worker(s)): "
+                f"{run['cells']} cells in {run['wall_s']:.2f} s = "
+                f"{run['cells_per_sec']:.2f} cells/s "
+                f"({run['speedup_vs_first']}x vs first)"
+            )
     return rows
 
 
+def _best_cells_per_sec(doc: dict, scale: str) -> float | None:
+    record = doc.get("sharded", {}).get(scale)
+    if not record:
+        return None
+    return max(run["cells_per_sec"] for run in record["runs"].values())
+
+
 def check_regression(doc: dict, committed_path: Path) -> int:
-    """Exit status: non-zero on a >2x reference-events/sec regression."""
+    """Exit status: non-zero on a >2x regression.
+
+    Gates ``reference_events_per_sec`` always, and sharded cells/sec under
+    the same >2x rule whenever both the fresh run and the committed
+    artifact carry the sharded phase.
+    """
     committed = json.loads(committed_path.read_text())
     baseline = committed["engines"]["heap"]["reference_events_per_sec"]
     fresh = doc["engines"]["heap"]["reference_events_per_sec"]
@@ -203,11 +366,28 @@ def check_regression(doc: dict, committed_path: Path) -> int:
         f"perf-smoke: fresh {fresh:,d} ref-ev/s vs committed {baseline:,d} "
         f"(floor {floor:,.0f})"
     )
+    status = 0
     if fresh < floor:
         print("perf-smoke: FAIL — >2x events/sec regression", file=sys.stderr)
-        return 1
-    print("perf-smoke: ok")
-    return 0
+        status = 1
+    shared_scales = set(doc.get("sharded", {})) & set(committed.get("sharded", {}))
+    for scale in sorted(shared_scales):
+        fresh_cells = _best_cells_per_sec(doc, scale)
+        committed_cells = _best_cells_per_sec(committed, scale)
+        assert fresh_cells is not None and committed_cells is not None
+        print(
+            f"perf-smoke [{scale}]: fresh {fresh_cells:.2f} cells/s vs "
+            f"committed {committed_cells:.2f} (floor {committed_cells / 2:.2f})"
+        )
+        if fresh_cells < committed_cells / 2:
+            print(
+                f"perf-smoke: FAIL — >2x cells/sec regression at {scale} scale",
+                file=sys.stderr,
+            )
+            status = 1
+    if status == 0:
+        print("perf-smoke: ok")
+    return status
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -220,9 +400,33 @@ def main(argv: list[str] | None = None) -> int:
                         help="take the best of N runs per engine")
     parser.add_argument("--schedulers", default="heap,wheel",
                         help="comma-separated scheduler list")
+    parser.add_argument("--depths", action="store_true",
+                        help="run the heap-vs-wheel pending-depth bench")
+    parser.add_argument("--sharded", action="append", default=[],
+                        metavar="SCALE:W1,W2",
+                        help="run the sharded fig07 grid at SCALE for each "
+                        "worker count (repeatable), e.g. ci:1,2")
     args = parser.parse_args(argv)
     schedulers = tuple(s for s in args.schedulers.split(",") if s)
+    # Validate every --sharded spec up front: a typo must not cost the
+    # minutes the main microbench takes before erroring.
+    sharded_specs: list[tuple[str, tuple[int, ...]]] = []
+    for spec in args.sharded:
+        scale, _, workers_text = spec.partition(":")
+        try:
+            workers_list = tuple(int(w) for w in workers_text.split(",") if w)
+        except ValueError:
+            workers_list = ()
+        if not scale or not workers_list:
+            parser.error(f"--sharded expects SCALE:W1[,W2...], got {spec!r}")
+        sharded_specs.append((scale, workers_list))
     doc = run_microbench(schedulers, repeat=args.repeat)
+    if args.depths:
+        doc["scheduler_depths"] = run_depth_bench()
+    for scale, workers_list in sharded_specs:
+        doc.setdefault("sharded", {})[scale] = run_sharded_bench(
+            scale, workers_list
+        )
     for row in format_rows(doc):
         print(row)
     if args.output is not None:

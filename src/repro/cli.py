@@ -17,6 +17,12 @@ worker pool (``--workers``) and a content-addressed result cache (default
 ``--cache-dir ''``). ``sweep`` runs one scenario over the cartesian grid of
 comma-separated ``--set`` values.
 
+Sharded scenarios (fig07/fig09/fig10/fig11 and the ablations) decompose
+into per-cell jobs that fan out across the worker pool and are cached
+individually — an interrupted run resumes from its completed cells. A
+progress stream (``[done/total] scenario:cell (dur) — eta``) goes to
+stderr when it is a terminal; force it with ``--progress``.
+
 The legacy spelling ``python -m repro.cli fig04 [--k 12]`` still works and
 maps onto ``run``.
 """
@@ -27,6 +33,7 @@ import argparse
 import sys
 
 from .scenarios import (
+    Progress,
     ResultCache,
     Runner,
     ScenarioError,
@@ -36,6 +43,27 @@ from .scenarios import (
 )
 
 __all__ = ["main"]
+
+
+def _format_eta(seconds: float) -> str:
+    if seconds >= 90:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.0f}s"
+
+
+def _progress_printer(event: Progress) -> None:
+    """One stderr line per finished unit: ``[done/total] label — eta``."""
+    status = "FAILED" if event.failed else f"{event.duration_s:.1f}s"
+    eta = (
+        f" — eta {_format_eta(event.eta_s)}"
+        if event.eta_s is not None and event.done < event.total
+        else ""
+    )
+    print(
+        f"[{event.done}/{event.total}] {event.label} ({status}){eta}",
+        file=sys.stderr,
+        flush=True,
+    )
 
 
 def _parse_sets(pairs: list[str]) -> dict[str, str]:
@@ -54,17 +82,29 @@ def _make_runner(args: argparse.Namespace) -> Runner:
         cache = None
     else:
         cache = ResultCache(args.cache_dir)  # None -> default location
+    show_progress = (
+        args.progress
+        if args.progress is not None
+        else sys.stderr.isatty()
+    )
     return Runner(
         workers=args.workers,
         cache=cache,
         use_cache=not args.no_cache,
         base_seed=args.seed,
+        progress=_progress_printer if show_progress else None,
     )
 
 
 def _print_results(results, quiet: bool) -> None:
     for res in results:
         sc_note = " [cached]" if res.cached else f" [{res.duration_s:.2f}s]"
+        if res.cells is not None and not res.cached:
+            computed, restored, total = res.cells
+            detail = f"{computed} run"
+            if restored:
+                detail += f" + {restored} cached"
+            sc_note = f"{sc_note[:-1]}; cells: {detail} / {total}]"
         print(f"=== {res.name}{sc_note} params={res.params} ===")
         if not quiet:
             for row in res.rows:
@@ -162,6 +202,20 @@ def _add_exec_options(sub: argparse.ArgumentParser) -> None:
     )
     sub.add_argument(
         "--quiet", action="store_true", help="print headers only, not rows"
+    )
+    progress = sub.add_mutually_exclusive_group()
+    progress.add_argument(
+        "--progress",
+        action="store_true",
+        default=None,
+        help="print per-unit progress (cells done/total, ETA) to stderr "
+        "(default: only when stderr is a terminal)",
+    )
+    progress.add_argument(
+        "--no-progress",
+        dest="progress",
+        action="store_false",
+        help="suppress the progress stream",
     )
 
 

@@ -11,6 +11,12 @@ the result cache, sweeps and the shared benchmark harness for free:
 
 ``benchmarks/bench_ablation_*.py`` wrap these entry points through
 ``run_scenario()`` exactly like the figure benches do.
+
+Each ablation shards over its variant axis (group size, guard time, VLB
+on/off x fidelity): the variants are independent by construction — they
+share only deterministic, scenario-seeded inputs — so they fan out across
+the Runner's worker pool and resume from the per-cell cache like the FCT
+grids do.
 """
 
 from __future__ import annotations
@@ -23,7 +29,7 @@ from ..core.timing import PS_PER_US, TimingParams
 from ..fluid import RotorFluidSimulation
 from ..net import OperaSimNetwork
 from ..core.topology import OperaNetwork
-from ..scenarios import scenario
+from ..scenarios import Cell, scenario
 
 __all__ = [
     "run_grouping",
@@ -40,12 +46,61 @@ MS = 1_000_000_000
 # ---------------------------------------------------------------- grouping
 
 
+def shards_grouping(
+    n_racks: int = 48,
+    n_switches: int = 12,
+    groups: tuple[int, ...] = (12, 6, 4, 3),
+    seed: int = 0,
+):
+    """Cell plan: one reconfiguration-group size per cell."""
+    return [
+        Cell(
+            key=f"group@{group}",
+            params={
+                "group": group,
+                "n_racks": n_racks,
+                "n_switches": n_switches,
+                "seed": seed,
+            },
+            # Smaller groups stretch the cycle (more slices to walk when
+            # histogramming paths), so they cost more.
+            cost=float(max(n_switches // max(group, 1), 1)),
+        )
+        for group in groups
+    ]
+
+
+def run_grouping_cell(group: int, n_racks: int, n_switches: int, seed: int) -> dict:
+    """Cycle/threshold/path metrics for one group size."""
+    sched = OperaSchedule(n_racks, n_switches, group_size=group, seed=seed)
+    timing = TimingParams(
+        n_racks=n_racks, n_switches=n_switches, group_size=group
+    )
+    routing = OperaRouting(sched)
+    hist = routing.path_length_histogram()
+    total = sum(hist.values())
+    avg = sum(h * c for h, c in hist.items()) / total
+    return {
+        "group": group,
+        "down_per_slice": n_switches // group,
+        "cycle_slices": sched.cycle_slices,
+        "cycle_ms": timing.cycle_ps / 1e9,
+        "threshold_MB": timing.bulk_threshold_bytes / 1e6,
+        "avg_path": avg,
+    }
+
+
+def merge_grouping(values: list[dict], **_params: object) -> list[dict]:
+    return list(values)
+
+
 @scenario(
     "ablation_grouping",
     tags=("analysis", "ablation"),
     cost="cheap",
     title="Ablation: reconfiguration group size (Appendix B)",
     formatter="format_grouping",
+    shards="shards_grouping", cell="run_grouping_cell", merge="merge_grouping",
 )
 def run_grouping(
     n_racks: int = 48,
@@ -59,27 +114,10 @@ def run_grouping(
     amortization threshold) but take more switches down per slice (less
     instantaneous expander capacity and direct supply).
     """
-    rows = []
-    for group in groups:
-        sched = OperaSchedule(n_racks, n_switches, group_size=group, seed=seed)
-        timing = TimingParams(
-            n_racks=n_racks, n_switches=n_switches, group_size=group
-        )
-        routing = OperaRouting(sched)
-        hist = routing.path_length_histogram()
-        total = sum(hist.values())
-        avg = sum(h * c for h, c in hist.items()) / total
-        rows.append(
-            {
-                "group": group,
-                "down_per_slice": n_switches // group,
-                "cycle_slices": sched.cycle_slices,
-                "cycle_ms": timing.cycle_ps / 1e9,
-                "threshold_MB": timing.bulk_threshold_bytes / 1e6,
-                "avg_path": avg,
-            }
-        )
-    return rows
+    plan = shards_grouping(
+        n_racks=n_racks, n_switches=n_switches, groups=groups, seed=seed
+    )
+    return merge_grouping([run_grouping_cell(**cell.params) for cell in plan])
 
 
 def format_grouping(rows: list[dict]) -> list[str]:
@@ -94,12 +132,81 @@ def format_grouping(rows: list[dict]) -> list[str]:
 # ------------------------------------------------------------- guard bands
 
 
+def shards_guard_bands(
+    guards_us: tuple[int, ...] = (0, 1, 2, 5, 10),
+    n_racks: int = 24,
+    n_switches: int = 6,
+    shuffle_bytes: int = 100_000,
+    max_slices: int = 6000,
+    seed: int = 0,
+):
+    """Cell plan: one guard time per cell."""
+    return [
+        Cell(
+            key=f"guard@{guard_us}us",
+            params={
+                "guard_us": guard_us,
+                "n_racks": n_racks,
+                "n_switches": n_switches,
+                "shuffle_bytes": shuffle_bytes,
+                "max_slices": max_slices,
+                "seed": seed,
+            },
+            cost=25.0 * (max_slices / 6000) * (n_racks / 24) ** 2,
+        )
+        for guard_us in guards_us
+    ]
+
+
+def run_guard_bands_cell(
+    guard_us: int,
+    n_racks: int,
+    n_switches: int,
+    shuffle_bytes: int,
+    max_slices: int,
+    seed: int,
+) -> dict:
+    """Capacity factors and measured shuffle throughput at one guard time."""
+    # Capacity factors use the same geometry as the measured fluid sim
+    # (they depend on slice/holding time, i.e. on n_switches only).
+    timing = TimingParams(
+        n_racks=n_racks, n_switches=n_switches, guard_ps=guard_us * PS_PER_US
+    )
+    sched = OperaSchedule(n_racks, n_switches, seed=seed)
+    fluid_timing = TimingParams(n_racks=n_racks, n_switches=n_switches)
+    sim = RotorFluidSimulation(
+        sched,
+        TimingParams(
+            n_racks=n_racks,
+            n_switches=n_switches,
+            reconfiguration_ps=fluid_timing.reconfiguration_ps
+            + 2 * guard_us * PS_PER_US,
+        ),
+        hosts_per_rack=n_switches,
+    )
+    sim.add_all_to_all(shuffle_bytes)
+    res = sim.run(max_slices=max_slices)
+    mid = [v for _t, v in res.throughput_series[: res.slices_run // 2]]
+    return {
+        "guard_us": guard_us,
+        "ll_factor": timing.low_latency_capacity_factor,
+        "bulk_factor": timing.bulk_capacity_factor,
+        "shuffle_throughput": sum(mid) / len(mid),
+    }
+
+
+def merge_guard_bands(values: list[dict], **_params: object) -> list[dict]:
+    return list(values)
+
+
 @scenario(
     "ablation_guard_bands",
     tags=("fluid", "ablation"),
     cost="medium",
     title="Ablation: synchronization guard bands (section 3.5)",
     formatter="format_guard_bands",
+    shards="shards_guard_bands", cell="run_guard_bands_cell",
+    merge="merge_guard_bands",
 )
 def run_guard_bands(
     guards_us: tuple[int, ...] = (0, 1, 2, 5, 10),
@@ -114,37 +221,11 @@ def run_guard_bands(
     The paper: "each us of guard time contributes a 1% relative reduction
     in low-latency capacity and a 0.2% reduction for bulk traffic".
     """
-    rows = []
-    for guard_us in guards_us:
-        # Capacity factors use the same geometry as the measured fluid sim
-        # (they depend on slice/holding time, i.e. on n_switches only).
-        timing = TimingParams(
-            n_racks=n_racks, n_switches=n_switches, guard_ps=guard_us * PS_PER_US
-        )
-        sched = OperaSchedule(n_racks, n_switches, seed=seed)
-        fluid_timing = TimingParams(n_racks=n_racks, n_switches=n_switches)
-        sim = RotorFluidSimulation(
-            sched,
-            TimingParams(
-                n_racks=n_racks,
-                n_switches=n_switches,
-                reconfiguration_ps=fluid_timing.reconfiguration_ps
-                + 2 * guard_us * PS_PER_US,
-            ),
-            hosts_per_rack=n_switches,
-        )
-        sim.add_all_to_all(shuffle_bytes)
-        res = sim.run(max_slices=max_slices)
-        mid = [v for _t, v in res.throughput_series[: res.slices_run // 2]]
-        rows.append(
-            {
-                "guard_us": guard_us,
-                "ll_factor": timing.low_latency_capacity_factor,
-                "bulk_factor": timing.bulk_capacity_factor,
-                "shuffle_throughput": sum(mid) / len(mid),
-            }
-        )
-    return rows
+    plan = shards_guard_bands(
+        guards_us=guards_us, n_racks=n_racks, n_switches=n_switches,
+        shuffle_bytes=shuffle_bytes, max_slices=max_slices, seed=seed,
+    )
+    return merge_guard_bands([run_guard_bands_cell(**cell.params) for cell in plan])
 
 
 def format_guard_bands(rows: list[dict]) -> list[str]:
@@ -157,6 +238,76 @@ def format_guard_bands(rows: list[dict]) -> list[str]:
 
 # -------------------------------------------------------------------- VLB
 
+#: Cell order for the VLB ablation: fidelity-major, VLB-on first —
+#: matching the result dict the unsharded loop always produced.
+_VLB_VARIANTS = (
+    ("fluid", True),
+    ("fluid", False),
+    ("packet", True),
+    ("packet", False),
+)
+
+
+def shards_vlb(
+    fluid_racks: int = 108,
+    fluid_demand_bytes: float = 30e6,
+    packet_flow_bytes: int = 2_000_000,
+    seed: int = 0,
+):
+    """Cell plan: one (fidelity, VLB on/off) variant per cell."""
+    return [
+        Cell(
+            key=f"{level}_vlb={vlb}",
+            params={
+                "level": level,
+                "vlb": vlb,
+                "fluid_racks": fluid_racks,
+                "fluid_demand_bytes": fluid_demand_bytes,
+                "packet_flow_bytes": packet_flow_bytes,
+                "seed": seed,
+            },
+            cost=400.0 if level == "packet" else 100.0,
+        )
+        for level, vlb in _VLB_VARIANTS
+    ]
+
+
+def run_vlb_cell(
+    level: str,
+    vlb: bool,
+    fluid_racks: int,
+    fluid_demand_bytes: float,
+    packet_flow_bytes: int,
+    seed: int,
+) -> float | None:
+    """Hot-pair completion time (ms) for one fidelity/VLB variant."""
+    if level == "fluid":
+        sched = OperaSchedule(fluid_racks, 6, seed=seed)
+        timing = TimingParams(n_racks=fluid_racks, n_switches=6)
+        sim = RotorFluidSimulation(
+            sched, timing, hosts_per_rack=6, enable_vlb=vlb
+        )
+        demand = np.zeros((fluid_racks, fluid_racks))
+        demand[0][1] = fluid_demand_bytes
+        sim.add_demand(demand)
+        res = sim.run(max_slices=8000)
+        return res.pair_completion_ms[(0, 1)]
+    if level == "packet":
+        sim = OperaSimNetwork(
+            OperaNetwork(k=8, n_racks=8, seed=seed), enable_vlb=vlb
+        )
+        rec = sim.start_bulk_flow(0, 30, packet_flow_bytes)
+        sim.run(60 * MS)
+        return rec.fct_ps / 1e9 if rec.complete else None
+    raise ValueError(f"unknown fidelity level {level!r}")
+
+
+def merge_vlb(values: list[float | None], **_params: object) -> dict:
+    return {
+        f"{level}_vlb={vlb}": value
+        for (level, vlb), value in zip(_VLB_VARIANTS, values)
+    }
+
 
 @scenario(
     "ablation_vlb",
@@ -164,6 +315,7 @@ def format_guard_bands(rows: list[dict]) -> list[str]:
     cost="heavy",
     title="Ablation: two-hop VLB for skewed bulk traffic (section 4.2.2)",
     formatter="format_vlb",
+    shards="shards_vlb", cell="run_vlb_cell", merge="merge_vlb",
 )
 def run_vlb(
     fluid_racks: int = 108,
@@ -177,28 +329,13 @@ def run_vlb(
     RotorNet-style automatic transition to two-hop Valiant load balancing;
     VLB multiplies the pair's capacity by spreading it over all racks.
     """
-    results: dict[str, float | None] = {}
-    for vlb in (True, False):
-        sched = OperaSchedule(fluid_racks, 6, seed=seed)
-        timing = TimingParams(n_racks=fluid_racks, n_switches=6)
-        sim = RotorFluidSimulation(
-            sched, timing, hosts_per_rack=6, enable_vlb=vlb
-        )
-        demand = np.zeros((fluid_racks, fluid_racks))
-        demand[0][1] = fluid_demand_bytes
-        sim.add_demand(demand)
-        res = sim.run(max_slices=8000)
-        results[f"fluid_vlb={vlb}"] = res.pair_completion_ms[(0, 1)]
-    for vlb in (True, False):
-        sim = OperaSimNetwork(
-            OperaNetwork(k=8, n_racks=8, seed=seed), enable_vlb=vlb
-        )
-        rec = sim.start_bulk_flow(0, 30, packet_flow_bytes)
-        sim.run(60 * MS)
-        results[f"packet_vlb={vlb}"] = (
-            rec.fct_ps / 1e9 if rec.complete else None
-        )
-    return results
+    plan = shards_vlb(
+        fluid_racks=fluid_racks,
+        fluid_demand_bytes=fluid_demand_bytes,
+        packet_flow_bytes=packet_flow_bytes,
+        seed=seed,
+    )
+    return merge_vlb([run_vlb_cell(**cell.params) for cell in plan])
 
 
 def format_vlb(results: dict) -> list[str]:

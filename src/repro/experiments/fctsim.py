@@ -14,6 +14,7 @@ vs low-latency splits) is what carries over across profiles.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from functools import cached_property
 
@@ -25,18 +26,25 @@ from ..net import (
     RotorNetSimNetwork,
     SimNetwork,
 )
+from ..scenarios.sharding import Cell, derive_cell_seed
 from ..topologies.expander import ExpanderTopology
 from ..topologies.folded_clos import FoldedClos
 from ..topologies.rotornet import RotorNetTopology
 from ..workloads.arrivals import PoissonArrivals
-from ..workloads.distributions import FlowSizeDistribution
+from ..workloads.distributions import DATAMINING, WEBSEARCH, FlowSizeDistribution
 
 __all__ = [
     "FctResult",
     "build_network",
     "run_fct_experiment",
     "resolve_scale",
+    "scheduler_for_scale",
+    "fct_shard_cells",
+    "fct_cell_cost",
+    "run_fct_cell",
+    "merge_fct_cells",
     "SCALE_PROFILES",
+    "SCHEDULER_BY_SCALE",
     "SIZE_BUCKETS",
 ]
 
@@ -70,6 +78,32 @@ def resolve_scale(scale: str) -> tuple[int, int, float]:
     except KeyError:
         known = ", ".join(sorted(SCALE_PROFILES))
         raise ValueError(f"unknown scale profile {scale!r}; known: {known}") from None
+
+
+#: Default event scheduler per scale profile, picked from the pending-depth
+#: microbenchmark (``benchmarks/engine_microbench.py --depths``, recorded in
+#: ``BENCH_engine.json`` under ``scheduler_depths``): the C heap wins at
+#: every depth the profiles reach — including the paper profile's tens of
+#: thousands of pending events, where the wheel's constant-factor overhead
+#: still outweighs its O(1) insertion. Revisit if the depth bench flips.
+SCHEDULER_BY_SCALE: dict[str, str] = {
+    "ci": "heap",
+    "default": "heap",
+    "paper": "heap",
+}
+
+
+def scheduler_for_scale(scale: str) -> str:
+    """Scheduler the FCT harness uses at ``scale``.
+
+    An explicit ``REPRO_SCHEDULER`` in the environment always wins (the
+    differential scheduler tests and the microbenchmark rely on that);
+    otherwise the profile's measured default applies.
+    """
+    env = os.environ.get("REPRO_SCHEDULER")
+    if env:
+        return env
+    return SCHEDULER_BY_SCALE.get(scale, "heap")
 
 
 @dataclass
@@ -133,9 +167,24 @@ def run_fct_experiment(
     k: int = 8,
     n_racks: int = 8,
     seed: int = 0,
+    scheduler: str | None = None,
 ) -> FctResult:
-    """Poisson flows at ``load`` over network ``kind``; FCTs per bucket."""
-    net = build_network(kind, k=k, n_racks=n_racks, seed=seed)
+    """Poisson flows at ``load`` over network ``kind``; FCTs per bucket.
+
+    ``scheduler`` picks the event scheduler for this run's Simulator (the
+    schedulers are bit-identical, so this is purely a wall-clock choice);
+    ``None`` keeps the engine's ambient default.
+    """
+    if scheduler is not None and not os.environ.get("REPRO_SCHEDULER"):
+        # The Simulator reads REPRO_SCHEDULER at construction; scope the
+        # override to the network build so nothing leaks to other runs.
+        os.environ["REPRO_SCHEDULER"] = scheduler
+        try:
+            net = build_network(kind, k=k, n_racks=n_racks, seed=seed)
+        finally:
+            del os.environ["REPRO_SCHEDULER"]
+    else:
+        net = build_network(kind, k=k, n_racks=n_racks, seed=seed)
     hosts_per_rack = sum(1 for h in net.hosts if h.rack == 0)
     arrivals = PoissonArrivals(
         distribution.truncated(size_cap),
@@ -174,6 +223,111 @@ def run_fct_experiment(
         completed=len(net.stats.completed_flows()),
         buckets=buckets,
     )
+
+
+# ------------------------------------------------------------------ sharding
+
+#: Named workloads a cell can reference (cell params must be JSON-able, so
+#: distributions travel by name, never as objects).
+DISTRIBUTIONS: dict[str, FlowSizeDistribution] = {
+    "datamining": DATAMINING,
+    "websearch": WEBSEARCH,
+}
+
+#: Relative per-network wall-clock weight, measured from the engine
+#: microbenchmark's per-network walls at 10% load (``BENCH_engine.json``):
+#: the Clos burns ~2.4x opera's time per simulated millisecond, RotorNet
+#: without a packet fabric ~0.4x.
+NETWORK_COST_WEIGHT: dict[str, float] = {
+    "opera": 1.0,
+    "expander": 1.2,
+    "clos": 2.4,
+    "rotornet-hybrid": 1.1,
+    "rotornet": 0.4,
+}
+
+
+def fct_cell_cost(scale: str, network: str, load: float, duration_ms: float) -> float:
+    """Estimated relative wall-clock of one ``(network, load)`` FCT cell.
+
+    Simulated work grows with the deployment size (hosts), the arrival
+    horizon, the offered load, and the per-network weight — so a
+    paper-scale 25%-load Clos cell schedules long before a default-scale
+    1%-load RotorNet one. Heuristic, not a promise; only the ordering
+    matters.
+    """
+    k, n_racks, duration_factor = resolve_scale(scale)
+    hosts = n_racks * (k // 2)
+    return (
+        NETWORK_COST_WEIGHT.get(network, 1.0)
+        * hosts
+        * max(load, 0.01)
+        * (duration_ms * duration_factor / 4.0)
+    )
+
+
+def fct_shard_cells(
+    scenario_name: str,
+    distribution: str,
+    networks: tuple[str, ...],
+    loads: tuple[float, ...],
+    duration_ms: float,
+    seed: int,
+    scale: str,
+) -> list[Cell]:
+    """Shard an FCT grid scenario over its ``(network, load)`` axes.
+
+    Every cell gets a hash-derived seed from ``(seed, scenario, cell key)``
+    — identical whether the cell later runs sharded, pooled, or inside the
+    scenario's own unsharded ``run()`` loop — and a cost estimate so the
+    pool schedules long cells first.
+    """
+    cells = []
+    for kind in networks:
+        for load in loads:
+            key = f"{kind}@{load:g}"
+            cells.append(
+                Cell(
+                    key=key,
+                    params={
+                        "network": kind,
+                        "load": load,
+                        "distribution": distribution,
+                        "duration_ms": duration_ms,
+                        "seed": derive_cell_seed(seed, scenario_name, key),
+                        "scale": scale,
+                    },
+                    cost=fct_cell_cost(scale, kind, load, duration_ms),
+                )
+            )
+    return cells
+
+
+def run_fct_cell(
+    network: str,
+    load: float,
+    distribution: str,
+    duration_ms: float,
+    seed: int,
+    scale: str,
+) -> FctResult:
+    """One independent ``(network, load)`` point of an FCT grid."""
+    k, n_racks, duration_factor = resolve_scale(scale)
+    return run_fct_experiment(
+        network,
+        DISTRIBUTIONS[distribution],
+        load,
+        duration_ms=duration_ms * duration_factor,
+        k=k,
+        n_racks=n_racks,
+        seed=seed,
+        scheduler=scheduler_for_scale(scale),
+    )
+
+
+def merge_fct_cells(values: list[FctResult], **_params: object) -> list[FctResult]:
+    """Cell values in plan order are exactly the grid's result list."""
+    return list(values)
 
 
 def format_rows(results: list[FctResult]) -> list[str]:

@@ -4,22 +4,52 @@ Paper setup: Poisson arrivals of the Datamining workload at 1-40% load on
 the cost-equivalent 648-host networks; Opera admits 40% while the statics
 saturate past 25%, and non-hybrid RotorNet's short-flow FCTs are orders of
 magnitude worse. Reproduced at reduced scale (see :mod:`.fctsim`).
+
+The ``(network, load)`` grid shards: each point is an independent cell
+with a hash-derived seed, so the Runner fans the grid out across workers
+and resumes an interrupted sweep from the per-cell cache. ``run()`` is
+implemented *in terms of* the shard plan, which makes the sharded and
+unsharded paths bit-identical by construction.
 """
 
 from __future__ import annotations
 
-from ..workloads.distributions import DATAMINING
 from ..scenarios import scenario
-from .fctsim import FctResult, format_rows, resolve_scale, run_fct_experiment
+from .fctsim import (
+    FctResult,
+    fct_shard_cells,
+    format_rows,
+    merge_fct_cells,
+    run_fct_cell,
+)
 
-__all__ = ["run", "format_rows", "DEFAULT_LOADS", "DEFAULT_NETWORKS"]
+__all__ = ["run", "shards", "run_cell", "merge", "format_rows",
+           "DEFAULT_LOADS", "DEFAULT_NETWORKS"]
 
 DEFAULT_LOADS = (0.01, 0.10, 0.25)
 DEFAULT_NETWORKS = ("opera", "expander", "clos", "rotornet-hybrid", "rotornet")
 
 
+def shards(
+    loads: tuple[float, ...] = DEFAULT_LOADS,
+    networks: tuple[str, ...] = DEFAULT_NETWORKS,
+    duration_ms: float = 4.0,
+    seed: int = 0,
+    scale: str = "default",
+):
+    """Cell plan: one ``(network, load)`` point per cell."""
+    return fct_shard_cells(
+        "fig07", "datamining", networks, loads, duration_ms, seed, scale
+    )
+
+
+run_cell = run_fct_cell
+merge = merge_fct_cells
+
+
 @scenario("fig07", tags=("packet", "fct"), cost="heavy",
-          title="Datamining FCTs, reduced scale (Figure 7)")
+          title="Datamining FCTs, reduced scale (Figure 7)",
+          shards="shards", cell="run_cell", merge="merge")
 def run(
     loads: tuple[float, ...] = DEFAULT_LOADS,
     networks: tuple[str, ...] = DEFAULT_NETWORKS,
@@ -28,19 +58,8 @@ def run(
     scale: str = "default",
 ) -> list[FctResult]:
     """Datamining FCTs per load/network at a ``REPRO_SCALE`` profile."""
-    k, n_racks, duration_factor = resolve_scale(scale)
-    results = []
-    for kind in networks:
-        for load in loads:
-            results.append(
-                run_fct_experiment(
-                    kind,
-                    DATAMINING,
-                    load,
-                    duration_ms=duration_ms * duration_factor,
-                    k=k,
-                    n_racks=n_racks,
-                    seed=seed,
-                )
-            )
-    return results
+    plan = shards(
+        loads=loads, networks=networks, duration_ms=duration_ms,
+        seed=seed, scale=scale,
+    )
+    return merge([run_cell(**cell.params) for cell in plan])

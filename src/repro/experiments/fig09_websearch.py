@@ -3,22 +3,49 @@
 Every Websearch flow sits below the 15 MB bulk threshold, so Opera pays the
 multi-hop bandwidth tax on all of it and only admits ~10% load; the static
 networks saturate somewhat above 25%. Reproduced at reduced scale.
+
+Shards over the ``(network, load)`` grid exactly like fig07 (see that
+module for the sharding contract).
 """
 
 from __future__ import annotations
 
-from ..workloads.distributions import WEBSEARCH
 from ..scenarios import scenario
-from .fctsim import FctResult, format_rows, resolve_scale, run_fct_experiment
+from .fctsim import (
+    FctResult,
+    fct_shard_cells,
+    format_rows,
+    merge_fct_cells,
+    run_fct_cell,
+)
 
-__all__ = ["run", "format_rows", "DEFAULT_LOADS", "DEFAULT_NETWORKS"]
+__all__ = ["run", "shards", "run_cell", "merge", "format_rows",
+           "DEFAULT_LOADS", "DEFAULT_NETWORKS"]
 
 DEFAULT_LOADS = (0.01, 0.05, 0.10)
 DEFAULT_NETWORKS = ("opera", "expander", "clos")
 
 
+def shards(
+    loads: tuple[float, ...] = DEFAULT_LOADS,
+    networks: tuple[str, ...] = DEFAULT_NETWORKS,
+    duration_ms: float = 4.0,
+    seed: int = 0,
+    scale: str = "default",
+):
+    """Cell plan: one ``(network, load)`` point per cell."""
+    return fct_shard_cells(
+        "fig09", "websearch", networks, loads, duration_ms, seed, scale
+    )
+
+
+run_cell = run_fct_cell
+merge = merge_fct_cells
+
+
 @scenario("fig09", tags=("packet", "fct"), cost="heavy",
-          title="Websearch FCTs, reduced scale (Figure 9)")
+          title="Websearch FCTs, reduced scale (Figure 9)",
+          shards="shards", cell="run_cell", merge="merge")
 def run(
     loads: tuple[float, ...] = DEFAULT_LOADS,
     networks: tuple[str, ...] = DEFAULT_NETWORKS,
@@ -27,19 +54,8 @@ def run(
     scale: str = "default",
 ) -> list[FctResult]:
     """Websearch FCTs per load/network at a ``REPRO_SCALE`` profile."""
-    k, n_racks, duration_factor = resolve_scale(scale)
-    results = []
-    for kind in networks:
-        for load in loads:
-            results.append(
-                run_fct_experiment(
-                    kind,
-                    WEBSEARCH,
-                    load,
-                    duration_ms=duration_ms * duration_factor,
-                    k=k,
-                    n_racks=n_racks,
-                    seed=seed,
-                )
-            )
-    return results
+    plan = shards(
+        loads=loads, networks=networks, duration_ms=duration_ms,
+        seed=seed, scale=scale,
+    )
+    return merge([run_cell(**cell.params) for cell in plan])

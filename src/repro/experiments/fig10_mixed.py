@@ -4,13 +4,16 @@ The Websearch fraction is low-latency load (a fraction of aggregate host
 bandwidth, forwarded multi-hop); the rest of the network runs the shuffle.
 Opera trades ~2x low-latency capacity for 2-4x bulk capacity; the statics
 serve both classes out of the same constrained fabric.
+
+Shards over the websearch-load axis: each cell evaluates one ``ws_load``
+point for all three networks. The expander topology is seeded with the
+*scenario* seed in every cell (the figure compares loads over one fixed
+topology draw), so sharding does not change what the figure means.
 """
 
 from __future__ import annotations
 
-import random
-
-import numpy as np
+from functools import lru_cache
 
 from ..analysis.costs import cost_equivalent_networks
 from ..analysis.throughput import (
@@ -18,17 +21,104 @@ from ..analysis.throughput import (
     expander_throughput,
     opera_throughput,
 )
+from ..scenarios import Cell, scenario
 from ..topologies.expander import ExpanderTopology
 from ..workloads.patterns import all_to_all_matrix
-from ..scenarios import scenario
 
-__all__ = ["run", "format_rows", "DEFAULT_WS_LOADS"]
+__all__ = ["run", "shards", "run_cell", "merge", "format_rows", "DEFAULT_WS_LOADS"]
 
 DEFAULT_WS_LOADS = (0.01, 0.025, 0.05, 0.10, 0.20, 0.40)
 
+_NETWORKS = ("opera", "expander", "clos")
+
+
+def shards(
+    k: int = 12,
+    n_racks: int = 108,
+    ws_loads: tuple[float, ...] = DEFAULT_WS_LOADS,
+    seed: int = 0,
+):
+    """Cell plan: one websearch-load point per cell."""
+    return [
+        Cell(
+            key=f"ws@{w:g}",
+            params={"k": k, "n_racks": n_racks, "ws_load": w, "seed": seed},
+            # Fluid/analytic cells are all the same shape; the constant
+            # ranks them alongside packet cells and scenario hints.
+            cost=25.0 * (n_racks / 108),
+        )
+        for w in ws_loads
+    ]
+
+
+@lru_cache(maxsize=8)
+def _setup(k: int, n_racks: int, seed: int):
+    """Load-independent inputs shared by every cell of one fig10 run.
+
+    Dominates a cell's runtime, so it is computed once per (k, n_racks,
+    seed) per process — matching what the pre-sharding loop did — instead
+    of once per load point.
+    """
+    eq = cost_equivalent_networks(k, 1.3, n_racks=n_racks)
+    d = eq.opera_hosts_per_rack
+    uniform_opera = all_to_all_matrix(n_racks, d)
+    expander = ExpanderTopology(
+        eq.expander_racks, eq.expander_uplinks, eq.expander_hosts_per_rack, seed=seed
+    )
+    uniform_exp = all_to_all_matrix(eq.expander_racks, eq.expander_hosts_per_rack)
+    theta_exp_uniform = expander_throughput(expander, uniform_exp)
+    theta_clos_uniform = clos_throughput(uniform_opera, eq.clos_oversubscription, d)
+    return eq, d, uniform_opera, theta_exp_uniform, theta_clos_uniform
+
+
+def run_cell(
+    k: int, n_racks: int, ws_load: float, seed: int
+) -> dict[str, tuple[float, float]]:
+    """Total delivered throughput per network at one websearch load."""
+    eq, d, uniform_opera, theta_exp_uniform, theta_clos_uniform = _setup(
+        k, n_racks, seed
+    )
+
+    w = ws_load
+    avg_hops = 3.3
+    out: dict[str, tuple[float, float]] = {}
+    # Opera: websearch rides the expander slices (tax ~ avg path), the
+    # shuffle rides direct circuits with what's left.
+    ll_capacity = (eq.opera_uplinks - 1) * 0.983 / (avg_hops * d)
+    ws_served = min(w, ll_capacity)
+    bulk = opera_throughput(
+        uniform_opera,
+        n_racks,
+        eq.opera_uplinks,
+        low_latency_load=ws_served,
+        hosts_per_rack=d,
+    )
+    out["opera"] = (w, ws_served + bulk)
+    # Statics: both classes share one fabric with max uniform throughput
+    # theta; websearch is served first.
+    for name, theta in (
+        ("expander", theta_exp_uniform),
+        ("clos", theta_clos_uniform),
+    ):
+        ws = min(w, theta)
+        out[name] = (w, ws + max(0.0, theta - ws))
+    return out
+
+
+def merge(
+    values: list[dict[str, tuple[float, float]]], **_params: object
+) -> dict[str, list[tuple[float, float]]]:
+    """Per-load cell dicts (plan order) -> per-network series."""
+    out: dict[str, list[tuple[float, float]]] = {n: [] for n in _NETWORKS}
+    for point in values:
+        for name in _NETWORKS:
+            out[name].append(point[name])
+    return out
+
 
 @scenario("fig10", tags=("fluid", "throughput"), cost="heavy",
-          title="mixed-traffic throughput (Figure 10)")
+          title="mixed-traffic throughput (Figure 10)",
+          shards="shards", cell="run_cell", merge="merge")
 def run(
     k: int = 12,
     n_racks: int = 108,
@@ -41,44 +131,8 @@ def run(
     latency-sensitive and inelastic); the bulk shuffle then fills whatever
     capacity remains. Total throughput = served websearch + bulk.
     """
-    eq = cost_equivalent_networks(k, 1.3, n_racks=n_racks)
-    d = eq.opera_hosts_per_rack
-    uniform_opera = all_to_all_matrix(n_racks, d)
-    expander = ExpanderTopology(
-        eq.expander_racks, eq.expander_uplinks, eq.expander_hosts_per_rack, seed=seed
-    )
-    uniform_exp = all_to_all_matrix(eq.expander_racks, eq.expander_hosts_per_rack)
-    theta_exp_uniform = expander_throughput(expander, uniform_exp)
-    theta_clos_uniform = clos_throughput(uniform_opera, eq.clos_oversubscription, d)
-
-    out: dict[str, list[tuple[float, float]]] = {
-        "opera": [],
-        "expander": [],
-        "clos": [],
-    }
-    avg_hops = 3.3
-    for w in ws_loads:
-        # Opera: websearch rides the expander slices (tax ~ avg path), the
-        # shuffle rides direct circuits with what's left.
-        ll_capacity = (eq.opera_uplinks - 1) * 0.983 / (avg_hops * d)
-        ws_served = min(w, ll_capacity)
-        bulk = opera_throughput(
-            uniform_opera,
-            n_racks,
-            eq.opera_uplinks,
-            low_latency_load=ws_served,
-            hosts_per_rack=d,
-        )
-        out["opera"].append((w, ws_served + bulk))
-        # Statics: both classes share one fabric with max uniform
-        # throughput theta; websearch is served first.
-        for name, theta in (
-            ("expander", theta_exp_uniform),
-            ("clos", theta_clos_uniform),
-        ):
-            ws = min(w, theta)
-            out[name].append((w, ws + max(0.0, theta - ws)))
-    return out
+    plan = shards(k=k, n_racks=n_racks, ws_loads=ws_loads, seed=seed)
+    return merge([run_cell(**cell.params) for cell in plan])
 
 
 def format_rows(data: dict[str, list[tuple[float, float]]]) -> list[str]:

@@ -5,6 +5,13 @@ reference network; we step through the topology slices and report the
 fraction of disconnected ToR pairs in the worst slice and across all
 slices. The paper finds no loss up to ~4% links, ~7% ToRs, or 2/6 circuit
 switches.
+
+Shards over the ``(component, fraction)`` grid: every cell draws its
+failure set from a hash-derived per-cell seed (instead of one RNG stream
+threaded serially through the whole grid), which is what makes the cells
+independent — and therefore schedulable and resumable — in the first
+place. The schedule itself is seeded with the scenario seed in every cell,
+so all cells stress the same topology.
 """
 
 from __future__ import annotations
@@ -18,13 +25,86 @@ from ..analysis.failures import (
 )
 from ..core.faults import FailureSet
 from ..core.schedule import OperaSchedule
-from ..scenarios import scenario
+from ..scenarios import Cell, derive_cell_seed, scenario
 
-__all__ = ["run", "format_rows"]
+__all__ = ["run", "shards", "run_cell", "merge", "format_rows"]
+
+_COMPONENTS = ("links", "racks", "switches")
+
+
+def shards(
+    n_racks: int = 108,
+    n_switches: int = 6,
+    fractions: tuple[float, ...] = PAPER_FAILURE_FRACTIONS,
+    seed: int = 0,
+    slice_stride: int = 4,
+):
+    """Cell plan: one ``(component, fraction)`` failure draw per cell."""
+    # All-pairs BFS per sampled slice dominates; n_racks scales both the
+    # slice count and the per-slice pair count.
+    cost = 25.0 * (n_racks / 108) ** 2 * (4 / max(slice_stride, 1))
+    cells = []
+    for component in _COMPONENTS:
+        for fraction in fractions:
+            key = f"{component}@{fraction:g}"
+            cells.append(
+                Cell(
+                    key=key,
+                    params={
+                        "component": component,
+                        "fraction": fraction,
+                        "n_racks": n_racks,
+                        "n_switches": n_switches,
+                        "slice_stride": slice_stride,
+                        "sched_seed": seed,
+                        "seed": derive_cell_seed(seed, "fig11", key),
+                    },
+                    cost=cost,
+                )
+            )
+    return cells
+
+
+def run_cell(
+    component: str,
+    fraction: float,
+    n_racks: int,
+    n_switches: int,
+    slice_stride: int,
+    sched_seed: int,
+    seed: int,
+) -> tuple[float, ConnectivityReport]:
+    """Connectivity report for one component type at one failure fraction."""
+    sched = OperaSchedule(n_racks, n_switches, seed=sched_seed)
+    slices = range(0, sched.cycle_slices, slice_stride)
+    rng = random.Random(seed)
+    if component == "links":
+        failures = FailureSet.random_links(n_racks, n_switches, fraction, rng)
+    elif component == "racks":
+        failures = FailureSet.random_racks(n_racks, fraction, rng)
+    elif component == "switches":
+        failures = FailureSet.random_switches(n_switches, min(fraction, 1.0), rng)
+    else:
+        raise ValueError(f"unknown component {component!r}")
+    return fraction, opera_failure_report(sched, failures, slices)
+
+
+def merge(
+    values: list[tuple[float, ConnectivityReport]],
+    fractions: tuple[float, ...] = PAPER_FAILURE_FRACTIONS,
+    **_params: object,
+) -> dict[str, list[tuple[float, ConnectivityReport]]]:
+    """Cell values (plan order: component-major) -> per-component series."""
+    out: dict[str, list[tuple[float, ConnectivityReport]]] = {}
+    it = iter(values)
+    for component in _COMPONENTS:
+        out[component] = [next(it) for _ in fractions]
+    return out
 
 
 @scenario("fig11", tags=("analysis", "faults"), cost="medium",
-          title="fault tolerance (Figure 11)")
+          title="fault tolerance (Figure 11)",
+          shards="shards", cell="run_cell", merge="merge")
 def run(
     n_racks: int = 108,
     n_switches: int = 6,
@@ -38,45 +118,11 @@ def run(
     keep the all-pairs BFS budget modest; stride 1 reproduces the full
     figure.
     """
-    sched = OperaSchedule(n_racks, n_switches, seed=seed)
-    slices = range(0, sched.cycle_slices, slice_stride)
-    rng = random.Random(seed)
-    out: dict[str, list[tuple[float, ConnectivityReport]]] = {
-        "links": [],
-        "racks": [],
-        "switches": [],
-    }
-    for fraction in fractions:
-        out["links"].append(
-            (
-                fraction,
-                opera_failure_report(
-                    sched,
-                    FailureSet.random_links(n_racks, n_switches, fraction, rng),
-                    slices,
-                ),
-            )
-        )
-        out["racks"].append(
-            (
-                fraction,
-                opera_failure_report(
-                    sched, FailureSet.random_racks(n_racks, fraction, rng), slices
-                ),
-            )
-        )
-        switch_fraction = min(fraction, 1.0)
-        out["switches"].append(
-            (
-                fraction,
-                opera_failure_report(
-                    sched,
-                    FailureSet.random_switches(n_switches, switch_fraction, rng),
-                    slices,
-                ),
-            )
-        )
-    return out
+    plan = shards(
+        n_racks=n_racks, n_switches=n_switches, fractions=fractions,
+        seed=seed, slice_stride=slice_stride,
+    )
+    return merge([run_cell(**cell.params) for cell in plan], fractions=fractions)
 
 
 def format_rows(

@@ -10,7 +10,14 @@ pool. See ``README.md`` ("Scenario API") for the user-facing guide.
 """
 
 from .cache import CACHE_FORMAT_VERSION, ResultCache, default_cache_dir
-from .encode import EncodeError, canonical_json, content_hash, to_jsonable
+from .encode import (
+    EncodeError,
+    canonical_json,
+    content_hash,
+    from_portable,
+    to_jsonable,
+    to_portable,
+)
 from .registry import (
     Param,
     Scenario,
@@ -23,7 +30,14 @@ from .registry import (
     scenario,
     select,
 )
-from .runner import Runner, ScenarioExecutionError, ScenarioResult, derive_seed
+from .runner import (
+    Progress,
+    Runner,
+    ScenarioExecutionError,
+    ScenarioResult,
+    derive_seed,
+)
+from .sharding import Cell, derive_cell_seed, validate_plan
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
@@ -32,7 +46,9 @@ __all__ = [
     "EncodeError",
     "canonical_json",
     "content_hash",
+    "from_portable",
     "to_jsonable",
+    "to_portable",
     "Param",
     "Scenario",
     "ScenarioError",
@@ -43,8 +59,12 @@ __all__ = [
     "register",
     "scenario",
     "select",
+    "Progress",
     "Runner",
     "ScenarioExecutionError",
     "ScenarioResult",
     "derive_seed",
+    "Cell",
+    "derive_cell_seed",
+    "validate_plan",
 ]

@@ -9,6 +9,16 @@ parameters is a file read instead of a simulation. Entries live under
 
 one human-inspectable JSON document per run, written atomically so a
 killed worker never leaves a torn entry behind.
+
+Sharded scenarios additionally cache each *cell* under::
+
+    <root>/<scenario>/cells/<hash>.json
+
+addressed by the sha256 of ``(format version, scenario, cell key, cell
+params)``. Cell params alone determine a cell's value, so a cell computed
+for one sweep point is a hit for every other sweep point that shares it,
+and a killed paper-scale sweep resumes from the cells that finished
+instead of restarting.
 """
 
 from __future__ import annotations
@@ -67,6 +77,9 @@ class ResultCache:
         """Atomically persist ``document`` for this (name, params) key."""
         path = self.path(name, params)
         path.parent.mkdir(parents=True, exist_ok=True)
+        return self._write(path, document)
+
+    def _write(self, path: Path, document: Mapping[str, Any]) -> Path:
         body = json.dumps(dict(document), indent=1, sort_keys=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
@@ -80,6 +93,51 @@ class ResultCache:
                 pass
             raise
         return path
+
+    # ------------------------------------------------------------ cell store
+
+    def cell_key(
+        self, name: str, cell: str, cell_params: Mapping[str, Any]
+    ) -> str:
+        return content_hash(
+            {
+                "version": CACHE_FORMAT_VERSION,
+                "scenario": name,
+                "cell": cell,
+                "params": dict(cell_params),
+            }
+        )
+
+    def cell_path(
+        self, name: str, cell: str, cell_params: Mapping[str, Any]
+    ) -> Path:
+        return (
+            self.root / name / "cells"
+            / f"{self.cell_key(name, cell, cell_params)}.json"
+        )
+
+    def get_cell(
+        self, name: str, cell: str, cell_params: Mapping[str, Any]
+    ) -> dict[str, Any] | None:
+        """The stored cell document, or ``None`` on miss/corruption."""
+        path = self.cell_path(name, cell, cell_params)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def put_cell(
+        self,
+        name: str,
+        cell: str,
+        cell_params: Mapping[str, Any],
+        document: Mapping[str, Any],
+    ) -> Path:
+        """Atomically persist one cell's document."""
+        path = self.cell_path(name, cell, cell_params)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        return self._write(path, document)
 
     def clear(self, name: str | None = None) -> int:
         """Delete entries (all, or one scenario's); returns count removed."""

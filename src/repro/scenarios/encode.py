@@ -13,15 +13,34 @@ bit-identically across runs, so the encoding is structural and explicit:
 
 Objects outside this vocabulary raise :class:`EncodeError`; callers treat
 that as "rows-only cacheable" rather than guessing at a lossy repr.
+
+Two encodings live here:
+
+* :func:`to_jsonable` — the *lossy* canonical form above, used for cache
+  keys, payloads and golden fixtures (tuples become arrays, dataclasses
+  become plain dicts).
+* :func:`to_portable` / :func:`from_portable` — a *self-describing* form
+  that reconstructs the original python value exactly (tuples stay tuples,
+  dataclasses are re-instantiated by import path). The sharded runner uses
+  it to move cell results across process boundaries and in/out of the cell
+  cache without the merge step ever seeing a lossy decode.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import importlib
 import json
 from typing import Any
 
-__all__ = ["EncodeError", "to_jsonable", "canonical_json", "content_hash"]
+__all__ = [
+    "EncodeError",
+    "to_jsonable",
+    "to_portable",
+    "from_portable",
+    "canonical_json",
+    "content_hash",
+]
 
 
 class EncodeError(TypeError):
@@ -50,6 +69,97 @@ def to_jsonable(value: Any) -> Any:
     if isinstance(value, range):
         return [value.start, value.stop, value.step]
     raise EncodeError(f"no deterministic JSON encoding for {type(value).__name__}")
+
+
+#: Keys that mark a typed node in the portable encoding. A plain dict
+#: containing any of these as a key is escaped through ``__pairs__`` so the
+#: decoder never mistakes data for structure.
+_PORTABLE_MARKERS = frozenset(
+    {"__tuple__", "__set__", "__frozenset__", "__pairs__", "__dataclass__",
+     "__range__"}
+)
+
+
+def to_portable(value: Any) -> Any:
+    """Encode ``value`` as JSON-able data that :func:`from_portable` inverts.
+
+    Unlike :func:`to_jsonable` this form is self-describing: tuples, sets,
+    ranges, tuple-keyed dicts and dataclass instances all decode back to
+    the exact python value (dataclasses by ``module:qualname`` import, so
+    the type must be importable where it is decoded — true for every
+    experiment result type, which lives in a ``repro`` module).
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        return {
+            "__dataclass__": f"{cls.__module__}:{cls.__qualname__}",
+            "fields": {
+                f.name: to_portable(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, dict):
+        if all(isinstance(k, str) for k in value) and not (
+            _PORTABLE_MARKERS & value.keys()
+        ):
+            return {k: to_portable(v) for k, v in value.items()}
+        return {
+            "__pairs__": [
+                [to_portable(k), to_portable(v)] for k, v in value.items()
+            ]
+        }
+    if isinstance(value, tuple):
+        return {"__tuple__": [to_portable(v) for v in value]}
+    if isinstance(value, list):
+        return [to_portable(v) for v in value]
+    if isinstance(value, frozenset):
+        return {"__frozenset__": [to_portable(v) for v in sorted(value, key=repr)]}
+    if isinstance(value, set):
+        return {"__set__": [to_portable(v) for v in sorted(value, key=repr)]}
+    if isinstance(value, range):
+        return {"__range__": [value.start, value.stop, value.step]}
+    raise EncodeError(f"no portable encoding for {type(value).__name__}")
+
+
+def _resolve_dataclass(path: str) -> type:
+    module_name, _, qualname = path.partition(":")
+    obj: Any = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    if not (isinstance(obj, type) and dataclasses.is_dataclass(obj)):
+        raise EncodeError(f"{path!r} does not name a dataclass")
+    return obj
+
+
+def from_portable(data: Any) -> Any:
+    """Decode :func:`to_portable` output back to the original python value."""
+    if data is None or isinstance(data, (bool, int, float, str)):
+        return data
+    if isinstance(data, list):
+        return [from_portable(v) for v in data]
+    if isinstance(data, dict):
+        if "__dataclass__" in data:
+            cls = _resolve_dataclass(data["__dataclass__"])
+            return cls(**{
+                k: from_portable(v) for k, v in data["fields"].items()
+            })
+        if "__tuple__" in data:
+            return tuple(from_portable(v) for v in data["__tuple__"])
+        if "__set__" in data:
+            return {from_portable(v) for v in data["__set__"]}
+        if "__frozenset__" in data:
+            return frozenset(from_portable(v) for v in data["__frozenset__"])
+        if "__pairs__" in data:
+            return {
+                from_portable(k): from_portable(v) for k, v in data["__pairs__"]
+            }
+        if "__range__" in data:
+            start, stop, step = data["__range__"]
+            return range(start, stop, step)
+        return {k: from_portable(v) for k, v in data.items()}
+    raise EncodeError(f"cannot decode portable node of type {type(data).__name__}")
 
 
 def canonical_json(value: Any) -> str:

@@ -115,7 +115,16 @@ def _coerce_free(text: str, like: Any) -> Any:
 
 @dataclass(frozen=True)
 class Scenario:
-    """A registered, parameterized, tagged experiment entry point."""
+    """A registered, parameterized, tagged experiment entry point.
+
+    ``sharder`` / ``cell_runner`` / ``merger`` name module-level hooks (like
+    ``formatter``) that let the Runner decompose one run into independent,
+    independently cached cells: ``sharder(**params)`` returns the
+    :class:`~repro.scenarios.sharding.Cell` plan, ``cell_runner(**cell
+    params)`` executes one cell, and ``merger(values, **params)`` folds the
+    cell values (in plan order) back into the scenario's ordinary return
+    value.
+    """
 
     name: str
     func: Callable[..., Any]
@@ -125,6 +134,9 @@ class Scenario:
     cost: str = "cheap"
     params: dict[str, Param] = field(default_factory=dict)
     formatter: str = "format_rows"
+    sharder: str | None = None
+    cell_runner: str | None = None
+    merger: str | None = None
 
     # ------------------------------------------------------------ parameters
 
@@ -164,6 +176,36 @@ class Scenario:
         """Run the underlying entry point with ``params``."""
         return self.func(**params)
 
+    # -------------------------------------------------------------- sharding
+
+    @property
+    def shardable(self) -> bool:
+        return self.sharder is not None
+
+    def _hook(self, attr_name: str | None, role: str) -> Callable[..., Any]:
+        fn = getattr(sys.modules[self.module], attr_name or "", None)
+        if fn is None:
+            raise ScenarioError(
+                f"scenario {self.name!r}: {role} hook {attr_name!r} not found "
+                f"in module {self.module!r}"
+            )
+        return fn
+
+    def shard_plan(self, **params: Any) -> list[Any]:
+        """The scenario's :class:`Cell` plan for ``params`` (validated)."""
+        from .sharding import validate_plan
+
+        plan = self._hook(self.sharder, "shards")(**params)
+        return validate_plan(self.name, list(plan))
+
+    def run_cell(self, **cell_params: Any) -> Any:
+        """Execute one cell of a sharded run."""
+        return self._hook(self.cell_runner, "cell")(**cell_params)
+
+    def merge(self, values: Sequence[Any], **params: Any) -> Any:
+        """Fold cell values (in plan order) into the scenario's value."""
+        return self._hook(self.merger, "merge")(list(values), **params)
+
     def format(self, value: Any) -> list[str]:
         """Human-readable rows for a :meth:`execute` result."""
         formatter = getattr(sys.modules[self.module], self.formatter, None)
@@ -193,6 +235,9 @@ def scenario(
     title: str | None = None,
     defaults: Mapping[str, Any] | None = None,
     formatter: str = "format_rows",
+    shards: str | None = None,
+    cell: str | None = None,
+    merge: str | None = None,
 ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
     """Decorator: register ``fn`` as scenario ``name``; returns ``fn``.
 
@@ -201,10 +246,18 @@ def scenario(
     schema defaults without touching the function's own (used where the
     registry wants a cheaper default than the library API, e.g. fig04's
     slice subsampling). ``title`` overrides the docstring-derived
-    description.
+    description. ``shards`` / ``cell`` / ``merge`` name the module-level
+    shard hooks (all three or none); see :class:`Scenario`.
     """
     if cost not in COST_HINTS:
         raise ValueError(f"cost hint must be one of {COST_HINTS}, got {cost!r}")
+    shard_hooks = (shards, cell, merge)
+    if any(h is not None for h in shard_hooks) and not all(
+        h is not None for h in shard_hooks
+    ):
+        raise ValueError(
+            f"scenario {name!r}: shards/cell/merge must be declared together"
+        )
 
     def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
         params: dict[str, Param] = {}
@@ -235,6 +288,9 @@ def scenario(
                 cost=cost,
                 params=params,
                 formatter=formatter,
+                sharder=shards,
+                cell_runner=cell,
+                merger=merge,
             )
         )
         return fn

@@ -4,10 +4,24 @@ The :class:`Runner` is the single execution path shared by the CLI, the
 pytest-benchmark harness, and the test suite: resolve a selection of
 registered scenarios, bind parameter overrides, derive deterministic
 per-scenario seeds, consult the content-addressed cache, and fan the
-remaining work out over a ``multiprocessing`` pool (heavy scenarios
-first). Workers rebuild the registry by importing :mod:`repro.experiments`
-— only the ``(scenario name, params)`` job descriptor crosses the process
-boundary, never a function object.
+remaining work out over a ``multiprocessing`` pool. Workers rebuild the
+registry by importing :mod:`repro.experiments` — only the picklable job
+descriptor crosses the process boundary, never a function object.
+
+Sharded execution
+-----------------
+A scenario that declares shard hooks (see :mod:`.sharding`) is decomposed
+into independent *cells* that fan out across the pool alongside ordinary
+jobs. Every unit of work — a whole scenario or one cell — carries a cost
+estimate, and the pool schedules expensive units first so the tail stays
+short. Cells are cached under their own content-addressed keys the moment
+they finish (``imap_unordered`` streams them back), so a killed
+paper-scale sweep resumes from its completed cells instead of restarting;
+the merged scenario document is cached under the ordinary key once every
+cell is in. Cell values travel as the portable encoding
+(:func:`~repro.scenarios.encode.to_portable`), which reconstructs the
+exact python value, so a merge over pooled or cache-restored cells is
+bit-identical to the unsharded in-process run.
 """
 
 from __future__ import annotations
@@ -19,14 +33,27 @@ import os
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from . import registry
 from .cache import ResultCache
-from .encode import EncodeError, to_jsonable
+from .encode import (
+    EncodeError,
+    canonical_json,
+    from_portable,
+    to_jsonable,
+    to_portable,
+)
 from .registry import Scenario, ScenarioError
+from .sharding import Cell
 
-__all__ = ["Runner", "ScenarioResult", "ScenarioExecutionError", "derive_seed"]
+__all__ = [
+    "Runner",
+    "ScenarioResult",
+    "ScenarioExecutionError",
+    "derive_seed",
+    "Progress",
+]
 
 
 class ScenarioExecutionError(RuntimeError):
@@ -76,12 +103,72 @@ class ScenarioResult:
     value: Any = None
     cached: bool = False
     duration_s: float = 0.0
+    #: ``(cells computed, cells restored from cache, cells total)`` for a
+    #: sharded execution; ``None`` for ordinary scenarios and full-doc hits.
+    cells: tuple[int, int, int] | None = None
+
+
+@dataclass(frozen=True)
+class Progress:
+    """One completed unit of work, reported to the Runner's callback."""
+
+    done: int
+    total: int
+    label: str
+    duration_s: float
+    eta_s: float | None
+    failed: bool = False
 
 
 @dataclass
 class _Job:
     scenario: Scenario
     params: dict[str, Any]
+
+
+#: Relative cost of a whole non-sharded scenario by its registry hint,
+#: on the same (arbitrary, comparable) scale shard cells use: a ``heavy``
+#: packet scenario is worth a few hundred default-scale cells' load units.
+_HINT_COST = {"cheap": 1.0, "medium": 25.0, "heavy": 400.0}
+
+#: Sentinel: the unit's raw python value did not travel (pooled execution).
+_NO_VALUE = object()
+
+
+@dataclass
+class _Unit:
+    """One schedulable piece of work: a whole scenario or a single cell."""
+
+    uid: int
+    job_index: int
+    kind: str  # "scenario" | "cell"
+    name: str
+    params: dict[str, Any]
+    cell_key: str | None = None
+    cost: float = 1.0
+    #: Further job indexes whose plans contain this exact cell (same
+    #: scenario, key and params) — the cell runs once and its value fans
+    #: out to every owner.
+    extra_jobs: list[int] = field(default_factory=list)
+
+    @property
+    def job_indexes(self) -> list[int]:
+        return [self.job_index, *self.extra_jobs]
+
+    @property
+    def label(self) -> str:
+        return self.name if self.cell_key is None else f"{self.name}:{self.cell_key}"
+
+
+@dataclass
+class _ShardState:
+    """Per-job bookkeeping while a sharded scenario's cells are in flight."""
+
+    plan: list[Cell]
+    values: dict[str, Any] = field(default_factory=dict)
+    durations: dict[str, float] = field(default_factory=dict)
+    restored: int = 0
+    error: str | None = None
 
 
 def _execute(name: str, params: dict[str, Any]) -> tuple[dict[str, Any], Any]:
@@ -93,7 +180,7 @@ def _execute(name: str, params: dict[str, Any]) -> tuple[dict[str, Any], Any]:
         value = sc.execute(**params)
         duration = time.perf_counter() - start
         # Formatters are scenario code too: a formatter crash must surface
-        # as a ScenarioExecutionError with context, not escape pool.map raw.
+        # as a ScenarioExecutionError with context, not escape the pool raw.
         rows = sc.format(value)
         try:
             payload = to_jsonable(value)
@@ -112,11 +199,50 @@ def _execute(name: str, params: dict[str, Any]) -> tuple[dict[str, Any], Any]:
     return doc, value
 
 
-def _execute_job(job: tuple[str, dict[str, Any]]) -> dict[str, Any]:
+def _execute_cell(
+    name: str, cell_key: str, params: dict[str, Any]
+) -> tuple[dict[str, Any], Any]:
+    """Run one cell; return (cacheable doc, raw python value).
+
+    The portable encoding *is* the cell's transport and cache format, so a
+    cell value outside the portable vocabulary is an execution error (there
+    is no rows-only fallback at cell granularity).
+    """
+    registry.load_builtin()
+    sc = registry.get(name)
+    start = time.perf_counter()
+    try:
+        value = sc.run_cell(**params)
+        portable = to_portable(value)
+    except Exception:
+        doc = {
+            "scenario": name,
+            "cell": cell_key,
+            "params": params,
+            "error": traceback.format_exc(),
+        }
+        return doc, None
+    doc = {
+        "scenario": name,
+        "cell": cell_key,
+        "params": params,
+        "value": portable,
+        "duration_s": time.perf_counter() - start,
+    }
+    return doc, value
+
+
+def _execute_unit(
+    payload: tuple[int, str, str, str | None, dict[str, Any]]
+) -> tuple[int, dict[str, Any]]:
     """Pool worker entry: only the picklable doc crosses the boundary."""
-    name, params = job
-    doc, _value = _execute(name, params)
-    return doc
+    uid, kind, name, cell_key, params = payload
+    if kind == "cell":
+        assert cell_key is not None
+        doc, _value = _execute_cell(name, cell_key, params)
+    else:
+        doc, _value = _execute(name, params)
+    return uid, doc
 
 
 class Runner:
@@ -136,6 +262,10 @@ class Runner:
         When set, every selected scenario that accepts a ``seed`` parameter
         and wasn't explicitly overridden gets :func:`derive_seed`'s stable
         per-scenario value instead of its schema default.
+    progress:
+        Optional callback invoked (in the parent process) with a
+        :class:`Progress` record each time a unit of work — a scenario or
+        one shard cell — finishes, with a cost-weighted ETA.
     """
 
     def __init__(
@@ -144,11 +274,13 @@ class Runner:
         cache: ResultCache | None = None,
         use_cache: bool = True,
         base_seed: int | None = None,
+        progress: Callable[[Progress], None] | None = None,
     ) -> None:
         self.workers = workers
         self.cache = cache
         self.use_cache = use_cache
         self.base_seed = base_seed
+        self.progress = progress
 
     # ------------------------------------------------------------ resolution
 
@@ -235,73 +367,254 @@ class Runner:
 
     # -------------------------------------------------------------- internal
 
-    def _run_jobs(self, jobs: list[_Job]) -> list[ScenarioResult]:
-        results: dict[int, ScenarioResult] = {}
-        misses: list[tuple[int, _Job]] = []
+    def _read_cache(self) -> bool:
+        return self.cache is not None and self.use_cache
+
+    def _decompose(
+        self, jobs: list[_Job], results: dict[int, ScenarioResult]
+    ) -> tuple[list[_Unit], dict[int, _ShardState]]:
+        """Cache-check every job and expand the misses into work units.
+
+        Ordinary scenarios become one unit each; shardable scenarios expand
+        into one unit per cell-cache miss, with cells already in the cache
+        restored to the job's shard state immediately.
+        """
+        units: list[_Unit] = []
+        shard_states: dict[int, _ShardState] = {}
+        # Sweep points often share cells (same scenario, key, params —
+        # e.g. two `networks` grids both containing opera@0.25): run each
+        # distinct cell once per batch and fan its value out to every
+        # owning job.
+        pending_cells: dict[tuple[str, str, str], _Unit] = {}
         for i, job in enumerate(jobs):
+            sc = job.scenario
             doc = (
-                self.cache.get(job.scenario.name, job.params)
-                if (self.cache is not None and self.use_cache)
-                else None
+                self.cache.get(sc.name, job.params) if self._read_cache() else None
             )
             if doc is not None and "rows" in doc:
                 results[i] = ScenarioResult(
-                    name=job.scenario.name,
+                    name=sc.name,
                     params=job.params,
                     rows=list(doc["rows"]),
                     payload=doc.get("payload"),
                     cached=True,
                     duration_s=float(doc.get("duration_s", 0.0)),
                 )
+                continue
+            if not sc.shardable:
+                units.append(
+                    _Unit(
+                        uid=len(units),
+                        job_index=i,
+                        kind="scenario",
+                        name=sc.name,
+                        params=job.params,
+                        cost=_HINT_COST.get(sc.cost, 1.0),
+                    )
+                )
+                continue
+            try:
+                state = _ShardState(plan=sc.shard_plan(**job.params))
+            except Exception:
+                # Decomposition happens before any work runs, so aborting
+                # here loses nothing — but it is still scenario code failing
+                # and must carry scenario context.
+                raise ScenarioExecutionError(
+                    sc.name, job.params, traceback.format_exc()
+                ) from None
+            shard_states[i] = state
+            for cell in state.plan:
+                cdoc = (
+                    self.cache.get_cell(sc.name, cell.key, cell.params)
+                    if self._read_cache()
+                    else None
+                )
+                if cdoc is not None and "value" in cdoc:
+                    state.values[cell.key] = from_portable(cdoc["value"])
+                    state.durations[cell.key] = float(cdoc.get("duration_s", 0.0))
+                    state.restored += 1
+                    continue
+                dedup = (sc.name, cell.key, canonical_json(cell.params))
+                if dedup in pending_cells:
+                    pending_cells[dedup].extra_jobs.append(i)
+                    continue
+                unit = _Unit(
+                    uid=len(units),
+                    job_index=i,
+                    kind="cell",
+                    name=sc.name,
+                    params=cell.params,
+                    cell_key=cell.key,
+                    cost=cell.cost,
+                )
+                pending_cells[dedup] = unit
+                units.append(unit)
+        return units, shard_states
+
+    def _serial_stream(
+        self, ordered: list[_Unit]
+    ) -> Iterator[tuple[_Unit, dict[str, Any], Any]]:
+        for unit in ordered:
+            if unit.kind == "cell":
+                assert unit.cell_key is not None
+                doc, value = _execute_cell(unit.name, unit.cell_key, unit.params)
             else:
-                misses.append((i, job))
+                doc, value = _execute(unit.name, unit.params)
+            yield unit, doc, value
+
+    def _pool_stream(
+        self, ordered: list[_Unit], n_workers: int
+    ) -> Iterator[tuple[_Unit, dict[str, Any], Any]]:
+        """Stream unit docs back as workers finish them.
+
+        ``imap_unordered(chunksize=1)`` lets short units return while long
+        cells are still running, so successes are cached (and failures
+        surfaced through the progress callback) without waiting for the
+        whole batch.
+        """
+        by_uid = {unit.uid: unit for unit in ordered}
+        payloads = [
+            (u.uid, u.kind, u.name, u.cell_key, u.params) for u in ordered
+        ]
+        with multiprocessing.Pool(min(n_workers, len(ordered))) as pool:
+            for uid, doc in pool.imap_unordered(_execute_unit, payloads, chunksize=1):
+                yield by_uid[uid], doc, _NO_VALUE
+
+    def _run_jobs(self, jobs: list[_Job]) -> list[ScenarioResult]:
+        results: dict[int, ScenarioResult] = {}
+        units, shard_states = self._decompose(jobs, results)
+
+        # Schedule expensive units first so the pool tail is short. Sweep
+        # points and shard cells carry real cost estimates (e.g. load
+        # descending for FCT grids); plain scenarios rank by their hint.
+        ordered = sorted(units, key=lambda u: (-u.cost, u.uid))
 
         n_workers = self.workers or 0
-        if n_workers > 1 and len(misses) > 1:
-            docs = self._run_pool(misses, n_workers)
+        if n_workers > 1 and len(ordered) > 1:
+            stream = self._pool_stream(ordered, n_workers)
         else:
-            docs = []
-            for i, job in misses:
-                doc, value = _execute(job.scenario.name, job.params)
-                docs.append((i, doc, value))
+            stream = self._serial_stream(ordered)
 
-        # Cache every success before surfacing any failure: one bad scenario
-        # in a batch must not throw away minutes of completed work.
+        # Cache every success the moment it streams back, and only surface
+        # the first failure after the batch drains: one bad scenario or cell
+        # must not throw away minutes of completed work.
         failure: ScenarioExecutionError | None = None
-        for i, doc, value in docs:
-            job = jobs[i]
-            if "error" in doc:
-                if failure is None:
-                    failure = ScenarioExecutionError(
-                        job.scenario.name, job.params, doc["error"]
+        total_cost = sum(u.cost for u in ordered) or 1.0
+        done_cost = 0.0
+        started = time.perf_counter()
+        for done, (unit, doc, value) in enumerate(stream, start=1):
+            failed = "error" in doc
+            if unit.kind == "cell":
+                if failed:
+                    for j in unit.job_indexes:
+                        shard_states[j].error = doc["error"]
+                    if failure is None:
+                        failure = ScenarioExecutionError(
+                            f"{unit.name}[{unit.cell_key}]", unit.params, doc["error"]
+                        )
+                else:
+                    if self.cache is not None:
+                        assert unit.cell_key is not None
+                        self.cache.put_cell(
+                            unit.name, unit.cell_key, unit.params, doc
+                        )
+                    cell_value = (
+                        from_portable(doc["value"]) if value is _NO_VALUE else value
                     )
-                continue
-            if self.cache is not None:
-                self.cache.put(job.scenario.name, job.params, doc)
-            results[i] = ScenarioResult(
-                name=job.scenario.name,
-                params=job.params,
-                rows=list(doc["rows"]),
-                payload=doc.get("payload"),
-                value=value,
-                cached=False,
-                duration_s=float(doc.get("duration_s", 0.0)),
-            )
+                    for j in unit.job_indexes:
+                        state = shard_states[j]
+                        state.values[unit.cell_key] = cell_value
+                        state.durations[unit.cell_key] = float(doc["duration_s"])
+            else:
+                job = jobs[unit.job_index]
+                if failed:
+                    if failure is None:
+                        failure = ScenarioExecutionError(
+                            unit.name, unit.params, doc["error"]
+                        )
+                else:
+                    if self.cache is not None:
+                        self.cache.put(unit.name, unit.params, doc)
+                    results[unit.job_index] = ScenarioResult(
+                        name=unit.name,
+                        params=job.params,
+                        rows=list(doc["rows"]),
+                        payload=doc.get("payload"),
+                        value=None if value is _NO_VALUE else value,
+                        cached=False,
+                        duration_s=float(doc.get("duration_s", 0.0)),
+                    )
+            done_cost += unit.cost
+            if self.progress is not None:
+                elapsed = time.perf_counter() - started
+                eta = (
+                    elapsed * (total_cost - done_cost) / done_cost
+                    if done_cost > 0
+                    else None
+                )
+                self.progress(
+                    Progress(
+                        done=done,
+                        total=len(ordered),
+                        label=unit.label,
+                        duration_s=float(doc.get("duration_s", 0.0)),
+                        eta_s=eta,
+                        failed=failed,
+                    )
+                )
+
+        failure = self._merge_shards(jobs, shard_states, results, failure)
         if failure is not None:
             raise failure
         return [results[i] for i in range(len(jobs))]
 
-    def _run_pool(
-        self, misses: list[tuple[int, _Job]], n_workers: int
-    ) -> list[tuple[int, dict[str, Any], Any]]:
-        # Schedule expensive scenarios first so the pool tail is short.
-        cost_rank = {c: r for r, c in enumerate(registry.COST_HINTS)}
-        ordered = sorted(
-            misses, key=lambda m: cost_rank.get(m[1].scenario.cost, 0), reverse=True
-        )
-        payloads = [(job.scenario.name, job.params) for _i, job in ordered]
-        with multiprocessing.Pool(min(n_workers, len(ordered))) as pool:
-            docs = pool.map(_execute_job, payloads)
-        # In-process executions keep the raw value; pooled ones do not
-        # (results cross the process boundary as rows + JSON payload).
-        return [(i, doc, None) for (i, _job), doc in zip(ordered, docs)]
+    def _merge_shards(
+        self,
+        jobs: list[_Job],
+        shard_states: dict[int, _ShardState],
+        results: dict[int, ScenarioResult],
+        failure: ScenarioExecutionError | None,
+    ) -> ScenarioExecutionError | None:
+        """Fold completed cell sets into scenario results (and the cache)."""
+        for i, state in sorted(shard_states.items()):
+            if state.error is not None:
+                continue  # cell failure already recorded; siblings are cached
+            job = jobs[i]
+            sc = job.scenario
+            try:
+                values = [state.values[cell.key] for cell in state.plan]
+                merged = sc.merge(values, **job.params)
+                rows = sc.format(merged)
+                try:
+                    payload = to_jsonable(merged)
+                except EncodeError:
+                    payload = None
+            except Exception:
+                if failure is None:
+                    failure = ScenarioExecutionError(
+                        sc.name, job.params, traceback.format_exc()
+                    )
+                continue
+            duration = sum(state.durations.values())
+            computed = len(state.plan) - state.restored
+            doc = {
+                "scenario": sc.name,
+                "params": job.params,
+                "rows": rows,
+                "payload": payload,
+                "duration_s": duration,
+                "cells": {"total": len(state.plan), "computed": computed},
+            }
+            if self.cache is not None:
+                self.cache.put(sc.name, job.params, doc)
+            results[i] = ScenarioResult(
+                name=sc.name,
+                params=job.params,
+                rows=rows,
+                payload=payload,
+                value=merged,
+                cached=computed == 0,
+                duration_s=duration,
+                cells=(computed, state.restored, len(state.plan)),
+            )
+        return failure

@@ -1,0 +1,95 @@
+"""Shard-axis declarations for scenarios with internal parallelism.
+
+A grid-shaped scenario (fig07's ``(network, load)`` matrix, an ablation's
+variant list) declares how to decompose one run into independent
+:class:`Cell`\\ s via a module-level ``shards(**params)`` hook, how to run
+one cell (``cell``) and how to fold the cell values back into the
+scenario's ordinary return value (``merge``). The Runner fans cells out
+across the worker pool alongside ordinary jobs and caches each cell under
+its own content-addressed key, so an interrupted sweep resumes from the
+cells that finished.
+
+Contract (enforced by :func:`validate_plan` at decomposition time):
+
+* cell keys are unique, stable strings — they are part of the cache key;
+* cell params are plain JSON-able data (they cross process boundaries and
+  are content-hashed);
+* ``run(**params)`` must equal ``merge([cell(**c.params) for c in plan],
+  **params)`` — the scenario modules guarantee this by implementing
+  ``run`` *in terms of* the plan, and ``tests/test_sharding.py``
+  differentially verifies it;
+* ``merge`` must treat cell values as immutable: the Runner dedups
+  identical cells across the jobs of one batch, so a value may be shared
+  by several sweep points' merges.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from .encode import EncodeError, canonical_json
+
+__all__ = ["Cell", "derive_cell_seed", "validate_plan"]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independently runnable, independently cacheable shard of a run.
+
+    ``key`` names the cell within its scenario (e.g. ``"clos@0.25"``) and
+    is part of the cell's cache address; ``params`` are the kwargs for the
+    scenario's cell entry point; ``cost`` is a relative wall-clock estimate
+    used to schedule long cells first (any positive scale, comparable
+    within one selection).
+    """
+
+    key: str
+    params: dict[str, Any] = field(default_factory=dict)
+    cost: float = 1.0
+
+
+def derive_cell_seed(base_seed: int, scenario: str, cell_key: str) -> int:
+    """Stable 32-bit seed for one cell of a sharded scenario.
+
+    Hash-derived from ``(base seed, scenario, cell key)`` so a cell's seed
+    does not depend on which other cells exist, on grid order, or on how
+    the run is executed (sharded, pooled, or in-process) — the unsharded
+    ``run()`` path derives the very same seeds.
+    """
+    digest = hashlib.sha256(
+        f"{base_seed}:{scenario}:{cell_key}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def validate_plan(scenario: str, plan: list[Cell]) -> list[Cell]:
+    """Check a shards() hook's output; returns ``plan`` for chaining."""
+    if not plan:
+        raise ValueError(f"scenario {scenario!r}: shards() returned no cells")
+    seen: set[str] = set()
+    for cell in plan:
+        if not isinstance(cell, Cell):
+            raise TypeError(
+                f"scenario {scenario!r}: shards() must return Cells, "
+                f"got {type(cell).__name__}"
+            )
+        if cell.key in seen:
+            raise ValueError(
+                f"scenario {scenario!r}: duplicate cell key {cell.key!r}"
+            )
+        seen.add(cell.key)
+        if cell.cost <= 0:
+            raise ValueError(
+                f"scenario {scenario!r}: cell {cell.key!r} has non-positive "
+                f"cost {cell.cost!r}"
+            )
+        try:
+            canonical_json(cell.params)
+        except (EncodeError, ValueError) as exc:
+            raise ValueError(
+                f"scenario {scenario!r}: cell {cell.key!r} params are not "
+                f"JSON-able: {exc}"
+            ) from None
+    return plan
