@@ -266,12 +266,17 @@ def run_depth_bench(depths: tuple[int, ...] = DEPTHS, ops: int = 100_000) -> dic
 # ----------------------------------------------------------- sharded fig07
 
 
-def run_sharded_bench(scale: str, workers_list: tuple[int, ...]) -> dict:
+def run_sharded_bench(
+    scale: str, workers_list: tuple[int, ...], executor: str | None = None
+) -> dict:
     """The full fig07 grid through the sharded Runner, per worker count.
 
     Every run starts from a cold cell cache (fresh temp dir), so the wall
     clock measures execution + merge, not cache reads; cells/sec is the
-    scheduling-level throughput number the CI gate tracks.
+    scheduling-level throughput number the CI gate tracks. ``executor``
+    selects the Runner backend (``--sharded-executor distributed``
+    measures the TCP coordinator/worker path, auto-spawned local workers,
+    including their process-startup cost).
     """
     from repro.scenarios import ResultCache, Runner, get
 
@@ -281,9 +286,9 @@ def run_sharded_bench(scale: str, workers_list: tuple[int, ...]) -> dict:
     for workers in workers_list:
         with tempfile.TemporaryDirectory() as tmp:
             start = time.perf_counter()
-            result = Runner(workers=workers, cache=ResultCache(tmp)).run(
-                names=["fig07"], overrides={"scale": scale}
-            )[0]
+            result = Runner(
+                workers=workers, cache=ResultCache(tmp), executor=executor
+            ).run(names=["fig07"], overrides={"scale": scale})[0]
             wall = time.perf_counter() - start
         assert result.cells is not None and result.cells[0] == len(plan)
         if base_wall is None:
@@ -295,12 +300,15 @@ def run_sharded_bench(scale: str, workers_list: tuple[int, ...]) -> dict:
             "cells_per_sec": round(len(plan) / wall, 4),
             "speedup_vs_first": round(base_wall / wall, 2),
         }
-    return {
+    record = {
         "scale": scale,
         "cells": len(plan),
         "cpu_count": os.cpu_count(),
         "runs": runs,
     }
+    if executor is not None:
+        record["executor"] = executor
+    return record
 
 
 def format_rows(doc: dict) -> list[str]:
@@ -406,6 +414,10 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="SCALE:W1,W2",
                         help="run the sharded fig07 grid at SCALE for each "
                         "worker count (repeatable), e.g. ci:1,2")
+    parser.add_argument("--sharded-executor", default=None,
+                        choices=("local", "pool", "distributed"),
+                        help="Runner backend for --sharded runs (default: "
+                        "pool when workers > 1)")
     args = parser.parse_args(argv)
     schedulers = tuple(s for s in args.schedulers.split(",") if s)
     # Validate every --sharded spec up front: a typo must not cost the
@@ -425,7 +437,7 @@ def main(argv: list[str] | None = None) -> int:
         doc["scheduler_depths"] = run_depth_bench()
     for scale, workers_list in sharded_specs:
         doc.setdefault("sharded", {})[scale] = run_sharded_bench(
-            scale, workers_list
+            scale, workers_list, executor=args.sharded_executor
         )
     for row in format_rows(doc):
         print(row)

@@ -7,6 +7,10 @@ Usage::
     python -m repro.cli run --tag analysis
     python -m repro.cli run fig04 --set k=12 --set n_slices=9 --no-cache
     python -m repro.cli sweep fig04 --set k=8,12,16 --workers 4
+    python -m repro.cli run fig07 --executor distributed --workers 2
+    python -m repro.cli run fig07 --listen 0.0.0.0:7077 --workers 0
+    python -m repro.cli worker HOST:7077
+    python -m repro.cli cache stats
 
 ``run`` accepts scenario names (globs work: ``'fig1*'``) and/or ``--tag``
 selections and executes them through the shared :class:`repro.scenarios.Runner`
@@ -20,8 +24,15 @@ comma-separated ``--set`` values.
 Sharded scenarios (fig07/fig09/fig10/fig11 and the ablations) decompose
 into per-cell jobs that fan out across the worker pool and are cached
 individually — an interrupted run resumes from its completed cells. A
-progress stream (``[done/total] scenario:cell (dur) — eta``) goes to
-stderr when it is a terminal; force it with ``--progress``.
+progress stream (``[done/total] scenario:cell (dur [@worker]) — eta``)
+goes to stderr when it is a terminal; force it with ``--progress``.
+
+``--executor distributed`` leases those same units to TCP workers
+instead: ``--workers N`` auto-spawns N local subprocess workers, and
+``--listen HOST:PORT`` (which implies the executor) accepts external
+``repro worker HOST:PORT`` processes — see README "Distributed
+execution". ``cache`` inspects the content-addressed result/cell cache
+(``stats`` | ``ls <scenario>`` | ``clear [scenario]``).
 
 The legacy spelling ``python -m repro.cli fig04 [--k 12]`` still works and
 maps onto ``run``.
@@ -30,6 +41,7 @@ maps onto ``run``.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 
 from .scenarios import (
@@ -46,14 +58,24 @@ __all__ = ["main"]
 
 
 def _format_eta(seconds: float) -> str:
+    if not math.isfinite(seconds):
+        return "?"
     if seconds >= 90:
         return f"{seconds / 60:.1f}m"
     return f"{seconds:.0f}s"
 
 
 def _progress_printer(event: Progress) -> None:
-    """One stderr line per finished unit: ``[done/total] label — eta``."""
+    """One stderr line per finished unit: ``[done/total] label — eta``.
+
+    Remote completions carry the worker's name, so a distributed run's
+    ``[done/total]`` line accounts for every unit wherever it ran. The
+    ETA is omitted (not printed as garbage) when the Runner could not
+    compute one — e.g. a zero-duration first unit.
+    """
     status = "FAILED" if event.failed else f"{event.duration_s:.1f}s"
+    if event.worker:
+        status += f" @{event.worker}"
     eta = (
         f" — eta {_format_eta(event.eta_s)}"
         if event.eta_s is not None and event.done < event.total
@@ -76,6 +98,20 @@ def _parse_sets(pairs: list[str]) -> dict[str, str]:
     return overrides
 
 
+def _print_listen_banner(address: tuple[str, int]) -> None:
+    host, port = address
+    # A wildcard bind is not a dialable address; tell the operator to
+    # substitute something reachable instead of letting them paste
+    # 0.0.0.0 into a remote terminal.
+    dial = "<coordinator-host>" if host in ("0.0.0.0", "::", "") else host
+    print(
+        f"[distrib] coordinator listening on {host}:{port} — attach workers "
+        f"with: repro worker {dial}:{port}",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
 def _make_runner(args: argparse.Namespace) -> Runner:
     cache: ResultCache | None
     if args.cache_dir == "":
@@ -87,13 +123,22 @@ def _make_runner(args: argparse.Namespace) -> Runner:
         if args.progress is not None
         else sys.stderr.isatty()
     )
-    return Runner(
-        workers=args.workers,
-        cache=cache,
-        use_cache=not args.no_cache,
-        base_seed=args.seed,
-        progress=_progress_printer if show_progress else None,
-    )
+    executor = args.executor
+    if executor is None and args.listen is not None:
+        executor = "distributed"  # --listen only means one thing
+    try:
+        return Runner(
+            workers=args.workers,
+            cache=cache,
+            use_cache=not args.no_cache,
+            base_seed=args.seed,
+            progress=_progress_printer if show_progress else None,
+            executor=executor,
+            listen=args.listen,
+            on_listen=_print_listen_banner if executor == "distributed" else None,
+        )
+    except ValueError as exc:  # bad executor/listen combination
+        raise ScenarioError(str(exc)) from None
 
 
 def _print_results(results, quiet: bool) -> None:
@@ -170,6 +215,84 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .distrib.worker import max_units_from_env, serve
+
+    try:
+        return serve(
+            args.address,
+            connect_timeout=args.connect_timeout,
+            max_units=max_units_from_env(),
+        )
+    except (OSError, ValueError) as exc:
+        print(f"worker error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _format_bytes(n: int) -> str:
+    value = float(n)
+    for suffix in ("B", "KB", "MB", "GB"):
+        if value < 1024 or suffix == "GB":
+            return f"{value:.1f}{suffix}" if suffix != "B" else f"{n}B"
+        value /= 1024
+    return f"{n}B"
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    if args.cache_dir == "":
+        print("cache: nothing to inspect with the cache disabled", file=sys.stderr)
+        return 2
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"cache root: {cache.root}")
+        if not stats:
+            print("(empty)")
+            return 0
+        total_results = total_cells = total_bytes = 0
+        for name, entry in stats.items():
+            print(
+                f"{name:>22s}  {entry['results']:4d} result(s)  "
+                f"{entry['cells']:5d} cell(s)  {_format_bytes(entry['bytes'])}"
+            )
+            total_results += entry["results"]
+            total_cells += entry["cells"]
+            total_bytes += entry["bytes"]
+        print(
+            f"{'total':>22s}  {total_results:4d} result(s)  "
+            f"{total_cells:5d} cell(s)  {_format_bytes(total_bytes)}"
+        )
+        return 0
+    if args.action == "ls":
+        if not args.scenario:
+            print("cache ls needs a scenario name", file=sys.stderr)
+            return 2
+        entries = cache.entries(args.scenario)
+        if not entries:
+            print(f"(no cache entries for {args.scenario!r})")
+            return 0
+        for entry in entries:
+            doc = entry["doc"]
+            label = doc.get("cell") if entry["kind"] == "cell" else "merged"
+            duration = doc.get("duration_s")
+            status = "ERROR" if "error" in doc else (
+                f"{duration:.2f}s" if isinstance(duration, (int, float)) else "-"
+            )
+            params = cache.params_json(doc.get("params", {}))
+            if len(params) > 60:
+                params = params[:57] + "..."
+            print(
+                f"{entry['kind']:>6s}  {entry['path'].stem[:12]}  "
+                f"{label or '-':>18s}  {status:>8s}  {params}"
+            )
+        return 0
+    # clear
+    removed = cache.clear(args.scenario)
+    scope = f"scenario {args.scenario!r}" if args.scenario else "all scenarios"
+    print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} ({scope})")
+    return 0
+
+
 def _add_exec_options(sub: argparse.ArgumentParser) -> None:
     sub.add_argument(
         "--set",
@@ -182,7 +305,23 @@ def _add_exec_options(sub: argparse.ArgumentParser) -> None:
         "--workers",
         type=int,
         default=1,
-        help="worker-pool size (>1 enables multiprocessing)",
+        help="worker count: pool size (>1 enables multiprocessing), or how "
+        "many local workers a distributed run auto-spawns (0 = external "
+        "workers only)",
+    )
+    sub.add_argument(
+        "--executor",
+        choices=("local", "pool", "distributed"),
+        default=None,
+        help="execution backend (default: pool when --workers > 1, else "
+        "local; distributed leases units to TCP workers)",
+    )
+    sub.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="distributed coordinator address for external 'repro worker' "
+        "processes (implies --executor distributed; port 0 = ephemeral)",
     )
     sub.add_argument(
         "--no-cache",
@@ -240,12 +379,40 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_exec_options(p_sweep)
     p_sweep.set_defaults(fn=_cmd_sweep)
 
+    p_worker = sub.add_parser(
+        "worker", help="attach a distributed worker to a coordinator"
+    )
+    p_worker.add_argument("address", metavar="HOST:PORT", help="coordinator address")
+    p_worker.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to keep retrying the initial connection (default 30)",
+    )
+    p_worker.set_defaults(fn=_cmd_worker)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the result/cell cache"
+    )
+    p_cache.add_argument("action", choices=("stats", "ls", "clear"))
+    p_cache.add_argument(
+        "scenario", nargs="?", default=None,
+        help="scenario to list (required for ls) or clear (default: all)",
+    )
+    p_cache.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache root (default ~/.cache/opera-repro or $REPRO_CACHE_DIR)",
+    )
+    p_cache.set_defaults(fn=_cmd_cache)
+
     return parser
 
 
 def _rewrite_legacy(argv: list[str]) -> list[str]:
     """Map ``repro.cli fig04 [--k 12]`` onto the ``run`` subcommand."""
-    if not argv or argv[0] in ("list", "run", "sweep") or argv[0].startswith("-"):
+    commands = ("list", "run", "sweep", "worker", "cache")
+    if not argv or argv[0] in commands or argv[0].startswith("-"):
         return argv
     head, rest = argv[0], list(argv[1:])
     out = ["run", head]

@@ -1,0 +1,72 @@
+"""Distributed cell executor: coordinator/worker protocol over TCP.
+
+The share-nothing cell model (PR 3) makes multi-machine execution cheap:
+a remote worker only needs ``(scenario, cell key, params)`` in and a
+portable cell document out. This package supplies the three pieces:
+
+* :mod:`.protocol` — length-prefixed JSON frames; values reuse the
+  portable encoding from :mod:`repro.scenarios.encode`, so the wire
+  format and the cell-cache format are one vocabulary.
+* :mod:`.coordinator` — owns the plan: leases cost-ordered units to
+  connected workers, tracks heartbeats, re-leases units from dead or
+  stalled workers, and streams result documents back.
+* :mod:`.worker` — the thin remote loop (``repro worker HOST:PORT``).
+
+:class:`repro.scenarios.Runner` is the only intended caller: with
+``executor="distributed"`` it stands up a coordinator, optionally spawns
+local subprocess workers (the default backend, so a single machine gets
+distributed semantics for free), and feeds the result stream through the
+same cache/merge/progress path as every other executor — which is what
+pins distributed results bit-identical to in-process ones.
+
+The protocol trusts its peers (lease parameters are executed, documents
+are decoded via dataclass import paths); bind the coordinator to
+loopback or a trusted network only.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+# NOTE: .worker is deliberately NOT imported here — workers start via
+# ``python -m repro.distrib.worker``, and importing the module from the
+# package __init__ would make runpy warn about the double import.
+from .coordinator import Coordinator
+from .protocol import ProtocolError, parse_address
+
+__all__ = [
+    "Coordinator",
+    "ProtocolError",
+    "parse_address",
+    "spawn_local_worker",
+]
+
+
+def spawn_local_worker(
+    address: tuple[str, int], *, env: dict[str, str] | None = None
+) -> subprocess.Popen:
+    """Start one local subprocess worker attached to ``address``.
+
+    The default distributed backend: ``Runner(executor="distributed",
+    workers=N)`` spawns N of these against its own coordinator. The
+    child's ``PYTHONPATH`` is prefixed with this package's source root so
+    the spawn works from a source checkout without installation, and a
+    wildcard listen address is rewritten to loopback for the dial-out.
+    """
+    host, port = address
+    if host in ("0.0.0.0", "::", ""):
+        host = "127.0.0.1"
+    environ = dict(os.environ if env is None else env)
+    src_root = str(Path(__file__).resolve().parents[2])
+    existing = environ.get("PYTHONPATH")
+    environ["PYTHONPATH"] = (
+        src_root + (os.pathsep + existing if existing else "")
+    )
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.distrib.worker", f"{host}:{port}"],
+        env=environ,
+        stdout=subprocess.DEVNULL,
+    )

@@ -1,0 +1,306 @@
+"""Coordinator: lease work units to connected workers over TCP.
+
+The coordinator owns the plan. It accepts worker connections on a
+listening socket, leases cost-ordered units to workers as they announce
+``ready``, tracks liveness through heartbeats, and *re-leases* the units
+of dead or stalled workers — a worker that disconnects (or goes silent
+past the lease timeout) mid-unit loses its lease back to the front of the
+queue, and because every unit is deterministic (hash-derived seeds, see
+:mod:`repro.scenarios.sharding`), the re-run on another worker produces a
+bit-identical document. Duplicate results from a worker that was declared
+dead but later answers anyway are dropped; the first result for a unit
+wins.
+
+The coordinator is transport only: it never executes scenario code and
+never touches the cache — :class:`repro.scenarios.Runner` consumes the
+``(uid, document, worker)`` stream exactly as it consumes the local
+multiprocessing pool's, so caching, merging and progress reporting are
+shared with every other executor.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import time
+from collections import deque
+from typing import Any, Callable, Iterator
+
+from .protocol import FrameReader, ProtocolError, send_msg
+
+__all__ = ["Coordinator"]
+
+#: How long a blocking ``sendall`` to one worker may take before the
+#: worker is considered wedged and dropped (its lease is then re-queued).
+_SEND_TIMEOUT_S = 30.0
+
+
+class _Conn:
+    """One connected worker: socket, frame buffer, lease and liveness."""
+
+    __slots__ = ("sock", "reader", "name", "lease_uid", "last_seen", "ready")
+
+    def __init__(self, sock: socket.socket, addr: Any, now: float) -> None:
+        self.sock = sock
+        self.reader = FrameReader()
+        # The addr from accept(), never getpeername(): a peer that sent
+        # RST right after connecting must cost us one dead conn, not the
+        # whole coordinator.
+        self.name = f"{addr[0]}:{addr[1]}" if isinstance(addr, tuple) else str(addr)
+        self.lease_uid: int | None = None
+        self.last_seen = now
+        self.ready = False
+
+
+class Coordinator:
+    """Fan units out to TCP workers; re-lease on death; stream results.
+
+    Parameters
+    ----------
+    host, port:
+        Listen address. Port ``0`` binds an ephemeral port; the resolved
+        address is :attr:`address` (the Runner reports it via
+        ``on_listen`` so external workers can be pointed at it).
+    lease_timeout:
+        Seconds of *silence* (no result, no heartbeat) after which a
+        worker holding a lease is declared stalled and its unit
+        re-queued. Workers heartbeat every couple of seconds while
+        computing, so this bounds failure detection, not unit duration.
+    poll_s:
+        Event-loop tick; also how often the watchdog callback runs.
+    max_releases:
+        How many times one unit may lose its worker before the
+        coordinator gives up on it and completes it with an error
+        document — a unit that reliably *crashes* workers must not chew
+        through the entire fleet and then hang the run.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        lease_timeout: float = 60.0,
+        poll_s: float = 0.2,
+        max_releases: int = 3,
+    ) -> None:
+        self.lease_timeout = lease_timeout
+        self.poll_s = poll_s
+        self.max_releases = max_releases
+        self._listener = socket.create_server((host, port))
+        self._listener.setblocking(False)
+        self.address: tuple[str, int] = self._listener.getsockname()[:2]
+        self._sel = selectors.DefaultSelector()
+        self._sel.register(self._listener, selectors.EVENT_READ, None)
+        self._conns: dict[socket.socket, _Conn] = {}
+        self._pending: deque[dict[str, Any]] = deque()
+        self._in_flight: dict[int, tuple[_Conn, dict[str, Any]]] = {}
+        self._done: set[int] = set()
+        self._completed: list[tuple[int, dict[str, Any], str]] = []
+        self._release_counts: dict[int, int] = {}
+        self._closed = False
+        #: Units re-queued after their worker died or stalled.
+        self.releases = 0
+        #: Distinct workers that ever said hello.
+        self.workers_seen = 0
+
+    # ---------------------------------------------------------- introspection
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def in_flight_count(self) -> int:
+        return len(self._in_flight)
+
+    @property
+    def connected_workers(self) -> int:
+        return len(self._conns)
+
+    @property
+    def unfinished(self) -> bool:
+        """True while any unit is neither completed nor streamed out."""
+        return bool(self._pending or self._in_flight)
+
+    # -------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Shut down every worker and release all sockets (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in list(self._conns.values()):
+            try:
+                send_msg(conn.sock, {"type": "shutdown"})
+            except OSError:
+                pass
+            self._drop(conn, requeue=False)
+        self._sel.unregister(self._listener)
+        self._listener.close()
+        self._sel.close()
+
+    # ------------------------------------------------------------------- run
+
+    def run(
+        self,
+        units: list[dict[str, Any]],
+        watchdog: Callable[["Coordinator"], None] | None = None,
+    ) -> Iterator[tuple[int, dict[str, Any], str]]:
+        """Drive the event loop until every unit has a result.
+
+        ``units`` are lease descriptors (``uid``/``kind``/``name``/
+        ``cell_key``/``params``) in scheduling order — highest cost first,
+        exactly as the Runner ordered them. Yields ``(uid, document,
+        worker name)`` as results stream back, in completion order.
+        ``watchdog`` runs every loop tick (the Runner uses it to respawn
+        auto-spawned local workers that died while work remains).
+        """
+        self._pending.extend(units)
+        total = len(units)
+        yielded = 0
+        while yielded < total:
+            for key, _mask in self._sel.select(self.poll_s):
+                if key.data is None:
+                    self._accept()
+                else:
+                    self._read(key.data)
+            self._reap_stalled()
+            self._assign()
+            if watchdog is not None:
+                watchdog(self)
+            while self._completed:
+                yielded += 1
+                yield self._completed.pop(0)
+        self.close()
+
+    # ------------------------------------------------------------- event loop
+
+    def _accept(self) -> None:
+        while True:
+            try:
+                sock, addr = self._listener.accept()
+                sock.settimeout(_SEND_TIMEOUT_S)
+            except (BlockingIOError, OSError):
+                return
+            conn = _Conn(sock, addr, time.monotonic())
+            self._conns[sock] = conn
+            self._sel.register(sock, selectors.EVENT_READ, conn)
+
+    def _read(self, conn: _Conn) -> None:
+        try:
+            data = conn.sock.recv(1 << 16)
+        except (OSError, socket.timeout):
+            self._drop(conn, requeue=True)
+            return
+        if not data:
+            self._drop(conn, requeue=True)
+            return
+        conn.last_seen = time.monotonic()
+        try:
+            for msg in conn.reader.feed(data):
+                self._handle(conn, msg)
+        except ProtocolError:
+            self._drop(conn, requeue=True)
+
+    def _handle(self, conn: _Conn, msg: dict[str, Any]) -> None:
+        kind = msg.get("type")
+        if kind == "hello":
+            worker = msg.get("worker")
+            if isinstance(worker, str) and worker:
+                conn.name = worker
+            self.workers_seen += 1
+        elif kind == "ready":
+            conn.ready = True
+        elif kind == "result":
+            uid = msg.get("uid")
+            doc = msg.get("doc")
+            if not isinstance(uid, int) or not isinstance(doc, dict):
+                return
+            if conn.lease_uid == uid:
+                conn.lease_uid = None
+            if uid in self._done:
+                return  # late duplicate from a worker declared dead earlier
+            leased = self._in_flight.pop(uid, None)
+            if leased is not None and leased[0] is not conn:
+                leased[0].lease_uid = None  # first result wins
+            self._done.add(uid)
+            self._completed.append((uid, doc, conn.name))
+        elif kind == "heartbeat":
+            pass  # last_seen already refreshed by _read
+        # Unknown types are ignored for forward compatibility.
+
+    def _reap_stalled(self) -> None:
+        now = time.monotonic()
+        for conn in list(self._conns.values()):
+            if (
+                conn.lease_uid is not None
+                and now - conn.last_seen > self.lease_timeout
+            ):
+                self._drop(conn, requeue=True)
+
+    def _assign(self) -> None:
+        while self._pending:
+            conn = next(
+                (c for c in self._conns.values() if c.ready and c.lease_uid is None),
+                None,
+            )
+            if conn is None:
+                return
+            unit = self._pending.popleft()
+            try:
+                send_msg(conn.sock, dict(unit, type="lease"))
+            except OSError:
+                self._pending.appendleft(unit)
+                self._drop(conn, requeue=True)
+                continue
+            conn.ready = False
+            conn.lease_uid = unit["uid"]
+            self._in_flight[unit["uid"]] = (conn, unit)
+
+    def _drop(self, conn: _Conn, requeue: bool) -> None:
+        """Disconnect a worker; optionally re-queue its in-flight unit."""
+        self._conns.pop(conn.sock, None)
+        try:
+            self._sel.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        uid = conn.lease_uid
+        conn.lease_uid = None
+        if uid is None or not requeue or uid in self._done:
+            return
+        leased = self._in_flight.get(uid)
+        if leased is None or leased[0] is not conn:
+            # The unit was already re-leased elsewhere; leave that lease be.
+            return
+        del self._in_flight[uid]
+        unit = {k: v for k, v in leased[1].items() if k != "type"}
+        self.releases += 1
+        count = self._release_counts.get(uid, 0) + 1
+        self._release_counts[uid] = count
+        if count >= self.max_releases:
+            # Every worker this unit touched died or stalled: treat the
+            # unit as poison and fail *it*, with context, instead of
+            # feeding it the rest of the fleet.
+            doc: dict[str, Any] = {
+                "scenario": unit.get("name"),
+                "params": unit.get("params"),
+                "error": (
+                    f"unit {unit.get('name')!r}"
+                    f"{'[' + unit['cell_key'] + ']' if unit.get('cell_key') else ''} "
+                    f"lost its worker {count} times (crashed or stalled "
+                    f"executions); giving up on it"
+                ),
+            }
+            if unit.get("cell_key"):
+                doc["cell"] = unit["cell_key"]
+            self._done.add(uid)
+            self._completed.append((uid, doc, conn.name))
+            return
+        # Front of the queue: it was scheduled early for a reason (cost
+        # order), and it has already waited one worker lifetime.
+        self._pending.appendleft(unit)

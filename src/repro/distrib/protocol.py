@@ -1,0 +1,159 @@
+"""Length-prefixed JSON framing for the coordinator/worker wire protocol.
+
+Every message is one frame: a 4-byte big-endian length header followed by
+that many bytes of ASCII-safe JSON (``ensure_ascii`` keeps lone
+surrogates and other non-UTF-8-safe text representable as ``\\uXXXX``
+escapes, so any string a scenario produces survives the wire). The
+*values* inside messages reuse :mod:`repro.scenarios.encode`: lease
+parameters travel as the portable encoding (tuples stay tuples on the
+worker) and cell results carry the same portable documents the cell cache
+stores — the wire format and the cache format are one vocabulary.
+
+Message types (``{"type": ...}``):
+
+``hello``      worker -> coordinator, once: ``worker`` name, ``pid``.
+``ready``      worker -> coordinator: give me a unit.
+``lease``      coordinator -> worker: ``uid``, ``kind``, ``name``,
+               ``cell_key``, ``params`` (portable-encoded).
+``result``     worker -> coordinator: ``uid``, ``doc`` (the exact document
+               the in-process executor would produce).
+``heartbeat``  worker -> coordinator, periodic liveness while computing.
+``shutdown``   coordinator -> worker: no more work, exit.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+from typing import Any, Iterator
+
+__all__ = [
+    "ProtocolError",
+    "MAX_FRAME",
+    "encode_frame",
+    "send_msg",
+    "recv_msg",
+    "FrameReader",
+    "parse_address",
+]
+
+
+class ProtocolError(RuntimeError):
+    """Malformed frame, oversized frame, or non-object message."""
+
+
+#: Upper bound on one frame's body. A frame holds one JSON document (a
+#: lease or one cell's result document); paper-scale FCT cell documents
+#: are tens of kilobytes, so this is generous headroom, not a limit anyone
+#: should meet — meeting it indicates a corrupt or hostile peer.
+MAX_FRAME = 256 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+def parse_address(text: str | tuple[str, int]) -> tuple[str, int]:
+    """``"host:port"`` (or an already-split tuple) -> ``(host, port)``."""
+    if isinstance(text, tuple):
+        host, port = text
+        return host, int(port)
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"expected HOST:PORT, got {text!r}")
+    return host, int(port)
+
+
+def encode_frame(msg: dict[str, Any]) -> bytes:
+    """One message -> header + ASCII JSON body."""
+    body = json.dumps(
+        msg, separators=(",", ":"), ensure_ascii=True
+    ).encode("ascii")
+    if len(body) > MAX_FRAME:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds MAX_FRAME")
+    return _HEADER.pack(len(body)) + body
+
+
+def send_msg(
+    sock: socket.socket,
+    msg: dict[str, Any],
+    lock: threading.Lock | None = None,
+) -> None:
+    """Send one framed message (atomically w.r.t. ``lock`` if given).
+
+    The worker's heartbeat thread and its main loop share one socket, so
+    every worker-side send passes the same lock to keep frames whole.
+    """
+    frame = encode_frame(msg)
+    if lock is None:
+        sock.sendall(frame)
+    else:
+        with lock:
+            sock.sendall(frame)
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> bytes | None:
+    chunks: list[bytes] = []
+    while n:
+        chunk = sock.recv(n)
+        if not chunk:
+            return None  # peer closed
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_msg(sock: socket.socket) -> dict[str, Any] | None:
+    """Blocking read of one framed message; ``None`` on clean EOF."""
+    header = _recv_exactly(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"incoming frame of {length} bytes exceeds MAX_FRAME")
+    body = _recv_exactly(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed mid-frame")
+    return _decode_body(body)
+
+
+def _decode_body(body: bytes) -> dict[str, Any]:
+    try:
+        msg = json.loads(body.decode("ascii"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from None
+    if not isinstance(msg, dict):
+        raise ProtocolError(
+            f"message must be a JSON object, got {type(msg).__name__}"
+        )
+    return msg
+
+
+class FrameReader:
+    """Incremental frame parser for the coordinator's non-blocking reads.
+
+    Feed it whatever ``recv`` returned; it buffers partial frames across
+    calls and yields every complete message, so a message split over
+    arbitrary TCP segment boundaries decodes identically to one that
+    arrived whole.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> Iterator[dict[str, Any]]:
+        self._buffer.extend(data)
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                return
+            (length,) = _HEADER.unpack(self._buffer[: _HEADER.size])
+            if length > MAX_FRAME:
+                raise ProtocolError(
+                    f"incoming frame of {length} bytes exceeds MAX_FRAME"
+                )
+            end = _HEADER.size + length
+            if len(self._buffer) < end:
+                return
+            body = bytes(self._buffer[_HEADER.size:end])
+            del self._buffer[:end]
+            yield _decode_body(body)

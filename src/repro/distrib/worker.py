@@ -1,0 +1,180 @@
+"""Worker: a thin lease-execute-report loop over one coordinator socket.
+
+``python -m repro.distrib.worker HOST:PORT`` (or ``repro worker
+HOST:PORT``) connects to a coordinator, announces itself, and then loops:
+request a unit, run it through the *same* executor functions the
+in-process and pool paths use (:func:`repro.scenarios.runner._execute` /
+``_execute_cell``), and stream the resulting document back. A daemon
+thread heartbeats every couple of seconds so the coordinator can tell a
+long cell from a dead worker. The heavy ``repro.experiments`` import is
+deferred to the first lease, so a worker is on the wire within
+milliseconds of starting.
+
+The worker retries its initial connection for a while — starting the
+worker terminal before the coordinator terminal works — and exits when
+the coordinator sends ``shutdown`` or disconnects.
+
+Fault injection (used by the differential recovery tests and harmless
+otherwise): ``REPRO_WORKER_MAX_UNITS=N`` makes the worker die abruptly —
+holding its lease, without a word to the coordinator — when lease ``N+1``
+arrives, exiting with status :data:`KILLED_EXIT`. This simulates a
+machine lost mid-sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import threading
+import time
+from typing import Any
+
+from .protocol import parse_address, recv_msg, send_msg
+
+__all__ = ["serve", "main", "KILLED_EXIT", "HEARTBEAT_S"]
+
+#: Seconds between heartbeats while the main loop is busy in a unit.
+HEARTBEAT_S = 2.0
+
+#: Exit status of a worker that died via ``REPRO_WORKER_MAX_UNITS``.
+KILLED_EXIT = 17
+
+
+def _connect(address: tuple[str, int], timeout: float) -> socket.socket:
+    """Dial the coordinator, retrying until ``timeout`` elapses."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            sock = socket.create_connection(address, timeout=5.0)
+            # create_connection's timeout would otherwise persist as a 5s
+            # *recv* timeout — and an idle worker (queue drained, another
+            # worker holding the long tail unit) must block on the next
+            # lease indefinitely, not die of boredom. Liveness flows the
+            # other way, via the heartbeat thread.
+            sock.settimeout(None)
+            return sock
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.2)
+
+
+def _execute_lease(msg: dict[str, Any]) -> dict[str, Any]:
+    """Run one leased unit; always returns a result document.
+
+    The executor functions trap scenario exceptions themselves, but a
+    lease can also fail *before* execution — undecodable params, or a
+    scenario the worker's checkout doesn't know (version skew across a
+    fleet). Those must come back as error documents too: a crash here
+    would kill the worker, the coordinator would re-lease the poison unit
+    to the next worker, and the whole fleet would fall over serially.
+    """
+    try:
+        # Deferred import: pulls in repro.experiments (the whole
+        # simulator) only once real work arrives.
+        from ..scenarios.encode import from_portable
+        from ..scenarios.runner import _execute, _execute_cell
+
+        params = from_portable(msg["params"])
+        if msg["kind"] == "cell":
+            doc, _value = _execute_cell(msg["name"], msg["cell_key"], params)
+        else:
+            doc, _value = _execute(msg["name"], params)
+        return doc
+    except Exception:
+        import traceback
+
+        doc = {
+            "scenario": msg.get("name"),
+            "params": msg.get("params"),
+            "error": traceback.format_exc(),
+        }
+        if msg.get("cell_key"):
+            doc["cell"] = msg["cell_key"]
+        return doc
+
+
+def serve(
+    address: str | tuple[str, int],
+    *,
+    connect_timeout: float = 30.0,
+    max_units: int | None = None,
+    heartbeat_s: float = HEARTBEAT_S,
+    log=print,
+) -> int:
+    """Attach to a coordinator and work until it says shutdown."""
+    host, port = parse_address(address)
+    name = f"{socket.gethostname()}-{os.getpid()}"
+    sock = _connect((host, port), connect_timeout)
+    lock = threading.Lock()
+    stop = threading.Event()
+
+    def _beat() -> None:
+        while not stop.wait(heartbeat_s):
+            try:
+                send_msg(sock, {"type": "heartbeat"}, lock)
+            except OSError:
+                return
+
+    threading.Thread(target=_beat, name="heartbeat", daemon=True).start()
+    log(f"[worker {name}] connected to {host}:{port}", file=sys.stderr, flush=True)
+    completed = 0
+    try:
+        send_msg(sock, {"type": "hello", "worker": name, "pid": os.getpid()}, lock)
+        send_msg(sock, {"type": "ready"}, lock)
+        while True:
+            msg = recv_msg(sock)
+            if msg is None or msg.get("type") == "shutdown":
+                break
+            if msg.get("type") != "lease":
+                continue
+            if max_units is not None and completed >= max_units:
+                # Fault injection: die holding the lease, mid-sweep, the
+                # way a powered-off machine would.
+                os._exit(KILLED_EXIT)
+            doc = _execute_lease(msg)
+            send_msg(sock, {"type": "result", "uid": msg["uid"], "doc": doc}, lock)
+            completed += 1
+            send_msg(sock, {"type": "ready"}, lock)
+    except OSError:
+        pass  # coordinator went away; treat like shutdown
+    finally:
+        stop.set()
+        sock.close()
+    log(f"[worker {name}] done ({completed} unit(s))", file=sys.stderr, flush=True)
+    return 0
+
+
+def max_units_from_env() -> int | None:
+    """The ``REPRO_WORKER_MAX_UNITS`` fault-injection knob, if set.
+
+    Shared by both worker spellings (``python -m repro.distrib.worker``
+    and ``repro worker``) so they behave identically.
+    """
+    env_max = os.environ.get("REPRO_WORKER_MAX_UNITS")
+    return int(env_max) if env_max else None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-worker", description="Opera-repro distributed worker"
+    )
+    parser.add_argument("address", metavar="HOST:PORT", help="coordinator address")
+    parser.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to keep retrying the initial connection (default 30)",
+    )
+    args = parser.parse_args(argv)
+    return serve(
+        args.address,
+        connect_timeout=args.connect_timeout,
+        max_units=max_units_from_env(),
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,7 +26,7 @@ from ..net import (
     RotorNetSimNetwork,
     SimNetwork,
 )
-from ..scenarios.sharding import Cell, derive_cell_seed
+from ..scenarios.sharding import Cell, calibrate_costs, derive_cell_seed
 from ..topologies.expander import ExpanderTopology
 from ..topologies.folded_clos import FoldedClos
 from ..topologies.rotornet import RotorNetTopology
@@ -41,6 +41,7 @@ __all__ = [
     "scheduler_for_scale",
     "fct_shard_cells",
     "fct_cell_cost",
+    "adaptive_cell_cost",
     "run_fct_cell",
     "merge_fct_cells",
     "SCALE_PROFILES",
@@ -264,6 +265,49 @@ def fct_cell_cost(scale: str, network: str, load: float, duration_ms: float) -> 
         * max(load, 0.01)
         * (duration_ms * duration_factor / 4.0)
     )
+
+
+def adaptive_cell_cost(
+    scale: str,
+    network: str,
+    load: float,
+    duration_ms: float,
+    history: "dict[str, float] | None" = None,
+) -> float:
+    """Cost of one FCT cell, adapted from recorded durations when present.
+
+    ``history`` maps cell keys (``f"{network}@{load:g}"``, the keys
+    :func:`fct_shard_cells` mints and every cell-cache document records)
+    to mean measured wall seconds — typically
+    ``ResultCache.cell_durations("fig07")``. When this cell has history,
+    its recorded duration is calibrated into static-estimate units via
+    :func:`~repro.scenarios.sharding.calibrate_costs` (fitting the
+    seconds-per-unit ratio over every history key, so adapted and
+    static-only cells stay comparable); with no usable history the static
+    scale x network x load estimate is returned unchanged.
+
+    This is the per-cell convenience for library users of the FCT
+    harness; at run time the Runner applies the identical
+    ``calibrate_costs`` blend to *whole unit batches* itself
+    (``Runner._adapt_costs``), scenario-agnostically, without going
+    through this function.
+    """
+    key = f"{network}@{load:g}"
+    static = {key: fct_cell_cost(scale, network, load, duration_ms)}
+    if not history:
+        return static[key]
+    for other_key, seconds in history.items():
+        if other_key == key or not isinstance(seconds, (int, float)):
+            continue
+        net, sep, load_text = other_key.partition("@")
+        if not sep:
+            continue
+        try:
+            other_load = float(load_text)
+        except ValueError:
+            continue
+        static[other_key] = fct_cell_cost(scale, net, other_load, duration_ms)
+    return calibrate_costs(static, dict(history))[key]
 
 
 def fct_shard_cells(

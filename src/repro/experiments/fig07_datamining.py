@@ -49,7 +49,8 @@ merge = merge_fct_cells
 
 @scenario("fig07", tags=("packet", "fct"), cost="heavy",
           title="Datamining FCTs, reduced scale (Figure 7)",
-          shards="shards", cell="run_cell", merge="merge")
+          shards="shards", cell="run_cell", merge="merge",
+          aliases=("fig07_datamining",))
 def run(
     loads: tuple[float, ...] = DEFAULT_LOADS,
     networks: tuple[str, ...] = DEFAULT_NETWORKS,

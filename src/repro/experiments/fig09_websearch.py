@@ -45,7 +45,8 @@ merge = merge_fct_cells
 
 @scenario("fig09", tags=("packet", "fct"), cost="heavy",
           title="Websearch FCTs, reduced scale (Figure 9)",
-          shards="shards", cell="run_cell", merge="merge")
+          shards="shards", cell="run_cell", merge="merge",
+          aliases=("fig09_websearch",))
 def run(
     loads: tuple[float, ...] = DEFAULT_LOADS,
     networks: tuple[str, ...] = DEFAULT_NETWORKS,

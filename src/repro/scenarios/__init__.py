@@ -37,7 +37,7 @@ from .runner import (
     ScenarioResult,
     derive_seed,
 )
-from .sharding import Cell, derive_cell_seed, validate_plan
+from .sharding import Cell, calibrate_costs, derive_cell_seed, validate_plan
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
@@ -65,6 +65,7 @@ __all__ = [
     "ScenarioResult",
     "derive_seed",
     "Cell",
+    "calibrate_costs",
     "derive_cell_seed",
     "validate_plan",
 ]

@@ -139,6 +139,106 @@ class ResultCache:
         path.parent.mkdir(parents=True, exist_ok=True)
         return self._write(path, document)
 
+    def cell_duration_records(
+        self, name: str
+    ) -> list[tuple[str, dict[str, Any], float]]:
+        """Every recorded cell duration for one scenario, with context.
+
+        Yields ``(cell key, cell params, wall seconds)`` per readable cell
+        document (each records the ``duration_s`` its computation took —
+        worker-side, so remote and local cells measure alike). The params
+        travel along so consumers can restrict history to *comparable*
+        cells: a ci-scale ``opera@0.1`` says nothing about the paper-scale
+        cell of the same name.
+        """
+        records: list[tuple[str, dict[str, Any], float]] = []
+        for path in (self.root / name / "cells").glob("*.json"):
+            try:
+                with path.open("r", encoding="utf-8") as fh:
+                    doc = json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                continue
+            key = doc.get("cell")
+            params = doc.get("params")
+            duration = doc.get("duration_s")
+            if (
+                not isinstance(key, str)
+                or not isinstance(params, dict)
+                or not isinstance(duration, (int, float))
+                or isinstance(duration, bool)
+                or duration <= 0
+            ):
+                continue
+            records.append((key, params, float(duration)))
+        return records
+
+    def cell_durations(self, name: str) -> dict[str, float]:
+        """Mean recorded wall seconds per cell key for one scenario.
+
+        The coarse, params-blind view of :meth:`cell_duration_records` —
+        convenient when all of a scenario's history shares one shape
+        (e.g. feeding :func:`repro.experiments.fctsim.adaptive_cell_cost`
+        for a single-scale workflow). The Runner's adaptive ordering uses
+        the records directly, filtered to params-comparable cells.
+        """
+        totals: dict[str, float] = {}
+        counts: dict[str, int] = {}
+        for key, _params, duration in self.cell_duration_records(name):
+            totals[key] = totals.get(key, 0.0) + duration
+            counts[key] = counts.get(key, 0) + 1
+        return {key: totals[key] / counts[key] for key in totals}
+
+    # -------------------------------------------------------- introspection
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Per-scenario entry counts and on-disk bytes.
+
+        ``{scenario: {"results": n, "cells": n, "bytes": n}}`` — the
+        ``repro cache stats`` view, so paper-scale sweep state is
+        inspectable without spelunking the cache directory.
+        """
+        out: dict[str, dict[str, int]] = {}
+        if not self.root.is_dir():
+            return out
+        for sc_dir in sorted(self.root.iterdir()):
+            if not sc_dir.is_dir():
+                continue
+            results = cells = size = 0
+            for path in sc_dir.rglob("*.json"):
+                try:
+                    size += path.stat().st_size
+                except OSError:
+                    continue
+                if path.parent.name == "cells":
+                    cells += 1
+                else:
+                    results += 1
+            out[sc_dir.name] = {
+                "results": results, "cells": cells, "bytes": size
+            }
+        return out
+
+    def entries(self, name: str) -> list[dict[str, Any]]:
+        """Decoded documents for one scenario: merged results, then cells.
+
+        Each item: ``{"path": Path, "kind": "result"|"cell", "doc": ...}``
+        (unreadable/corrupt files are skipped, matching :meth:`get`).
+        """
+        out: list[dict[str, Any]] = []
+        roots = [
+            (self.root / name, "result"),
+            (self.root / name / "cells", "cell"),
+        ]
+        for root, kind in roots:
+            for path in sorted(root.glob("*.json")):
+                try:
+                    with path.open("r", encoding="utf-8") as fh:
+                        doc = json.load(fh)
+                except (OSError, json.JSONDecodeError):
+                    continue
+                out.append({"path": path, "kind": kind, "doc": doc})
+        return out
+
     def clear(self, name: str | None = None) -> int:
         """Delete entries (all, or one scenario's); returns count removed."""
         removed = 0

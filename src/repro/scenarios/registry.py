@@ -137,6 +137,9 @@ class Scenario:
     sharder: str | None = None
     cell_runner: str | None = None
     merger: str | None = None
+    #: Alternate spellings that resolve to this scenario (e.g. the source
+    #: module's name, so ``repro run fig07_datamining`` works).
+    aliases: tuple[str, ...] = ()
 
     # ------------------------------------------------------------ parameters
 
@@ -214,8 +217,12 @@ class Scenario:
         return formatter(value)
 
     def matches(self, token: str) -> bool:
-        """True if ``token`` names this scenario exactly or as a glob."""
-        return token == self.name or fnmatch.fnmatchcase(self.name, token)
+        """True if ``token`` names this scenario (or an alias), exactly or
+        as a glob."""
+        return any(
+            token == name or fnmatch.fnmatchcase(name, token)
+            for name in (self.name, *self.aliases)
+        )
 
 
 _REGISTRY: dict[str, Scenario] = {}
@@ -238,6 +245,7 @@ def scenario(
     shards: str | None = None,
     cell: str | None = None,
     merge: str | None = None,
+    aliases: Sequence[str] = (),
 ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
     """Decorator: register ``fn`` as scenario ``name``; returns ``fn``.
 
@@ -247,7 +255,9 @@ def scenario(
     registry wants a cheaper default than the library API, e.g. fig04's
     slice subsampling). ``title`` overrides the docstring-derived
     description. ``shards`` / ``cell`` / ``merge`` name the module-level
-    shard hooks (all three or none); see :class:`Scenario`.
+    shard hooks (all three or none); see :class:`Scenario`. ``aliases``
+    are alternate selection spellings (conventionally the experiment
+    module's name).
     """
     if cost not in COST_HINTS:
         raise ValueError(f"cost hint must be one of {COST_HINTS}, got {cost!r}")
@@ -291,6 +301,7 @@ def scenario(
                 sharder=shards,
                 cell_runner=cell,
                 merger=merge,
+                aliases=tuple(aliases),
             )
         )
         return fn
@@ -313,6 +324,9 @@ def get(name: str) -> Scenario:
     try:
         return _REGISTRY[name]
     except KeyError:
+        for sc in _REGISTRY.values():
+            if name in sc.aliases:
+                return sc
         known = ", ".join(sorted(_REGISTRY))
         raise ScenarioError(
             f"unknown scenario {name!r}; known: {known}"

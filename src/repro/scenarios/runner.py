@@ -22,6 +22,24 @@ cell is in. Cell values travel as the portable encoding
 (:func:`~repro.scenarios.encode.to_portable`), which reconstructs the
 exact python value, so a merge over pooled or cache-restored cells is
 bit-identical to the unsharded in-process run.
+
+Executors
+---------
+The ``executor`` seam picks how units run once decomposition and cache
+checks are done: ``"local"`` executes in-process, ``"pool"`` fans out
+over a ``multiprocessing`` pool, and ``"distributed"`` stands up a
+:class:`repro.distrib.Coordinator` and leases units to TCP workers —
+auto-spawned local subprocesses by default (``workers=N``), or external
+``repro worker HOST:PORT`` processes when a ``listen`` address is given.
+All three feed the same stream-consumption loop (cache writes, shard
+merges, progress), so results are bit-identical across executors by
+construction; only transport differs.
+
+Cost ordering is adaptive: cell units start from their static estimates
+(scale x network x load for FCT grids), and when the cell cache holds
+recorded durations for a scenario's cell keys, those durations are
+calibrated into the static scale (:func:`~repro.scenarios.sharding.
+calibrate_costs`) and take over the ordering.
 """
 
 from __future__ import annotations
@@ -45,7 +63,7 @@ from .encode import (
     to_portable,
 )
 from .registry import Scenario, ScenarioError
-from .sharding import Cell
+from .sharding import Cell, calibrate_costs
 
 __all__ = [
     "Runner",
@@ -118,6 +136,9 @@ class Progress:
     duration_s: float
     eta_s: float | None
     failed: bool = False
+    #: Name of the (remote or auto-spawned) worker that completed the
+    #: unit; ``None`` for in-process and pool execution.
+    worker: str | None = None
 
 
 @dataclass
@@ -265,7 +286,32 @@ class Runner:
     progress:
         Optional callback invoked (in the parent process) with a
         :class:`Progress` record each time a unit of work — a scenario or
-        one shard cell — finishes, with a cost-weighted ETA.
+        one shard cell — finishes, with a cost-weighted ETA. Units
+        completed by remote workers flow through the same callback (the
+        record's ``worker`` field names who ran it), so ``[done/total]``
+        accounting covers the whole distributed plan.
+    executor:
+        ``"local"`` | ``"pool"`` | ``"distributed"``, or ``None`` to pick
+        automatically (``pool`` when ``workers > 1``, else ``local``).
+        ``distributed`` stands up a TCP coordinator and leases units to
+        workers: ``workers=N`` auto-spawns N local subprocess workers (the
+        default backend), and ``listen`` additionally accepts external
+        ``repro worker`` processes.
+    listen:
+        ``"host:port"`` (or tuple) for the distributed coordinator to
+        accept workers on; port 0 binds an ephemeral port. ``None`` keeps
+        the coordinator on loopback with an ephemeral port, which only
+        auto-spawned workers can find — so ``workers`` must be > 0 then.
+    lease_timeout:
+        Seconds of silence (no heartbeat, no result) before a distributed
+        worker's lease is re-queued for another worker.
+    max_respawns:
+        Budget for replacing auto-spawned local workers that die while
+        leased units remain.
+    on_listen:
+        Callback invoked with the coordinator's resolved ``(host, port)``
+        once it is accepting workers (the CLI prints it so a second
+        terminal can join).
     """
 
     def __init__(
@@ -275,12 +321,39 @@ class Runner:
         use_cache: bool = True,
         base_seed: int | None = None,
         progress: Callable[[Progress], None] | None = None,
+        executor: str | None = None,
+        listen: str | tuple[str, int] | None = None,
+        lease_timeout: float = 60.0,
+        max_respawns: int = 8,
+        on_listen: Callable[[tuple[str, int]], None] | None = None,
     ) -> None:
+        if executor not in (None, "local", "pool", "distributed"):
+            raise ValueError(
+                f"executor must be local|pool|distributed, got {executor!r}"
+            )
+        if executor == "distributed" and not (workers or 0) and listen is None:
+            raise ValueError(
+                "distributed executor with no auto-spawned workers "
+                "(workers=0) needs a listen address external workers can "
+                "reach"
+            )
+        if listen is not None:
+            # Normalize (and reject garbage) at construction, where the
+            # CLI can turn the ValueError into a clean exit — not minutes
+            # into a run.
+            from ..distrib.protocol import parse_address
+
+            listen = parse_address(listen)
         self.workers = workers
         self.cache = cache
         self.use_cache = use_cache
         self.base_seed = base_seed
         self.progress = progress
+        self.executor = executor
+        self.listen = listen
+        self.lease_timeout = lease_timeout
+        self.max_respawns = max_respawns
+        self.on_listen = on_listen
 
     # ------------------------------------------------------------ resolution
 
@@ -453,18 +526,18 @@ class Runner:
 
     def _serial_stream(
         self, ordered: list[_Unit]
-    ) -> Iterator[tuple[_Unit, dict[str, Any], Any]]:
+    ) -> Iterator[tuple[_Unit, dict[str, Any], Any, str | None]]:
         for unit in ordered:
             if unit.kind == "cell":
                 assert unit.cell_key is not None
                 doc, value = _execute_cell(unit.name, unit.cell_key, unit.params)
             else:
                 doc, value = _execute(unit.name, unit.params)
-            yield unit, doc, value
+            yield unit, doc, value, None
 
     def _pool_stream(
         self, ordered: list[_Unit], n_workers: int
-    ) -> Iterator[tuple[_Unit, dict[str, Any], Any]]:
+    ) -> Iterator[tuple[_Unit, dict[str, Any], Any, str | None]]:
         """Stream unit docs back as workers finish them.
 
         ``imap_unordered(chunksize=1)`` lets short units return while long
@@ -478,19 +551,149 @@ class Runner:
         ]
         with multiprocessing.Pool(min(n_workers, len(ordered))) as pool:
             for uid, doc in pool.imap_unordered(_execute_unit, payloads, chunksize=1):
-                yield by_uid[uid], doc, _NO_VALUE
+                yield by_uid[uid], doc, _NO_VALUE, None
+
+    def _distributed_stream(
+        self, ordered: list[_Unit]
+    ) -> Iterator[tuple[_Unit, dict[str, Any], Any, str | None]]:
+        """Lease units to TCP workers via a coordinator; stream docs back.
+
+        With ``workers=N`` the Runner spawns N local subprocess workers
+        against its own coordinator (and replaces ones that die while work
+        remains, up to ``max_respawns``); a ``listen`` address additionally
+        lets external ``repro worker`` processes join the same run. The
+        documents streaming back are produced by the very same executor
+        functions the pool path uses, so everything downstream is shared.
+        """
+        from ..distrib import Coordinator, spawn_local_worker
+
+        host, port = self.listen if self.listen is not None else ("127.0.0.1", 0)
+        coord = Coordinator(host, port, lease_timeout=self.lease_timeout)
+        by_uid = {unit.uid: unit for unit in ordered}
+        payloads = [
+            {
+                "uid": u.uid,
+                "kind": u.kind,
+                "name": u.name,
+                "cell_key": u.cell_key,
+                "params": to_portable(u.params),
+            }
+            for u in ordered
+        ]
+        n_spawn = min(self.workers or 0, len(ordered))
+        procs: list[Any] = []
+        budget = self.max_respawns
+
+        def watchdog(c: Any) -> None:
+            nonlocal budget
+            if not n_spawn:
+                return
+            live = [p for p in procs if p.poll() is None]
+            lost = len(procs) - len(live)
+            procs[:] = live
+            if lost and c.unfinished:
+                for _ in range(min(lost, max(budget, 0))):
+                    procs.append(spawn_local_worker(c.address))
+                    budget -= 1
+            # With no listen address there is no other way for workers to
+            # appear: an empty fleet plus an exhausted budget means the
+            # run can never finish, and hanging silently is the one
+            # unacceptable outcome. (The coordinator's per-unit release
+            # bound usually fails a poison unit long before this trips.)
+            if (
+                not procs
+                and budget <= 0
+                and c.unfinished
+                and self.listen is None
+            ):
+                raise RuntimeError(
+                    "distributed run stalled: every auto-spawned worker "
+                    f"died and the respawn budget ({self.max_respawns}) is "
+                    "exhausted"
+                )
+
+        try:
+            if self.on_listen is not None:
+                self.on_listen(coord.address)
+            for _ in range(n_spawn):
+                procs.append(spawn_local_worker(coord.address))
+            for uid, doc, worker in coord.run(payloads, watchdog=watchdog):
+                yield by_uid[uid], doc, _NO_VALUE, worker
+        finally:
+            coord.close()
+            for p in procs:
+                if p.poll() is None:
+                    p.terminate()
+            for p in procs:
+                try:
+                    p.wait(timeout=5)
+                except Exception:
+                    pass
+
+    def _adapt_costs(self, units: list[_Unit]) -> None:
+        """Upgrade static cell-cost estimates with recorded durations.
+
+        Per scenario, recorded per-cell wall clocks from the cell cache
+        (:meth:`ResultCache.cell_duration_records`) are calibrated into
+        the static estimate scale and replace the estimates of cells with
+        history; cells without history keep their static cost, comparable
+        through the shared calibration. Only *comparable* history counts:
+        a record feeds a unit when its params match the unit's in
+        everything but ``seed`` (same cell key, same scale, same horizon —
+        different randomness), so ci-scale telemetry can never misorder a
+        paper-scale sweep. Duration telemetry is read even under
+        ``use_cache=False`` — ordering hints are not cached *results*.
+        """
+        if self.cache is None:
+            return
+        cells_by_name: dict[str, list[_Unit]] = {}
+        for unit in units:
+            if unit.kind == "cell":
+                cells_by_name.setdefault(unit.name, []).append(unit)
+
+        def _shape(params: Mapping[str, Any]) -> str:
+            # canonical_json normalizes tuples (unit params) vs lists
+            # (JSON-restored doc params) into one comparable form.
+            return canonical_json(
+                {k: v for k, v in params.items() if k != "seed"}
+            )
+
+        for name, cell_units in cells_by_name.items():
+            records = self.cache.cell_duration_records(name)
+            if not records:
+                continue
+            totals: dict[tuple[str, str], tuple[float, int]] = {}
+            for key, params, duration in records:
+                probe = (key, _shape(params))
+                prev = totals.get(probe, (0.0, 0))
+                totals[probe] = (prev[0] + duration, prev[1] + 1)
+            static = {u.uid: u.cost for u in cell_units}
+            history = {}
+            for u in cell_units:
+                assert u.cell_key is not None
+                hit = totals.get((u.cell_key, _shape(u.params)))
+                if hit is not None:
+                    history[u.uid] = hit[0] / hit[1]
+            blended = calibrate_costs(static, history)
+            for u in cell_units:
+                u.cost = blended[u.uid]
 
     def _run_jobs(self, jobs: list[_Job]) -> list[ScenarioResult]:
         results: dict[int, ScenarioResult] = {}
         units, shard_states = self._decompose(jobs, results)
+        self._adapt_costs(units)
 
         # Schedule expensive units first so the pool tail is short. Sweep
-        # points and shard cells carry real cost estimates (e.g. load
-        # descending for FCT grids); plain scenarios rank by their hint.
+        # points and shard cells carry real cost estimates (recorded
+        # durations when the cache has them, else e.g. load descending for
+        # FCT grids); plain scenarios rank by their hint.
         ordered = sorted(units, key=lambda u: (-u.cost, u.uid))
 
         n_workers = self.workers or 0
-        if n_workers > 1 and len(ordered) > 1:
+        mode = self.executor or ("pool" if n_workers > 1 else "local")
+        if mode == "distributed" and ordered:
+            stream = self._distributed_stream(ordered)
+        elif mode == "pool" and n_workers > 1 and len(ordered) > 1:
             stream = self._pool_stream(ordered, n_workers)
         else:
             stream = self._serial_stream(ordered)
@@ -502,7 +705,7 @@ class Runner:
         total_cost = sum(u.cost for u in ordered) or 1.0
         done_cost = 0.0
         started = time.perf_counter()
-        for done, (unit, doc, value) in enumerate(stream, start=1):
+        for done, (unit, doc, value, worker) in enumerate(stream, start=1):
             failed = "error" in doc
             if unit.kind == "cell":
                 if failed:
@@ -547,11 +750,15 @@ class Runner:
             done_cost += unit.cost
             if self.progress is not None:
                 elapsed = time.perf_counter() - started
-                eta = (
-                    elapsed * (total_cost - done_cost) / done_cost
-                    if done_cost > 0
-                    else None
-                )
+                # Guard the ETA against degenerate first units: a
+                # zero-cost unit (possible after adaptive re-costing) or a
+                # finish inside one clock tick must report "unknown", not
+                # a division blow-up or a bogus instant estimate.
+                eta = None
+                if done_cost > 0 and elapsed > 0:
+                    eta = max(
+                        elapsed * (total_cost - done_cost) / done_cost, 0.0
+                    )
                 self.progress(
                     Progress(
                         done=done,
@@ -560,6 +767,7 @@ class Runner:
                         duration_s=float(doc.get("duration_s", 0.0)),
                         eta_s=eta,
                         failed=failed,
+                        worker=worker,
                     )
                 )
 

@@ -27,11 +27,13 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Mapping, TypeVar
 
 from .encode import EncodeError, canonical_json
 
-__all__ = ["Cell", "derive_cell_seed", "validate_plan"]
+__all__ = ["Cell", "derive_cell_seed", "validate_plan", "calibrate_costs"]
+
+_K = TypeVar("_K")
 
 
 @dataclass(frozen=True)
@@ -62,6 +64,42 @@ def derive_cell_seed(base_seed: int, scenario: str, cell_key: str) -> int:
         f"{base_seed}:{scenario}:{cell_key}".encode("utf-8")
     ).digest()
     return int.from_bytes(digest[:4], "big")
+
+
+def calibrate_costs(
+    static: Mapping[_K, float], recorded: Mapping[_K, float]
+) -> dict[_K, float]:
+    """Blend recorded wall-clock durations into static cost estimates.
+
+    ``static`` maps unit keys to estimates on the sharding cost scale
+    (arbitrary, comparable units); ``recorded`` maps a subset of those
+    keys to measured wall seconds (e.g. from the cell cache's per-cell
+    ``duration_s`` telemetry). Keys with positive history get their
+    recorded duration converted into static units through one aggregate
+    seconds-per-unit ratio fitted over the overlap — so history-backed
+    costs order by *measured* time while staying comparable with
+    static-only siblings. Keys without history keep their static
+    estimate, and with no usable overlap the statics are returned
+    unchanged (the fallback the adaptive model promises).
+    """
+    overlap = [
+        (static[k], recorded[k])
+        for k in static
+        if recorded.get(k, 0.0) > 0.0
+    ]
+    total_static = sum(s for s, _ in overlap)
+    total_recorded = sum(r for _, r in overlap)
+    if total_static <= 0.0 or total_recorded <= 0.0:
+        return dict(static)
+    seconds_per_unit = total_recorded / total_static
+    return {
+        k: (
+            recorded[k] / seconds_per_unit
+            if recorded.get(k, 0.0) > 0.0
+            else s
+        )
+        for k, s in static.items()
+    }
 
 
 def validate_plan(scenario: str, plan: list[Cell]) -> list[Cell]:

@@ -1,9 +1,10 @@
-"""Tests for the scenario-runner CLI (list / run / sweep + legacy spelling)."""
+"""Tests for the scenario-runner CLI (list / run / sweep / cache /
+worker + legacy spelling) and the progress stream's formatting."""
 
 import pytest
 
-from repro.cli import main
-from repro.scenarios import all_scenarios
+from repro.cli import _progress_printer, main
+from repro.scenarios import Progress, all_scenarios
 
 
 @pytest.fixture(autouse=True)
@@ -88,6 +89,105 @@ class TestSweep:
     def test_sweep_requires_set(self, capsys):
         assert main(["sweep", "fig06"]) == 2
         assert "--set" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    def test_stats_empty(self, capsys):
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "cache root:" in out and "(empty)" in out
+
+    def test_stats_and_ls_after_a_run(self, capsys):
+        assert main(["run", "fig06", "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "fig06" in out and "1 result(s)" in out and "total" in out
+        assert main(["cache", "ls", "fig06"]) == 0
+        out = capsys.readouterr().out
+        assert "result" in out and "merged" in out
+
+    def test_ls_requires_scenario(self, capsys):
+        assert main(["cache", "ls"]) == 2
+        assert "scenario" in capsys.readouterr().err
+
+    def test_clear_scenario_then_all(self, capsys):
+        assert main(["run", "fig06", "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "clear", "fig06"]) == 0
+        assert "removed 1 cache entry" in capsys.readouterr().out
+        assert main(["cache", "clear"]) == 0
+        assert "removed 0" in capsys.readouterr().out
+        # The next run is a miss again.
+        assert main(["run", "fig06", "--quiet"]) == 0
+        assert "[cached]" not in capsys.readouterr().out
+
+    def test_cache_dir_disabled_errors(self, capsys):
+        assert main(["cache", "stats", "--cache-dir", ""]) == 2
+
+
+class TestExecutorOptions:
+    def test_distributed_without_workers_or_listen_errors(self, capsys):
+        assert main(
+            ["run", "fig06", "--executor", "distributed", "--workers", "0"]
+        ) == 2
+        assert "listen" in capsys.readouterr().err
+
+    def test_malformed_listen_is_a_clean_error(self, capsys):
+        # Rejected at Runner construction, not a traceback mid-run.
+        assert main(["run", "fig06", "--listen", "nonsense"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_alias_selects_exactly_and_by_glob(self):
+        from repro.scenarios import select
+
+        assert [sc.name for sc in select(names=["fig07_datamining"])] == ["fig07"]
+        assert [sc.name for sc in select(names=["fig09_web*"])] == ["fig09"]
+
+    def test_worker_bad_address_errors(self, capsys):
+        assert main(["worker", "nonsense"]) == 1
+        assert "worker error" in capsys.readouterr().err
+
+    def test_worker_unreachable_coordinator_errors(self, capsys):
+        assert main(
+            ["worker", "127.0.0.1:1", "--connect-timeout", "0.2"]
+        ) == 1
+        assert "worker error" in capsys.readouterr().err
+
+
+class TestProgressPrinter:
+    def _event(self, **kw):
+        base = dict(
+            done=1, total=4, label="fig07:opera@0.1", duration_s=1.25,
+            eta_s=10.0, failed=False, worker=None,
+        )
+        base.update(kw)
+        return Progress(**base)
+
+    def test_plain_line(self, capsys):
+        _progress_printer(self._event())
+        err = capsys.readouterr().err
+        assert "[1/4] fig07:opera@0.1 (1.2s) — eta 10s" in err
+
+    def test_worker_attribution(self, capsys):
+        # Units completed by remote workers are attributed in the stream.
+        _progress_printer(self._event(worker="host-42"))
+        assert "@host-42" in capsys.readouterr().err
+
+    def test_unknown_eta_is_omitted(self, capsys):
+        # A zero-duration first unit yields eta_s=None; the line must not
+        # print a bogus instant estimate.
+        _progress_printer(self._event(eta_s=None, duration_s=0.0))
+        err = capsys.readouterr().err
+        assert "eta" not in err and "(0.0s)" in err
+
+    def test_non_finite_eta_guarded(self, capsys):
+        _progress_printer(self._event(eta_s=float("inf")))
+        assert "eta ?" in capsys.readouterr().err
+
+    def test_final_unit_has_no_eta(self, capsys):
+        _progress_printer(self._event(done=4, total=4, eta_s=0.0))
+        assert "eta" not in capsys.readouterr().err
 
 
 class TestLegacySpelling:

@@ -1,0 +1,137 @@
+"""Portable-encoding edge cases the distributed wire protocol exercises.
+
+Cell values travel ``to_portable -> json.dumps -> TCP -> json.loads ->
+from_portable``; these tests pin the corners of that path: nested
+tuple-keyed dicts, empty dataclasses, numeric fidelity at the extremes of
+float/int range, and strings that are not UTF-8-clean.
+"""
+
+import json
+import math
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.scenarios import EncodeError, from_portable, to_portable
+
+
+def wire_roundtrip(value):
+    """Exactly what the coordinator/worker protocol does to a value."""
+    text = json.dumps(to_portable(value), separators=(",", ":"), ensure_ascii=True)
+    return from_portable(json.loads(text))
+
+
+@dataclass
+class EmptyResult:
+    """A result type with no fields (decoded by import path)."""
+
+
+@dataclass
+class NestedResult:
+    label: str
+    table: dict = field(default_factory=dict)
+
+
+class TestNestedTupleKeyedDicts:
+    def test_tuple_keyed_dict_nested_in_values(self):
+        value = {
+            "outer": {
+                (0, 10_000): {"inner": {(1, 2): (None, 3.5)}},
+                (10_000, 100_000): [((1,), (2,))],
+            }
+        }
+        assert wire_roundtrip(value) == value
+
+    def test_tuple_keys_recover_as_tuples(self):
+        decoded = wire_roundtrip({(1, "a"): 1, (2, "b"): 2})
+        assert set(decoded) == {(1, "a"), (2, "b")}
+        assert all(isinstance(k, tuple) for k in decoded)
+
+    def test_tuple_keyed_dict_inside_dataclass(self):
+        value = NestedResult(
+            label="x", table={(0, 1): {"deep": ((1, 2), [3, (4,)])}}
+        )
+        decoded = wire_roundtrip(value)
+        assert isinstance(decoded, NestedResult)
+        assert decoded == value
+        assert isinstance(decoded.table[(0, 1)]["deep"][1][1], tuple)
+
+    def test_marker_key_collision_nested(self):
+        # Data that *looks* like encoding structure must stay data, at
+        # any nesting depth.
+        value = {"a": [{"__pairs__": 1, "__tuple__": [2]}]}
+        assert wire_roundtrip(value) == value
+
+
+class TestEmptyDataclasses:
+    def test_empty_dataclass_roundtrips(self):
+        decoded = wire_roundtrip(EmptyResult())
+        assert isinstance(decoded, EmptyResult)
+        assert decoded == EmptyResult()
+
+    def test_empty_dataclass_in_containers(self):
+        value = {"results": [EmptyResult(), (EmptyResult(),)]}
+        decoded = wire_roundtrip(value)
+        assert decoded == value
+        assert isinstance(decoded["results"][1], tuple)
+
+
+class TestNumericFidelity:
+    def test_large_ints_are_exact(self):
+        for value in (2**62, 2**80 + 1, -(2**100), (1 << 62) - 1):
+            assert wire_roundtrip(value) == value
+            assert isinstance(wire_roundtrip(value), int)
+
+    def test_float_bit_fidelity(self):
+        for value in (0.1, 1 / 3, 1e308, 5e-324, 2.2250738585072014e-308):
+            decoded = wire_roundtrip(value)
+            assert math.copysign(1, decoded) == math.copysign(1, value)
+            assert decoded.hex() == value.hex()  # bit-exact, not approx
+
+    def test_negative_zero_sign_survives(self):
+        decoded = wire_roundtrip(-0.0)
+        assert decoded == 0.0 and math.copysign(1, decoded) == -1.0
+
+    def test_bool_stays_bool(self):
+        decoded = wire_roundtrip({"flags": (True, False, 1, 0)})
+        assert decoded["flags"] == (True, False, 1, 0)
+        assert isinstance(decoded["flags"][0], bool)
+        assert not isinstance(decoded["flags"][2], bool)
+
+    def test_mixed_numeric_buckets(self):
+        # The FctResult shape: tuple-keyed buckets of optional floats.
+        buckets = {(0, 10_000): (None, 0.1 + 0.2), (10_000, 1 << 62): (1e-9, None)}
+        assert wire_roundtrip(buckets) == buckets
+
+
+class TestNonUtf8SafeStrings:
+    def test_lone_surrogates_survive(self):
+        # os.fsdecode of undecodable filenames yields lone surrogates;
+        # such a string cannot be UTF-8 encoded, but the ASCII-escaped
+        # JSON wire must carry it anyway.
+        tricky = "bad-\udcff-name"
+        with pytest.raises(UnicodeEncodeError):
+            tricky.encode("utf-8")
+        assert wire_roundtrip(tricky) == tricky
+
+    def test_control_characters_survive(self):
+        value = {"s": "\x00\x01\x1f\x7f", "nl": "a\r\nb\tc"}
+        assert wire_roundtrip(value) == value
+
+    def test_non_ascii_text_survives(self):
+        value = ["π ≈ 3.14159", "数据中心", "🛰", "\N{COMBINING ACUTE ACCENT}e"]
+        assert wire_roundtrip(value) == value
+
+    def test_surrogate_keys_and_nested_placement(self):
+        value = {"\ud800key": ("\udfff", {("\ud800", 1): "v"})}
+        assert wire_roundtrip(value) == value
+
+
+class TestErrorsStayErrors:
+    def test_unportable_value_raises_before_the_wire(self):
+        with pytest.raises(EncodeError):
+            to_portable(object())
+
+    def test_decoder_rejects_non_dataclass_paths(self):
+        with pytest.raises(EncodeError):
+            from_portable({"__dataclass__": "subprocess:Popen", "fields": {}})

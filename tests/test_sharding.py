@@ -18,6 +18,7 @@ import pytest
 from repro.experiments.fctsim import (
     NETWORK_COST_WEIGHT,
     FctResult,
+    adaptive_cell_cost,
     fct_cell_cost,
 )
 from repro.scenarios import (
@@ -27,6 +28,7 @@ from repro.scenarios import (
     ResultCache,
     Runner,
     ScenarioExecutionError,
+    calibrate_costs,
     derive_cell_seed,
     from_portable,
     get,
@@ -218,6 +220,123 @@ class TestShardedMatchesUnsharded:
         )[0]
         assert sharded.value == plain
         assert [row["group"] for row in sharded.value] == [12, 6]
+
+
+# ------------------------------------------------------------ adaptive costs
+
+
+class TestAdaptiveCosts:
+    def test_calibrate_no_history_is_identity(self):
+        static = {"a": 4.0, "b": 1.0}
+        assert calibrate_costs(static, {}) == static
+        assert calibrate_costs(static, {"a": 0.0}) == static
+
+    def test_calibrate_full_history_orders_by_recorded(self):
+        # Static says a >> b, recorded wall clocks say otherwise: the
+        # blended costs must follow the measurements.
+        blended = calibrate_costs({"a": 4.0, "b": 1.0}, {"a": 1.0, "b": 9.0})
+        assert blended["b"] > blended["a"]
+        # Total mass is preserved by the calibration fit.
+        assert sum(blended.values()) == pytest.approx(5.0)
+
+    def test_calibrate_partial_history_stays_comparable(self):
+        # 'c' has no history; its static estimate must survive on a scale
+        # comparable with the history-backed entries.
+        blended = calibrate_costs(
+            {"a": 2.0, "b": 2.0, "c": 5.0}, {"a": 10.0, "b": 30.0}
+        )
+        assert blended["c"] == 5.0
+        assert blended["b"] == pytest.approx(3.0)  # 30s at 10s/unit
+        assert blended["a"] == pytest.approx(1.0)
+        assert blended["b"] > blended["a"]
+
+    def test_adaptive_cell_cost_falls_back_to_static(self):
+        static = fct_cell_cost("default", "opera", 0.1, 4.0)
+        assert adaptive_cell_cost("default", "opera", 0.1, 4.0) == static
+        assert (
+            adaptive_cell_cost("default", "opera", 0.1, 4.0, history={})
+            == static
+        )
+        # History for *other* cells only: this cell keeps its static
+        # estimate (calibrated statics preserve no-history entries).
+        adapted = adaptive_cell_cost(
+            "default", "opera", 0.1, 4.0, history={"clos@0.25": 60.0}
+        )
+        assert adapted == static
+
+    def test_adaptive_cell_cost_prefers_recorded_ordering(self):
+        # Static weights say rotornet is the cheapest network, but the
+        # recorded durations say its cells run *longest*: adaptive costs
+        # must flip the ordering.
+        history = {"rotornet@0.1": 50.0, "opera@0.1": 1.0}
+        rotor = adaptive_cell_cost("default", "rotornet", 0.1, 4.0, history)
+        opera = adaptive_cell_cost("default", "opera", 0.1, 4.0, history)
+        assert fct_cell_cost("default", "rotornet", 0.1, 4.0) < fct_cell_cost(
+            "default", "opera", 0.1, 4.0
+        )
+        assert rotor > opera
+
+    #: Fabricated history: rotornet@0.02 dominates the wall clock, the
+    #: exact inverse of the static model's ranking.
+    FAKE_DURATIONS = {
+        "rotornet@0.02": 500.0,
+        "rotornet@0.05": 40.0,
+        "opera@0.05": 20.0,
+        "opera@0.02": 10.0,
+    }
+
+    def _put_history(self, cache, mutate=None):
+        # History documents must be params-comparable with the coming
+        # run: same cell params up to the seed (a prior run of the same
+        # shape under a different base seed).
+        sc = get("fig07")
+        plan = sc.shard_plan(**sc.bind(TINY_FIG07))
+        for cell in plan:
+            params = dict(cell.params, seed=cell.params["seed"] + 1)
+            if mutate:
+                params = mutate(params)
+            cache.put_cell(
+                "fig07",
+                cell.key,
+                params,
+                {"scenario": "fig07", "cell": cell.key, "params": params,
+                 "value": None, "duration_s": self.FAKE_DURATIONS[cell.key]},
+            )
+
+    def test_runner_orders_by_recorded_durations(self, tmp_path):
+        # The Runner must schedule by the fabricated history even though
+        # the static model ranks rotornet last (see
+        # TestCostOrderedScheduling.test_expensive_cells_run_first).
+        cache = ResultCache(tmp_path)
+        self._put_history(cache)
+        seen: list[Progress] = []
+        Runner(cache=cache, progress=seen.append).run(
+            names=["fig07"], overrides=TINY_FIG07
+        )
+        labels = [p.label for p in seen]
+        assert labels[0] == "fig07:rotornet@0.02"
+        assert labels == [
+            f"fig07:{k}"
+            for k in sorted(
+                self.FAKE_DURATIONS, key=self.FAKE_DURATIONS.get, reverse=True
+            )
+        ]
+
+    def test_incomparable_history_is_ignored(self, tmp_path):
+        # Same cell keys, different shape (another duration_ms): ci-scale
+        # telemetry from a different horizon must not misorder this run —
+        # static ordering prevails.
+        cache = ResultCache(tmp_path)
+        self._put_history(
+            cache, mutate=lambda p: dict(p, duration_ms=p["duration_ms"] * 8)
+        )
+        seen: list[Progress] = []
+        Runner(cache=cache, progress=seen.append).run(
+            names=["fig07"], overrides=TINY_FIG07
+        )
+        labels = [p.label for p in seen]
+        assert labels[0] == "fig07:opera@0.05"
+        assert labels[-1] == "fig07:rotornet@0.02"
 
 
 # --------------------------------------------------- scheduling and progress
