@@ -13,11 +13,24 @@ Metrics per engine configuration:
   understates the win: fewer, heavier events remain.
 * ``packet_hops`` / ``hops_per_sec`` — simulated work per second, the
   event-structure-independent measure.
+* ``sched_entries`` / ``events_per_hop`` — scheduler insertions actually
+  performed and their ratio to packet hops: the per-event interpreter
+  cost the coalescing engine attacks. Both are deterministic (no wall
+  clock involved), so the CI gate on ``events_per_hop`` has zero runner
+  noise. The default engines run with coalescing on; the ``heap-legacy``
+  record is the same workload with ``REPRO_COALESCE=0`` (one entry per
+  event), pinning what coalescing saves — and, because coalesced runs
+  are bit-identical, its ``events``/``packet_hops`` double as a
+  differential check.
 * ``reference_events_per_sec`` — the pre-PR engine's event count for this
   exact workload divided by the current wall time: throughput denominated
   in the *reference* event stream, directly comparable across engine
   rewrites (this is the number the CI perf-smoke gate and the >=3x
   acceptance threshold use).
+
+``--profile N`` runs the heap pass under ``cProfile`` and prints the
+top-N cumulative functions, so per-event interpreter-cost claims stay
+attributable to specific code.
 
 Two further phases feed the artifact:
 
@@ -34,11 +47,13 @@ Usage::
 
     PYTHONPATH=src python benchmarks/engine_microbench.py \
         --output BENCH_engine.json [--check BENCH_engine.json] [--repeat 3] \
-        [--depths] [--sharded-workers 1,2 --sharded-scale ci]
+        [--profile 25] [--depths] [--sharded ci:1,2]
 
 ``--check`` compares the fresh run against a committed artifact and exits
-non-zero on a >2x regression of ``reference_events_per_sec`` (and of
-sharded cells/sec when both artifacts carry the sharded phase).
+non-zero on a >2x regression of ``reference_events_per_sec``, a >10%
+regression of the deterministic ``events_per_hop`` event-count gate, or a
+>2x regression of sharded cells/sec when both artifacts carry the sharded
+phase.
 """
 
 from __future__ import annotations
@@ -81,6 +96,16 @@ PRE_PR_REFERENCE = {
     "events_per_sec": 304_845,
 }
 
+#: The PR-4 heap record on this workload (pre-coalescing: every event was
+#: its own scheduler entry), the anchor for the event-coalescing PR's
+#: ``events_per_hop`` and ``hops_per_sec`` comparisons.
+PR4_REFERENCE = {
+    "events": 623_430,
+    "packet_hops": 456_832,
+    "events_per_hop": 1.3647,
+    "hops_per_sec": 456_811,
+}
+
 
 def _all_ports(net):
     """Every Port of a SimNetwork (NICs, host ports, fabric/uplink ports)."""
@@ -95,12 +120,14 @@ def _all_ports(net):
     yield from getattr(net, "fabric_down", [])
 
 
-def run_network(kind: str, scheduler: str) -> dict:
-    """One network of the workload; returns events/hops/wall."""
+def run_network(kind: str, scheduler: str, coalesce: bool = True) -> dict:
+    """One network of the workload; returns events/entries/hops/wall."""
     import os
 
     prev = os.environ.get("REPRO_SCHEDULER")
+    prev_coalesce = os.environ.get("REPRO_COALESCE")
     os.environ["REPRO_SCHEDULER"] = scheduler
+    os.environ["REPRO_COALESCE"] = "1" if coalesce else "0"
     try:
         t0 = time.perf_counter()
         net = build_network(
@@ -134,10 +161,16 @@ def run_network(kind: str, scheduler: str) -> dict:
             os.environ.pop("REPRO_SCHEDULER", None)
         else:
             os.environ["REPRO_SCHEDULER"] = prev
+        if prev_coalesce is None:
+            os.environ.pop("REPRO_COALESCE", None)
+        else:
+            os.environ["REPRO_COALESCE"] = prev_coalesce
     hops = sum(port.stats.sent_packets for port in _all_ports(net))
     return {
         "network": kind,
         "events": net.sim.events_processed,
+        "sched_entries": net.sim.sched_pushes,
+        "trains": net.sim.trains_formed,
         "packet_hops": hops,
         "wall_s": wall,
         "flows": len(net.stats.flows),
@@ -145,23 +178,19 @@ def run_network(kind: str, scheduler: str) -> dict:
     }
 
 
-def run_engine(scheduler: str, repeat: int = 1) -> dict:
-    """The full workload under one scheduler; best-of-``repeat`` wall."""
-    best: list[dict] | None = None
-    for _ in range(repeat):
-        rows = [run_network(kind, scheduler) for kind in WORKLOAD["networks"]]
-        if best is None or sum(r["wall_s"] for r in rows) < sum(
-            r["wall_s"] for r in best
-        ):
-            best = rows
-    assert best is not None
+def _assemble_engine(scheduler: str, coalesce: bool, best: list[dict]) -> dict:
     events = sum(r["events"] for r in best)
+    entries = sum(r["sched_entries"] for r in best)
     hops = sum(r["packet_hops"] for r in best)
     wall = sum(r["wall_s"] for r in best)
     return {
         "scheduler": scheduler,
+        "coalesce": coalesce,
         "events": events,
+        "sched_entries": entries,
+        "trains": sum(r["trains"] for r in best),
         "packet_hops": hops,
+        "events_per_hop": round(entries / hops, 4),
         "wall_s": round(wall, 4),
         "events_per_sec": int(events / wall),
         "hops_per_sec": int(hops / wall),
@@ -171,14 +200,41 @@ def run_engine(scheduler: str, repeat: int = 1) -> dict:
 
 
 def run_microbench(
-    schedulers: tuple[str, ...] = ("heap", "wheel"), repeat: int = 1
+    schedulers: tuple[str, ...] = ("heap", "wheel"),
+    repeat: int = 1,
+    legacy: bool = True,
 ) -> dict:
-    engines = {s: run_engine(s, repeat=repeat) for s in schedulers}
+    # Engine configurations are measured round-robin (one full pass per
+    # configuration per round, best-of-`repeat` rounds) so slow drift of
+    # the host — tens of percent over minutes on shared 1-core boxes —
+    # biases no configuration: back-to-back passes see the same machine.
+    configs: list[tuple[str, str, bool]] = [(s, s, True) for s in schedulers]
+    if legacy:
+        # The uncoalesced heap path: pins what coalescing saves, and its
+        # (deterministic) events/hops double as a differential check
+        # against the coalesced record.
+        configs.append(("heap-legacy", "heap", False))
+    best: dict[str, list[dict]] = {}
+    for _ in range(repeat):
+        for name, scheduler, coalesce in configs:
+            rows = [
+                run_network(kind, scheduler, coalesce)
+                for kind in WORKLOAD["networks"]
+            ]
+            if name not in best or sum(r["wall_s"] for r in rows) < sum(
+                r["wall_s"] for r in best[name]
+            ):
+                best[name] = rows
+    engines = {
+        name: _assemble_engine(scheduler, coalesce, best[name])
+        for name, scheduler, coalesce in configs
+    }
     heap = engines.get("heap") or next(iter(engines.values()))
     return {
         "benchmark": "fig07-engine-microbench",
         "workload": WORKLOAD,
         "pre_pr_reference": PRE_PR_REFERENCE,
+        "pr4_reference": PR4_REFERENCE,
         "engines": engines,
         "speedup_wall_vs_pre_pr": round(
             PRE_PR_REFERENCE["wall_s"] / heap["wall_s"], 2
@@ -186,7 +242,34 @@ def run_microbench(
         "speedup_reference_eps_vs_pre_pr": round(
             heap["reference_events_per_sec"] / PRE_PR_REFERENCE["events_per_sec"], 2
         ),
+        "events_per_hop_vs_pr4": round(
+            heap["events_per_hop"] / PR4_REFERENCE["events_per_hop"], 4
+        ),
+        "hops_per_sec_vs_pr4": round(
+            heap["hops_per_sec"] / PR4_REFERENCE["hops_per_sec"], 2
+        ),
     }
+
+
+def run_profile(top_n: int) -> None:
+    """The fig07 workload under cProfile; prints the top-N cumulative rows.
+
+    Makes per-event interpreter-cost claims attributable: the ranking
+    shows where a hop's wall time actually goes (dispatch loop, port
+    enqueue, endpoint callbacks, scheduler C calls, ...).
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for kind in WORKLOAD["networks"]:
+        run_network(kind, "heap")
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    print(f"--- cProfile, fig07 workload, top {top_n} by cumulative time ---")
+    stats.print_stats(top_n)
 
 
 # ---------------------------------------------------------- depth microbench
@@ -315,7 +398,9 @@ def format_rows(doc: dict) -> list[str]:
     rows = []
     for name, eng in doc["engines"].items():
         rows.append(
-            f"{name:>6s}: {eng['events']:8d} events in {eng['wall_s']:6.3f} s "
+            f"{name:>11s}: {eng['events']:8d} events "
+            f"({eng.get('sched_entries', eng['events']):8d} entries, "
+            f"{eng.get('events_per_hop', 0):.4f}/hop) in {eng['wall_s']:6.3f} s "
             f"= {eng['events_per_sec']:>9,d} ev/s  "
             f"({eng['hops_per_sec']:>9,d} hops/s, "
             f"{eng['reference_events_per_sec']:>9,d} ref-ev/s)"
@@ -329,6 +414,11 @@ def format_rows(doc: dict) -> list[str]:
         f"speedup vs pre-PR: {doc['speedup_wall_vs_pre_pr']}x wall, "
         f"{doc['speedup_reference_eps_vs_pre_pr']}x reference events/sec"
     )
+    if "events_per_hop_vs_pr4" in doc:
+        rows.append(
+            f"vs PR-4 heap record: {doc['events_per_hop_vs_pr4']:.4f}x "
+            f"entries/hop, {doc['hops_per_sec_vs_pr4']}x hops/sec"
+        )
     if "scheduler_depths" in doc:
         for depth, point in doc["scheduler_depths"]["per_depth"].items():
             rows.append(
@@ -360,11 +450,17 @@ def _best_cells_per_sec(doc: dict, scale: str) -> float | None:
 
 
 def check_regression(doc: dict, committed_path: Path) -> int:
-    """Exit status: non-zero on a >2x regression.
+    """Exit status: non-zero on a regression.
 
-    Gates ``reference_events_per_sec`` always, and sharded cells/sec under
-    the same >2x rule whenever both the fresh run and the committed
-    artifact carry the sharded phase.
+    Gates ``reference_events_per_sec`` (>2x rule: the margin absorbs
+    hosted-runner hardware variance), the deterministic event-count gate
+    ``events_per_hop`` (>10% rule — no wall clock involved, so
+    entry-count bloat fails crisply even on a noisy 1-core runner)
+    together with an exact train-liveness pin (coalescing shifts
+    ``events_per_hop`` by well under 10% on this dense workload, so the
+    ratio alone cannot notice train formation dying), and sharded
+    cells/sec under the >2x rule whenever both the fresh run and the
+    committed artifact carry the sharded phase.
     """
     committed = json.loads(committed_path.read_text())
     baseline = committed["engines"]["heap"]["reference_events_per_sec"]
@@ -378,6 +474,39 @@ def check_regression(doc: dict, committed_path: Path) -> int:
     if fresh < floor:
         print("perf-smoke: FAIL — >2x events/sec regression", file=sys.stderr)
         status = 1
+    committed_eph = committed["engines"]["heap"].get("events_per_hop")
+    fresh_eph = doc["engines"]["heap"].get("events_per_hop")
+    if committed_eph is not None and fresh_eph is not None:
+        ceiling = committed_eph * 1.10
+        print(
+            f"perf-smoke: fresh {fresh_eph:.4f} entries/hop vs committed "
+            f"{committed_eph:.4f} (ceiling {ceiling:.4f}, deterministic)"
+        )
+        if fresh_eph > ceiling:
+            print(
+                "perf-smoke: FAIL — >10% events-per-hop regression "
+                "(event-count gate)",
+                file=sys.stderr,
+            )
+            status = 1
+    # Coalescing saves only a fraction of a percent of entries on this
+    # dense workload, so the ratio ceiling alone cannot notice train
+    # formation silently dying; the train count is deterministic too, so
+    # pin liveness exactly.
+    committed_trains = committed["engines"]["heap"].get("trains", 0)
+    fresh_trains = doc["engines"]["heap"].get("trains", 0)
+    if committed_trains > 0:
+        print(
+            f"perf-smoke: fresh {fresh_trains:,d} trains vs committed "
+            f"{committed_trains:,d} (must stay > 0)"
+        )
+        if fresh_trains == 0:
+            print(
+                "perf-smoke: FAIL — coalescing formed no trains "
+                "(event-count gate)",
+                file=sys.stderr,
+            )
+            status = 1
     shared_scales = set(doc.get("sharded", {})) & set(committed.get("sharded", {}))
     for scale in sorted(shared_scales):
         fresh_cells = _best_cells_per_sec(doc, scale)
@@ -408,6 +537,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="take the best of N runs per engine")
     parser.add_argument("--schedulers", default="heap,wheel",
                         help="comma-separated scheduler list")
+    parser.add_argument("--profile", type=int, default=0, metavar="N",
+                        help="run the fig07 workload under cProfile and "
+                        "print the top-N cumulative functions")
+    parser.add_argument("--no-legacy", action="store_true",
+                        help="skip the uncoalesced heap-legacy record")
     parser.add_argument("--depths", action="store_true",
                         help="run the heap-vs-wheel pending-depth bench")
     parser.add_argument("--sharded", action="append", default=[],
@@ -432,7 +566,17 @@ def main(argv: list[str] | None = None) -> int:
         if not scale or not workers_list:
             parser.error(f"--sharded expects SCALE:W1[,W2...], got {spec!r}")
         sharded_specs.append((scale, workers_list))
-    doc = run_microbench(schedulers, repeat=args.repeat)
+    if args.profile:
+        run_profile(args.profile)
+        if (
+            args.output is None
+            and args.check is None
+            and not args.depths
+            and not sharded_specs
+        ):
+            # Profiling only: skip the timed phases, nothing else asked.
+            return 0
+    doc = run_microbench(schedulers, repeat=args.repeat, legacy=not args.no_legacy)
     if args.depths:
         doc["scheduler_depths"] = run_depth_bench()
     for scale, workers_list in sharded_specs:

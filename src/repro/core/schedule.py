@@ -30,7 +30,39 @@ from .lifting import lifted_random_factorization
 from .matchings import Matching, verify_factorization
 from .timing import TimingParams
 
-__all__ = ["OperaSchedule", "DirectConnection"]
+__all__ = ["OperaSchedule", "DirectConnection", "slice_activations"]
+
+
+def slice_activations(
+    schedule, rack: int, n_switches: int, skip_down: bool = True
+) -> list[list[tuple[int, int]]]:
+    """Per-slice live circuits of one rack: ``[[(switch, peer), ...], ...]``.
+
+    One row per topology slice of the cycle, listing every ``(switch,
+    peer_rack)`` circuit that is up for ``rack`` during that slice —
+    reconfiguring switches (when the schedule models them and
+    ``skip_down`` is set) and identity assignments excluded. Works for
+    any schedule exposing ``cycle_slices`` / ``matching_of`` (Opera's
+    offset schedule and RotorNet's lockstep one alike).
+
+    This is the slice-boundary batching table: the packet builders
+    compute it once per rack at construction so the per-slice
+    reconfiguration event rotates every port's matching with plain list
+    lookups — no per-port schedule queries or allocations inside the
+    event loop.
+    """
+    is_down = getattr(schedule, "is_down", None) if skip_down else None
+    rows: list[list[tuple[int, int]]] = []
+    for s in range(schedule.cycle_slices):
+        row: list[tuple[int, int]] = []
+        for w in range(n_switches):
+            if is_down is not None and is_down(w, s):
+                continue
+            peer = schedule.matching_of(w, s)[rack]
+            if peer != rack:
+                row.append((w, peer))
+        rows.append(row)
+    return rows
 
 
 @dataclass(frozen=True)

@@ -169,21 +169,31 @@ def run_fct_experiment(
     n_racks: int = 8,
     seed: int = 0,
     scheduler: str | None = None,
+    coalesce: bool | None = None,
 ) -> FctResult:
     """Poisson flows at ``load`` over network ``kind``; FCTs per bucket.
 
-    ``scheduler`` picks the event scheduler for this run's Simulator (the
-    schedulers are bit-identical, so this is purely a wall-clock choice);
-    ``None`` keeps the engine's ambient default.
+    ``scheduler`` picks the event scheduler for this run's Simulator and
+    ``coalesce`` toggles its event-coalescing fast path (both are
+    bit-identical on every flow observable, so these are purely
+    wall-clock choices); ``None`` keeps the engine's ambient default, and
+    an explicit ``REPRO_SCHEDULER`` / ``REPRO_COALESCE`` in the
+    environment always wins (the differential tests rely on that).
     """
+    # The Simulator reads both env knobs at construction; scope the
+    # overrides to the network build so nothing leaks to other runs.
+    overrides: dict[str, str] = {}
     if scheduler is not None and not os.environ.get("REPRO_SCHEDULER"):
-        # The Simulator reads REPRO_SCHEDULER at construction; scope the
-        # override to the network build so nothing leaks to other runs.
-        os.environ["REPRO_SCHEDULER"] = scheduler
+        overrides["REPRO_SCHEDULER"] = scheduler
+    if coalesce is not None and not os.environ.get("REPRO_COALESCE"):
+        overrides["REPRO_COALESCE"] = "1" if coalesce else "0"
+    if overrides:
+        os.environ.update(overrides)
         try:
             net = build_network(kind, k=k, n_racks=n_racks, seed=seed)
         finally:
-            del os.environ["REPRO_SCHEDULER"]
+            for key in overrides:
+                del os.environ[key]
     else:
         net = build_network(kind, k=k, n_racks=n_racks, seed=seed)
     hosts_per_rack = sum(1 for h in net.hosts if h.rack == 0)

@@ -19,6 +19,7 @@ import random
 from typing import Sequence
 
 from ..core.forwarding import ForwardingPipeline, TrafficClass
+from ..core.schedule import slice_activations
 from ..core.timing import PS_PER_US
 from ..core.topology import OperaNetwork
 from ..topologies.expander import ExpanderTopology
@@ -194,15 +195,20 @@ class OperaSimNetwork(SimNetwork):
                     on_bulk_drop=self._make_dark_handler(rack),
                 )
             self.uplink_ports.append(uplinks)
+            activations = slice_activations(sched, rack, network.n_switches)
             agent = RotorLBAgent(
                 self.sim,
                 rack,
                 rack_of=lambda host, _d=network.hosts_per_rack: host // _d,
-                uplink_peer=self._make_agent_peer(rack),
                 uplinks=uplinks,
                 slice_payload_bytes=slice_payload,
                 host_budget_bytes=host_budget,
                 enable_vlb=enable_vlb,
+                hosts=list(network.rack_hosts(rack)),
+                active_by_slice=[
+                    [(w, uplinks[w], peer) for (w, peer) in row]
+                    for row in activations
+                ],
             )
             self.agents.append(agent)
             tor.router = self._make_router(rack, agent)
@@ -314,14 +320,22 @@ class OperaSimNetwork(SimNetwork):
     # -------------------------------------------------------------- RotorLB
 
     def _schedule_slices(self) -> None:
-        def on_slice_boundary() -> None:
-            s = self.current_slice()
-            for rack, agent in enumerate(self.agents):
-                agent._host_budget = {}
-                agent.on_slice(s, list(self.network.rack_hosts(rack)))
-            self.sim.after(self.slice_ps, on_slice_boundary)
+        # One reconfiguration event per (cycle, slice): a single
+        # preconstructed callback rotates every rack's matchings through
+        # the agents' precomputed activation tables — no per-port timers,
+        # no per-slice allocations.
+        agents = self.agents
+        slice_ps = self.slice_ps
+        cycle = self._cycle_slices
+        sim = self.sim
 
-        self.sim.at(0, on_slice_boundary)
+        def on_slice_boundary() -> None:
+            s = (sim.now // slice_ps) % cycle
+            for agent in agents:
+                agent.on_slice(s)
+            sim.after(slice_ps, on_slice_boundary)
+
+        sim.at(0, on_slice_boundary)
 
     def start_bulk_flow(
         self, src: int, dst: int, size_bytes: int, start_ps: int = 0
@@ -340,26 +354,6 @@ class OperaSimNetwork(SimNetwork):
         agent = self.agents[self.network.host_rack(src)]
         self.sim.at(max(start_ps, self.sim.now), lambda: agent.submit(flow))
         return record
-
-    def _make_agent_peer(self, rack: int):
-        sched = self.network.schedule
-        cycle = sched.cycle_slices
-        table: list[list[int | None]] = []
-        for switch in range(self.network.n_switches):
-            row: list[int | None] = []
-            for s in range(cycle):
-                if sched.is_down(switch, s):
-                    row.append(None)
-                else:
-                    peer = sched.matching_of(switch, s)[rack]
-                    row.append(None if peer == rack else peer)
-            table.append(row)
-
-        def peer_of(switch: int, slice_index: int) -> int | None:
-            return table[switch][slice_index % cycle]
-
-        return peer_of
-
 
 # ---------------------------------------------------------------------------
 # Static expander
@@ -638,14 +632,24 @@ class RotorNetSimNetwork(SimNetwork):
                         propagation_ps=prop_ps,
                     )
                 )
+            activations = slice_activations(sched, rack, topology.n_rotor_switches)
             agent = RotorLBAgent(
                 self.sim,
                 rack,
                 rack_of=topology.host_rack,
-                uplink_peer=self._make_agent_peer(rack),
                 uplinks=ports,
                 slice_payload_bytes=slice_payload,
                 host_budget_bytes=host_budget,
+                hosts=list(
+                    range(
+                        rack * topology.hosts_per_rack,
+                        (rack + 1) * topology.hosts_per_rack,
+                    )
+                ),
+                active_by_slice=[
+                    [(w, ports[w], peer) for (w, peer) in row]
+                    for row in activations
+                ],
             )
             self.agents.append(agent)
             tor.router = self._make_router(rack, agent)
@@ -676,22 +680,6 @@ class RotorNetSimNetwork(SimNetwork):
             return peer_tor[(now_ps // slice_ps) % cycle]
 
         return resolve
-
-    def _make_agent_peer(self, rack: int):
-        sched = self.topology.schedule
-        cycle = sched.cycle_slices
-        table: list[list[int | None]] = []
-        for switch in range(self.topology.n_rotor_switches):
-            row: list[int | None] = []
-            for s in range(cycle):
-                peer = sched.matching_of(switch, s)[rack]
-                row.append(None if peer == rack else peer)
-            table.append(row)
-
-        def peer_of(switch: int, slice_index: int) -> int | None:
-            return table[switch][slice_index % cycle]
-
-        return peer_of
 
     def _make_requeue(self, rack: int):
         def handle(packet: Packet) -> None:
@@ -741,19 +729,21 @@ class RotorNetSimNetwork(SimNetwork):
         return route
 
     def _schedule_slices(self) -> None:
-        def on_slice_boundary() -> None:
-            s = self.current_slice()
-            for rack, agent in enumerate(self.agents):
-                hosts = list(
-                    range(
-                        rack * self.topology.hosts_per_rack,
-                        (rack + 1) * self.topology.hosts_per_rack,
-                    )
-                )
-                agent.on_slice(s, hosts)
-            self.sim.after(self.slice_ps, on_slice_boundary)
+        # Lockstep rotors: one reconfiguration event per slice rotates
+        # every rack through its precomputed activation row (see the
+        # Opera builder for the batching rationale).
+        agents = self.agents
+        slice_ps = self.slice_ps
+        cycle = self.topology.schedule.cycle_slices
+        sim = self.sim
 
-        self.sim.at(0, on_slice_boundary)
+        def on_slice_boundary() -> None:
+            s = (sim.now // slice_ps) % cycle
+            for agent in agents:
+                agent.on_slice(s)
+            sim.after(slice_ps, on_slice_boundary)
+
+        sim.at(0, on_slice_boundary)
 
     def start_bulk_flow(
         self, src: int, dst: int, size_bytes: int, start_ps: int = 0

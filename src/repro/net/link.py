@@ -30,6 +30,17 @@ Hot-path design (the engine's fast path — see README "Engine internals"):
   strict-priority control queue, so committing the whole burst at once is
   timing-identical to one event per packet
   (``tests/test_link_serializer.py`` pins this equivalence).
+* Scheduling is allocation-free and coalescing-aware: deliveries are
+  emitted as preconstructed ``(deliver, packet.recv_args)`` pairs (the
+  receive callback is prebound per node, the args tuple lives on the
+  packet), and a kick that commits a back-to-back burst collects the
+  burst's deliveries (plus its own follow-up kick) into one reusable
+  list handed to :meth:`Simulator.at_many
+  <repro.net.sim.Simulator.at_many>` — with coalescing enabled
+  (``Simulator(coalesce=True)``, the default) the burst becomes **one
+  packet-train entry** in the scheduler instead of one entry per packet.
+  With coalescing off the same call degenerates to the legacy
+  one-push-per-event behaviour, bit-identically.
 """
 
 from __future__ import annotations
@@ -48,6 +59,12 @@ _CONTROL = Priority.CONTROL
 _LOW_LATENCY = Priority.LOW_LATENCY
 _BULK = Priority.BULK
 _DATA = PacketKind.DATA
+
+#: Sentinel: a static target whose delivery callback is bound on first
+#: use — builders install routers (and their fused dispatch closures)
+#: after wiring ports, so binding at construction would capture the
+#: unfused fallback.
+_LAZY = object()
 
 
 class PortStats:
@@ -120,6 +137,10 @@ class Port:
         "_ps_per_byte",
         "_target",
         "_committed_control",
+        "_deliver",
+        "_kick_cb",
+        "_undeliv_cb",
+        "_burst",
     )
 
     def __init__(
@@ -165,6 +186,17 @@ class Port:
         # ps per byte, exact whenever the rate divides 8 bits per ps.
         per_byte, rem = divmod(8 * PS_PER_S, rate_bps)
         self._ps_per_byte = per_byte if rem == 0 else 0
+        # Zero-allocation dispatch: the delivery callback for a static
+        # target is bound exactly once, on first use (resolver ports bind
+        # per packet, preferring the node's prebound ``receive_cb``), and
+        # the port's own kick/undeliverable callbacks are prebound so
+        # rescheduling never re-creates a bound method.
+        self._deliver = None if target is None else _LAZY
+        self._kick_cb = self._kick
+        self._undeliv_cb = self._undeliverable
+        #: Reusable buffer for back-to-back burst commits (``at_many``
+        #: copies what it keeps, so the buffer never escapes).
+        self._burst: list[tuple[int, Callable[..., None], tuple]] = []
         self.stats = PortStats()
 
     # ----------------------------------------------------------------- queue
@@ -246,24 +278,29 @@ class Port:
             stats = self.stats
             stats.sent_packets += 1
             stats.sent_bytes += size
-            target = self._target
-            if target is None:
+            deliver = self._deliver
+            if deliver is None:
                 target = self.resolver(packet, now)
                 if target is None:
-                    sim.at(done, self._undeliverable, packet)
+                    sim.at(done, self._undeliv_cb, packet)
                     return True
+                deliver = getattr(target, "receive_cb", None) or target.receive  # type: ignore[attr-defined]
+            elif deliver is _LAZY:
+                target = self._target
+                deliver = self._deliver = (
+                    getattr(target, "receive_cb", None) or target.receive  # type: ignore[attr-defined]
+                )
             if sim._wheel is None:
-                # Inlined sim.at fast path; the delivery time is now plus
-                # positive serialization + propagation, so the past-time
-                # guard holds by construction (asserted, as sim.at would).
+                # Inlined sim.at fast path; the past-time guard holds by
+                # construction (asserted, as sim.at would).
                 assert done + self.propagation_ps >= sim.now
                 sim._seq = seq = sim._seq + 1
                 heappush(
                     sim._heap,
-                    (done + self.propagation_ps, seq, target.receive, (packet,)),  # type: ignore[attr-defined]
+                    (done + self.propagation_ps, seq, deliver, packet.recv_args),
                 )
             else:
-                sim.at(done + self.propagation_ps, target.receive, packet)  # type: ignore[attr-defined]
+                sim.at(done + self.propagation_ps, deliver, packet)
             return True
         if priority is _CONTROL:
             self._q_control.append(packet)
@@ -276,13 +313,23 @@ class Port:
             self._bytes_bulk += size
         if not self._kick_pending:
             self._kick_pending = True
-            sim.at(self._busy_until, self._kick)
+            sim.at(self._busy_until, self._kick_cb)
         return True
 
     # ------------------------------------------------------------ serializer
 
-    def _transmit(self, packet: Packet, start_ps: int) -> int:
-        """Put ``packet`` on the wire at ``start_ps``; returns line-free time."""
+    def _transmit(
+        self,
+        packet: Packet,
+        start_ps: int,
+        out: "list[tuple[int, Callable[..., None], tuple]] | None" = None,
+    ) -> int:
+        """Put ``packet`` on the wire at ``start_ps``; returns line-free time.
+
+        With ``out`` given (a burst being committed back-to-back), the
+        delivery entry is appended there instead of being pushed — the
+        caller hands the whole burst to ``sim.at_many`` in one call.
+        """
         size = packet.size_bytes
         per_byte = self._ps_per_byte
         if per_byte:
@@ -294,14 +341,27 @@ class Port:
         stats.sent_packets += 1
         stats.sent_bytes += size
         # The far end is fixed the moment the first bit enters the fiber.
-        target = self._target
-        if target is None:
-            target = self.resolver(packet, start_ps)
+        deliver = self._deliver
         sim = self.sim
-        if target is None:
-            # Dark circuit: the loss is observed when the last bit leaves,
-            # exactly when the old one-event-per-packet engine reported it.
-            sim.at(done, self._undeliverable, packet)
+        if deliver is None:
+            target = self.resolver(packet, start_ps)
+            if target is None:
+                # Dark circuit: the loss is observed when the last bit
+                # leaves, exactly when the old one-event-per-packet engine
+                # reported it.
+                if out is not None:
+                    out.append((done, self._undeliv_cb, packet.recv_args))
+                else:
+                    sim.at(done, self._undeliv_cb, packet)
+                return done
+            deliver = getattr(target, "receive_cb", None) or target.receive  # type: ignore[attr-defined]
+        elif deliver is _LAZY:
+            target = self._target
+            deliver = self._deliver = (
+                getattr(target, "receive_cb", None) or target.receive  # type: ignore[attr-defined]
+            )
+        if out is not None:
+            out.append((done + self.propagation_ps, deliver, packet.recv_args))
         elif sim._wheel is None:
             # Delivery is the engine's single hottest schedule call: push
             # straight onto the heap (sim.at minus one frame; the time is
@@ -311,12 +371,10 @@ class Port:
             sim._seq = seq = sim._seq + 1
             heappush(
                 sim._heap,
-                (done + self.propagation_ps, seq, target.receive, (packet,)),  # type: ignore[attr-defined]
+                (done + self.propagation_ps, seq, deliver, packet.recv_args),
             )
         else:
-            sim.at(
-                done + self.propagation_ps, target.receive, packet  # type: ignore[attr-defined]
-            )
+            sim.at(done + self.propagation_ps, deliver, packet)
         return done
 
     def _kick(self) -> None:
@@ -325,27 +383,42 @@ class Port:
         The whole control queue is committed back-to-back in one event:
         control has strict priority and is FIFO within itself, so a control
         packet arriving while the burst drains would have queued behind it
-        anyway — the commitment changes no timestamps. Lower priorities
-        start one packet per kick, because a later control arrival *is*
-        allowed to jump ahead of a not-yet-started data/bulk packet.
+        anyway — the commitment changes no timestamps. A burst's delivery
+        entries (and the follow-up kick, when lower queues remain) are
+        scheduled with one ``at_many`` call, which the coalescing engine
+        turns into a single packet-train entry. Lower priorities start one
+        packet per kick, because a later control arrival *is* allowed to
+        jump ahead of a not-yet-started data/bulk packet.
         """
         self._kick_pending = False
         start = self.sim.now
         queue = self._q_control
         if queue:
             committed = self._committed_control
-            first = True
-            while queue:
-                packet = queue.popleft()
-                if first:
-                    # On the wire right now: out of the queue immediately.
-                    self._bytes_control -= packet.size_bytes
-                    first = False
-                else:
-                    # Committed but not started: keep its bytes in the
-                    # admission ledger until its wire-entry time.
-                    committed.append((start, packet.size_bytes))
-                start = self._transmit(packet, start)
+            if len(queue) > 1:
+                # Packet train: collect the burst, bulk-schedule it once.
+                burst = self._burst
+                first = True
+                while queue:
+                    packet = queue.popleft()
+                    if first:
+                        # On the wire right now: out of the queue at once.
+                        self._bytes_control -= packet.size_bytes
+                        first = False
+                    else:
+                        # Committed but not started: keep its bytes in the
+                        # admission ledger until its wire-entry time.
+                        committed.append((start, packet.size_bytes))
+                    start = self._transmit(packet, start, burst)
+                if self._q_data or self._q_bulk:
+                    self._kick_pending = True
+                    burst.append((self._busy_until, self._kick_cb, ()))
+                self.sim.at_many(burst)
+                burst.clear()
+                return
+            packet = queue.popleft()
+            self._bytes_control -= packet.size_bytes
+            self._transmit(packet, start)
         elif self._q_data:
             packet = self._q_data.popleft()
             self._bytes_data -= packet.size_bytes
@@ -358,7 +431,7 @@ class Port:
             return
         if self._q_control or self._q_data or self._q_bulk:
             self._kick_pending = True
-            self.sim.at(self._busy_until, self._kick)
+            self.sim.at(self._busy_until, self._kick_cb)
 
     def _undeliverable(self, packet: Packet) -> None:
         self.stats.undeliverable += 1

@@ -48,12 +48,14 @@ class PullPacer:
         self.interval_ps = (MTU_BYTES * 8 * 1_000_000_000_000) // rate_bps
         self._tokens: deque["NdpSink"] = deque()
         self._running = False
+        # The tick reschedules itself once per PULL: bind it once.
+        self._tick_cb = self._tick
 
     def request(self, sink: "NdpSink") -> None:
         self._tokens.append(sink)
         if not self._running:
             self._running = True
-            self.sim.after(0, self._tick)
+            self.sim.after(0, self._tick_cb)
 
     def _tick(self) -> None:
         while self._tokens:
@@ -61,7 +63,7 @@ class PullPacer:
             if sink.finished:
                 continue  # completed flows relinquish their tokens
             sink.emit_pull()
-            self.sim.after(self.interval_ps, self._tick)
+            self.sim.after(self.interval_ps, self._tick_cb)
             return
         self._running = False
 
@@ -90,6 +92,9 @@ class NdpSource:
         self._rtx: deque[int] = deque()
         self._acked: set[int] = set()
         self._pulls_banked = 0
+        # Endpoints attach to built networks (NIC already wired), so the
+        # per-packet send can skip the Host.send indirection.
+        self._send = host.send if host.nic is None else host.nic.enqueue
         host.sources[record.flow_id] = self
 
     # ---------------------------------------------------------------- sizes
@@ -121,7 +126,7 @@ class NdpSource:
             self.priority,
             salt=hash((record.flow_id, seq, 0x9E3779B9)) & 0x7FFFFFFF,
         )
-        self.host.send(packet)
+        self._send(packet)
 
     def _send_next(self) -> bool:
         if self._rtx:
@@ -172,6 +177,7 @@ class NdpSink:
         self.source = payload_of
         self._received: set[int] = set()
         self._pull_seq = 0
+        self._send = host.send if host.nic is None else host.nic.enqueue
         host.sinks[record.flow_id] = self
 
     @property
@@ -193,11 +199,11 @@ class NdpSink:
 
     def emit_pull(self) -> None:
         self._pull_seq += 1
-        self.host.send(self._control(PacketKind.PULL, self._pull_seq))
+        self._send(self._control(PacketKind.PULL, self._pull_seq))
 
     def on_packet(self, packet: Packet) -> None:
         if packet.kind is PacketKind.DATA:
-            self.host.send(self._control(PacketKind.ACK, packet.seq))
+            self._send(self._control(PacketKind.ACK, packet.seq))
             if packet.seq not in self._received:
                 self._received.add(packet.seq)
                 self.stats.delivered(
@@ -209,7 +215,7 @@ class NdpSink:
                 self.pacer.request(self)
         elif packet.kind is PacketKind.HEADER:
             # Trimmed: payload lost; request retransmission and keep pulling.
-            self.host.send(self._control(PacketKind.NACK, packet.seq))
+            self._send(self._control(PacketKind.NACK, packet.seq))
             if not self.finished:
                 self.pacer.request(self)
 

@@ -35,7 +35,16 @@ class FlowEndpoint(Protocol):
 class Host:
     """An end host: one NIC port toward its ToR plus transport endpoints."""
 
-    __slots__ = ("sim", "host_id", "rack", "nic", "sources", "sinks", "dropped")
+    __slots__ = (
+        "sim",
+        "host_id",
+        "rack",
+        "nic",
+        "sources",
+        "sinks",
+        "dropped",
+        "receive_cb",
+    )
 
     def __init__(self, sim: Simulator, host_id: int, rack: int) -> None:
         self.sim = sim
@@ -47,6 +56,9 @@ class Host:
         #: flow_id -> receiver endpoint (receives DATA/HEADER).
         self.sinks: dict[int, FlowEndpoint] = {}
         self.dropped = 0
+        #: ``self.receive`` bound once: ports schedule deliveries with this
+        #: so the hot path never re-creates the bound method per packet.
+        self.receive_cb = self.receive
 
     def send(self, packet: Packet) -> bool:
         assert self.nic is not None, "host NIC not wired"
@@ -77,29 +89,62 @@ class SwitchNode:
     RotorLB requeueing upstream).
     """
 
-    __slots__ = ("sim", "name", "router", "drops")
+    __slots__ = ("sim", "name", "_router", "drops", "receive_cb")
 
     def __init__(self, sim: Simulator, name: str) -> None:
         self.sim = sim
         self.name = name
-        self.router: Callable[["SwitchNode", Packet], Port | None] | None = None
+        self._router: Callable[["SwitchNode", Packet], Port | None] | None = None
         self.drops = 0
+        #: Prebound ``self.receive`` for zero-allocation delivery events;
+        #: replaced by a fused dispatch closure when a router is installed.
+        self.receive_cb = self.receive
+
+    @property
+    def router(self) -> Callable[["SwitchNode", Packet], Port | None] | None:
+        return self._router
+
+    @router.setter
+    def router(self, route: Callable[["SwitchNode", Packet], Port | None]) -> None:
+        # Installing a router also builds the fused delivery closure the
+        # ports actually dispatch: the TTL guard, routing call and egress
+        # enqueue in one flat function, with the router and switch bound
+        # as locals — no attribute walk or assert per delivered packet.
+        # ``receive`` keeps delegating to the same closure, so re-entrant
+        # callers (e.g. reconfiguration handlers re-routing a caught
+        # packet) observe identical semantics. Install-once: ports cache
+        # the closure on first delivery (link.py's lazy ``_deliver``
+        # bind), so swapping routers mid-run would leave already-used
+        # ports routing through the stale closure — build a new network
+        # to rewire instead.
+        if self._router is not None:
+            raise RuntimeError(
+                f"{self.name}: router already installed; ports may have "
+                "cached its dispatch closure — routers are install-once"
+            )
+        self._router = route
+        switch = self
+
+        def dispatch(packet: Packet, _route=route, _switch=switch) -> None:
+            if packet.hops > MAX_HOPS:
+                _switch.drops += 1
+                release(packet)
+                return
+            port = _route(_switch, packet)
+            if port is CONSUMED:
+                return
+            if port is None:
+                _switch.drops += 1
+                release(packet)
+                return
+            port.enqueue(packet)
+
+        self.receive_cb = dispatch
 
     def receive(self, packet: Packet) -> None:
-        router = self.router
-        assert router is not None, f"{self.name}: no router installed"
-        if packet.hops > MAX_HOPS:
-            self.drops += 1
-            release(packet)
-            return
-        port = router(self, packet)
-        if port is CONSUMED:
-            return
-        if port is None:
-            self.drops += 1
-            release(packet)
-            return
-        port.enqueue(packet)
+        receive_cb = self.receive_cb
+        assert self._router is not None, f"{self.name}: no router installed"
+        receive_cb(packet)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SwitchNode({self.name})"

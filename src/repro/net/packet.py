@@ -73,6 +73,7 @@ class Packet:
         "next_rack",
         "relay_to",
         "enqueued_ps",
+        "recv_args",
         "_pooled",
     )
 
@@ -111,6 +112,11 @@ class Packet:
         self.relay_to = relay_to
         #: Filled by the sink for FCT accounting.
         self.enqueued_ps = enqueued_ps
+        #: Preconstructed ``(self,)`` args tuple for delivery events — the
+        #: engine's zero-allocation dispatch path schedules
+        #: ``(deliver, packet.recv_args)`` without packing a fresh tuple
+        #: per hop. Identity-stable across free-list recycling.
+        self.recv_args = (self,)
         self._pooled = False
 
     def trim(self) -> None:

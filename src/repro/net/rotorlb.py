@@ -101,8 +101,9 @@ class RotorLBAgent:
         Maps host id -> rack (to resolve packet destinations).
     uplink_peer:
         ``uplink_peer(switch, slice)`` gives the rack this uplink connects
-        to during a slice, or ``None`` when the switch is down — the
-        builder closes over the Opera or RotorNet schedule.
+        to during a slice, or ``None`` when the switch is down. Only the
+        fallback when no ``active_by_slice`` table is supplied (the
+        builders always supply one, so they omit this).
     uplinks:
         ``switch -> Port`` for this ToR's rotor-facing ports.
     slice_payload_bytes:
@@ -113,6 +114,16 @@ class RotorLBAgent:
     relay_cap_bytes:
         Per-destination relay queue cap: the admission bound of the VLB
         offer/accept exchange.
+    hosts:
+        This rack's host ids. When given, per-slice NIC budgets come from
+        a precomputed template instead of a fresh comprehension per slice
+        (and ``on_slice`` may be called without a hosts list).
+    active_by_slice:
+        Slice-boundary batching table: one row per cycle slice listing
+        this ToR's live ``(switch, port, peer)`` circuits (builders derive
+        it from :func:`repro.core.schedule.slice_activations`). With it,
+        a slice boundary rotates every uplink's matching with plain list
+        lookups — no schedule queries per port per slice.
     """
 
     def __init__(
@@ -120,12 +131,14 @@ class RotorLBAgent:
         sim: Simulator,
         rack: int,
         rack_of: Callable[[int], int],
-        uplink_peer: Callable[[int, int], int | None],
         uplinks: dict[int, Port],
         slice_payload_bytes: int,
         host_budget_bytes: int,
         relay_cap_bytes: int = 512_000,
         enable_vlb: bool = True,
+        hosts: "list[int] | None" = None,
+        active_by_slice: "list[list[tuple[int, Port, int]]] | None" = None,
+        uplink_peer: "Callable[[int, int], int | None] | None" = None,
     ) -> None:
         self.sim = sim
         self.rack = rack
@@ -136,6 +149,11 @@ class RotorLBAgent:
         self.host_budget_bytes = host_budget_bytes
         self.relay_cap_bytes = relay_cap_bytes
         self.enable_vlb = enable_vlb
+        self.hosts = hosts
+        self.active_by_slice = active_by_slice
+        self._budget_template: dict[int, int] | None = (
+            None if hosts is None else {h: host_budget_bytes for h in hosts}
+        )
         #: dst rack -> sender flows with bytes left (FIFO round-robin).
         self.local_flows: dict[int, deque[BulkFlow]] = {}
         self.local_backlog: dict[int, int] = {}
@@ -211,14 +229,35 @@ class RotorLBAgent:
             return packet
         return None
 
-    def on_slice(self, slice_index: int, hosts: list[int]) -> None:
-        """Fill this slice's circuits: relay, then local, then VLB."""
-        self._host_budget = {h: self.host_budget_bytes for h in hosts}
+    def on_slice(self, slice_index: int, hosts: "list[int] | None" = None) -> None:
+        """Fill this slice's circuits: relay, then local, then VLB.
+
+        ``hosts`` may be omitted when the agent was built with its host
+        list (the batched slice-boundary path); passing one overrides the
+        precomputed budget template, preserving the legacy call shape.
+        """
+        if hosts is not None:
+            self._host_budget = {h: self.host_budget_bytes for h in hosts}
+        else:
+            template = self._budget_template
+            assert template is not None, "agent built without hosts"
+            self._host_budget = dict(template)
+        active = self.active_by_slice
+        if active is not None:
+            pairs = active[slice_index % len(active)]
+        else:
+            peer_of = self.uplink_peer
+            assert peer_of is not None, (
+                "agent needs either active_by_slice or uplink_peer"
+            )
+            pairs = []
+            for switch, port in self.uplinks.items():
+                peer = peer_of(switch, slice_index)
+                if peer is None or peer == self.rack:
+                    continue
+                pairs.append((switch, port, peer))
         spare: list[tuple[int, int, int]] = []  # (switch, peer, budget)
-        for switch, port in self.uplinks.items():
-            peer = self.uplink_peer(switch, slice_index)
-            if peer is None or peer == self.rack:
-                continue
+        for switch, port, peer in pairs:
             budget = self.slice_payload_bytes - port.queued_bytes(Priority.BULK)
             # Phase 1: relay traffic now one hop from its destination.
             queue = self.relay_q.get(peer)

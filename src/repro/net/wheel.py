@@ -28,12 +28,20 @@ Invariants relied on (and guaranteed by the Simulator):
 from __future__ import annotations
 
 from bisect import insort
+from operator import itemgetter
 from typing import Any, Callable
 
 __all__ = ["TimingWheel"]
 
 #: Entry = (time_ps, sequence, callback, args) — identical to a heap entry.
 _Entry = tuple[int, int, Callable[..., None], tuple[Any, ...]]
+
+#: Ready-list insertions compare on the (time, seq) key only: a preempted
+#: train re-pushed under its original sequence number can share (time,
+#: seq) with its own already-consumed entry in the ready prefix, and a
+#: full-tuple comparison would fall through to ordering the (unorderable)
+#: callback objects.
+_TIME_SEQ = itemgetter(0, 1)
 
 #: Default slot width, ~1.05 us: comparable to one MTU serialization at
 #: 10 Gb/s, so back-to-back packet events land in neighbouring slots.
@@ -104,11 +112,54 @@ class TimingWheel:
             return
         if self._ready_active and time_ps < base + (self._cursor + 1) * self.slot_ps:
             # Lands inside the slot currently being drained: merge into the
-            # sorted ready list. Uniqueness/monotonicity of seq guarantees
-            # the insertion point is at or after the consumed prefix.
-            insort(self._ready, entry)
+            # sorted ready list. The (time, seq) key of the new entry is >=
+            # every consumed entry's (a re-pushed train ties its own
+            # consumed entry at worst), so the insertion point is at or
+            # after the consumed prefix.
+            insort(self._ready, entry, key=_TIME_SEQ)
             return
         self._slots[(time_ps - base) // self.slot_ps].append(entry)
+
+    def push_many(self, entries: "list[_Entry]") -> None:
+        """Bulk insert full ``(time_ps, seq, callback, args)`` entries.
+
+        Semantically a loop of :meth:`push`, but the rotation geometry and
+        slot list are bound once, so bucketing a whole train of entries is
+        one call instead of N — the bulk half of the engine's
+        zero-allocation dispatch path (:meth:`Simulator.at_many
+        <repro.net.sim.Simulator.at_many>`).
+        """
+        if not entries:
+            return
+        if self._count == 0:
+            self._ready.clear()
+            self._ready_pos = 0
+            self._ready_active = False
+            self._rebase_to(self._floor)
+        self._count += len(entries)
+        base = self._base
+        slot_ps = self.slot_ps
+        slots = self._slots
+        overflow = self._overflow
+        end = base + self.horizon_ps
+        if self._ready_active:
+            drain_end = base + (self._cursor + 1) * slot_ps
+            ready = self._ready
+            for entry in entries:
+                time_ps = entry[0]
+                if time_ps >= end:
+                    overflow.append(entry)
+                elif time_ps < drain_end:
+                    insort(ready, entry, key=_TIME_SEQ)
+                else:
+                    slots[(time_ps - base) // slot_ps].append(entry)
+        else:
+            for entry in entries:
+                time_ps = entry[0]
+                if time_ps >= end:
+                    overflow.append(entry)
+                else:
+                    slots[(time_ps - base) // slot_ps].append(entry)
 
     # ------------------------------------------------------------------- pop
 
@@ -116,6 +167,10 @@ class TimingWheel:
         """Earliest pending timestamp, or ``None`` when empty."""
         entry = self._front()
         return None if entry is None else entry[0]
+
+    def peek(self) -> _Entry | None:
+        """The earliest pending entry itself, or ``None`` when empty."""
+        return self._front()
 
     def pop(self) -> _Entry:
         """Remove and return the earliest entry (FIFO among equal times)."""

@@ -85,6 +85,22 @@ class TestWheelEngineContract:
         assert sim.run(until_ps=100, max_events=10) == 1
         assert sim.now == 100
 
+    def test_max_events_exhausted_on_last_event_does_not_advance(self):
+        # Boundary: the budget runs out exactly as the wheel empties; the
+        # clock still must not jump to the horizon (the run can't know the
+        # queue is quiet without budget left to look). Pinned for the heap
+        # in test_sim_engine.py; the wheel path has its own bucket/ready
+        # bookkeeping, so it gets its own pin.
+        sim = Simulator(scheduler="wheel")
+        sim.at(10, lambda: None)
+        sim.at(20, lambda: None)
+        assert sim.run(until_ps=500, max_events=2) == 2
+        assert sim.now == 20
+        assert sim.pending == 0
+        # With budget to spare the same drain idles forward as usual.
+        assert sim.run(until_ps=500, max_events=5) == 0
+        assert sim.now == 500
+
     def test_far_future_events_cross_many_rotations(self):
         # Horizon is slot_ps * n_slots; schedule well beyond several
         # rotations to exercise overflow redistribution and fast-forward.
