@@ -2,8 +2,11 @@
 
 Runs the Figure 7 reduced-scale workload (Datamining arrivals at 10% load
 over all five evaluation networks, 4 ms of arrivals + 10 ms drain) under
-each scheduler and records throughput to ``BENCH_engine.json`` so the
-engine's perf trajectory is tracked from PR 2 on.
+each scheduler x kernel (``REPRO_KERNEL=py|c``, compiled records suffixed
+``-c``) and records throughput to ``BENCH_engine.json`` so the engine's
+perf trajectory is tracked from PR 2 on. The c-kernel records double as a
+differential check: their deterministic observables (events, entries,
+hops, trains) must equal the py oracle's exactly or the bench aborts.
 
 Metrics per engine configuration:
 
@@ -68,6 +71,7 @@ from heapq import heappop, heappush
 from pathlib import Path
 
 from repro.experiments.fctsim import build_network
+from repro.net.kernel import compiled_available
 from repro.net.wheel import TimingWheel
 from repro.workloads.arrivals import PoissonArrivals
 from repro.workloads.distributions import DATAMINING
@@ -120,14 +124,18 @@ def _all_ports(net):
     yield from getattr(net, "fabric_down", [])
 
 
-def run_network(kind: str, scheduler: str, coalesce: bool = True) -> dict:
+def run_network(
+    kind: str, scheduler: str, coalesce: bool = True, kernel: str = "py"
+) -> dict:
     """One network of the workload; returns events/entries/hops/wall."""
     import os
 
     prev = os.environ.get("REPRO_SCHEDULER")
     prev_coalesce = os.environ.get("REPRO_COALESCE")
+    prev_kernel = os.environ.get("REPRO_KERNEL")
     os.environ["REPRO_SCHEDULER"] = scheduler
     os.environ["REPRO_COALESCE"] = "1" if coalesce else "0"
+    os.environ["REPRO_KERNEL"] = kernel
     try:
         t0 = time.perf_counter()
         net = build_network(
@@ -165,6 +173,10 @@ def run_network(kind: str, scheduler: str, coalesce: bool = True) -> dict:
             os.environ.pop("REPRO_COALESCE", None)
         else:
             os.environ["REPRO_COALESCE"] = prev_coalesce
+        if prev_kernel is None:
+            os.environ.pop("REPRO_KERNEL", None)
+        else:
+            os.environ["REPRO_KERNEL"] = prev_kernel
     hops = sum(port.stats.sent_packets for port in _all_ports(net))
     return {
         "network": kind,
@@ -178,7 +190,9 @@ def run_network(kind: str, scheduler: str, coalesce: bool = True) -> dict:
     }
 
 
-def _assemble_engine(scheduler: str, coalesce: bool, best: list[dict]) -> dict:
+def _assemble_engine(
+    scheduler: str, coalesce: bool, kernel: str, best: list[dict]
+) -> dict:
     events = sum(r["events"] for r in best)
     entries = sum(r["sched_entries"] for r in best)
     hops = sum(r["packet_hops"] for r in best)
@@ -186,6 +200,7 @@ def _assemble_engine(scheduler: str, coalesce: bool, best: list[dict]) -> dict:
     return {
         "scheduler": scheduler,
         "coalesce": coalesce,
+        "kernel": kernel,
         "events": events,
         "sched_entries": entries,
         "trains": sum(r["trains"] for r in best),
@@ -203,22 +218,39 @@ def run_microbench(
     schedulers: tuple[str, ...] = ("heap", "wheel"),
     repeat: int = 1,
     legacy: bool = True,
+    kernels: tuple[str, ...] = ("py", "c"),
 ) -> dict:
     # Engine configurations are measured round-robin (one full pass per
     # configuration per round, best-of-`repeat` rounds) so slow drift of
     # the host — tens of percent over minutes on shared 1-core boxes —
     # biases no configuration: back-to-back passes see the same machine.
-    configs: list[tuple[str, str, bool]] = [(s, s, True) for s in schedulers]
-    if legacy:
+    #
+    # Kernel naming: the pure-Python records keep their historical names
+    # ("heap", "wheel") so the artifact stays comparable across PRs; the
+    # compiled-kernel records are suffixed "-c" ("heap-c"). REPRO_KERNEL=c
+    # is never benchmarked when the compiled module is absent — the auto
+    # fallback would silently produce py numbers under a c label.
+    if "c" in kernels and not compiled_available():
+        print(
+            "note: compiled kernel (_ckernel) not built; skipping the "
+            "c-kernel records (build with `python setup.py build_ext "
+            "--inplace`)"
+        )
+        kernels = tuple(k for k in kernels if k != "c")
+    configs: list[tuple[str, str, bool, str]] = []
+    for kernel in kernels:
+        suffix = "" if kernel == "py" else f"-{kernel}"
+        configs.extend((f"{s}{suffix}", s, True, kernel) for s in schedulers)
+    if legacy and "py" in kernels:
         # The uncoalesced heap path: pins what coalescing saves, and its
         # (deterministic) events/hops double as a differential check
         # against the coalesced record.
-        configs.append(("heap-legacy", "heap", False))
+        configs.append(("heap-legacy", "heap", False, "py"))
     best: dict[str, list[dict]] = {}
     for _ in range(repeat):
-        for name, scheduler, coalesce in configs:
+        for name, scheduler, coalesce, kernel in configs:
             rows = [
-                run_network(kind, scheduler, coalesce)
+                run_network(kind, scheduler, coalesce, kernel)
                 for kind in WORKLOAD["networks"]
             ]
             if name not in best or sum(r["wall_s"] for r in rows) < sum(
@@ -226,11 +258,25 @@ def run_microbench(
             ):
                 best[name] = rows
     engines = {
-        name: _assemble_engine(scheduler, coalesce, best[name])
-        for name, scheduler, coalesce in configs
+        name: _assemble_engine(scheduler, coalesce, kernel, best[name])
+        for name, scheduler, coalesce, kernel in configs
     }
+    # The c kernel is a differential fast path: its deterministic
+    # observables must equal the py oracle's exactly — a bench run that
+    # ever saw them diverge must not produce an artifact.
+    for name, eng in engines.items():
+        if eng["kernel"] == "py" or f"{eng['scheduler']}" not in engines:
+            continue
+        oracle = engines[eng["scheduler"]]
+        for field in ("events", "sched_entries", "trains", "packet_hops"):
+            if eng[field] != oracle[field]:
+                raise SystemExit(
+                    f"kernel differential FAILED: {name}.{field}="
+                    f"{eng[field]} != {eng['scheduler']}.{field}="
+                    f"{oracle[field]}"
+                )
     heap = engines.get("heap") or next(iter(engines.values()))
-    return {
+    doc = {
         "benchmark": "fig07-engine-microbench",
         "workload": WORKLOAD,
         "pre_pr_reference": PRE_PR_REFERENCE,
@@ -249,6 +295,15 @@ def run_microbench(
             heap["hops_per_sec"] / PR4_REFERENCE["hops_per_sec"], 2
         ),
     }
+    if "heap-c" in engines and "heap" in engines:
+        # The compiled-kernel acceptance number: simulated work per wall
+        # second, c kernel over the py oracle, same machine, same round-
+        # robin run.
+        doc["kernel_speedup_hops_per_sec"] = round(
+            engines["heap-c"]["hops_per_sec"] / engines["heap"]["hops_per_sec"],
+            2,
+        )
+    return doc
 
 
 def run_profile(top_n: int) -> None:
@@ -419,6 +474,11 @@ def format_rows(doc: dict) -> list[str]:
             f"vs PR-4 heap record: {doc['events_per_hop_vs_pr4']:.4f}x "
             f"entries/hop, {doc['hops_per_sec_vs_pr4']}x hops/sec"
         )
+    if "kernel_speedup_hops_per_sec" in doc:
+        rows.append(
+            f"compiled kernel: {doc['kernel_speedup_hops_per_sec']}x "
+            f"hops/sec (heap-c vs heap, deterministic observables equal)"
+        )
     if "scheduler_depths" in doc:
         for depth, point in doc["scheduler_depths"]["per_depth"].items():
             rows.append(
@@ -507,6 +567,50 @@ def check_regression(doc: dict, committed_path: Path) -> int:
                 file=sys.stderr,
             )
             status = 1
+    # Compiled-kernel gates, active only when both the fresh run and the
+    # committed artifact carry the heap-c record (a checkout without the
+    # extension built skips them with a note instead of failing: the
+    # kernel is an accelerator, its absence is a degraded mode, and the
+    # dedicated CI kernel job is the place that *requires* the build).
+    committed_c = committed["engines"].get("heap-c")
+    fresh_c = doc["engines"].get("heap-c")
+    if committed_c is not None and fresh_c is None:
+        print(
+            "perf-smoke: note — committed artifact has a heap-c record but "
+            "this run has no compiled kernel; skipping the kernel gates"
+        )
+    elif committed_c is not None and fresh_c is not None:
+        c_floor = committed_c["reference_events_per_sec"] / 2
+        print(
+            f"perf-smoke [heap-c]: fresh "
+            f"{fresh_c['reference_events_per_sec']:,d} ref-ev/s vs committed "
+            f"{committed_c['reference_events_per_sec']:,d} "
+            f"(floor {c_floor:,.0f})"
+        )
+        if fresh_c["reference_events_per_sec"] < c_floor:
+            print(
+                "perf-smoke: FAIL — >2x events/sec regression on the "
+                "compiled kernel",
+                file=sys.stderr,
+            )
+            status = 1
+        # The kernel must stay a *speedup*: measured 2.05x at record time,
+        # gated at 1.5x so hosted-runner noise cannot flake the job while
+        # a real fast-path regression (compiled methods silently
+        # delegating to Python) still fails crisply.
+        speedup = doc.get("kernel_speedup_hops_per_sec")
+        if speedup is not None:
+            print(
+                f"perf-smoke [heap-c]: {speedup}x hops/sec vs py kernel "
+                f"(floor 1.5x)"
+            )
+            if speedup < 1.5:
+                print(
+                    "perf-smoke: FAIL — compiled kernel speedup below 1.5x "
+                    "(fast path not engaging?)",
+                    file=sys.stderr,
+                )
+                status = 1
     shared_scales = set(doc.get("sharded", {})) & set(committed.get("sharded", {}))
     for scale in sorted(shared_scales):
         fresh_cells = _best_cells_per_sec(doc, scale)
@@ -537,6 +641,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="take the best of N runs per engine")
     parser.add_argument("--schedulers", default="heap,wheel",
                         help="comma-separated scheduler list")
+    parser.add_argument("--kernels", default="py,c",
+                        help="comma-separated kernel list (py, c); c is "
+                        "skipped with a note when the compiled module is "
+                        "not built")
     parser.add_argument("--profile", type=int, default=0, metavar="N",
                         help="run the fig07 workload under cProfile and "
                         "print the top-N cumulative functions")
@@ -576,7 +684,13 @@ def main(argv: list[str] | None = None) -> int:
         ):
             # Profiling only: skip the timed phases, nothing else asked.
             return 0
-    doc = run_microbench(schedulers, repeat=args.repeat, legacy=not args.no_legacy)
+    kernels = tuple(k for k in args.kernels.split(",") if k)
+    doc = run_microbench(
+        schedulers,
+        repeat=args.repeat,
+        legacy=not args.no_legacy,
+        kernels=kernels,
+    )
     if args.depths:
         doc["scheduler_depths"] = run_depth_bench()
     for scale, workers_list in sharded_specs:

@@ -1,10 +1,50 @@
-"""Shim so editable installs work offline (no wheel/bdist_wheel available).
+"""Build shim: packaging metadata plus the optional compiled engine kernel.
 
-All project metadata lives in pyproject.toml; this file only exists so that
-``pip install -e . --no-use-pep517 --no-build-isolation`` can fall back to
-``setup.py develop`` in environments without network access.
+``python setup.py build_ext --inplace`` (or an editable install) compiles
+``repro.net.kernel._ckernel`` — the C fast path for the packet engine's
+enqueue/serialize/dispatch hot trio (see ``src/repro/net/kernel``). The
+extension is declared *optional*: when no C compiler is available (or
+``REPRO_NO_CKERNEL`` is set) the build degrades to the pure-Python engine
+instead of failing, and the runtime seam (``REPRO_KERNEL``) falls back
+with a warning rather than an error.
+
+The kernel is a hand-written CPython extension rather than a mypyc
+build: mypyc (and Cython) are not part of the pinned offline toolchain,
+and the hot methods manipulate the engine's ``__slots__`` layout and
+heap entries directly, which a hand-written extension can do with zero
+per-event allocation.
 """
 
-from setuptools import setup
+import os
 
-setup()
+from setuptools import Extension, setup
+
+ext_modules = []
+if not os.environ.get("REPRO_NO_CKERNEL"):
+    ext_modules.append(
+        Extension(
+            "repro.net.kernel._ckernel",
+            sources=["src/repro/net/kernel/_ckernel.c"],
+            optional=True,  # build failure -> pure-Python engine, not error
+        )
+    )
+
+setup(
+    name="repro-opera",
+    version="0.6.0",
+    package_dir={"": "src"},
+    packages=[
+        "repro",
+        "repro.analysis",
+        "repro.core",
+        "repro.distrib",
+        "repro.experiments",
+        "repro.fluid",
+        "repro.net",
+        "repro.net.kernel",
+        "repro.scenarios",
+        "repro.topologies",
+        "repro.workloads",
+    ],
+    ext_modules=ext_modules,
+)

@@ -24,6 +24,7 @@ machine lost mid-sweep.
 from __future__ import annotations
 
 import argparse
+import logging
 import os
 import socket
 import sys
@@ -34,6 +35,8 @@ from typing import Any
 from .protocol import parse_address, recv_msg, send_msg
 
 __all__ = ["serve", "main", "KILLED_EXIT", "HEARTBEAT_S"]
+
+logger = logging.getLogger(__name__)
 
 #: Seconds between heartbeats while the main loop is busy in a unit.
 HEARTBEAT_S = 2.0
@@ -86,6 +89,16 @@ def _execute_lease(msg: dict[str, Any]) -> dict[str, Any]:
     except Exception:
         import traceback
 
+        # KeyboardInterrupt/SystemExit propagate (BaseException) and end
+        # the worker; lease failures are reported to the coordinator AND
+        # logged here with the unit label — the worker-side log is the
+        # only record if the coordinator abandons the unit.
+        logger.warning(
+            "lease %r (cell=%r) failed before/at execution",
+            msg.get("name"),
+            msg.get("cell_key"),
+            exc_info=True,
+        )
         doc = {
             "scenario": msg.get("name"),
             "params": msg.get("params"),

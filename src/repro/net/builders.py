@@ -25,8 +25,9 @@ from ..core.topology import OperaNetwork
 from ..topologies.expander import ExpanderTopology
 from ..topologies.folded_clos import FoldedClos
 from ..topologies.rotornet import RotorNetTopology
+from .kernel import engine_classes
 from .link import Port
-from .ndp import NdpSource, PullPacer, start_ndp_flow
+from .ndp import PullPacer, start_ndp_flow
 from .node import CONSUMED, Host, SwitchNode
 from .packet import Packet, PacketKind, Priority, release
 from .rotorlb import BulkFlow, BulkSink, RotorLBAgent
@@ -46,10 +47,19 @@ DEFAULT_PROP_PS = 500_000  # 500 ns =~ 100 m of fiber
 
 
 class SimNetwork:
-    """Common harness state: engine, hosts, stats, flow helpers."""
+    """Common harness state: engine, hosts, stats, flow helpers.
+
+    The engine classes (``Simulator``/``Port``/``Host``/``SwitchNode``)
+    are resolved through the kernel seam at construction time
+    (``REPRO_KERNEL``, see :mod:`repro.net.kernel`), the same way the
+    scheduler and coalescing policies resolve per instance — so a
+    network built under ``REPRO_KERNEL=c`` runs the compiled hot path
+    while the pure-Python oracle stays one env var away.
+    """
 
     def __init__(self, rate_bps: int = DEFAULT_RATE, prop_ps: int = DEFAULT_PROP_PS):
-        self.sim = Simulator()
+        self.kernel = engine_classes()
+        self.sim = self.kernel.Simulator()
         self.stats = StatsCollector()
         self.rate_bps = rate_bps
         self.prop_ps = prop_ps
@@ -61,12 +71,12 @@ class SimNetwork:
 
     def _make_hosts(self, n_hosts: int, hosts_per_rack: int) -> None:
         for h in range(n_hosts):
-            host = Host(self.sim, h, h // hosts_per_rack)
+            host = self.kernel.Host(self.sim, h, h // hosts_per_rack)
             self.hosts.append(host)
-            self.pacers[h] = PullPacer(self.sim, host, self.rate_bps)
+            self.pacers[h] = self.kernel.PullPacer(self.sim, host, self.rate_bps)
 
     def _wire_host(self, host: Host, tor: SwitchNode, **port_kwargs) -> None:
-        host.nic = Port(
+        host.nic = self.kernel.Port(
             self.sim,
             f"host{host.host_id}->tor{host.rack}",
             target=tor,
@@ -76,7 +86,7 @@ class SimNetwork:
         )
 
     def _host_port(self, tor_name: str, host: Host) -> Port:
-        return Port(
+        return self.kernel.Port(
             self.sim,
             f"{tor_name}->host{host.host_id}",
             target=host,
@@ -110,6 +120,8 @@ class SimNetwork:
             self.stats,
             priority=Priority.LOW_LATENCY,
             start_delay_ps=max(0, start_ps - self.sim.now),
+            source_cls=self.kernel.NdpSource,
+            sink_cls=self.kernel.NdpSink,
         )
         return record
 
@@ -134,6 +146,8 @@ class SimNetwork:
             self.stats,
             priority=Priority.LOW_LATENCY,
             start_delay_ps=max(0, start_ps - self.sim.now),
+            source_cls=self.kernel.NdpSource,
+            sink_cls=self.kernel.NdpSink,
         )
         return record
 
@@ -175,7 +189,7 @@ class OperaSimNetwork(SimNetwork):
         host_budget = (timing.slice_ps * rate_bps) // (8 * 1_000_000_000_000)
 
         for rack in range(network.n_racks):
-            tor = SwitchNode(self.sim, f"tor{rack}")
+            tor = self.kernel.SwitchNode(self.sim, f"tor{rack}")
             self.tors.append(tor)
         for rack in range(network.n_racks):
             tor = self.tors[rack]
@@ -185,7 +199,7 @@ class OperaSimNetwork(SimNetwork):
                 self.host_ports[host_id] = self._host_port(tor.name, host)
             uplinks: dict[int, Port] = {}
             for w in range(network.n_switches):
-                uplinks[w] = Port(
+                uplinks[w] = self.kernel.Port(
                     self.sim,
                     f"tor{rack}-up{w}",
                     resolver=self._uplink_resolver(rack, w),
@@ -373,7 +387,7 @@ class ExpanderSimNetwork(SimNetwork):
         self.topology = topology
         self._make_hosts(topology.n_hosts, topology.hosts_per_rack)
         self.tors = [
-            SwitchNode(self.sim, f"tor{r}") for r in range(topology.n_racks)
+            self.kernel.SwitchNode(self.sim, f"tor{r}") for r in range(topology.n_racks)
         ]
         self.host_ports: dict[int, Port] = {}
         self.uplink_ports: list[dict[int, Port]] = []
@@ -386,7 +400,7 @@ class ExpanderSimNetwork(SimNetwork):
                 self.host_ports[host_id] = self._host_port(tor.name, host)
             ports: dict[int, Port] = {}
             for peer, matching_idx in topology.adjacency[rack]:
-                ports[matching_idx] = Port(
+                ports[matching_idx] = self.kernel.Port(
                     self.sim,
                     f"tor{rack}-m{matching_idx}",
                     target=self.tors[peer],
@@ -439,13 +453,19 @@ class ClosSimNetwork(SimNetwork):
         super().__init__(rate_bps, prop_ps)
         self.clos = clos
         self._make_hosts(clos.n_hosts, clos.hosts_per_rack)
-        self.tors = [SwitchNode(self.sim, f"tor{r}") for r in range(clos.n_racks)]
-        self.aggs = [SwitchNode(self.sim, f"agg{a}") for a in range(clos.n_aggs)]
-        self.cores = [SwitchNode(self.sim, f"core{c}") for c in range(clos.n_cores)]
+        self.tors = [
+            self.kernel.SwitchNode(self.sim, f"tor{r}") for r in range(clos.n_racks)
+        ]
+        self.aggs = [
+            self.kernel.SwitchNode(self.sim, f"agg{a}") for a in range(clos.n_aggs)
+        ]
+        self.cores = [
+            self.kernel.SwitchNode(self.sim, f"core{c}") for c in range(clos.n_cores)
+        ]
         self.host_ports: dict[int, Port] = {}
 
         def port_to(name: str, node: SwitchNode) -> Port:
-            return Port(
+            return self.kernel.Port(
                 self.sim,
                 name,
                 target=node,
@@ -575,7 +595,7 @@ class RotorNetSimNetwork(SimNetwork):
         sched = topology.schedule
         self._make_hosts(topology.n_hosts, topology.hosts_per_rack)
         self.tors = [
-            SwitchNode(self.sim, f"tor{r}") for r in range(topology.n_racks)
+            self.kernel.SwitchNode(self.sim, f"tor{r}") for r in range(topology.n_racks)
         ]
         self.host_ports: dict[int, Port] = {}
         self.uplink_ports: list[dict[int, Port]] = []
@@ -589,7 +609,7 @@ class RotorNetSimNetwork(SimNetwork):
         host_budget = (slice_ps * rate_bps) // (8 * 1_000_000_000_000)
 
         if topology.hybrid:
-            self.fabric = SwitchNode(self.sim, "pkt-fabric")
+            self.fabric = self.kernel.SwitchNode(self.sim, "pkt-fabric")
             self.fabric.router = self._fabric_router()
 
         for rack, tor in enumerate(self.tors):
@@ -602,7 +622,7 @@ class RotorNetSimNetwork(SimNetwork):
                 self.host_ports[host_id] = self._host_port(tor.name, host)
             ports: dict[int, Port] = {}
             for w in range(topology.n_rotor_switches):
-                ports[w] = Port(
+                ports[w] = self.kernel.Port(
                     self.sim,
                     f"tor{rack}-rotor{w}",
                     resolver=self._rotor_resolver(rack, w),
@@ -615,7 +635,7 @@ class RotorNetSimNetwork(SimNetwork):
             if topology.hybrid:
                 assert self.fabric is not None
                 self.fabric_up.append(
-                    Port(
+                    self.kernel.Port(
                         self.sim,
                         f"tor{rack}->fabric",
                         target=self.fabric,
@@ -624,7 +644,7 @@ class RotorNetSimNetwork(SimNetwork):
                     )
                 )
                 self.fabric_down.append(
-                    Port(
+                    self.kernel.Port(
                         self.sim,
                         f"fabric->tor{rack}",
                         target=self.tors[rack],

@@ -1,0 +1,2834 @@
+/* Compiled engine kernel: the enqueue/serialize/dispatch hot path in C.
+ *
+ * Design: ONE data layout, TWO method implementations. This module does
+ * not define any data structures of its own — every function reads and
+ * writes the existing `__slots__` of the pure-Python engine classes
+ * (Simulator / Port / Packet / Host / SwitchNode / PortStats) through
+ * member-descriptor offsets captured at init time, and the event heap
+ * stays the same Python list of (time_ps, seq, callback, args) tuples.
+ * The pure-Python engine therefore remains the differential oracle: a
+ * REPRO_KERNEL=c run must be bit-identical to =py in every observable,
+ * and mixing compiled and interpreted callers on the same simulator is
+ * safe by construction.
+ *
+ * Every function guards its fast path with *exact* type checks against
+ * the CK* classes registered by kernel/engine.py and delegates anything
+ * else — wheel-scheduler simulators, non-integral line rates, subclasses,
+ *  test doubles — to the stored pure-Python implementation, so semantics
+ * can never diverge on paths the C code does not model.
+ *
+ * Heap discipline: heap_push / heap_pop transcribe heapq's exact
+ * sift algorithms (append + _siftdown, pop-last + _siftup) comparing
+ * entries by their (time_ps, seq) int64 prefix. Sequence numbers are
+ * unique, so this ordering is identical to Python's tuple comparison —
+ * and because the array layout after every operation matches heapq's,
+ * C and Python heap operations can interleave freely on one list.
+ *
+ * Limits: timestamps and sequence numbers must fit in int64 (9.2e18 ps
+ * is ~107 days of simulated time); beyond that the kernel raises
+ * OverflowError suggesting REPRO_KERNEL=py.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h>
+
+/* ------------------------------------------------------------------ state */
+
+typedef struct {
+    Py_ssize_t now, wheel, heap, seq, gap, coalesce, train_extra,
+        events_processed, trains_formed, train_events, train_repushes;
+} SimOffsets;
+
+typedef struct {
+    Py_ssize_t sim, resolver, propagation_ps, data_queue_bytes,
+        control_queue_bytes, bulk_queue_bytes, trimming, on_undeliverable,
+        on_bulk_drop, stats, q_control, q_data, q_bulk, bytes_control,
+        bytes_data, bytes_bulk, busy_until, kick_pending, ps_per_byte,
+        target, committed_control, deliver, kick_cb, undeliv_cb, burst;
+} PortOffsets;
+
+typedef struct {
+    Py_ssize_t flow_id, kind, src_host, dst_host, seq, size_bytes, priority,
+        slice_stamp, salt, hops, next_rack, relay_to, enqueued_ps, recv_args,
+        pooled;
+} PacketOffsets;
+
+typedef struct {
+    Py_ssize_t record, priority, mtu, n_packets, next_new, rtx, acked,
+        pulls_banked, send;
+} SourceOffsets;
+
+typedef struct {
+    Py_ssize_t sim, record, pacer, stats, source, received, pull_seq, send;
+} SinkOffsets;
+
+typedef struct {
+    Py_ssize_t sim, interval_ps, tokens, running, tick_cb;
+} PacerOffsets;
+
+typedef struct {
+    Py_ssize_t sources, sinks, dropped;
+} HostOffsets;
+
+typedef struct {
+    Py_ssize_t drops;
+} SwitchOffsets;
+
+typedef struct {
+    Py_ssize_t sent_packets, sent_bytes, trimmed, dropped_control,
+        dropped_bulk;
+} StatsOffsets;
+
+static SimOffsets S;
+static PortOffsets P;
+static PacketOffsets K;
+static HostOffsets H;
+static SwitchOffsets W;
+static StatsOffsets ST;
+static SourceOffsets NS;
+static SinkOffsets NK;
+static PacerOffsets PP;
+
+/* Sentinels / enum members / shared objects (all owned references). */
+static PyObject *g_train;        /* sim._TRAIN */
+static PyObject *g_lazy;         /* link._LAZY */
+static PyObject *g_consumed;     /* node.CONSUMED */
+static PyObject *g_prio_control, *g_prio_low, *g_prio_bulk;
+static PyObject *g_kind_data, *g_kind_header;
+static PyObject *g_kind_ack, *g_kind_nack, *g_kind_pull;
+static PyObject *g_ack_val, *g_nack_val, *g_pull_val; /* kind.value ints */
+static PyObject *g_src_salt; /* 0x9E3779B9: NdpSource._emit salt constant */
+static PyObject *g_zero, *g_one;
+static long long g_header_ll; /* HEADER_BYTES as C int */
+static PyObject *g_pool;         /* packet._POOL (the module-global list) */
+static long g_pool_max;
+static long long g_max_hops;
+static PyObject *g_header_bytes; /* packet.HEADER_BYTES int object */
+static PyObject *g_sorted;       /* builtins.sorted */
+static PyObject *g_sort_kwargs;  /* {"key": sim._T0} */
+static PyObject *g_empty;        /* () */
+
+/* Pure-Python fallbacks (unbound functions). */
+static PyObject *g_py_sim_at, *g_py_sim_after, *g_py_sim_at_many,
+    *g_py_sim_run, *g_py_past_error, *g_py_port_enqueue, *g_py_port_kick,
+    *g_py_host_receive, *g_py_acquire, *g_py_src_on_packet,
+    *g_py_sink_on_packet, *g_py_emit_pull, *g_py_pacer_tick;
+
+/* Base classes (for offset validity) and exact CK classes (fast path). */
+static PyTypeObject *t_sim, *t_port, *t_packet, *t_host, *t_switch;
+static PyTypeObject *t_cksim, *t_ckport, *t_ckhost, *t_ckswitch;
+static PyTypeObject *t_src, *t_sink, *t_pacer;
+static PyTypeObject *t_cksrc, *t_cksink, *t_ckpacer;
+
+/* The PyCFunction behind the exported `enqueue` instancemethod — lets the
+ * NDP send path recognise `ckport.enqueue` bound methods and call the C
+ * implementation without going through the method object. */
+static PyObject *g_cf_enqueue;
+
+/* Interned method-name strings. */
+static PyObject *s_receive_cb, *s_receive, *s_popleft, *s_append,
+    *s_on_packet, *s_enqueue, *s_add, *s_after, *s_request, *s_emit_pull,
+    *s_finished, *s_payload_bytes, *s_delivered, *s_now, *s_flow_id,
+    *s_src_host, *s_dst_host, *s_size_bytes, *s_end_ps, *s_retransmissions,
+    *s_value;
+
+static int g_ready = 0; /* init() completed */
+
+#define SLOT(o, off) (*(PyObject **)((char *)(o) + (off)))
+
+/* ---------------------------------------------------------------- helpers */
+
+static inline PyObject *
+slot_get(PyObject *o, Py_ssize_t off, const char *name)
+{
+    PyObject *v = SLOT(o, off);
+    if (v == NULL)
+        PyErr_Format(PyExc_AttributeError, "slot %.100s is unset", name);
+    return v;
+}
+
+/* Store v (borrowed) into a slot; increfs v, drops the old value. */
+static inline void
+slot_set(PyObject *o, Py_ssize_t off, PyObject *v)
+{
+    PyObject *old = SLOT(o, off);
+    Py_INCREF(v);
+    SLOT(o, off) = v;
+    Py_XDECREF(old);
+}
+
+static inline long long
+slot_ll(PyObject *o, Py_ssize_t off, const char *name, int *err)
+{
+    PyObject *v = SLOT(o, off);
+    long long r;
+    if (v == NULL) {
+        PyErr_Format(PyExc_AttributeError, "slot %.100s is unset", name);
+        *err = 1;
+        return -1;
+    }
+    r = PyLong_AsLongLong(v);
+    if (r == -1 && PyErr_Occurred()) {
+        *err = 1;
+        return -1;
+    }
+    return r;
+}
+
+static inline int
+slot_set_ll(PyObject *o, Py_ssize_t off, long long v)
+{
+    PyObject *num = PyLong_FromLongLong(v);
+    PyObject *old;
+    if (num == NULL)
+        return -1;
+    old = SLOT(o, off);
+    SLOT(o, off) = num;
+    Py_XDECREF(old);
+    return 0;
+}
+
+/* Add `delta` to an int slot (counter bump). */
+static inline int
+slot_add_ll(PyObject *o, Py_ssize_t off, const char *name, long long delta)
+{
+    int err = 0;
+    long long v = slot_ll(o, off, name, &err);
+    if (err)
+        return -1;
+    return slot_set_ll(o, off, v + delta);
+}
+
+/* (time, seq) key of a heap/train entry; entries are tuples whose first
+ * two elements are ints. */
+static inline int
+entry_key(PyObject *e, long long *t, long long *s)
+{
+    *t = PyLong_AsLongLong(PyTuple_GET_ITEM(e, 0));
+    if (*t == -1 && PyErr_Occurred())
+        goto overflow;
+    *s = PyLong_AsLongLong(PyTuple_GET_ITEM(e, 1));
+    if (*s == -1 && PyErr_Occurred())
+        goto overflow;
+    return 0;
+overflow:
+    if (PyErr_ExceptionMatches(PyExc_OverflowError))
+        PyErr_SetString(
+            PyExc_OverflowError,
+            "ckernel: event timestamp/sequence exceeds int64; "
+            "run with REPRO_KERNEL=py");
+    return -1;
+}
+
+/* ---------------------------------------------------------------- heap ops
+ *
+ * Exact transcriptions of heapq's _siftdown/_siftup so the array layout
+ * stays interchangeable with Python-side heappush/heappop on the same
+ * list. Items are only permuted (no refcount changes); on a comparison
+ * error the in-flight item is written back so the list stays consistent.
+ */
+
+static int
+heap_push(PyObject *heap, PyObject *entry)
+{
+    Py_ssize_t pos, parentpos;
+    PyObject **items;
+    long long nt, ns, pt, ps2;
+
+    if (PyList_Append(heap, entry) < 0)
+        return -1;
+    pos = PyList_GET_SIZE(heap) - 1;
+    if (entry_key(entry, &nt, &ns) < 0)
+        return -1;
+    items = ((PyListObject *)heap)->ob_item;
+    while (pos > 0) {
+        parentpos = (pos - 1) >> 1;
+        if (entry_key(items[parentpos], &pt, &ps2) < 0) {
+            items[pos] = entry; /* restore */
+            return -1;
+        }
+        if (nt < pt || (nt == pt && ns < ps2)) {
+            items[pos] = items[parentpos];
+            pos = parentpos;
+        }
+        else
+            break;
+    }
+    items[pos] = entry;
+    return 0;
+}
+
+/* Pop the smallest entry; heap must be non-empty. Returns a new ref. */
+static PyObject *
+heap_pop(PyObject *heap)
+{
+    Py_ssize_t n = PyList_GET_SIZE(heap);
+    PyObject *last, *ret, *newitem;
+    PyObject **items;
+    Py_ssize_t pos, startpos, childpos, endpos;
+    long long it, is2, ct, cs, rt, rs, pt, ps2;
+
+    last = PyList_GET_ITEM(heap, n - 1);
+    Py_INCREF(last);
+    if (PyList_SetSlice(heap, n - 1, n, NULL) < 0) {
+        Py_DECREF(last);
+        return NULL;
+    }
+    if (n == 1)
+        return last;
+    items = ((PyListObject *)heap)->ob_item;
+    ret = items[0];        /* transfer: list's ref becomes ours */
+    items[0] = last;       /* transfer: our ref becomes the list's */
+
+    /* _siftup(heap, 0): bubble the hole to a leaf chasing the smaller
+     * child, then _siftdown back toward the start. */
+    newitem = last;
+    if (entry_key(newitem, &it, &is2) < 0)
+        return ret; /* heap order broken but list consistent; error set */
+    pos = 0;
+    startpos = 0;
+    endpos = PyList_GET_SIZE(heap);
+    childpos = 2 * pos + 1;
+    while (childpos < endpos) {
+        Py_ssize_t rightpos = childpos + 1;
+        if (entry_key(items[childpos], &ct, &cs) < 0) {
+            items[pos] = newitem;
+            return ret;
+        }
+        if (rightpos < endpos) {
+            if (entry_key(items[rightpos], &rt, &rs) < 0) {
+                items[pos] = newitem;
+                return ret;
+            }
+            if (!(ct < rt || (ct == rt && cs < rs))) {
+                childpos = rightpos;
+                ct = rt;
+                cs = rs;
+            }
+        }
+        items[pos] = items[childpos];
+        pos = childpos;
+        childpos = 2 * pos + 1;
+    }
+    items[pos] = newitem;
+    /* _siftdown(heap, startpos, pos) */
+    while (pos > startpos) {
+        Py_ssize_t parentpos = (pos - 1) >> 1;
+        if (entry_key(items[parentpos], &pt, &ps2) < 0)
+            return ret;
+        if (it < pt || (it == pt && is2 < ps2)) {
+            PyObject *parent = items[parentpos];
+            items[parentpos] = newitem;
+            items[pos] = parent;
+            pos = parentpos;
+        }
+        else
+            break;
+    }
+    return ret;
+}
+
+/* ----------------------------------------------------------- scheduling */
+
+/* raise sim._past_error(time_ps, callback) */
+static void
+raise_past_error(PyObject *sim, PyObject *t_obj, PyObject *cb)
+{
+    PyObject *exc =
+        PyObject_CallFunctionObjArgs(g_py_past_error, sim, t_obj, cb, NULL);
+    if (exc != NULL) {
+        PyErr_SetObject((PyObject *)Py_TYPE(exc), exc);
+        Py_DECREF(exc);
+    }
+}
+
+/* sim.at(time_ps, callback, *args) for a heap simulator whose past-check
+ * already passed or is performed by the caller: allocate the next seq and
+ * push (time, seq, callback, args). `args` is borrowed. */
+static int
+schedule_heap(PyObject *sim, long long time_ps, PyObject *cb, PyObject *args)
+{
+    int err = 0;
+    long long seq = slot_ll(sim, S.seq, "_seq", &err) + 1;
+    PyObject *heap, *seq_obj, *t_obj, *entry;
+    if (err)
+        return -1;
+    heap = slot_get(sim, S.heap, "_heap");
+    if (heap == NULL)
+        return -1;
+    seq_obj = PyLong_FromLongLong(seq);
+    if (seq_obj == NULL)
+        return -1;
+    t_obj = PyLong_FromLongLong(time_ps);
+    if (t_obj == NULL) {
+        Py_DECREF(seq_obj);
+        return -1;
+    }
+    entry = PyTuple_New(4);
+    if (entry == NULL) {
+        Py_DECREF(seq_obj);
+        Py_DECREF(t_obj);
+        return -1;
+    }
+    PyTuple_SET_ITEM(entry, 0, t_obj);             /* stolen */
+    Py_INCREF(seq_obj);
+    PyTuple_SET_ITEM(entry, 1, seq_obj);
+    Py_INCREF(cb);
+    PyTuple_SET_ITEM(entry, 2, cb);
+    Py_INCREF(args);
+    PyTuple_SET_ITEM(entry, 3, args);
+    /* self._seq = seq (reuse the tuple's int object, as Python does) */
+    {
+        PyObject *old = SLOT(sim, S.seq);
+        SLOT(sim, S.seq) = seq_obj; /* transfer our remaining ref */
+        Py_XDECREF(old);
+    }
+    if (heap_push(heap, entry) < 0) {
+        Py_DECREF(entry);
+        return -1;
+    }
+    Py_DECREF(entry);
+    return 0;
+}
+
+/* Fast-path eligibility for a simulator object. */
+static inline int
+sim_fast(PyObject *sim)
+{
+    return (Py_TYPE(sim) == t_cksim || Py_TYPE(sim) == t_sim) &&
+           SLOT(sim, S.wheel) == Py_None;
+}
+
+/* ------------------------------------------------------- Simulator.at/after */
+
+static PyObject *
+c_sim_at(PyObject *Py_UNUSED(mod), PyObject *const *args, Py_ssize_t nargs)
+{
+    PyObject *self, *t_obj, *cb, *rest;
+    long long t, now;
+    int err = 0;
+    Py_ssize_t i;
+
+    if (nargs < 3) {
+        PyErr_SetString(PyExc_TypeError,
+                        "at() requires (self, time_ps, callback, *args)");
+        return NULL;
+    }
+    self = args[0];
+    t_obj = args[1];
+    cb = args[2];
+    if (!g_ready || !sim_fast(self))
+        return PyObject_Vectorcall(g_py_sim_at, args, nargs, NULL);
+    t = PyLong_AsLongLong(t_obj);
+    if (t == -1 && PyErr_Occurred())
+        return NULL;
+    now = slot_ll(self, S.now, "now", &err);
+    if (err)
+        return NULL;
+    if (t < now) {
+        raise_past_error(self, t_obj, cb);
+        return NULL;
+    }
+    if (nargs == 3) {
+        rest = g_empty;
+        Py_INCREF(rest);
+    }
+    else {
+        rest = PyTuple_New(nargs - 3);
+        if (rest == NULL)
+            return NULL;
+        for (i = 3; i < nargs; i++) {
+            Py_INCREF(args[i]);
+            PyTuple_SET_ITEM(rest, i - 3, args[i]);
+        }
+    }
+    if (schedule_heap(self, t, cb, rest) < 0) {
+        Py_DECREF(rest);
+        return NULL;
+    }
+    Py_DECREF(rest);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+c_sim_after(PyObject *Py_UNUSED(mod), PyObject *const *args, Py_ssize_t nargs)
+{
+    PyObject *self, *cb, *rest;
+    long long delay, now, t;
+    int err = 0;
+    Py_ssize_t i;
+
+    if (nargs < 3) {
+        PyErr_SetString(PyExc_TypeError,
+                        "after() requires (self, delay_ps, callback, *args)");
+        return NULL;
+    }
+    self = args[0];
+    cb = args[2];
+    if (!g_ready || !sim_fast(self))
+        return PyObject_Vectorcall(g_py_sim_after, args, nargs, NULL);
+    delay = PyLong_AsLongLong(args[1]);
+    if (delay == -1 && PyErr_Occurred())
+        return NULL;
+    now = slot_ll(self, S.now, "now", &err);
+    if (err)
+        return NULL;
+    t = now + delay;
+    if (t < now) {
+        PyObject *t_obj = PyLong_FromLongLong(t);
+        if (t_obj != NULL) {
+            raise_past_error(self, t_obj, cb);
+            Py_DECREF(t_obj);
+        }
+        return NULL;
+    }
+    if (nargs == 3) {
+        rest = g_empty;
+        Py_INCREF(rest);
+    }
+    else {
+        rest = PyTuple_New(nargs - 3);
+        if (rest == NULL)
+            return NULL;
+        for (i = 3; i < nargs; i++) {
+            Py_INCREF(args[i]);
+            PyTuple_SET_ITEM(rest, i - 3, args[i]);
+        }
+    }
+    if (schedule_heap(self, t, cb, rest) < 0) {
+        Py_DECREF(rest);
+        return NULL;
+    }
+    Py_DECREF(rest);
+    Py_RETURN_NONE;
+}
+
+/* ---------------------------------------------------------------- at_many */
+
+/* Build the 4-entry (t_obj, seq, cb, cargs) from a (t, cb, cargs) triple.
+ * Borrows `triple`; returns new ref. */
+static PyObject *
+entry_from_triple(PyObject *triple, long long seq)
+{
+    PyObject *entry = PyTuple_New(4);
+    PyObject *seq_obj;
+    if (entry == NULL)
+        return NULL;
+    seq_obj = PyLong_FromLongLong(seq);
+    if (seq_obj == NULL) {
+        Py_DECREF(entry);
+        return NULL;
+    }
+    Py_INCREF(PyTuple_GET_ITEM(triple, 0));
+    PyTuple_SET_ITEM(entry, 0, PyTuple_GET_ITEM(triple, 0));
+    PyTuple_SET_ITEM(entry, 1, seq_obj);
+    Py_INCREF(PyTuple_GET_ITEM(triple, 1));
+    PyTuple_SET_ITEM(entry, 2, PyTuple_GET_ITEM(triple, 1));
+    Py_INCREF(PyTuple_GET_ITEM(triple, 2));
+    PyTuple_SET_ITEM(entry, 3, PyTuple_GET_ITEM(triple, 2));
+    return entry;
+}
+
+static PyObject *
+c_at_many_impl(PyObject *self, PyObject *entries)
+{
+    Py_ssize_t n, i, start;
+    long long now, seq, gap, prev, prev_t, t = 0;
+    int err = 0, coalesce, pre_sorted;
+    PyObject *heap, *block;
+    int owned;
+
+    n = PyList_GET_SIZE(entries);
+    if (n == 0)
+        Py_RETURN_NONE;
+    now = slot_ll(self, S.now, "now", &err);
+    if (err)
+        return NULL;
+    coalesce = PyObject_IsTrue(SLOT(self, S.coalesce));
+    if (coalesce < 0)
+        return NULL;
+    heap = slot_get(self, S.heap, "_heap");
+    if (heap == NULL)
+        return NULL;
+    seq = slot_ll(self, S.seq, "_seq", &err);
+    if (err)
+        return NULL;
+
+    if (!coalesce || n == 1) {
+        for (i = 0; i < n; i++) {
+            PyObject *triple = PyList_GET_ITEM(entries, i);
+            PyObject *entry;
+            long long ti = PyLong_AsLongLong(PyTuple_GET_ITEM(triple, 0));
+            if (ti == -1 && PyErr_Occurred()) {
+                slot_set_ll(self, S.seq, seq);
+                return NULL;
+            }
+            if (ti < now) {
+                /* self._seq = seq; raise — entries already pushed stay. */
+                if (slot_set_ll(self, S.seq, seq) < 0)
+                    return NULL;
+                raise_past_error(self, PyTuple_GET_ITEM(triple, 0),
+                                 PyTuple_GET_ITEM(triple, 1));
+                return NULL;
+            }
+            seq += 1;
+            entry = entry_from_triple(triple, seq);
+            if (entry == NULL || heap_push(heap, entry) < 0) {
+                Py_XDECREF(entry);
+                slot_set_ll(self, S.seq, seq);
+                return NULL;
+            }
+            Py_DECREF(entry);
+        }
+        if (slot_set_ll(self, S.seq, seq) < 0)
+            return NULL;
+        Py_RETURN_NONE;
+    }
+
+    /* Validation pass: past check + pre-sorted detection. */
+    prev = PyLong_AsLongLong(PyTuple_GET_ITEM(PyList_GET_ITEM(entries, 0), 0));
+    if (prev == -1 && PyErr_Occurred())
+        return NULL;
+    if (prev < now) {
+        PyObject *triple = PyList_GET_ITEM(entries, 0);
+        raise_past_error(self, PyTuple_GET_ITEM(triple, 0),
+                         PyTuple_GET_ITEM(triple, 1));
+        return NULL;
+    }
+    pre_sorted = 1;
+    for (i = 0; i < n; i++) {
+        PyObject *triple = PyList_GET_ITEM(entries, i);
+        long long ti = PyLong_AsLongLong(PyTuple_GET_ITEM(triple, 0));
+        if (ti == -1 && PyErr_Occurred())
+            return NULL;
+        if (ti < now) {
+            raise_past_error(self, PyTuple_GET_ITEM(triple, 0),
+                             PyTuple_GET_ITEM(triple, 1));
+            return NULL;
+        }
+        if (ti < prev)
+            pre_sorted = 0;
+        prev = ti;
+    }
+    if (pre_sorted) {
+        block = entries;
+        Py_INCREF(block);
+        owned = 0;
+    }
+    else {
+        PyObject *argtup = PyTuple_Pack(1, entries);
+        if (argtup == NULL)
+            return NULL;
+        block = PyObject_Call(g_sorted, argtup, g_sort_kwargs);
+        Py_DECREF(argtup);
+        if (block == NULL)
+            return NULL;
+        owned = 1;
+    }
+    gap = slot_ll(self, S.gap, "_gap", &err);
+    if (err) {
+        Py_DECREF(block);
+        return NULL;
+    }
+    start = 0;
+    prev_t =
+        PyLong_AsLongLong(PyTuple_GET_ITEM(PyList_GET_ITEM(block, 0), 0));
+    if (prev_t == -1 && PyErr_Occurred()) {
+        Py_DECREF(block);
+        return NULL;
+    }
+    i = 1;
+    for (;;) {
+        PyObject *entry;
+        if (i < n) {
+            t = PyLong_AsLongLong(
+                PyTuple_GET_ITEM(PyList_GET_ITEM(block, i), 0));
+            if (t == -1 && PyErr_Occurred())
+                goto fail;
+            if (t - prev_t <= gap) {
+                prev_t = t;
+                i += 1;
+                continue;
+            }
+        }
+        seq += 1;
+        if (i - start == 1) {
+            entry = entry_from_triple(PyList_GET_ITEM(block, start), seq);
+            if (entry == NULL)
+                goto fail;
+        }
+        else {
+            PyObject *group, *targs, *seq_obj, *pos_obj;
+            if (owned && start == 0 && i == n) {
+                group = block;
+                Py_INCREF(group);
+            }
+            else {
+                group = PyList_GetSlice(block, start, i);
+                if (group == NULL)
+                    goto fail;
+            }
+            if (slot_add_ll(self, S.train_extra, "_train_extra",
+                            (long long)(i - start - 1)) < 0 ||
+                slot_add_ll(self, S.trains_formed, "trains_formed", 1) < 0) {
+                Py_DECREF(group);
+                goto fail;
+            }
+            pos_obj = PyLong_FromLong(0);
+            targs = (pos_obj == NULL)
+                        ? NULL
+                        : PyTuple_Pack(2, group, pos_obj);
+            Py_XDECREF(pos_obj);
+            seq_obj = PyLong_FromLongLong(seq);
+            if (targs == NULL || seq_obj == NULL) {
+                Py_XDECREF(targs);
+                Py_XDECREF(seq_obj);
+                Py_DECREF(group);
+                goto fail;
+            }
+            entry = PyTuple_New(4);
+            if (entry == NULL) {
+                Py_DECREF(targs);
+                Py_DECREF(seq_obj);
+                Py_DECREF(group);
+                goto fail;
+            }
+            Py_INCREF(PyTuple_GET_ITEM(PyList_GET_ITEM(group, 0), 0));
+            PyTuple_SET_ITEM(
+                entry, 0, PyTuple_GET_ITEM(PyList_GET_ITEM(group, 0), 0));
+            PyTuple_SET_ITEM(entry, 1, seq_obj);
+            Py_INCREF(g_train);
+            PyTuple_SET_ITEM(entry, 2, g_train);
+            PyTuple_SET_ITEM(entry, 3, targs);
+            Py_DECREF(group);
+        }
+        if (heap_push(heap, entry) < 0) {
+            Py_DECREF(entry);
+            goto fail;
+        }
+        Py_DECREF(entry);
+        if (i == n)
+            break;
+        start = i;
+        prev_t = t;
+        i += 1;
+    }
+    Py_DECREF(block);
+    if (slot_set_ll(self, S.seq, seq) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+
+fail:
+    Py_DECREF(block);
+    slot_set_ll(self, S.seq, seq);
+    return NULL;
+}
+
+static PyObject *
+c_sim_at_many(PyObject *Py_UNUSED(mod), PyObject *const *args,
+              Py_ssize_t nargs)
+{
+    Py_ssize_t i, n;
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError, "at_many() takes (self, entries)");
+        return NULL;
+    }
+    if (!g_ready || !sim_fast(args[0]) || !PyList_CheckExact(args[1]))
+        return PyObject_Vectorcall(g_py_sim_at_many, args, nargs, NULL);
+    /* Malformed entries take the Python path for its exceptions. */
+    n = PyList_GET_SIZE(args[1]);
+    for (i = 0; i < n; i++) {
+        PyObject *e = PyList_GET_ITEM(args[1], i);
+        if (!PyTuple_CheckExact(e) || PyTuple_GET_SIZE(e) != 3 ||
+            !PyLong_CheckExact(PyTuple_GET_ITEM(e, 0)))
+            return PyObject_Vectorcall(g_py_sim_at_many, args, nargs, NULL);
+    }
+    return c_at_many_impl(args[0], args[1]);
+}
+
+/* -------------------------------------------------------------------- run */
+
+/* Dispatch elements of a just-popped train (mirror of _run_train).
+ * `seq_obj` is the popped entry's sequence object. Returns the element
+ * count, or -1 on error (exception propagates; no re-push — exactly as
+ * the Python version loses the train when a callback raises). */
+static long long
+c_run_train(PyObject *self, long long seq, PyObject *seq_obj, PyObject *targs,
+            int has_until, long long until, int has_budget, long long budget,
+            PyObject *heap)
+{
+    PyObject *elements = PyTuple_GET_ITEM(targs, 0);
+    Py_ssize_t pos, n;
+    long long count = 0, t_next = 0;
+    int err = 0;
+
+    pos = PyLong_AsSsize_t(PyTuple_GET_ITEM(targs, 1));
+    if (pos == -1 && PyErr_Occurred())
+        return -1;
+    n = PyList_GET_SIZE(elements);
+    for (;;) {
+        PyObject *triple = PyList_GET_ITEM(elements, pos);
+        PyObject *r;
+        if (count) {
+            if (slot_add_ll(self, S.train_extra, "_train_extra", -1) < 0)
+                return -1;
+        }
+        slot_set(self, S.now, PyTuple_GET_ITEM(triple, 0));
+        r = PyObject_Call(PyTuple_GET_ITEM(triple, 1),
+                          PyTuple_GET_ITEM(triple, 2), NULL);
+        if (r == NULL)
+            return -1;
+        Py_DECREF(r);
+        pos += 1;
+        count += 1;
+        if (pos == n) {
+            if (slot_add_ll(self, S.train_events, "train_events", count) < 0)
+                return -1;
+            return count;
+        }
+        t_next = PyLong_AsLongLong(
+            PyTuple_GET_ITEM(PyList_GET_ITEM(elements, pos), 0));
+        if (t_next == -1 && PyErr_Occurred())
+            return -1;
+        if ((has_until && t_next > until) || (has_budget && count >= budget))
+            break;
+        if (PyList_GET_SIZE(heap) > 0) {
+            long long ht, hs;
+            if (entry_key(((PyListObject *)heap)->ob_item[0], &ht, &hs) < 0)
+                return -1;
+            if (ht < t_next || (ht == t_next && hs < seq))
+                break;
+        }
+    }
+    /* Preempted or cut: remainder rides the original entry again. */
+    if (slot_add_ll(self, S.train_extra, "_train_extra", -1) < 0 ||
+        slot_add_ll(self, S.train_events, "train_events", count) < 0 ||
+        slot_add_ll(self, S.train_repushes, "train_repushes", 1) < 0)
+        return -1;
+    {
+        PyObject *entry;
+        if (pos == n - 1) {
+            PyObject *triple = PyList_GET_ITEM(elements, pos);
+            entry = PyTuple_New(4);
+            if (entry == NULL)
+                return -1;
+            Py_INCREF(PyTuple_GET_ITEM(triple, 0));
+            PyTuple_SET_ITEM(entry, 0, PyTuple_GET_ITEM(triple, 0));
+            Py_INCREF(seq_obj);
+            PyTuple_SET_ITEM(entry, 1, seq_obj);
+            Py_INCREF(PyTuple_GET_ITEM(triple, 1));
+            PyTuple_SET_ITEM(entry, 2, PyTuple_GET_ITEM(triple, 1));
+            Py_INCREF(PyTuple_GET_ITEM(triple, 2));
+            PyTuple_SET_ITEM(entry, 3, PyTuple_GET_ITEM(triple, 2));
+        }
+        else {
+            PyObject *pos_obj = PyLong_FromSsize_t(pos);
+            PyObject *new_targs;
+            if (pos_obj == NULL)
+                return -1;
+            new_targs = PyTuple_Pack(2, elements, pos_obj);
+            Py_DECREF(pos_obj);
+            if (new_targs == NULL)
+                return -1;
+            entry = PyTuple_New(4);
+            if (entry == NULL) {
+                Py_DECREF(new_targs);
+                return -1;
+            }
+            Py_INCREF(PyTuple_GET_ITEM(PyList_GET_ITEM(elements, pos), 0));
+            PyTuple_SET_ITEM(
+                entry, 0,
+                PyTuple_GET_ITEM(PyList_GET_ITEM(elements, pos), 0));
+            Py_INCREF(seq_obj);
+            PyTuple_SET_ITEM(entry, 1, seq_obj);
+            Py_INCREF(g_train);
+            PyTuple_SET_ITEM(entry, 2, g_train);
+            PyTuple_SET_ITEM(entry, 3, new_targs);
+        }
+        err = heap_push(heap, entry);
+        Py_DECREF(entry);
+        if (err < 0)
+            return -1;
+    }
+    return count;
+}
+
+static PyObject *
+c_sim_run(PyObject *Py_UNUSED(mod), PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"", "until_ps", "max_events", NULL};
+    PyObject *self, *until_obj = Py_None, *max_obj = Py_None;
+    PyObject *heap;
+    long long processed = 0, until = 0, maxev = 0, now;
+    int has_until, has_max, quiet, err = 0;
+
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "O|OO:run", kwlist, &self,
+                                     &until_obj, &max_obj))
+        return NULL;
+    if (!g_ready || !sim_fast(self))
+        return PyObject_CallFunctionObjArgs(g_py_sim_run, self, until_obj,
+                                            max_obj, NULL);
+    has_until = until_obj != Py_None;
+    has_max = max_obj != Py_None;
+    if (has_until) {
+        until = PyLong_AsLongLong(until_obj);
+        if (until == -1 && PyErr_Occurred())
+            return NULL;
+    }
+    if (has_max) {
+        maxev = PyLong_AsLongLong(max_obj);
+        if (maxev == -1 && PyErr_Occurred())
+            return NULL;
+    }
+    heap = slot_get(self, S.heap, "_heap");
+    if (heap == NULL)
+        return NULL;
+
+    while (PyList_GET_SIZE(heap) > 0) {
+        PyObject *entry, *cb, *r;
+        long long t0, s0;
+        if (entry_key(((PyListObject *)heap)->ob_item[0], &t0, &s0) < 0)
+            return NULL;
+        if (has_until && t0 > until)
+            break;
+        if (has_max && processed >= maxev)
+            break;
+        entry = heap_pop(heap);
+        if (entry == NULL)
+            return NULL;
+        cb = PyTuple_GET_ITEM(entry, 2);
+        if (cb == g_train) {
+            long long c = c_run_train(
+                self, s0, PyTuple_GET_ITEM(entry, 1),
+                PyTuple_GET_ITEM(entry, 3), has_until, until, has_max,
+                has_max ? maxev - processed : 0, heap);
+            Py_DECREF(entry);
+            if (c < 0)
+                return NULL;
+            processed += c;
+            continue;
+        }
+        slot_set(self, S.now, PyTuple_GET_ITEM(entry, 0));
+        r = PyObject_Call(cb, PyTuple_GET_ITEM(entry, 3), NULL);
+        Py_DECREF(entry);
+        if (r == NULL)
+            return NULL; /* events_processed not updated — as in Python */
+        Py_DECREF(r);
+        processed += 1;
+    }
+    if (PyList_GET_SIZE(heap) == 0)
+        quiet = 1;
+    else if (has_until) {
+        long long ht, hs;
+        if (entry_key(((PyListObject *)heap)->ob_item[0], &ht, &hs) < 0)
+            return NULL;
+        quiet = ht > until;
+    }
+    else
+        quiet = 0;
+    now = slot_ll(self, S.now, "now", &err);
+    if (err)
+        return NULL;
+    if (has_until && now < until && quiet && (!has_max || processed < maxev))
+        slot_set(self, S.now, until_obj);
+    if (slot_add_ll(self, S.events_processed, "events_processed",
+                    processed) < 0)
+        return NULL;
+    return PyLong_FromLongLong(processed);
+}
+
+/* ------------------------------------------------------------------- Port */
+
+/* getattr(target, "receive_cb", None) or target.receive — new ref. */
+static PyObject *
+get_deliver(PyObject *target)
+{
+    PyObject *cb = PyObject_GetAttr(target, s_receive_cb);
+    int truth;
+    if (cb == NULL) {
+        if (!PyErr_ExceptionMatches(PyExc_AttributeError))
+            return NULL;
+        PyErr_Clear();
+    }
+    else {
+        truth = PyObject_IsTrue(cb);
+        if (truth < 0) {
+            Py_DECREF(cb);
+            return NULL;
+        }
+        if (truth)
+            return cb;
+        Py_DECREF(cb);
+    }
+    return PyObject_GetAttr(target, s_receive);
+}
+
+/* Lazy committed-control ledger settlement (mirror _expire_committed). */
+static int
+expire_committed(PyObject *self, PyObject *committed, long long now)
+{
+    for (;;) {
+        Py_ssize_t len = PyObject_Length(committed);
+        PyObject *first, *popped;
+        long long t0, size;
+        if (len < 0)
+            return -1;
+        if (len == 0)
+            return 0;
+        first = PySequence_GetItem(committed, 0);
+        if (first == NULL)
+            return -1;
+        t0 = PyLong_AsLongLong(PyTuple_GET_ITEM(first, 0));
+        Py_DECREF(first);
+        if (t0 == -1 && PyErr_Occurred())
+            return -1;
+        if (t0 > now)
+            return 0;
+        popped = PyObject_CallMethodNoArgs(committed, s_popleft);
+        if (popped == NULL)
+            return -1;
+        size = PyLong_AsLongLong(PyTuple_GET_ITEM(popped, 1));
+        Py_DECREF(popped);
+        if (size == -1 && PyErr_Occurred())
+            return -1;
+        if (slot_add_ll(self, P.bytes_control, "_bytes_control", -size) < 0)
+            return -1;
+    }
+}
+
+/* Resolve the delivery callback for a packet leaving `self` at start_ps.
+ * Mirrors the deliver-resolution block shared by enqueue/_transmit.
+ * On a dark circuit (*deliver_out left NULL, no error) the caller must
+ * schedule the undeliverable event at `done`. Returns -1 on error. */
+static int
+resolve_deliver(PyObject *self, PyObject *packet, PyObject *start_obj,
+                PyObject **deliver_out)
+{
+    PyObject *deliver = SLOT(self, P.deliver);
+    *deliver_out = NULL;
+    if (deliver == Py_None) {
+        PyObject *resolver = slot_get(self, P.resolver, "resolver");
+        PyObject *target;
+        if (resolver == NULL)
+            return -1;
+        target =
+            PyObject_CallFunctionObjArgs(resolver, packet, start_obj, NULL);
+        if (target == NULL)
+            return -1;
+        if (target == Py_None) {
+            Py_DECREF(target);
+            return 0; /* dark circuit */
+        }
+        deliver = get_deliver(target);
+        Py_DECREF(target);
+        if (deliver == NULL)
+            return -1;
+        *deliver_out = deliver; /* new ref */
+        return 0;
+    }
+    if (deliver == g_lazy) {
+        PyObject *target = slot_get(self, P.target, "_target");
+        if (target == NULL)
+            return -1;
+        deliver = get_deliver(target);
+        if (deliver == NULL)
+            return -1;
+        slot_set(self, P.deliver, deliver); /* bind once */
+        *deliver_out = deliver;             /* new ref */
+        return 0;
+    }
+    Py_INCREF(deliver);
+    *deliver_out = deliver;
+    return 0;
+}
+
+/* Put `packet` on the wire at start_ps (mirror of _transmit). With `out`
+ * non-NULL the delivery entry is appended to it (burst commit); returns
+ * the line-free time or -1 on error. Caller guarantees _ps_per_byte > 0
+ * and a heap simulator. */
+static long long
+c_transmit(PyObject *self, PyObject *sim, PyObject *packet, long long start,
+           PyObject *out)
+{
+    int err = 0;
+    long long size = slot_ll(packet, K.size_bytes, "size_bytes", &err);
+    long long per_byte, done, prop;
+    PyObject *stats, *deliver = NULL, *start_obj;
+
+    if (err)
+        return -1;
+    per_byte = slot_ll(self, P.ps_per_byte, "_ps_per_byte", &err);
+    if (err)
+        return -1;
+    done = start + size * per_byte;
+    if (slot_set_ll(self, P.busy_until, done) < 0)
+        return -1;
+    stats = slot_get(self, P.stats, "stats");
+    if (stats == NULL)
+        return -1;
+    if (slot_add_ll(stats, ST.sent_packets, "sent_packets", 1) < 0 ||
+        slot_add_ll(stats, ST.sent_bytes, "sent_bytes", size) < 0)
+        return -1;
+    start_obj = PyLong_FromLongLong(start);
+    if (start_obj == NULL)
+        return -1;
+    if (resolve_deliver(self, packet, start_obj, &deliver) < 0) {
+        Py_DECREF(start_obj);
+        return -1;
+    }
+    Py_DECREF(start_obj);
+    if (deliver == NULL) {
+        /* Dark circuit: loss observed when the last bit leaves. */
+        PyObject *undeliv = slot_get(self, P.undeliv_cb, "_undeliv_cb");
+        if (undeliv == NULL)
+            return -1;
+        if (out != NULL) {
+            PyObject *recv_args =
+                slot_get(packet, K.recv_args, "recv_args");
+            PyObject *done_obj, *e;
+            if (recv_args == NULL)
+                return -1;
+            done_obj = PyLong_FromLongLong(done);
+            if (done_obj == NULL)
+                return -1;
+            e = PyTuple_Pack(3, done_obj, undeliv, recv_args);
+            Py_DECREF(done_obj);
+            if (e == NULL)
+                return -1;
+            err = PyList_Append(out, e);
+            Py_DECREF(e);
+            if (err < 0)
+                return -1;
+        }
+        else {
+            PyObject *cargs = PyTuple_Pack(1, packet);
+            if (cargs == NULL)
+                return -1;
+            err = schedule_heap(sim, done, undeliv, cargs);
+            Py_DECREF(cargs);
+            if (err < 0)
+                return -1;
+        }
+        return done;
+    }
+    prop = slot_ll(self, P.propagation_ps, "propagation_ps", &err);
+    if (err) {
+        Py_DECREF(deliver);
+        return -1;
+    }
+    {
+        PyObject *recv_args = slot_get(packet, K.recv_args, "recv_args");
+        if (recv_args == NULL) {
+            Py_DECREF(deliver);
+            return -1;
+        }
+        if (out != NULL) {
+            PyObject *t_obj = PyLong_FromLongLong(done + prop);
+            PyObject *e;
+            if (t_obj == NULL) {
+                Py_DECREF(deliver);
+                return -1;
+            }
+            e = PyTuple_Pack(3, t_obj, deliver, recv_args);
+            Py_DECREF(t_obj);
+            Py_DECREF(deliver);
+            if (e == NULL)
+                return -1;
+            err = PyList_Append(out, e);
+            Py_DECREF(e);
+            if (err < 0)
+                return -1;
+        }
+        else {
+            err = schedule_heap(sim, done + prop, deliver, recv_args);
+            Py_DECREF(deliver);
+            if (err < 0)
+                return -1;
+        }
+    }
+    return done;
+}
+
+/* Fast-path eligibility for enqueue/_kick on `self` with its sim. */
+static inline int
+port_fast(PyObject *self, PyObject **sim_out, int *err)
+{
+    PyObject *sim;
+    if (!g_ready || Py_TYPE(self) != t_ckport)
+        return 0;
+    sim = SLOT(self, P.sim);
+    if (sim == NULL || !sim_fast(sim))
+        return 0;
+    {
+        long long per_byte = slot_ll(self, P.ps_per_byte, "_ps_per_byte", err);
+        if (*err)
+            return 0;
+        if (per_byte == 0)
+            return 0; /* non-integral ps/byte: exact big-int division */
+    }
+    *sim_out = sim;
+    return 1;
+}
+
+static PyObject *
+c_port_enqueue_impl(PyObject *self, PyObject *packet)
+{
+    PyObject *sim, *priority, *stats;
+    long long size, now;
+    int err = 0, truth;
+
+    if (err)
+        return NULL;
+    if (!port_fast(self, &sim, &err) || Py_TYPE(packet) != t_packet) {
+        if (err)
+            return NULL;
+        return PyObject_CallFunctionObjArgs(g_py_port_enqueue, self, packet,
+                                            NULL);
+    }
+    priority = slot_get(packet, K.priority, "priority");
+    if (priority == NULL)
+        return NULL;
+    size = slot_ll(packet, K.size_bytes, "size_bytes", &err);
+    if (err)
+        return NULL;
+    stats = slot_get(self, P.stats, "stats");
+    if (stats == NULL)
+        return NULL;
+    if (priority == g_prio_low && SLOT(packet, K.kind) == g_kind_data) {
+        long long qd = slot_ll(self, P.bytes_data, "_bytes_data", &err);
+        long long cap = slot_ll(self, P.data_queue_bytes, "data_queue_bytes",
+                                &err);
+        if (err)
+            return NULL;
+        if (qd + size > cap) {
+            truth = PyObject_IsTrue(SLOT(self, P.trimming));
+            if (truth < 0)
+                return NULL;
+            if (!truth)
+                Py_RETURN_FALSE; /* drop-tail */
+            /* packet.trim(), inlined: kind is DATA (guarded above). */
+            slot_set(packet, K.kind, g_kind_header);
+            slot_set(packet, K.size_bytes, g_header_bytes);
+            slot_set(packet, K.priority, g_prio_control);
+            if (slot_add_ll(stats, ST.trimmed, "trimmed", 1) < 0)
+                return NULL;
+            priority = g_prio_control;
+            size = PyLong_AsLongLong(g_header_bytes);
+        }
+    }
+    now = slot_ll(sim, S.now, "now", &err);
+    if (err)
+        return NULL;
+    if (priority == g_prio_control) {
+        PyObject *committed =
+            slot_get(self, P.committed_control, "_committed_control");
+        long long qc, cap;
+        Py_ssize_t clen;
+        if (committed == NULL)
+            return NULL;
+        clen = PyObject_Length(committed);
+        if (clen < 0)
+            return NULL;
+        if (clen > 0 && expire_committed(self, committed, now) < 0)
+            return NULL;
+        qc = slot_ll(self, P.bytes_control, "_bytes_control", &err);
+        cap = slot_ll(self, P.control_queue_bytes, "control_queue_bytes",
+                      &err);
+        if (err)
+            return NULL;
+        if (qc + size > cap) {
+            if (slot_add_ll(stats, ST.dropped_control, "dropped_control",
+                            1) < 0)
+                return NULL;
+            Py_RETURN_FALSE;
+        }
+    }
+    else if (priority == g_prio_bulk) {
+        long long qb = slot_ll(self, P.bytes_bulk, "_bytes_bulk", &err);
+        long long cap =
+            slot_ll(self, P.bulk_queue_bytes, "bulk_queue_bytes", &err);
+        if (err)
+            return NULL;
+        if (qb + size > cap) {
+            PyObject *handler;
+            if (slot_add_ll(stats, ST.dropped_bulk, "dropped_bulk", 1) < 0)
+                return NULL;
+            handler = SLOT(self, P.on_bulk_drop);
+            if (handler != NULL && handler != Py_None) {
+                PyObject *r =
+                    PyObject_CallFunctionObjArgs(handler, packet, NULL);
+                if (r == NULL)
+                    return NULL;
+                Py_DECREF(r);
+            }
+            Py_RETURN_FALSE;
+        }
+    }
+    slot_set(packet, K.enqueued_ps, SLOT(sim, S.now));
+    truth = PyObject_IsTrue(SLOT(self, P.kick_pending));
+    if (truth < 0)
+        return NULL;
+    if (!truth) {
+        long long busy = slot_ll(self, P.busy_until, "_busy_until", &err);
+        if (err)
+            return NULL;
+        if (busy <= now) {
+            /* Idle line, empty queues: transmit immediately (the single
+             * hottest path in the engine). */
+            long long per_byte =
+                slot_ll(self, P.ps_per_byte, "_ps_per_byte", &err);
+            long long done, prop;
+            PyObject *deliver = NULL;
+            if (err)
+                return NULL;
+            done = now + size * per_byte;
+            if (slot_set_ll(self, P.busy_until, done) < 0)
+                return NULL;
+            if (slot_add_ll(stats, ST.sent_packets, "sent_packets", 1) < 0 ||
+                slot_add_ll(stats, ST.sent_bytes, "sent_bytes", size) < 0)
+                return NULL;
+            if (resolve_deliver(self, packet, SLOT(sim, S.now), &deliver) <
+                0)
+                return NULL;
+            if (deliver == NULL) {
+                /* Dark circuit. */
+                PyObject *undeliv =
+                    slot_get(self, P.undeliv_cb, "_undeliv_cb");
+                PyObject *cargs;
+                if (undeliv == NULL)
+                    return NULL;
+                cargs = PyTuple_Pack(1, packet);
+                if (cargs == NULL)
+                    return NULL;
+                err = schedule_heap(sim, done, undeliv, cargs);
+                Py_DECREF(cargs);
+                if (err < 0)
+                    return NULL;
+                Py_RETURN_TRUE;
+            }
+            prop = slot_ll(self, P.propagation_ps, "propagation_ps", &err);
+            if (err) {
+                Py_DECREF(deliver);
+                return NULL;
+            }
+            {
+                PyObject *recv_args =
+                    slot_get(packet, K.recv_args, "recv_args");
+                if (recv_args == NULL) {
+                    Py_DECREF(deliver);
+                    return NULL;
+                }
+                err = schedule_heap(sim, done + prop, deliver, recv_args);
+                Py_DECREF(deliver);
+                if (err < 0)
+                    return NULL;
+            }
+            Py_RETURN_TRUE;
+        }
+    }
+    /* Busy line (or kick pending): join the queue. */
+    {
+        PyObject *q, *r;
+        Py_ssize_t boff;
+        if (priority == g_prio_control) {
+            q = slot_get(self, P.q_control, "_q_control");
+            boff = P.bytes_control;
+        }
+        else if (priority == g_prio_low) {
+            q = slot_get(self, P.q_data, "_q_data");
+            boff = P.bytes_data;
+        }
+        else {
+            q = slot_get(self, P.q_bulk, "_q_bulk");
+            boff = P.bytes_bulk;
+        }
+        if (q == NULL)
+            return NULL;
+        r = PyObject_CallMethodOneArg(q, s_append, packet);
+        if (r == NULL)
+            return NULL;
+        Py_DECREF(r);
+        if (slot_add_ll(self, boff, "_bytes_*", size) < 0)
+            return NULL;
+    }
+    if (!truth) {
+        long long busy = slot_ll(self, P.busy_until, "_busy_until", &err);
+        PyObject *kick_cb;
+        if (err)
+            return NULL;
+        slot_set(self, P.kick_pending, Py_True);
+        kick_cb = slot_get(self, P.kick_cb, "_kick_cb");
+        if (kick_cb == NULL)
+            return NULL;
+        /* sim.at(self._busy_until, self._kick_cb): the past-time guard
+         * holds (busy > now here, since the idle branch did not take). */
+        if (schedule_heap(sim, busy, kick_cb, g_empty) < 0)
+            return NULL;
+    }
+    Py_RETURN_TRUE;
+}
+
+static PyObject *
+c_port_enqueue(PyObject *Py_UNUSED(mod), PyObject *const *args,
+               Py_ssize_t nargs)
+{
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError, "enqueue() takes (self, packet)");
+        return NULL;
+    }
+    return c_port_enqueue_impl(args[0], args[1]);
+}
+
+static PyObject *
+c_port_kick(PyObject *Py_UNUSED(mod), PyObject *const *args, Py_ssize_t nargs)
+{
+    PyObject *self, *sim, *q, *packet;
+    long long start, size;
+    int err = 0;
+    Py_ssize_t qlen;
+
+    if (nargs != 1) {
+        PyErr_SetString(PyExc_TypeError, "_kick() takes (self)");
+        return NULL;
+    }
+    self = args[0];
+    if (!port_fast(self, &sim, &err)) {
+        if (err)
+            return NULL;
+        return PyObject_CallFunctionObjArgs(g_py_port_kick, self, NULL);
+    }
+    slot_set(self, P.kick_pending, Py_False);
+    start = slot_ll(sim, S.now, "now", &err);
+    if (err)
+        return NULL;
+    q = slot_get(self, P.q_control, "_q_control");
+    if (q == NULL)
+        return NULL;
+    qlen = PyObject_Length(q);
+    if (qlen < 0)
+        return NULL;
+    if (qlen > 0) {
+        PyObject *committed =
+            slot_get(self, P.committed_control, "_committed_control");
+        if (committed == NULL)
+            return NULL;
+        if (qlen > 1) {
+            /* Packet train: commit the whole burst back-to-back and
+             * bulk-schedule its deliveries with one at_many call. */
+            PyObject *burst = slot_get(self, P.burst, "_burst");
+            int first = 1;
+            long long dlen, blen;
+            if (burst == NULL)
+                return NULL;
+            for (;;) {
+                Py_ssize_t left = PyObject_Length(q);
+                if (left < 0)
+                    return NULL;
+                if (left == 0)
+                    break;
+                packet = PyObject_CallMethodNoArgs(q, s_popleft);
+                if (packet == NULL)
+                    return NULL;
+                size = slot_ll(packet, K.size_bytes, "size_bytes", &err);
+                if (err) {
+                    Py_DECREF(packet);
+                    return NULL;
+                }
+                if (first) {
+                    /* On the wire right now: out of the queue at once. */
+                    if (slot_add_ll(self, P.bytes_control, "_bytes_control",
+                                    -size) < 0) {
+                        Py_DECREF(packet);
+                        return NULL;
+                    }
+                    first = 0;
+                }
+                else {
+                    /* Committed but not started: bytes stay in the
+                     * admission ledger until the wire-entry time. */
+                    PyObject *start_obj = PyLong_FromLongLong(start);
+                    PyObject *pair, *r;
+                    if (start_obj == NULL) {
+                        Py_DECREF(packet);
+                        return NULL;
+                    }
+                    pair = PyTuple_Pack(2, start_obj,
+                                        SLOT(packet, K.size_bytes));
+                    Py_DECREF(start_obj);
+                    if (pair == NULL) {
+                        Py_DECREF(packet);
+                        return NULL;
+                    }
+                    r = PyObject_CallMethodOneArg(committed, s_append, pair);
+                    Py_DECREF(pair);
+                    if (r == NULL) {
+                        Py_DECREF(packet);
+                        return NULL;
+                    }
+                    Py_DECREF(r);
+                }
+                start = c_transmit(self, sim, packet, start, burst);
+                Py_DECREF(packet);
+                if (start < 0 && PyErr_Occurred())
+                    return NULL;
+            }
+            dlen = PyObject_Length(slot_get(self, P.q_data, "_q_data"));
+            blen = PyObject_Length(slot_get(self, P.q_bulk, "_q_bulk"));
+            if (dlen < 0 || blen < 0)
+                return NULL;
+            if (dlen > 0 || blen > 0) {
+                long long busy =
+                    slot_ll(self, P.busy_until, "_busy_until", &err);
+                PyObject *busy_obj, *kick_cb, *e;
+                if (err)
+                    return NULL;
+                slot_set(self, P.kick_pending, Py_True);
+                kick_cb = slot_get(self, P.kick_cb, "_kick_cb");
+                if (kick_cb == NULL)
+                    return NULL;
+                busy_obj = PyLong_FromLongLong(busy);
+                if (busy_obj == NULL)
+                    return NULL;
+                e = PyTuple_Pack(3, busy_obj, kick_cb, g_empty);
+                Py_DECREF(busy_obj);
+                if (e == NULL)
+                    return NULL;
+                err = PyList_Append(burst, e);
+                Py_DECREF(e);
+                if (err < 0)
+                    return NULL;
+            }
+            {
+                PyObject *r = c_at_many_impl(sim, burst);
+                if (r == NULL)
+                    return NULL;
+                Py_DECREF(r);
+            }
+            if (PyList_SetSlice(burst, 0, PyList_GET_SIZE(burst), NULL) < 0)
+                return NULL;
+            Py_RETURN_NONE;
+        }
+        packet = PyObject_CallMethodNoArgs(q, s_popleft);
+        if (packet == NULL)
+            return NULL;
+        size = slot_ll(packet, K.size_bytes, "size_bytes", &err);
+        if (err ||
+            slot_add_ll(self, P.bytes_control, "_bytes_control", -size) < 0) {
+            Py_DECREF(packet);
+            return NULL;
+        }
+        start = c_transmit(self, sim, packet, start, NULL);
+        Py_DECREF(packet);
+        if (start < 0 && PyErr_Occurred())
+            return NULL;
+    }
+    else {
+        PyObject *qd = slot_get(self, P.q_data, "_q_data");
+        Py_ssize_t dlen;
+        if (qd == NULL)
+            return NULL;
+        dlen = PyObject_Length(qd);
+        if (dlen < 0)
+            return NULL;
+        if (dlen > 0) {
+            packet = PyObject_CallMethodNoArgs(qd, s_popleft);
+            if (packet == NULL)
+                return NULL;
+            size = slot_ll(packet, K.size_bytes, "size_bytes", &err);
+            if (err ||
+                slot_add_ll(self, P.bytes_data, "_bytes_data", -size) < 0) {
+                Py_DECREF(packet);
+                return NULL;
+            }
+            start = c_transmit(self, sim, packet, start, NULL);
+            Py_DECREF(packet);
+            if (start < 0 && PyErr_Occurred())
+                return NULL;
+        }
+        else {
+            PyObject *qb = slot_get(self, P.q_bulk, "_q_bulk");
+            Py_ssize_t blen;
+            if (qb == NULL)
+                return NULL;
+            blen = PyObject_Length(qb);
+            if (blen < 0)
+                return NULL;
+            if (blen == 0)
+                Py_RETURN_NONE; /* kick only scheduled with work queued */
+            packet = PyObject_CallMethodNoArgs(qb, s_popleft);
+            if (packet == NULL)
+                return NULL;
+            size = slot_ll(packet, K.size_bytes, "size_bytes", &err);
+            if (err ||
+                slot_add_ll(self, P.bytes_bulk, "_bytes_bulk", -size) < 0) {
+                Py_DECREF(packet);
+                return NULL;
+            }
+            start = c_transmit(self, sim, packet, start, NULL);
+            Py_DECREF(packet);
+            if (start < 0 && PyErr_Occurred())
+                return NULL;
+        }
+    }
+    /* More work queued: schedule the next kick at the line-free time. */
+    {
+        Py_ssize_t c = PyObject_Length(slot_get(self, P.q_control,
+                                                "_q_control"));
+        Py_ssize_t d = PyObject_Length(slot_get(self, P.q_data, "_q_data"));
+        Py_ssize_t b = PyObject_Length(slot_get(self, P.q_bulk, "_q_bulk"));
+        if (c < 0 || d < 0 || b < 0)
+            return NULL;
+        if (c > 0 || d > 0 || b > 0) {
+            long long busy = slot_ll(self, P.busy_until, "_busy_until", &err);
+            PyObject *kick_cb;
+            if (err)
+                return NULL;
+            slot_set(self, P.kick_pending, Py_True);
+            kick_cb = slot_get(self, P.kick_cb, "_kick_cb");
+            if (kick_cb == NULL)
+                return NULL;
+            if (schedule_heap(sim, busy, kick_cb, g_empty) < 0)
+                return NULL;
+        }
+    }
+    Py_RETURN_NONE;
+}
+
+/* ------------------------------------------------------------------- Host */
+
+/* packet.release(), inlined: idempotent free-list return. */
+static int
+release_packet(PyObject *packet)
+{
+    if (SLOT(packet, K.pooled) == Py_True)
+        return 0;
+    slot_set(packet, K.pooled, Py_True);
+    if (PyList_GET_SIZE(g_pool) < g_pool_max)
+        return PyList_Append(g_pool, packet);
+    return 0;
+}
+
+static PyObject *
+c_host_receive(PyObject *Py_UNUSED(mod), PyObject *const *args,
+               Py_ssize_t nargs)
+{
+    PyObject *self, *packet, *kind, *table, *endpoint, *fid;
+
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError, "receive() takes (self, packet)");
+        return NULL;
+    }
+    self = args[0];
+    packet = args[1];
+    if (!g_ready || Py_TYPE(self) != t_ckhost || Py_TYPE(packet) != t_packet)
+        return PyObject_Vectorcall(g_py_host_receive, args, nargs, NULL);
+    kind = SLOT(packet, K.kind);
+    if (kind == g_kind_data || kind == g_kind_header)
+        table = SLOT(self, H.sinks);
+    else
+        table = SLOT(self, H.sources);
+    if (table == NULL || !PyDict_CheckExact(table))
+        return PyObject_Vectorcall(g_py_host_receive, args, nargs, NULL);
+    fid = slot_get(packet, K.flow_id, "flow_id");
+    if (fid == NULL)
+        return NULL;
+    endpoint = PyDict_GetItemWithError(table, fid);
+    if (endpoint == NULL) {
+        if (PyErr_Occurred())
+            return NULL;
+        if (slot_add_ll(self, H.dropped, "dropped", 1) < 0)
+            return NULL;
+    }
+    else {
+        PyObject *r = PyObject_CallMethodOneArg(endpoint, s_on_packet, packet);
+        if (r == NULL)
+            return NULL;
+        Py_DECREF(r);
+    }
+    if (release_packet(packet) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+/* --------------------------------------------------------------- dispatch */
+
+/* Fused switch delivery: TTL guard, route, egress enqueue. Bound context
+ * is (switch, route, py_dispatch); py_dispatch is the pure-Python fused
+ * closure, used verbatim for anything off the fast path. */
+static PyObject *
+c_dispatch(PyObject *ctx, PyObject *packet)
+{
+    PyObject *sw = PyTuple_GET_ITEM(ctx, 0);
+    PyObject *route = PyTuple_GET_ITEM(ctx, 1);
+    PyObject *port;
+    long long hops;
+    int err = 0;
+
+    if (!g_ready || Py_TYPE(sw) != t_ckswitch || Py_TYPE(packet) != t_packet)
+        return PyObject_CallOneArg(PyTuple_GET_ITEM(ctx, 2), packet);
+    hops = slot_ll(packet, K.hops, "hops", &err);
+    if (err)
+        return NULL;
+    if (hops > g_max_hops) {
+        if (slot_add_ll(sw, W.drops, "drops", 1) < 0)
+            return NULL;
+        if (release_packet(packet) < 0)
+            return NULL;
+        Py_RETURN_NONE;
+    }
+    port = PyObject_CallFunctionObjArgs(route, sw, packet, NULL);
+    if (port == NULL)
+        return NULL;
+    if (port == g_consumed) {
+        Py_DECREF(port);
+        Py_RETURN_NONE;
+    }
+    if (port == Py_None) {
+        Py_DECREF(port);
+        if (slot_add_ll(sw, W.drops, "drops", 1) < 0)
+            return NULL;
+        if (release_packet(packet) < 0)
+            return NULL;
+        Py_RETURN_NONE;
+    }
+    if (Py_TYPE(port) == t_ckport) {
+        PyObject *r = c_port_enqueue_impl(port, packet);
+        Py_DECREF(port);
+        if (r == NULL)
+            return NULL;
+        Py_DECREF(r);
+    }
+    else {
+        PyObject *r = PyObject_CallMethodOneArg(port, s_enqueue, packet);
+        Py_DECREF(port);
+        if (r == NULL)
+            return NULL;
+        Py_DECREF(r);
+    }
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef dispatch_def = {
+    "dispatch", (PyCFunction)c_dispatch, METH_O,
+    "Fused switch delivery (compiled kernel)."};
+
+static PyObject *
+c_make_dispatch(PyObject *Py_UNUSED(mod), PyObject *args)
+{
+    PyObject *sw, *route, *fallback, *ctx, *fn;
+    if (!PyArg_ParseTuple(args, "OOO:make_dispatch", &sw, &route, &fallback))
+        return NULL;
+    ctx = PyTuple_Pack(3, sw, route, fallback);
+    if (ctx == NULL)
+        return NULL;
+    fn = PyCFunction_New(&dispatch_def, ctx);
+    Py_DECREF(ctx);
+    return fn;
+}
+
+/* -------------------------------------------------------------------- NDP
+ *
+ * The protocol endpoints (NdpSource / NdpSink / PullPacer) are the last
+ * pure-Python bodies on the per-packet path: every delivered data packet
+ * runs sink.on_packet (ACK acquire + send + stats), most also run
+ * source.on_packet (PULL release) and the pacer tick. The functions below
+ * transcribe ndp.py exactly, sharing the same deques/sets/records.
+ */
+
+/* hash((a, b, c)) & 0x7FFFFFFF, as ndp.py computes packet salts. Built as
+ * a real tuple and hashed through the interpreter so the result is
+ * bit-identical by construction. Returns a new ref or NULL. */
+static PyObject *
+salt_hash(PyObject *a, PyObject *b, PyObject *c)
+{
+    PyObject *tup = PyTuple_Pack(3, a, b, c);
+    Py_hash_t h;
+    if (tup == NULL)
+        return NULL;
+    h = PyObject_Hash(tup);
+    Py_DECREF(tup);
+    if (h == -1 && PyErr_Occurred())
+        return NULL;
+    return PyLong_FromLongLong(
+        (long long)((unsigned long long)h & 0x7FFFFFFFULL));
+}
+
+/* packet.acquire(...), inlined for the free-list path. All args borrowed;
+ * returns a new Packet ref. Python's pool path re-assigns every field, so
+ * the transcription does too (slice_stamp/next_rack/relay_to default to
+ * None, hops/enqueued_ps to 0 — the NDP endpoints never pass them). */
+static PyObject *
+c_acquire(PyObject *fid, PyObject *kind, PyObject *src, PyObject *dst,
+          PyObject *seq, PyObject *size_obj, PyObject *prio,
+          PyObject *salt_obj)
+{
+    Py_ssize_t n = PyList_GET_SIZE(g_pool);
+    PyObject *packet;
+
+    if (n > 0) {
+        packet = PyList_GET_ITEM(g_pool, n - 1);
+        Py_INCREF(packet);
+        if (PyList_SetSlice(g_pool, n - 1, n, NULL) < 0) {
+            Py_DECREF(packet);
+            return NULL;
+        }
+        if (Py_TYPE(packet) != t_packet) {
+            /* Foreign object in the pool: put it back and let Python's
+             * acquire (which pops the same element) deal with it. */
+            int err = PyList_Append(g_pool, packet);
+            Py_DECREF(packet);
+            if (err < 0)
+                return NULL;
+        }
+        else {
+            slot_set(packet, K.pooled, Py_False);
+            slot_set(packet, K.flow_id, fid);
+            slot_set(packet, K.kind, kind);
+            slot_set(packet, K.src_host, src);
+            slot_set(packet, K.dst_host, dst);
+            slot_set(packet, K.seq, seq);
+            slot_set(packet, K.size_bytes, size_obj);
+            slot_set(packet, K.priority, prio);
+            slot_set(packet, K.slice_stamp, Py_None);
+            slot_set(packet, K.salt, salt_obj);
+            slot_set(packet, K.hops, g_zero);
+            slot_set(packet, K.next_rack, Py_None);
+            slot_set(packet, K.relay_to, Py_None);
+            slot_set(packet, K.enqueued_ps, g_zero);
+            return packet;
+        }
+    }
+    {
+        PyObject *args[9] = {fid, kind, src, dst, seq,
+                             size_obj, prio, Py_None, salt_obj};
+        return PyObject_Vectorcall(g_py_acquire, args, 9, NULL);
+    }
+}
+
+/* endpoint._send(packet). The bound send callable is Host.send or
+ * nic.enqueue; when it is a compiled port's enqueue, skip the method
+ * object and call the C implementation directly. */
+static int
+do_send(PyObject *send, PyObject *packet)
+{
+    PyObject *r;
+    if (PyMethod_Check(send) && PyMethod_GET_FUNCTION(send) == g_cf_enqueue &&
+        Py_TYPE(PyMethod_GET_SELF(send)) == t_ckport)
+        r = c_port_enqueue_impl(PyMethod_GET_SELF(send), packet);
+    else
+        r = PyObject_CallOneArg(send, packet);
+    if (r == NULL)
+        return -1;
+    Py_DECREF(r);
+    return 0;
+}
+
+/* NdpSource._emit(seq): acquire a data packet and send it. */
+static int
+src_emit(PyObject *self, PyObject *seq_obj)
+{
+    PyObject *record, *fid = NULL, *src = NULL, *dst = NULL, *size_obj = NULL,
+             *salt_obj = NULL, *packet = NULL, *send;
+    long long mtu, payload, size_ll, seq_ll, remaining, b;
+    int err = 0, rc = -1;
+
+    record = slot_get(self, NS.record, "record");
+    if (record == NULL)
+        return -1;
+    fid = PyObject_GetAttr(record, s_flow_id);
+    if (fid == NULL)
+        return -1;
+    mtu = slot_ll(self, NS.mtu, "mtu", &err);
+    if (err)
+        goto done;
+    payload = mtu - g_header_ll;
+    {
+        PyObject *sz = PyObject_GetAttr(record, s_size_bytes);
+        if (sz == NULL)
+            goto done;
+        size_ll = PyLong_AsLongLong(sz);
+        Py_DECREF(sz);
+        if (size_ll == -1 && PyErr_Occurred())
+            goto done;
+    }
+    seq_ll = PyLong_AsLongLong(seq_obj);
+    if (seq_ll == -1 && PyErr_Occurred())
+        goto done;
+    remaining = size_ll - seq_ll * payload;
+    b = payload < remaining ? payload : remaining;
+    if (b < 1)
+        b = 1;
+    size_obj = PyLong_FromLongLong(g_header_ll + b);
+    if (size_obj == NULL)
+        goto done;
+    salt_obj = salt_hash(fid, seq_obj, g_src_salt);
+    if (salt_obj == NULL)
+        goto done;
+    src = PyObject_GetAttr(record, s_src_host);
+    dst = src ? PyObject_GetAttr(record, s_dst_host) : NULL;
+    if (dst == NULL)
+        goto done;
+    {
+        PyObject *prio = slot_get(self, NS.priority, "priority");
+        if (prio == NULL)
+            goto done;
+        packet = c_acquire(fid, g_kind_data, src, dst, seq_obj, size_obj,
+                           prio, salt_obj);
+    }
+    if (packet == NULL)
+        goto done;
+    send = slot_get(self, NS.send, "_send");
+    if (send == NULL)
+        goto done;
+    rc = do_send(send, packet);
+done:
+    Py_XDECREF(fid);
+    Py_XDECREF(src);
+    Py_XDECREF(dst);
+    Py_XDECREF(size_obj);
+    Py_XDECREF(salt_obj);
+    Py_XDECREF(packet);
+    return rc;
+}
+
+/* NdpSource._send_next(): 1 = sent, 0 = nothing to send, -1 = error. */
+static int
+src_send_next(PyObject *self)
+{
+    PyObject *rtx = slot_get(self, NS.rtx, "_rtx");
+    Py_ssize_t n;
+    long long next_new, n_packets;
+    int err = 0;
+
+    if (rtx == NULL)
+        return -1;
+    n = PyObject_Length(rtx);
+    if (n < 0)
+        return -1;
+    if (n > 0) {
+        PyObject *seq_obj = PyObject_CallMethodNoArgs(rtx, s_popleft);
+        int rc;
+        if (seq_obj == NULL)
+            return -1;
+        rc = src_emit(self, seq_obj);
+        Py_DECREF(seq_obj);
+        return rc < 0 ? -1 : 1;
+    }
+    next_new = slot_ll(self, NS.next_new, "_next_new", &err);
+    n_packets = slot_ll(self, NS.n_packets, "n_packets", &err);
+    if (err)
+        return -1;
+    if (next_new < n_packets) {
+        PyObject *seq_obj = PyLong_FromLongLong(next_new);
+        int rc;
+        if (seq_obj == NULL)
+            return -1;
+        rc = src_emit(self, seq_obj);
+        Py_DECREF(seq_obj);
+        if (rc < 0)
+            return -1;
+        if (slot_set_ll(self, NS.next_new, next_new + 1) < 0)
+            return -1;
+        return 1;
+    }
+    return 0;
+}
+
+static PyObject *
+c_src_on_packet(PyObject *Py_UNUSED(mod), PyObject *const *args,
+                Py_ssize_t nargs)
+{
+    PyObject *self, *packet, *kind, *seq_obj, *acked;
+
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError, "on_packet() takes (self, packet)");
+        return NULL;
+    }
+    self = args[0];
+    packet = args[1];
+    if (!g_ready || Py_TYPE(self) != t_cksrc || Py_TYPE(packet) != t_packet)
+        return PyObject_Vectorcall(g_py_src_on_packet, args, nargs, NULL);
+    kind = SLOT(packet, K.kind);
+    seq_obj = slot_get(packet, K.seq, "seq");
+    if (seq_obj == NULL)
+        return NULL;
+    if (kind == g_kind_ack) {
+        acked = slot_get(self, NS.acked, "_acked");
+        if (acked == NULL)
+            return NULL;
+        if (PySet_CheckExact(acked)) {
+            if (PySet_Add(acked, seq_obj) < 0)
+                return NULL;
+        }
+        else {
+            PyObject *r = PyObject_CallMethodOneArg(acked, s_add, seq_obj);
+            if (r == NULL)
+                return NULL;
+            Py_DECREF(r);
+        }
+    }
+    else if (kind == g_kind_nack) {
+        int has;
+        acked = slot_get(self, NS.acked, "_acked");
+        if (acked == NULL)
+            return NULL;
+        has = PySet_CheckExact(acked) ? PySet_Contains(acked, seq_obj)
+                                      : PySequence_Contains(acked, seq_obj);
+        if (has < 0)
+            return NULL;
+        if (!has) {
+            PyObject *rtx = slot_get(self, NS.rtx, "_rtx");
+            PyObject *record, *retr, *bumped, *r;
+            long long banked;
+            int err = 0;
+            if (rtx == NULL)
+                return NULL;
+            r = PyObject_CallMethodOneArg(rtx, s_append, seq_obj);
+            if (r == NULL)
+                return NULL;
+            Py_DECREF(r);
+            record = slot_get(self, NS.record, "record");
+            if (record == NULL)
+                return NULL;
+            retr = PyObject_GetAttr(record, s_retransmissions);
+            if (retr == NULL)
+                return NULL;
+            bumped = PyNumber_Add(retr, g_one);
+            Py_DECREF(retr);
+            if (bumped == NULL)
+                return NULL;
+            err = PyObject_SetAttr(record, s_retransmissions, bumped);
+            Py_DECREF(bumped);
+            if (err < 0)
+                return NULL;
+            banked = slot_ll(self, NS.pulls_banked, "_pulls_banked", &err);
+            if (err)
+                return NULL;
+            if (banked > 0) {
+                if (slot_set_ll(self, NS.pulls_banked, banked - 1) < 0)
+                    return NULL;
+                if (src_send_next(self) < 0)
+                    return NULL;
+            }
+        }
+    }
+    else if (kind == g_kind_pull) {
+        int sent = src_send_next(self);
+        if (sent < 0)
+            return NULL;
+        if (!sent &&
+            slot_add_ll(self, NS.pulls_banked, "_pulls_banked", 1) < 0)
+            return NULL;
+    }
+    Py_RETURN_NONE;
+}
+
+/* NdpSink._control(kind, seq): acquire a control packet (reverse path). */
+static PyObject *
+sink_control(PyObject *self, PyObject *kind, PyObject *kind_val,
+             PyObject *seq_obj)
+{
+    PyObject *record, *fid = NULL, *src = NULL, *dst = NULL, *salt_obj = NULL,
+             *packet = NULL;
+
+    record = slot_get(self, NK.record, "record");
+    if (record == NULL)
+        return NULL;
+    fid = PyObject_GetAttr(record, s_flow_id);
+    if (fid == NULL)
+        return NULL;
+    salt_obj = salt_hash(fid, seq_obj, kind_val);
+    if (salt_obj == NULL)
+        goto done;
+    /* Control flows sink -> source: src/dst swapped vs the record. */
+    src = PyObject_GetAttr(record, s_dst_host);
+    dst = src ? PyObject_GetAttr(record, s_src_host) : NULL;
+    if (dst == NULL)
+        goto done;
+    packet = c_acquire(fid, kind, src, dst, seq_obj, g_header_bytes,
+                       g_prio_control, salt_obj);
+done:
+    Py_XDECREF(fid);
+    Py_XDECREF(src);
+    Py_XDECREF(dst);
+    Py_XDECREF(salt_obj);
+    return packet;
+}
+
+/* record.complete, i.e. record.end_ps is not None. -1 on error. */
+static int
+sink_finished(PyObject *self, Py_ssize_t record_off)
+{
+    PyObject *record = slot_get(self, record_off, "record");
+    PyObject *end;
+    int fin;
+    if (record == NULL)
+        return -1;
+    end = PyObject_GetAttr(record, s_end_ps);
+    if (end == NULL)
+        return -1;
+    fin = end != Py_None;
+    Py_DECREF(end);
+    return fin;
+}
+
+/* NdpSink.emit_pull() body (self already validated as fast-path). */
+static int
+sink_emit_pull_impl(PyObject *self)
+{
+    long long pull_seq;
+    int err = 0, rc;
+    PyObject *seq_obj, *packet, *send;
+
+    pull_seq = slot_ll(self, NK.pull_seq, "_pull_seq", &err) + 1;
+    if (err)
+        return -1;
+    if (slot_set_ll(self, NK.pull_seq, pull_seq) < 0)
+        return -1;
+    seq_obj = PyLong_FromLongLong(pull_seq);
+    if (seq_obj == NULL)
+        return -1;
+    packet = sink_control(self, g_kind_pull, g_pull_val, seq_obj);
+    Py_DECREF(seq_obj);
+    if (packet == NULL)
+        return -1;
+    send = slot_get(self, NK.send, "_send");
+    if (send == NULL) {
+        Py_DECREF(packet);
+        return -1;
+    }
+    rc = do_send(send, packet);
+    Py_DECREF(packet);
+    return rc;
+}
+
+static PyObject *
+c_sink_emit_pull(PyObject *Py_UNUSED(mod), PyObject *const *args,
+                 Py_ssize_t nargs)
+{
+    if (nargs != 1) {
+        PyErr_SetString(PyExc_TypeError, "emit_pull() takes (self)");
+        return NULL;
+    }
+    if (!g_ready || Py_TYPE(args[0]) != t_cksink)
+        return PyObject_Vectorcall(g_py_emit_pull, args, nargs, NULL);
+    if (sink_emit_pull_impl(args[0]) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+/* pacer.request(sink), inlined for known pacer layouts. */
+static int
+pacer_request(PyObject *pacer, PyObject *sink)
+{
+    if (g_ready &&
+        (Py_TYPE(pacer) == t_ckpacer || Py_TYPE(pacer) == t_pacer)) {
+        PyObject *tokens = slot_get(pacer, PP.tokens, "_tokens");
+        PyObject *r;
+        int truth;
+        if (tokens == NULL)
+            return -1;
+        r = PyObject_CallMethodOneArg(tokens, s_append, sink);
+        if (r == NULL)
+            return -1;
+        Py_DECREF(r);
+        truth = PyObject_IsTrue(SLOT(pacer, PP.running));
+        if (truth < 0)
+            return -1;
+        if (!truth) {
+            PyObject *sim, *tick;
+            slot_set(pacer, PP.running, Py_True);
+            sim = slot_get(pacer, PP.sim, "sim");
+            tick = sim ? slot_get(pacer, PP.tick_cb, "_tick_cb") : NULL;
+            if (tick == NULL)
+                return -1;
+            if (sim_fast(sim)) {
+                int err = 0;
+                long long now = slot_ll(sim, S.now, "now", &err);
+                if (err)
+                    return -1;
+                return schedule_heap(sim, now, tick, g_empty);
+            }
+            r = PyObject_CallMethodObjArgs(sim, s_after, g_zero, tick, NULL);
+            if (r == NULL)
+                return -1;
+            Py_DECREF(r);
+        }
+        return 0;
+    }
+    {
+        PyObject *r = PyObject_CallMethodObjArgs(pacer, s_request, sink, NULL);
+        if (r == NULL)
+            return -1;
+        Py_DECREF(r);
+        return 0;
+    }
+}
+
+static PyObject *
+c_sink_on_packet(PyObject *Py_UNUSED(mod), PyObject *const *args,
+                 Py_ssize_t nargs)
+{
+    PyObject *self, *packet, *kind, *seq_obj, *send, *ctl;
+    int fin;
+
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError, "on_packet() takes (self, packet)");
+        return NULL;
+    }
+    self = args[0];
+    packet = args[1];
+    if (!g_ready || Py_TYPE(self) != t_cksink || Py_TYPE(packet) != t_packet)
+        return PyObject_Vectorcall(g_py_sink_on_packet, args, nargs, NULL);
+    kind = SLOT(packet, K.kind);
+    if (kind != g_kind_data && kind != g_kind_header)
+        Py_RETURN_NONE;
+    seq_obj = slot_get(packet, K.seq, "seq");
+    send = seq_obj ? slot_get(self, NK.send, "_send") : NULL;
+    if (send == NULL)
+        return NULL;
+    if (kind == g_kind_data) {
+        PyObject *received;
+        int has;
+        ctl = sink_control(self, g_kind_ack, g_ack_val, seq_obj);
+        if (ctl == NULL)
+            return NULL;
+        if (do_send(send, ctl) < 0) {
+            Py_DECREF(ctl);
+            return NULL;
+        }
+        Py_DECREF(ctl);
+        received = slot_get(self, NK.received, "_received");
+        if (received == NULL)
+            return NULL;
+        has = PySet_CheckExact(received)
+                  ? PySet_Contains(received, seq_obj)
+                  : PySequence_Contains(received, seq_obj);
+        if (has < 0)
+            return NULL;
+        if (!has) {
+            PyObject *source, *payload_obj, *collector, *record, *fid,
+                *now_obj, *sim, *r;
+            if (PySet_CheckExact(received)) {
+                if (PySet_Add(received, seq_obj) < 0)
+                    return NULL;
+            }
+            else {
+                r = PyObject_CallMethodOneArg(received, s_add, seq_obj);
+                if (r == NULL)
+                    return NULL;
+                Py_DECREF(r);
+            }
+            source = slot_get(self, NK.source, "source");
+            if (source == NULL)
+                return NULL;
+            if (Py_TYPE(source) == t_cksrc || Py_TYPE(source) == t_src) {
+                /* source.payload_bytes(seq), inlined. */
+                long long mtu, payload, size_ll, seq_ll, remaining, b;
+                int err = 0;
+                PyObject *srecord = slot_get(source, NS.record, "record");
+                PyObject *sz;
+                if (srecord == NULL)
+                    return NULL;
+                mtu = slot_ll(source, NS.mtu, "mtu", &err);
+                if (err)
+                    return NULL;
+                payload = mtu - g_header_ll;
+                sz = PyObject_GetAttr(srecord, s_size_bytes);
+                if (sz == NULL)
+                    return NULL;
+                size_ll = PyLong_AsLongLong(sz);
+                Py_DECREF(sz);
+                if (size_ll == -1 && PyErr_Occurred())
+                    return NULL;
+                seq_ll = PyLong_AsLongLong(seq_obj);
+                if (seq_ll == -1 && PyErr_Occurred())
+                    return NULL;
+                remaining = size_ll - seq_ll * payload;
+                b = payload < remaining ? payload : remaining;
+                if (b < 1)
+                    b = 1;
+                payload_obj = PyLong_FromLongLong(b);
+            }
+            else
+                payload_obj =
+                    PyObject_CallMethodOneArg(source, s_payload_bytes,
+                                              seq_obj);
+            if (payload_obj == NULL)
+                return NULL;
+            collector = slot_get(self, NK.stats, "stats");
+            record = collector ? slot_get(self, NK.record, "record") : NULL;
+            fid = record ? PyObject_GetAttr(record, s_flow_id) : NULL;
+            if (fid == NULL) {
+                Py_DECREF(payload_obj);
+                return NULL;
+            }
+            sim = slot_get(self, NK.sim, "sim");
+            if (sim == NULL) {
+                Py_DECREF(payload_obj);
+                Py_DECREF(fid);
+                return NULL;
+            }
+            if (Py_TYPE(sim) == t_cksim || Py_TYPE(sim) == t_sim) {
+                now_obj = SLOT(sim, S.now);
+                Py_XINCREF(now_obj);
+            }
+            else
+                now_obj = PyObject_GetAttr(sim, s_now);
+            if (now_obj == NULL) {
+                Py_DECREF(payload_obj);
+                Py_DECREF(fid);
+                return NULL;
+            }
+            r = PyObject_CallMethodObjArgs(collector, s_delivered, fid,
+                                           payload_obj, now_obj, NULL);
+            Py_DECREF(payload_obj);
+            Py_DECREF(fid);
+            Py_DECREF(now_obj);
+            if (r == NULL)
+                return NULL;
+            Py_DECREF(r);
+        }
+    }
+    else {
+        /* Trimmed header: NACK so the source requeues the payload. */
+        ctl = sink_control(self, g_kind_nack, g_nack_val, seq_obj);
+        if (ctl == NULL)
+            return NULL;
+        if (do_send(send, ctl) < 0) {
+            Py_DECREF(ctl);
+            return NULL;
+        }
+        Py_DECREF(ctl);
+    }
+    fin = sink_finished(self, NK.record);
+    if (fin < 0)
+        return NULL;
+    if (!fin) {
+        PyObject *pacer = slot_get(self, NK.pacer, "pacer");
+        if (pacer == NULL)
+            return NULL;
+        if (pacer_request(pacer, self) < 0)
+            return NULL;
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+c_pacer_tick(PyObject *Py_UNUSED(mod), PyObject *const *args,
+             Py_ssize_t nargs)
+{
+    PyObject *self, *tokens;
+
+    if (nargs != 1) {
+        PyErr_SetString(PyExc_TypeError, "_tick() takes (self)");
+        return NULL;
+    }
+    self = args[0];
+    if (!g_ready || Py_TYPE(self) != t_ckpacer)
+        return PyObject_Vectorcall(g_py_pacer_tick, args, nargs, NULL);
+    tokens = slot_get(self, PP.tokens, "_tokens");
+    if (tokens == NULL)
+        return NULL;
+    for (;;) {
+        Py_ssize_t n = PyObject_Length(tokens);
+        PyObject *sink;
+        int fin;
+        if (n < 0)
+            return NULL;
+        if (n == 0)
+            break;
+        sink = PyObject_CallMethodNoArgs(tokens, s_popleft);
+        if (sink == NULL)
+            return NULL;
+        if (Py_TYPE(sink) == t_cksink || Py_TYPE(sink) == t_sink)
+            fin = sink_finished(sink, NK.record);
+        else {
+            PyObject *f = PyObject_GetAttr(sink, s_finished);
+            fin = (f == NULL) ? -1 : PyObject_IsTrue(f);
+            Py_XDECREF(f);
+        }
+        if (fin < 0) {
+            Py_DECREF(sink);
+            return NULL;
+        }
+        if (fin) {
+            Py_DECREF(sink);
+            continue; /* completed flows relinquish their tokens */
+        }
+        if (Py_TYPE(sink) == t_cksink) {
+            if (sink_emit_pull_impl(sink) < 0) {
+                Py_DECREF(sink);
+                return NULL;
+            }
+        }
+        else {
+            PyObject *r = PyObject_CallMethodNoArgs(sink, s_emit_pull);
+            if (r == NULL) {
+                Py_DECREF(sink);
+                return NULL;
+            }
+            Py_DECREF(r);
+        }
+        Py_DECREF(sink);
+        {
+            PyObject *sim = slot_get(self, PP.sim, "sim");
+            PyObject *tick = sim ? slot_get(self, PP.tick_cb, "_tick_cb")
+                                 : NULL;
+            int err = 0;
+            if (tick == NULL)
+                return NULL;
+            if (sim_fast(sim)) {
+                long long now = slot_ll(sim, S.now, "now", &err);
+                long long interval =
+                    slot_ll(self, PP.interval_ps, "interval_ps", &err);
+                if (err)
+                    return NULL;
+                if (schedule_heap(sim, now + interval, tick, g_empty) < 0)
+                    return NULL;
+            }
+            else {
+                PyObject *interval_obj = SLOT(self, PP.interval_ps);
+                PyObject *r = PyObject_CallMethodObjArgs(
+                    sim, s_after, interval_obj, tick, NULL);
+                if (r == NULL)
+                    return NULL;
+                Py_DECREF(r);
+            }
+        }
+        Py_RETURN_NONE;
+    }
+    slot_set(self, PP.running, Py_False);
+    Py_RETURN_NONE;
+}
+
+/* ------------------------------------------------------------------- init */
+
+static int
+get_offset(PyObject *cls, const char *name, Py_ssize_t *out)
+{
+    PyObject *d = PyObject_GetAttrString(cls, name);
+    if (d == NULL)
+        return -1;
+    if (!PyObject_TypeCheck(d, &PyMemberDescr_Type)) {
+        PyErr_Format(PyExc_TypeError,
+                     "%.100s.%.100s is not a __slots__ member descriptor",
+                     ((PyTypeObject *)cls)->tp_name, name);
+        Py_DECREF(d);
+        return -1;
+    }
+    *out = ((PyMemberDescrObject *)d)->d_member->offset;
+    Py_DECREF(d);
+    return 0;
+}
+
+static PyObject *
+cfg_get(PyObject *cfg, const char *key)
+{
+    PyObject *v = PyDict_GetItemString(cfg, key); /* borrowed */
+    if (v == NULL)
+        PyErr_Format(PyExc_KeyError, "ckernel init: missing key %.100s", key);
+    else
+        Py_INCREF(v);
+    return v;
+}
+
+#define CFG_OBJ(var, key)                                                     \
+    do {                                                                      \
+        Py_XDECREF(var);                                                      \
+        var = cfg_get(cfg, key);                                              \
+        if (var == NULL)                                                      \
+            return NULL;                                                      \
+    } while (0)
+
+#define OFF(cls, field, dest)                                                 \
+    do {                                                                      \
+        if (get_offset(cls, field, &(dest)) < 0)                              \
+            return NULL;                                                      \
+    } while (0)
+
+static PyObject *
+c_init(PyObject *Py_UNUSED(mod), PyObject *cfg)
+{
+    PyObject *cls, *tmp = NULL;
+
+    if (!PyDict_CheckExact(cfg)) {
+        PyErr_SetString(PyExc_TypeError, "init() takes a config dict");
+        return NULL;
+    }
+
+    /* Simulator offsets */
+    CFG_OBJ(tmp, "Simulator");
+    cls = tmp;
+    Py_XDECREF((PyObject *)t_sim);
+    t_sim = (PyTypeObject *)cls;
+    Py_INCREF(cls);
+    OFF(cls, "now", S.now);
+    OFF(cls, "_wheel", S.wheel);
+    OFF(cls, "_heap", S.heap);
+    OFF(cls, "_seq", S.seq);
+    OFF(cls, "_gap", S.gap);
+    OFF(cls, "coalesce", S.coalesce);
+    OFF(cls, "_train_extra", S.train_extra);
+    OFF(cls, "events_processed", S.events_processed);
+    OFF(cls, "trains_formed", S.trains_formed);
+    OFF(cls, "train_events", S.train_events);
+    OFF(cls, "train_repushes", S.train_repushes);
+
+    /* Port offsets */
+    CFG_OBJ(tmp, "Port");
+    cls = tmp;
+    Py_XDECREF((PyObject *)t_port);
+    t_port = (PyTypeObject *)cls;
+    Py_INCREF(cls);
+    OFF(cls, "sim", P.sim);
+    OFF(cls, "resolver", P.resolver);
+    OFF(cls, "propagation_ps", P.propagation_ps);
+    OFF(cls, "data_queue_bytes", P.data_queue_bytes);
+    OFF(cls, "control_queue_bytes", P.control_queue_bytes);
+    OFF(cls, "bulk_queue_bytes", P.bulk_queue_bytes);
+    OFF(cls, "trimming", P.trimming);
+    OFF(cls, "on_undeliverable", P.on_undeliverable);
+    OFF(cls, "on_bulk_drop", P.on_bulk_drop);
+    OFF(cls, "stats", P.stats);
+    OFF(cls, "_q_control", P.q_control);
+    OFF(cls, "_q_data", P.q_data);
+    OFF(cls, "_q_bulk", P.q_bulk);
+    OFF(cls, "_bytes_control", P.bytes_control);
+    OFF(cls, "_bytes_data", P.bytes_data);
+    OFF(cls, "_bytes_bulk", P.bytes_bulk);
+    OFF(cls, "_busy_until", P.busy_until);
+    OFF(cls, "_kick_pending", P.kick_pending);
+    OFF(cls, "_ps_per_byte", P.ps_per_byte);
+    OFF(cls, "_target", P.target);
+    OFF(cls, "_committed_control", P.committed_control);
+    OFF(cls, "_deliver", P.deliver);
+    OFF(cls, "_kick_cb", P.kick_cb);
+    OFF(cls, "_undeliv_cb", P.undeliv_cb);
+    OFF(cls, "_burst", P.burst);
+
+    /* Packet offsets */
+    CFG_OBJ(tmp, "Packet");
+    cls = tmp;
+    Py_XDECREF((PyObject *)t_packet);
+    t_packet = (PyTypeObject *)cls;
+    Py_INCREF(cls);
+    OFF(cls, "flow_id", K.flow_id);
+    OFF(cls, "kind", K.kind);
+    OFF(cls, "src_host", K.src_host);
+    OFF(cls, "dst_host", K.dst_host);
+    OFF(cls, "seq", K.seq);
+    OFF(cls, "size_bytes", K.size_bytes);
+    OFF(cls, "priority", K.priority);
+    OFF(cls, "slice_stamp", K.slice_stamp);
+    OFF(cls, "salt", K.salt);
+    OFF(cls, "hops", K.hops);
+    OFF(cls, "next_rack", K.next_rack);
+    OFF(cls, "relay_to", K.relay_to);
+    OFF(cls, "enqueued_ps", K.enqueued_ps);
+    OFF(cls, "recv_args", K.recv_args);
+    OFF(cls, "_pooled", K.pooled);
+
+    /* Host offsets */
+    CFG_OBJ(tmp, "Host");
+    cls = tmp;
+    Py_XDECREF((PyObject *)t_host);
+    t_host = (PyTypeObject *)cls;
+    Py_INCREF(cls);
+    OFF(cls, "sources", H.sources);
+    OFF(cls, "sinks", H.sinks);
+    OFF(cls, "dropped", H.dropped);
+
+    /* SwitchNode offsets */
+    CFG_OBJ(tmp, "SwitchNode");
+    cls = tmp;
+    Py_XDECREF((PyObject *)t_switch);
+    t_switch = (PyTypeObject *)cls;
+    Py_INCREF(cls);
+    OFF(cls, "drops", W.drops);
+
+    /* PortStats offsets */
+    CFG_OBJ(tmp, "PortStats");
+    cls = tmp;
+    OFF(cls, "sent_packets", ST.sent_packets);
+    OFF(cls, "sent_bytes", ST.sent_bytes);
+    OFF(cls, "trimmed", ST.trimmed);
+    OFF(cls, "dropped_control", ST.dropped_control);
+    OFF(cls, "dropped_bulk", ST.dropped_bulk);
+
+    /* NdpSource offsets */
+    CFG_OBJ(tmp, "NdpSource");
+    cls = tmp;
+    Py_XDECREF((PyObject *)t_src);
+    t_src = (PyTypeObject *)cls;
+    Py_INCREF(cls);
+    OFF(cls, "record", NS.record);
+    OFF(cls, "priority", NS.priority);
+    OFF(cls, "mtu", NS.mtu);
+    OFF(cls, "n_packets", NS.n_packets);
+    OFF(cls, "_next_new", NS.next_new);
+    OFF(cls, "_rtx", NS.rtx);
+    OFF(cls, "_acked", NS.acked);
+    OFF(cls, "_pulls_banked", NS.pulls_banked);
+    OFF(cls, "_send", NS.send);
+
+    /* NdpSink offsets */
+    CFG_OBJ(tmp, "NdpSink");
+    cls = tmp;
+    Py_XDECREF((PyObject *)t_sink);
+    t_sink = (PyTypeObject *)cls;
+    Py_INCREF(cls);
+    OFF(cls, "sim", NK.sim);
+    OFF(cls, "record", NK.record);
+    OFF(cls, "pacer", NK.pacer);
+    OFF(cls, "stats", NK.stats);
+    OFF(cls, "source", NK.source);
+    OFF(cls, "_received", NK.received);
+    OFF(cls, "_pull_seq", NK.pull_seq);
+    OFF(cls, "_send", NK.send);
+
+    /* PullPacer offsets */
+    CFG_OBJ(tmp, "PullPacer");
+    cls = tmp;
+    Py_XDECREF((PyObject *)t_pacer);
+    t_pacer = (PyTypeObject *)cls;
+    Py_INCREF(cls);
+    OFF(cls, "sim", PP.sim);
+    OFF(cls, "interval_ps", PP.interval_ps);
+    OFF(cls, "_tokens", PP.tokens);
+    OFF(cls, "_running", PP.running);
+    OFF(cls, "_tick_cb", PP.tick_cb);
+
+    CFG_OBJ(g_train, "TRAIN");
+    CFG_OBJ(g_lazy, "LAZY");
+    CFG_OBJ(g_consumed, "CONSUMED");
+    CFG_OBJ(g_prio_control, "PRIO_CONTROL");
+    CFG_OBJ(g_prio_low, "PRIO_LOW_LATENCY");
+    CFG_OBJ(g_prio_bulk, "PRIO_BULK");
+    CFG_OBJ(g_kind_data, "KIND_DATA");
+    CFG_OBJ(g_kind_header, "KIND_HEADER");
+    CFG_OBJ(g_kind_ack, "KIND_ACK");
+    CFG_OBJ(g_kind_nack, "KIND_NACK");
+    CFG_OBJ(g_kind_pull, "KIND_PULL");
+    Py_XDECREF(g_ack_val);
+    g_ack_val = PyObject_GetAttr(g_kind_ack, s_value);
+    Py_XDECREF(g_nack_val);
+    g_nack_val = PyObject_GetAttr(g_kind_nack, s_value);
+    Py_XDECREF(g_pull_val);
+    g_pull_val = PyObject_GetAttr(g_kind_pull, s_value);
+    if (g_ack_val == NULL || g_nack_val == NULL || g_pull_val == NULL)
+        return NULL;
+    CFG_OBJ(g_pool, "POOL");
+    if (!PyList_CheckExact(g_pool)) {
+        PyErr_SetString(PyExc_TypeError, "POOL must be the packet free list");
+        return NULL;
+    }
+    CFG_OBJ(tmp, "POOL_MAX");
+    g_pool_max = PyLong_AsLong(tmp);
+    CFG_OBJ(tmp, "MAX_HOPS");
+    g_max_hops = PyLong_AsLongLong(tmp);
+    CFG_OBJ(g_header_bytes, "HEADER_BYTES");
+    g_header_ll = PyLong_AsLongLong(g_header_bytes);
+    if (g_header_ll == -1 && PyErr_Occurred())
+        return NULL;
+    CFG_OBJ(g_py_sim_at, "py_at");
+    CFG_OBJ(g_py_sim_after, "py_after");
+    CFG_OBJ(g_py_sim_at_many, "py_at_many");
+    CFG_OBJ(g_py_sim_run, "py_run");
+    CFG_OBJ(g_py_past_error, "py_past_error");
+    CFG_OBJ(g_py_port_enqueue, "py_enqueue");
+    CFG_OBJ(g_py_port_kick, "py_kick");
+    CFG_OBJ(g_py_host_receive, "py_receive");
+    CFG_OBJ(g_py_acquire, "py_acquire");
+    CFG_OBJ(g_py_src_on_packet, "py_src_on_packet");
+    CFG_OBJ(g_py_sink_on_packet, "py_sink_on_packet");
+    CFG_OBJ(g_py_emit_pull, "py_emit_pull");
+    CFG_OBJ(g_py_pacer_tick, "py_pacer_tick");
+    CFG_OBJ(tmp, "SORT_KEY");
+    Py_XDECREF(g_sort_kwargs);
+    g_sort_kwargs = PyDict_New();
+    if (g_sort_kwargs == NULL ||
+        PyDict_SetItemString(g_sort_kwargs, "key", tmp) < 0)
+        return NULL;
+    Py_CLEAR(tmp);
+    if (PyErr_Occurred())
+        return NULL;
+    g_ready = 1;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+c_register(PyObject *Py_UNUSED(mod), PyObject *args)
+{
+    PyObject *cksim, *ckport, *ckhost, *ckswitch, *cksrc, *cksink, *ckpacer;
+    if (!PyArg_ParseTuple(args, "OOOOOOO:register", &cksim, &ckport, &ckhost,
+                          &ckswitch, &cksrc, &cksink, &ckpacer))
+        return NULL;
+    Py_XDECREF((PyObject *)t_cksim);
+    Py_XDECREF((PyObject *)t_ckport);
+    Py_XDECREF((PyObject *)t_ckhost);
+    Py_XDECREF((PyObject *)t_ckswitch);
+    Py_XDECREF((PyObject *)t_cksrc);
+    Py_XDECREF((PyObject *)t_cksink);
+    Py_XDECREF((PyObject *)t_ckpacer);
+    t_cksim = (PyTypeObject *)cksim;
+    t_ckport = (PyTypeObject *)ckport;
+    t_ckhost = (PyTypeObject *)ckhost;
+    t_ckswitch = (PyTypeObject *)ckswitch;
+    t_cksrc = (PyTypeObject *)cksrc;
+    t_cksink = (PyTypeObject *)cksink;
+    t_ckpacer = (PyTypeObject *)ckpacer;
+    Py_INCREF(cksim);
+    Py_INCREF(ckport);
+    Py_INCREF(ckhost);
+    Py_INCREF(ckswitch);
+    Py_INCREF(cksrc);
+    Py_INCREF(cksink);
+    Py_INCREF(ckpacer);
+    Py_RETURN_NONE;
+}
+
+/* ----------------------------------------------------------------- module */
+
+static PyMethodDef module_fns[] = {
+    {"init", (PyCFunction)c_init, METH_O,
+     "Capture slot offsets, sentinels and Python fallbacks."},
+    {"register", (PyCFunction)c_register, METH_VARARGS,
+     "Register the CK* classes for exact-type fast paths."},
+    {"make_dispatch", (PyCFunction)c_make_dispatch, METH_VARARGS,
+     "Build the fused C dispatch callable for a switch."},
+    {NULL, NULL, 0, NULL}};
+
+/* Methods exported as instancemethod descriptors (class-dict rebinding). */
+static PyMethodDef m_at = {"at", (PyCFunction)c_sim_at, METH_FASTCALL,
+                           "Compiled Simulator.at."};
+static PyMethodDef m_after = {"after", (PyCFunction)c_sim_after,
+                              METH_FASTCALL, "Compiled Simulator.after."};
+static PyMethodDef m_at_many = {"at_many", (PyCFunction)c_sim_at_many,
+                                METH_FASTCALL, "Compiled Simulator.at_many."};
+static PyMethodDef m_run = {"run", (PyCFunction)c_sim_run,
+                            METH_VARARGS | METH_KEYWORDS,
+                            "Compiled Simulator.run."};
+static PyMethodDef m_enqueue = {"enqueue", (PyCFunction)c_port_enqueue,
+                                METH_FASTCALL, "Compiled Port.enqueue."};
+static PyMethodDef m_kick = {"_kick", (PyCFunction)c_port_kick, METH_FASTCALL,
+                             "Compiled Port._kick."};
+static PyMethodDef m_receive = {"receive", (PyCFunction)c_host_receive,
+                                METH_FASTCALL, "Compiled Host.receive."};
+static PyMethodDef m_src_on_packet = {
+    "src_on_packet", (PyCFunction)c_src_on_packet, METH_FASTCALL,
+    "Compiled NdpSource.on_packet."};
+static PyMethodDef m_sink_on_packet = {
+    "sink_on_packet", (PyCFunction)c_sink_on_packet, METH_FASTCALL,
+    "Compiled NdpSink.on_packet."};
+static PyMethodDef m_sink_emit_pull = {
+    "sink_emit_pull", (PyCFunction)c_sink_emit_pull, METH_FASTCALL,
+    "Compiled NdpSink.emit_pull."};
+static PyMethodDef m_pacer_tick = {"pacer_tick", (PyCFunction)c_pacer_tick,
+                                   METH_FASTCALL,
+                                   "Compiled PullPacer._tick."};
+
+/* Add def as an instancemethod module attribute; when `keep` is non-NULL
+ * the underlying PyCFunction is also stored there (new reference) so hot
+ * paths can recognise bound methods of it. */
+static int
+add_instancemethod(PyObject *m, PyMethodDef *def, PyObject **keep)
+{
+    PyObject *f = PyCFunction_New(def, NULL);
+    PyObject *im;
+    if (f == NULL)
+        return -1;
+    im = PyInstanceMethod_New(f);
+    if (im == NULL) {
+        Py_DECREF(f);
+        return -1;
+    }
+    if (keep != NULL) {
+        Py_XDECREF(*keep);
+        *keep = f; /* transfer our ref */
+    }
+    else
+        Py_DECREF(f);
+    if (PyModule_AddObject(m, def->ml_name, im) < 0) {
+        Py_DECREF(im);
+        return -1;
+    }
+    return 0;
+}
+
+static struct PyModuleDef ckernel_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro.net.kernel._ckernel",
+    "Compiled engine kernel: enqueue/serialize/dispatch in C over the\n"
+    "pure-Python engine's __slots__ layout. See repro.net.kernel.",
+    -1,
+    module_fns,
+};
+
+PyMODINIT_FUNC
+PyInit__ckernel(void)
+{
+    PyObject *m, *builtins;
+
+    m = PyModule_Create(&ckernel_module);
+    if (m == NULL)
+        return NULL;
+    s_receive_cb = PyUnicode_InternFromString("receive_cb");
+    s_receive = PyUnicode_InternFromString("receive");
+    s_popleft = PyUnicode_InternFromString("popleft");
+    s_append = PyUnicode_InternFromString("append");
+    s_on_packet = PyUnicode_InternFromString("on_packet");
+    s_enqueue = PyUnicode_InternFromString("enqueue");
+    s_add = PyUnicode_InternFromString("add");
+    s_after = PyUnicode_InternFromString("after");
+    s_request = PyUnicode_InternFromString("request");
+    s_emit_pull = PyUnicode_InternFromString("emit_pull");
+    s_finished = PyUnicode_InternFromString("finished");
+    s_payload_bytes = PyUnicode_InternFromString("payload_bytes");
+    s_delivered = PyUnicode_InternFromString("delivered");
+    s_now = PyUnicode_InternFromString("now");
+    s_flow_id = PyUnicode_InternFromString("flow_id");
+    s_src_host = PyUnicode_InternFromString("src_host");
+    s_dst_host = PyUnicode_InternFromString("dst_host");
+    s_size_bytes = PyUnicode_InternFromString("size_bytes");
+    s_end_ps = PyUnicode_InternFromString("end_ps");
+    s_retransmissions = PyUnicode_InternFromString("retransmissions");
+    s_value = PyUnicode_InternFromString("value");
+    if (s_receive_cb == NULL || s_receive == NULL || s_popleft == NULL ||
+        s_append == NULL || s_on_packet == NULL || s_enqueue == NULL ||
+        s_add == NULL || s_after == NULL || s_request == NULL ||
+        s_emit_pull == NULL || s_finished == NULL ||
+        s_payload_bytes == NULL || s_delivered == NULL || s_now == NULL ||
+        s_flow_id == NULL || s_src_host == NULL || s_dst_host == NULL ||
+        s_size_bytes == NULL || s_end_ps == NULL ||
+        s_retransmissions == NULL || s_value == NULL)
+        goto fail;
+    g_empty = PyTuple_New(0);
+    g_src_salt = PyLong_FromLongLong(0x9E3779B9LL);
+    g_zero = PyLong_FromLong(0);
+    g_one = PyLong_FromLong(1);
+    if (g_empty == NULL || g_src_salt == NULL || g_zero == NULL ||
+        g_one == NULL)
+        goto fail;
+    builtins = PyEval_GetBuiltins(); /* borrowed */
+    g_sorted = PyMapping_GetItemString(builtins, "sorted");
+    if (g_sorted == NULL)
+        goto fail;
+    if (add_instancemethod(m, &m_at, NULL) < 0 ||
+        add_instancemethod(m, &m_after, NULL) < 0 ||
+        add_instancemethod(m, &m_at_many, NULL) < 0 ||
+        add_instancemethod(m, &m_run, NULL) < 0 ||
+        add_instancemethod(m, &m_enqueue, &g_cf_enqueue) < 0 ||
+        add_instancemethod(m, &m_kick, NULL) < 0 ||
+        add_instancemethod(m, &m_receive, NULL) < 0 ||
+        add_instancemethod(m, &m_src_on_packet, NULL) < 0 ||
+        add_instancemethod(m, &m_sink_on_packet, NULL) < 0 ||
+        add_instancemethod(m, &m_sink_emit_pull, NULL) < 0 ||
+        add_instancemethod(m, &m_pacer_tick, NULL) < 0)
+        goto fail;
+    return m;
+fail:
+    Py_DECREF(m);
+    return NULL;
+}

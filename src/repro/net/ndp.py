@@ -42,6 +42,8 @@ DEFAULT_INITIAL_WINDOW = 12
 class PullPacer:
     """Per-host PULL clock: one PULL per MTU serialization time."""
 
+    __slots__ = ("sim", "host", "interval_ps", "_tokens", "_running", "_tick_cb")
+
     def __init__(self, sim: Simulator, host: Host, rate_bps: int) -> None:
         self.sim = sim
         self.host = host
@@ -70,6 +72,21 @@ class PullPacer:
 
 class NdpSource:
     """Sender half of one NDP flow."""
+
+    __slots__ = (
+        "sim",
+        "host",
+        "record",
+        "priority",
+        "mtu",
+        "n_packets",
+        "initial_window",
+        "_next_new",
+        "_rtx",
+        "_acked",
+        "_pulls_banked",
+        "_send",
+    )
 
     def __init__(
         self,
@@ -159,6 +176,18 @@ class NdpSource:
 class NdpSink:
     """Receiver half of one NDP flow: ACK/NACK + paced PULLs."""
 
+    __slots__ = (
+        "sim",
+        "host",
+        "record",
+        "pacer",
+        "stats",
+        "source",
+        "_received",
+        "_pull_seq",
+        "_send",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -230,10 +259,17 @@ def start_ndp_flow(
     priority: Priority = Priority.LOW_LATENCY,
     initial_window: int = DEFAULT_INITIAL_WINDOW,
     start_delay_ps: int = 0,
+    source_cls: type["NdpSource"] = None,  # type: ignore[assignment]
+    sink_cls: type["NdpSink"] = None,  # type: ignore[assignment]
 ) -> NdpSource:
-    """Wire up source+sink for one flow and schedule its start."""
-    source = NdpSource(sim, src, record, priority, initial_window)
-    NdpSink(sim, dst, record, src, pacer, stats, source)
+    """Wire up source+sink for one flow and schedule its start.
+
+    ``source_cls``/``sink_cls`` let builders pass the kernel-resolved
+    endpoint classes (:mod:`repro.net.kernel`); they default to the
+    pure-Python endpoints.
+    """
+    source = (source_cls or NdpSource)(sim, src, record, priority, initial_window)
+    (sink_cls or NdpSink)(sim, dst, record, src, pacer, stats, source)
     stats.flow_started(record)
     sim.after(start_delay_ps, source.start)
     return source

@@ -46,8 +46,11 @@ from __future__ import annotations
 
 import hashlib
 import itertools
+import logging
+import math
 import multiprocessing
 import os
+import subprocess
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -72,6 +75,8 @@ __all__ = [
     "derive_seed",
     "Progress",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 class ScenarioExecutionError(RuntimeError):
@@ -208,6 +213,11 @@ def _execute(name: str, params: dict[str, Any]) -> tuple[dict[str, Any], Any]:
         except EncodeError:
             payload = None
     except Exception:
+        # KeyboardInterrupt/SystemExit are BaseException and propagate;
+        # scenario failures become error docs, but never silently — the
+        # log line carries the unit label even when no caller inspects
+        # the doc (e.g. a worker whose lease is later abandoned).
+        logger.warning("scenario %r failed (params=%r)", name, params, exc_info=True)
         doc = {"scenario": name, "params": params, "error": traceback.format_exc()}
         return doc, None
     doc = {
@@ -236,6 +246,13 @@ def _execute_cell(
         value = sc.run_cell(**params)
         portable = to_portable(value)
     except Exception:
+        logger.warning(
+            "scenario %r cell %r failed (params=%r)",
+            name,
+            cell_key,
+            params,
+            exc_info=True,
+        )
         doc = {
             "scenario": name,
             "cell": cell_key,
@@ -625,9 +642,19 @@ class Runner:
                 if p.poll() is None:
                     p.terminate()
             for p in procs:
+                # Only the two failures reaping can legitimately hit:
+                # a worker that ignores SIGTERM (escalate to SIGKILL) or
+                # an OS-level error on an already-gone process. Anything
+                # else — including KeyboardInterrupt — propagates.
                 try:
                     p.wait(timeout=5)
-                except Exception:
+                except subprocess.TimeoutExpired:
+                    logger.warning(
+                        "worker pid %s ignored terminate; killing", p.pid
+                    )
+                    p.kill()
+                    p.wait(timeout=5)
+                except OSError:
                     pass
 
     def _adapt_costs(self, units: list[_Unit]) -> None:
@@ -750,15 +777,19 @@ class Runner:
             done_cost += unit.cost
             if self.progress is not None:
                 elapsed = time.perf_counter() - started
-                # Guard the ETA against degenerate first units: a
-                # zero-cost unit (possible after adaptive re-costing) or a
-                # finish inside one clock tick must report "unknown", not
-                # a division blow-up or a bogus instant estimate.
+                # Guard the ETA against degenerate inputs: a zero-cost
+                # unit (possible after adaptive re-costing), a finish
+                # inside one clock tick, or non-finite costs (recorded
+                # ``duration_s`` telemetry disagreeing with the static
+                # estimates) must report "unknown", not a division
+                # blow-up, a NaN, or a negative countdown.
                 eta = None
                 if done_cost > 0 and elapsed > 0:
                     eta = max(
                         elapsed * (total_cost - done_cost) / done_cost, 0.0
                     )
+                    if not math.isfinite(eta):
+                        eta = None
                 self.progress(
                     Progress(
                         done=done,
@@ -798,6 +829,15 @@ class Runner:
                 except EncodeError:
                     payload = None
             except Exception:
+                # Merge/format failures after a later job already failed
+                # would otherwise vanish (only the first failure is
+                # raised) — log every one with its scenario label.
+                logger.warning(
+                    "scenario %r merge failed (params=%r)",
+                    sc.name,
+                    job.params,
+                    exc_info=True,
+                )
                 if failure is None:
                     failure = ScenarioExecutionError(
                         sc.name, job.params, traceback.format_exc()

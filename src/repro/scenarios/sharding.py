@@ -26,6 +26,7 @@ Contract (enforced by :func:`validate_plan` at decomposition time):
 from __future__ import annotations
 
 import hashlib
+import math
 from dataclasses import dataclass, field
 from typing import Any, Mapping, TypeVar
 
@@ -81,23 +82,27 @@ def calibrate_costs(
     static-only siblings. Keys without history keep their static
     estimate, and with no usable overlap the statics are returned
     unchanged (the fallback the adaptive model promises).
+
+    History is telemetry, not trusted input: a NaN/inf duration (a
+    corrupted cache row, a clock that jumped) or a non-finite static
+    estimate is treated as *no history* for that key, so the calibrated
+    costs — which feed progress ETAs — are always finite.
     """
-    overlap = [
-        (static[k], recorded[k])
-        for k in static
-        if recorded.get(k, 0.0) > 0.0
-    ]
+
+    def usable(k: _K) -> bool:
+        r = recorded.get(k, 0.0)
+        return r > 0.0 and math.isfinite(r) and math.isfinite(static[k])
+
+    overlap = [(static[k], recorded[k]) for k in static if usable(k)]
     total_static = sum(s for s, _ in overlap)
     total_recorded = sum(r for _, r in overlap)
     if total_static <= 0.0 or total_recorded <= 0.0:
         return dict(static)
     seconds_per_unit = total_recorded / total_static
+    if not math.isfinite(seconds_per_unit) or seconds_per_unit <= 0.0:
+        return dict(static)
     return {
-        k: (
-            recorded[k] / seconds_per_unit
-            if recorded.get(k, 0.0) > 0.0
-            else s
-        )
+        k: (recorded[k] / seconds_per_unit if usable(k) else s)
         for k, s in static.items()
     }
 

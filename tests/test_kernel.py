@@ -1,0 +1,251 @@
+"""Differential tests for the compiled engine kernel (``REPRO_KERNEL``).
+
+The kernel contract is that the compiled fast path is *invisible*: a run
+under ``REPRO_KERNEL=c`` must be bit-identical to the pure-Python oracle
+(``REPRO_KERNEL=py``) — same timestamps, tie-breaks, FCT rows, hop and
+drop counts, ``events_processed`` and ``pending`` — across every other
+engine axis (scheduler x coalesce x executor). These tests extend the
+PR 2/PR 5 differential pattern with the kernel axis: random event
+cascades, full packet workloads on every network kind compared
+observable-by-observable, scenario Runner rows (including a distributed
+smoke run whose spawned workers inherit the kernel selection), and the
+seam mechanics themselves (env parsing, graceful fallback when the
+compiled module is absent).
+"""
+
+import random
+import warnings
+
+import pytest
+
+from repro.net import kernel as kernel_mod
+from repro.net.kernel import compiled_available, engine_classes, kernel_default
+
+from test_coalescing import COMBOS, packet_workload
+
+requires_c = pytest.mark.skipif(
+    not compiled_available(),
+    reason="compiled kernel (_ckernel) not built in this environment",
+)
+
+NETWORK_KINDS = ["opera", "expander", "clos", "rotornet", "rotornet-hybrid"]
+
+
+def kernel_workload(kernel, scheduler, coalesce, kind="opera", seed=11, monkeypatch=None):
+    """packet_workload with the kernel axis pinned via the env seam."""
+    import os
+
+    saved = os.environ.get("REPRO_KERNEL")
+    os.environ["REPRO_KERNEL"] = kernel
+    try:
+        return packet_workload(scheduler, coalesce, kind=kind, seed=seed)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_KERNEL", None)
+        else:
+            os.environ["REPRO_KERNEL"] = saved
+
+
+class TestKernelSeam:
+    def test_known_kernels(self):
+        assert kernel_mod.KERNELS == ("py", "c")
+
+    def test_env_default_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        assert kernel_default() == "auto"
+        monkeypatch.setenv("REPRO_KERNEL", "py")
+        assert kernel_default() == "py"
+        monkeypatch.setenv("REPRO_KERNEL", "turbo")
+        with pytest.raises(ValueError, match="turbo"):
+            kernel_default()
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="pypy"):
+            engine_classes("pypy")
+
+    def test_py_classes_are_the_plain_engine(self):
+        from repro.net.link import Port
+        from repro.net.ndp import NdpSink, NdpSource, PullPacer
+        from repro.net.node import Host, SwitchNode
+        from repro.net.sim import Simulator
+
+        classes = engine_classes("py")
+        assert classes.name == "py"
+        assert classes.Simulator is Simulator
+        assert classes.Port is Port
+        assert classes.Host is Host
+        assert classes.SwitchNode is SwitchNode
+        assert classes.NdpSource is NdpSource
+        assert classes.NdpSink is NdpSink
+        assert classes.PullPacer is PullPacer
+
+    @requires_c
+    def test_c_classes_subclass_the_python_engine(self):
+        py = engine_classes("py")
+        ck = engine_classes("c")
+        assert ck.name == "c"
+        for field in ("Simulator", "Port", "Host", "SwitchNode",
+                      "NdpSource", "NdpSink", "PullPacer"):
+            c_cls, py_cls = getattr(ck, field), getattr(py, field)
+            assert c_cls is not py_cls
+            assert issubclass(c_cls, py_cls)
+            # One data layout, two method implementations.
+            assert c_cls.__slots__ == ()
+
+    @requires_c
+    def test_auto_prefers_compiled(self):
+        assert engine_classes("auto").name == "c"
+
+    def test_missing_compiled_module_degrades_with_warning(self, monkeypatch):
+        # REPRO_KERNEL=c without the extension must *run* (pure-Python
+        # classes), warning once — a build problem never fails a sim.
+        monkeypatch.setattr(kernel_mod, "_COMPILED", False)
+        monkeypatch.setattr(kernel_mod, "_WARNED", False)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            classes = engine_classes("c")
+        assert classes.name == "py"
+        # Second resolution is silent (one-time warning) and still works.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert engine_classes("c").name == "py"
+            assert engine_classes("auto").name == "py"
+
+
+def kernel_cascade(kernel, scheduler, coalesce, seed):
+    """Seeded self-scheduling storm on the selected kernel's Simulator."""
+    sim_cls = engine_classes(kernel).Simulator
+    sim = sim_cls(scheduler=scheduler, coalesce=coalesce)
+    rng = random.Random(seed)
+    trace = []
+
+    def fire(tag):
+        trace.append((sim.now, tag))
+        k = rng.choices((0, 1, 2, 3), weights=(5, 3, 2, 1))[0]
+        entries = []
+        for i in range(k):
+            delay = rng.choice(
+                (0, rng.randrange(1, 80_000), rng.randrange(1, 5_000_000_000))
+            )
+            entries.append((sim.now + delay, fire, (f"{tag}.{i}",)))
+        sim.at_many(entries)
+
+    for i in range(40):
+        sim.at(rng.randrange(0, 50_000_000), fire, str(i))
+    for chunk in (
+        dict(until_ps=100_000_000, max_events=500),
+        dict(until_ps=2_000_000_000),
+        dict(max_events=3_000),
+        dict(),
+    ):
+        sim.run(**chunk)
+    return tuple(trace), sim.now, sim.events_processed, sim.pending
+
+
+@requires_c
+class TestKernelCascades:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_cascades_identical_across_kernel_and_combos(self, seed):
+        baseline = kernel_cascade("py", "heap", False, seed)
+        for scheduler, coalesce in COMBOS:
+            assert kernel_cascade("c", scheduler, coalesce, seed) == baseline, (
+                scheduler,
+                coalesce,
+            )
+
+    def test_compiled_run_loop_is_exercised(self):
+        # The c cascade must actually run through CKSimulator.run — pin
+        # that the resolved class is the compiled subclass, not a silent
+        # fallback.
+        sim_cls = engine_classes("c").Simulator
+        assert sim_cls.__name__ == "CKSimulator"
+        assert sim_cls.run is not engine_classes("py").Simulator.run
+
+
+@requires_c
+class TestKernelPacketDifferential:
+    """Full packet workloads: c == py observable-by-observable."""
+
+    OBSERVABLES = ("events", "final_now", "pending", "fcts", "port_stats", "drops")
+
+    @pytest.mark.parametrize("kind", NETWORK_KINDS)
+    def test_every_network_kind_bit_identical(self, kind):
+        py = kernel_workload("py", "heap", True, kind=kind)
+        ck = kernel_workload("c", "heap", True, kind=kind)
+        for key in self.OBSERVABLES:
+            assert ck[key] == py[key], (kind, key)
+        # The runs do real work (the differential is not vacuous).
+        assert py["events"] > 1_000 and py["fcts"]
+
+    def test_opera_bit_identical_across_scheduler_and_coalesce(self):
+        baseline = kernel_workload("py", "heap", False)
+        for scheduler, coalesce in COMBOS:
+            run = kernel_workload("c", scheduler, coalesce)
+            for key in self.OBSERVABLES:
+                assert run[key] == baseline[key], (scheduler, coalesce, key)
+
+    def test_retransmission_path_is_exercised_and_identical(self):
+        # Higher load on the small fabric forces trims -> NACK -> rtx, so
+        # the kernel's NACK/PULL handlers are differentially covered.
+        py = kernel_workload("py", "heap", True, kind="clos", seed=5)
+        ck = kernel_workload("c", "heap", True, kind="clos", seed=5)
+        assert py["fcts"] == ck["fcts"]
+        assert any(rtx for _fid, _fct, _b, rtx in py["fcts"]) or any(
+            t for *_s, t in [(s[2],) for s in py["port_stats"].values()]
+        )
+
+
+class TestKernelRunnerDifferential:
+    """REPRO_KERNEL=py == c through the scenario Runner."""
+
+    OVERRIDES = {
+        "loads": (0.02, 0.05),
+        "networks": ("opera", "rotornet"),
+        "duration_ms": 0.4,
+        "scale": "ci",
+    }
+
+    @requires_c
+    def test_fig07_rows_identical_across_kernels(self, monkeypatch):
+        from repro.scenarios import Runner
+
+        monkeypatch.setenv("REPRO_KERNEL", "py")
+        py = Runner(cache=None).execute("fig07", **self.OVERRIDES)
+        monkeypatch.setenv("REPRO_KERNEL", "c")
+        ck = Runner(cache=None).execute("fig07", **self.OVERRIDES)
+        assert py == ck
+
+    @requires_c
+    def test_fig09_rows_identical_across_kernels(self, monkeypatch):
+        from repro.scenarios import Runner
+
+        overrides = {
+            "loads": (0.02,),
+            "networks": ("opera", "clos"),
+            "duration_ms": 0.4,
+            "scale": "ci",
+        }
+        monkeypatch.setenv("REPRO_KERNEL", "py")
+        py = Runner(cache=None).execute("fig09", **overrides)
+        monkeypatch.setenv("REPRO_KERNEL", "c")
+        ck = Runner(cache=None).execute("fig09", **overrides)
+        assert py == ck
+
+    @requires_c
+    def test_distributed_smoke_under_c_kernel(self, monkeypatch, tmp_path):
+        # Spawned workers inherit REPRO_KERNEL from the environment; a
+        # distributed c-kernel run must match the in-process py oracle.
+        from repro.scenarios import ResultCache, Runner
+
+        tiny = {
+            "loads": (0.02,),
+            "networks": ("opera",),
+            "duration_ms": 0.4,
+            "scale": "ci",
+        }
+        monkeypatch.setenv("REPRO_KERNEL", "py")
+        plain = Runner(cache=None).execute("fig07", **tiny)
+        monkeypatch.setenv("REPRO_KERNEL", "c")
+        dist = Runner(
+            cache=ResultCache(tmp_path), executor="distributed", workers=2
+        ).run(names=["fig07"], overrides=tiny)[0]
+        assert dist.value == plain

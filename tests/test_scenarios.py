@@ -2,6 +2,7 @@
 
 import dataclasses
 import json
+import logging
 
 import pytest
 
@@ -253,6 +254,36 @@ class TestRunner:
         with pytest.raises(ScenarioExecutionError, match="boom") as err:
             Runner(cache=None).run(names=["boom"])
         assert "kaboom" in err.value.worker_traceback
+
+    def test_scenario_failure_is_logged_with_label(
+        self, scratch_registry, caplog
+    ):
+        # Trapped scenario exceptions become error docs, but never
+        # silently: the runner logs a warning carrying the unit label and
+        # the real traceback even when no caller inspects the doc.
+        @scenario("boomlog", title="always raises")
+        def run():
+            raise RuntimeError("kaboom")
+
+        with caplog.at_level(logging.WARNING, logger="repro.scenarios.runner"):
+            with pytest.raises(ScenarioExecutionError):
+                Runner(cache=None).run(names=["boomlog"])
+        records = [
+            r for r in caplog.records if "boomlog" in r.getMessage()
+        ]
+        assert records, "scenario failure was swallowed without a log line"
+        assert records[0].exc_info is not None
+        assert "kaboom" in str(records[0].exc_info[1])
+
+    def test_cell_failure_is_logged_with_cell_label(self, tmp_path, caplog):
+        # Cell failures log scenario *and* cell key (the unit label).
+        from repro.scenarios.runner import _execute_cell
+
+        with caplog.at_level(logging.WARNING, logger="repro.scenarios.runner"):
+            doc, value = _execute_cell("fig07", "bogus@1.0", {"no_such": 1})
+        assert value is None and "error" in doc
+        msgs = [r.getMessage() for r in caplog.records]
+        assert any("fig07" in m and "bogus@1.0" in m for m in msgs)
 
     def test_formatter_crash_is_a_scenario_failure(self, scratch_registry):
         # Formatters run inside the execution guard: a formatter bug must

@@ -160,6 +160,135 @@ class TestWheelUnit:
             TimingWheel(n_slots=0)
 
 
+class TestWheelRebasePeek:
+    """Regression pins for the ``_rebase``/``peek`` interaction.
+
+    ``peek``/``peek_time`` are *state-mutating*: finding the front entry
+    may drain the exhausted ready list, advance the cursor, sort the next
+    bucket into the ready list, or — when everything pending sits beyond
+    the current rotation — jump the whole wheel via ``_rebase_to``. All
+    of that must be invisible: a peek can never change what subsequent
+    pushes and pops observe.
+    """
+
+    def test_peek_triggers_rebase_then_push_lands_mid_bucket(self):
+        # One entry far beyond the rotation: peek() must fast-forward the
+        # wheel (overflow -> _rebase_to -> sort bucket -> ready).
+        wheel = TimingWheel(slot_ps=100, n_slots=8)
+        horizon = wheel.horizon_ps
+        far = 3 * horizon + 250
+        wheel.push(far, 1, lambda: None, ())
+        assert wheel.peek_time() == far
+        # The wheel is now mid-bucket in the rebased rotation; a push into
+        # the very slot being drained must merge in sorted position even
+        # though it precedes the peeked entry.
+        wheel.push(far - 10, 2, lambda: None, ())
+        assert wheel.pop()[:2] == (far - 10, 2)
+        assert wheel.pop()[:2] == (far, 1)
+        assert len(wheel) == 0
+
+    def test_peek_is_observably_pure(self):
+        # Same pushes, with and without interleaved peeks: identical pops.
+        def run(peek_every: bool) -> list:
+            wheel = TimingWheel(slot_ps=100, n_slots=8)
+            rng = random.Random(7)
+            out, floor, seq = [], 0, 0
+            for _ in range(400):
+                if rng.random() < 0.6 or len(wheel) == 0:
+                    t = floor + rng.choice(
+                        (0, rng.randrange(1, 300), rng.randrange(1, 10_000))
+                    )
+                    seq += 1
+                    wheel.push(t, seq, lambda: None, ())
+                else:
+                    t, s, _cb, _args = wheel.pop()
+                    floor = t
+                    out.append((t, s))
+                if peek_every:
+                    front = wheel.peek()
+                    assert (front is None) == (len(wheel) == 0)
+            while len(wheel):
+                out.append(wheel.pop()[:2])
+            return out
+
+        assert run(True) == run(False)
+
+    def test_push_many_straddles_rebase_boundary(self):
+        # One bulk insert spanning: the slot being drained, later slots of
+        # the current rotation, and several future rotations (overflow) —
+        # then drain across the wrap so _rebase redistributes overflow.
+        wheel = TimingWheel(slot_ps=100, n_slots=4)
+        horizon = wheel.horizon_ps  # 400
+        wheel.push(50, 1, lambda: None, ())
+        assert wheel.pop()[:2] == (50, 1)  # mid-bucket, cursor slot 0
+        batch = [
+            (60, 2, None, ()),  # cursor slot, behind the consumed prefix
+            (350, 3, None, ()),  # last slot of this rotation
+            (horizon + 20, 4, None, ()),  # next rotation -> overflow
+            (5 * horizon + 7, 5, None, ()),  # far overflow
+            (99, 6, None, ()),  # cursor slot again
+        ]
+        wheel.push_many(batch)
+        got = []
+        while len(wheel):
+            got.append(wheel.pop()[:2])
+        assert got == [(60, 2), (99, 6), (350, 3), (horizon + 20, 4), (5 * horizon + 7, 5)]
+
+    def test_push_many_on_empty_wheel_reanchors_to_floor(self):
+        # Drain fully, then bulk-push beyond the old rotation: push_many's
+        # count==0 path must re-anchor at the floor exactly like push().
+        wheel = TimingWheel(slot_ps=100, n_slots=4)
+        wheel.push(30, 1, lambda: None, ())
+        assert wheel.pop()[:2] == (30, 1)
+        batch = [(10_000 + i * 37, 2 + i, None, ()) for i in range(10)]
+        wheel.push_many(list(reversed(batch)))
+        got = [wheel.pop()[:2] for _ in range(len(batch))]
+        assert got == [(t, s) for t, s, _cb, _a in batch]
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_fuzz_bit_identical_to_heap(self, seed):
+        # Random interleaving of push / push_many / peek / pop, mirrored
+        # into a heapq reference; pop streams must match exactly.
+        import heapq
+
+        rng = random.Random(seed)
+        wheel = TimingWheel(slot_ps=64, n_slots=16)
+        heap: list = []
+        horizon = wheel.horizon_ps
+        floor, seq = 0, 0
+        wheel_out, heap_out = [], []
+        for _ in range(1500):
+            r = rng.random()
+            if r < 0.45 or not heap:
+                t = floor + rng.choice(
+                    (0, rng.randrange(1, 200), rng.randrange(1, 3 * horizon))
+                )
+                seq += 1
+                wheel.push(t, seq, None, ())
+                heapq.heappush(heap, (t, seq))
+            elif r < 0.55:
+                batch = []
+                for _ in range(rng.randrange(1, 6)):
+                    t = floor + rng.randrange(0, 2 * horizon)
+                    seq += 1
+                    batch.append((t, seq, None, ()))
+                wheel.push_many(batch)
+                for t, s, _cb, _a in batch:
+                    heapq.heappush(heap, (t, s))
+            elif r < 0.7:
+                front = wheel.peek()
+                assert front is not None and front[:2] == heap[0]
+            else:
+                t, s, _cb, _a = wheel.pop()
+                floor = t
+                wheel_out.append((t, s))
+                heap_out.append(heapq.heappop(heap))
+        while heap:
+            wheel_out.append(wheel.pop()[:2])
+            heap_out.append(heapq.heappop(heap))
+        assert wheel_out == heap_out and len(wheel) == 0
+
+
 class TestUnknownScheduler:
     def test_rejected_with_known_list(self):
         with pytest.raises(ValueError, match="heap"):

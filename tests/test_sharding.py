@@ -12,6 +12,7 @@ The load-bearing guarantees:
 """
 
 import dataclasses
+import math
 
 import pytest
 
@@ -250,6 +251,31 @@ class TestAdaptiveCosts:
         assert blended["a"] == pytest.approx(1.0)
         assert blended["b"] > blended["a"]
 
+    def test_calibrate_non_finite_recorded_is_no_history(self):
+        # A corrupted duration (inf/NaN telemetry) must not poison the
+        # fit: the key falls back to its static estimate and every
+        # calibrated cost stays finite (they feed progress ETAs).
+        static = {"a": 4.0, "b": 1.0, "c": 2.0}
+        for bad in (math.inf, -math.inf, math.nan):
+            blended = calibrate_costs(static, {"a": bad, "b": 9.0})
+            assert blended["a"] == 4.0
+            assert all(math.isfinite(v) for v in blended.values())
+
+    def test_calibrate_all_history_non_finite_is_identity(self):
+        static = {"a": 4.0, "b": 1.0}
+        assert calibrate_costs(static, {"a": math.inf, "b": math.nan}) == static
+
+    def test_calibrate_non_finite_static_key_excluded_from_fit(self):
+        # A non-finite *static* estimate cannot participate in the
+        # seconds-per-unit fit; the finite keys must calibrate as if it
+        # were absent.
+        blended = calibrate_costs(
+            {"a": 2.0, "b": 2.0, "x": math.inf}, {"a": 10.0, "b": 30.0, "x": 5.0}
+        )
+        assert blended["a"] == pytest.approx(1.0)
+        assert blended["b"] == pytest.approx(3.0)
+        assert blended["x"] == math.inf  # kept as-is, not blended
+
     def test_adaptive_cell_cost_falls_back_to_static(self):
         static = fct_cell_cost("default", "opera", 0.1, 4.0)
         assert adaptive_cell_cost("default", "opera", 0.1, 4.0) == static
@@ -337,6 +363,35 @@ class TestAdaptiveCosts:
         labels = [p.label for p in seen]
         assert labels[0] == "fig07:opera@0.05"
         assert labels[-1] == "fig07:rotornet@0.02"
+
+    def test_poisoned_history_keeps_eta_finite(self, tmp_path):
+        # An inf duration in the cell telemetry (clock glitch, corrupted
+        # cache row) used to propagate NaN through calibrate_costs into
+        # total_cost and from there into the progress ETA. It must now be
+        # treated as no-history: the run completes, ordering still works,
+        # and every reported ETA is either unknown or finite and >= 0.
+        cache = ResultCache(tmp_path)
+        self._put_history(cache)
+        sc = get("fig07")
+        plan = sc.shard_plan(**sc.bind(TINY_FIG07))
+        cell = plan[0]
+        params = dict(cell.params, seed=cell.params["seed"] + 1)
+        cache.put_cell(
+            "fig07",
+            cell.key,
+            params,
+            {"scenario": "fig07", "cell": cell.key, "params": params,
+             "value": None, "duration_s": math.inf},
+        )
+        seen: list[Progress] = []
+        Runner(cache=cache, progress=seen.append).run(
+            names=["fig07"], overrides=TINY_FIG07
+        )
+        assert len(seen) == 4
+        for p in seen:
+            assert p.eta_s is None or (
+                math.isfinite(p.eta_s) and p.eta_s >= 0.0
+            )
 
 
 # --------------------------------------------------- scheduling and progress
