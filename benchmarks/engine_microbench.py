@@ -438,12 +438,43 @@ def run_sharded_bench(
             "cells_per_sec": round(len(plan) / wall, 4),
             "speedup_vs_first": round(base_wall / wall, 2),
         }
+    # Price the chaos harness at rest: the same workload with the
+    # injector armed but every fault probability zero (REPRO_CHAOS with
+    # only a seed) costs one env lookup plus one rng draw per frame/lease
+    # decision. The ratio pins that "armed but quiet" stays noise — the
+    # seam must be free when nobody is injecting faults.
+    chaos_wall = None
+    if workers_list:
+        saved = os.environ.get("REPRO_CHAOS")
+        os.environ["REPRO_CHAOS"] = "seed=1"
+        try:
+            with tempfile.TemporaryDirectory() as tmp:
+                start = time.perf_counter()
+                Runner(
+                    workers=workers_list[0],
+                    cache=ResultCache(tmp),
+                    executor=executor,
+                ).run(names=["fig07"], overrides={"scale": scale})
+                chaos_wall = time.perf_counter() - start
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_CHAOS", None)
+            else:
+                os.environ["REPRO_CHAOS"] = saved
+
     record = {
         "scale": scale,
         "cells": len(plan),
         "cpu_count": os.cpu_count(),
         "runs": runs,
     }
+    if chaos_wall is not None:
+        record["chaos_overhead"] = {
+            "workers": workers_list[0],
+            "off_wall_s": round(base_wall, 4),
+            "armed_wall_s": round(chaos_wall, 4),
+            "ratio": round(chaos_wall / base_wall, 4),
+        }
     if executor is not None:
         record["executor"] = executor
     return record
@@ -498,6 +529,13 @@ def format_rows(doc: dict) -> list[str]:
                 f"{run['cells']} cells in {run['wall_s']:.2f} s = "
                 f"{run['cells_per_sec']:.2f} cells/s "
                 f"({run['speedup_vs_first']}x vs first)"
+            )
+        chaos = record.get("chaos_overhead")
+        if chaos:
+            rows.append(
+                f"sharded fig07 ({scale}) chaos armed-but-quiet: "
+                f"{chaos['armed_wall_s']:.2f} s vs {chaos['off_wall_s']:.2f} s "
+                f"off = {chaos['ratio']:.3f}x"
             )
     return rows
 

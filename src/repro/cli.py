@@ -34,6 +34,13 @@ instead: ``--workers N`` auto-spawns N local subprocess workers, and
 execution". ``cache`` inspects the content-addressed result/cell cache
 (``stats`` | ``ls <scenario>`` | ``clear [scenario]``).
 
+Fault tolerance (README "Fault tolerance & chaos testing"): ``--chaos
+SPEC`` arms the seeded fault-injection harness for the run (and its
+spawned workers), ``--policy degraded`` quarantines failed units into the
+result instead of failing the sweep, and ``--resume-journal`` resumes a
+crashed distributed run from its write-ahead journal — an injected
+coordinator crash exits with status 3 and prints the resume command.
+
 The legacy spelling ``python -m repro.cli fig04 [--k 12]`` still works and
 maps onto ``run``.
 """
@@ -44,6 +51,7 @@ import argparse
 import math
 import sys
 
+from .distrib.chaos import ChaosCrash
 from .scenarios import (
     Progress,
     ResultCache,
@@ -126,6 +134,20 @@ def _make_runner(args: argparse.Namespace) -> Runner:
     executor = args.executor
     if executor is None and args.listen is not None:
         executor = "distributed"  # --listen only means one thing
+    if getattr(args, "chaos", None):
+        # Validate the spec *here* (a typo must fail the command, not
+        # silently run a different experiment), then publish it through
+        # the environment — the injector seam in repro.distrib reads it,
+        # and spawned workers inherit it.
+        import os
+
+        from .distrib import ChaosError, parse_chaos
+
+        try:
+            parse_chaos(args.chaos)
+        except ChaosError as exc:
+            raise ScenarioError(str(exc)) from None
+        os.environ["REPRO_CHAOS"] = args.chaos
     try:
         return Runner(
             workers=args.workers,
@@ -136,6 +158,11 @@ def _make_runner(args: argparse.Namespace) -> Runner:
             executor=executor,
             listen=args.listen,
             on_listen=_print_listen_banner if executor == "distributed" else None,
+            policy=getattr(args, "policy", "strict"),
+            resume_journal=getattr(args, "resume_journal", False),
+            lease_timeout=getattr(args, "lease_timeout", 60.0),
+            max_respawns=getattr(args, "max_respawns", 8),
+            max_cell_attempts=getattr(args, "max_cell_attempts", 3),
         )
     except ValueError as exc:  # bad executor/listen combination
         raise ScenarioError(str(exc)) from None
@@ -249,19 +276,30 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         if not stats:
             print("(empty)")
             return 0
-        total_results = total_cells = total_bytes = 0
+        total_results = total_cells = total_bytes = total_corrupt = 0
         for name, entry in stats.items():
+            corrupt = entry.get("corrupt", 0)
+            note = f"  {corrupt} corrupt!" if corrupt else ""
             print(
                 f"{name:>22s}  {entry['results']:4d} result(s)  "
-                f"{entry['cells']:5d} cell(s)  {_format_bytes(entry['bytes'])}"
+                f"{entry['cells']:5d} cell(s)  "
+                f"{_format_bytes(entry['bytes'])}{note}"
             )
             total_results += entry["results"]
             total_cells += entry["cells"]
             total_bytes += entry["bytes"]
+            total_corrupt += corrupt
+        note = f"  {total_corrupt} corrupt!" if total_corrupt else ""
         print(
             f"{'total':>22s}  {total_results:4d} result(s)  "
-            f"{total_cells:5d} cell(s)  {_format_bytes(total_bytes)}"
+            f"{total_cells:5d} cell(s)  {_format_bytes(total_bytes)}{note}"
         )
+        if total_corrupt:
+            print(
+                "(corrupt entries were quarantined as *.corrupt and will "
+                "be recomputed; 'repro cache clear' removes them)",
+                file=sys.stderr,
+            )
         return 0
     if args.action == "ls":
         if not args.scenario:
@@ -356,6 +394,53 @@ def _add_exec_options(sub: argparse.ArgumentParser) -> None:
         action="store_false",
         help="suppress the progress stream",
     )
+    sub.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="arm deterministic fault injection, e.g. "
+        "'seed=3,kill_worker=0.2,drop_frame=0.1,crash_coordinator=after_5' "
+        "(sets REPRO_CHAOS for this run and its spawned workers)",
+    )
+    sub.add_argument(
+        "--policy",
+        choices=("strict", "degraded"),
+        default="strict",
+        help="completion policy: strict fails the run on the first bad "
+        "unit (after the batch drains); degraded quarantines bad units "
+        "into the result rows and completes everything else",
+    )
+    sub.add_argument(
+        "--resume-journal",
+        action="store_true",
+        help="resume a crashed distributed run from its write-ahead "
+        "journal (honors prior quarantines; disarms an injected "
+        "coordinator crash)",
+    )
+    sub.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="silence (no heartbeat, no result) before a distributed "
+        "worker's lease is re-queued (default 60)",
+    )
+    sub.add_argument(
+        "--max-respawns",
+        type=int,
+        default=8,
+        metavar="N",
+        help="budget for replacing auto-spawned workers that die while "
+        "leased work remains (default 8; raise under kill_worker chaos)",
+    )
+    sub.add_argument(
+        "--max-cell-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="distinct worker losses one unit survives before it is "
+        "declared poison (default 3; raise under kill_worker chaos)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -445,6 +530,17 @@ def main(argv: list[str] | None = None) -> int:
     except ScenarioError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except ChaosCrash as exc:
+        # The injected coordinator death (crash_coordinator chaos). The
+        # write-ahead journal + cell cache hold everything completed so
+        # far; re-running the same command with --resume-journal picks up
+        # from there (and disarms the crash).
+        print(f"chaos: {exc}", file=sys.stderr)
+        print(
+            "resume with: the same command plus --resume-journal",
+            file=sys.stderr,
+        )
+        return 3
     except BrokenPipeError:
         # Downstream pager/head closed early; exit quietly like cat does.
         # Re-point stdout at devnull so interpreter shutdown doesn't raise

@@ -34,19 +34,33 @@ from pathlib import Path
 # NOTE: .worker is deliberately NOT imported here — workers start via
 # ``python -m repro.distrib.worker``, and importing the module from the
 # package __init__ would make runpy warn about the double import.
+from .chaos import ChaosConfig, ChaosCrash, ChaosError, backoff_delays, parse_chaos
 from .coordinator import Coordinator
+from .journal import JournalState, RunJournal, journal_path, load_journal
 from .protocol import ProtocolError, parse_address
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosCrash",
+    "ChaosError",
     "Coordinator",
+    "JournalState",
     "ProtocolError",
+    "RunJournal",
+    "backoff_delays",
+    "journal_path",
+    "load_journal",
     "parse_address",
+    "parse_chaos",
     "spawn_local_worker",
 ]
 
 
 def spawn_local_worker(
-    address: tuple[str, int], *, env: dict[str, str] | None = None
+    address: tuple[str, int],
+    *,
+    env: dict[str, str] | None = None,
+    role: str | None = None,
 ) -> subprocess.Popen:
     """Start one local subprocess worker attached to ``address``.
 
@@ -55,6 +69,12 @@ def spawn_local_worker(
     child's ``PYTHONPATH`` is prefixed with this package's source root so
     the spawn works from a source checkout without installation, and a
     wildcard listen address is rewritten to loopback for the dial-out.
+
+    ``role`` names the child's seeded chaos stream (``REPRO_CHAOS_ROLE``):
+    the Runner hands each spawned worker — including respawn replacements
+    — a distinct ``worker-N``, so a fleet under ``REPRO_CHAOS`` draws
+    from partitioned fault streams instead of failing in lockstep, while
+    the whole run stays replayable from one seed.
     """
     host, port = address
     if host in ("0.0.0.0", "::", ""):
@@ -65,6 +85,8 @@ def spawn_local_worker(
     environ["PYTHONPATH"] = (
         src_root + (os.pathsep + existing if existing else "")
     )
+    if role is not None:
+        environ["REPRO_CHAOS_ROLE"] = role
     return subprocess.Popen(
         [sys.executable, "-m", "repro.distrib.worker", f"{host}:{port}"],
         env=environ,

@@ -26,6 +26,7 @@ import time
 from collections import deque
 from typing import Any, Callable, Iterator
 
+from .chaos import ChaosCrash
 from .protocol import FrameReader, ProtocolError, send_msg
 
 __all__ = ["Coordinator"]
@@ -72,7 +73,20 @@ class Coordinator:
         How many times one unit may lose its worker before the
         coordinator gives up on it and completes it with an error
         document — a unit that reliably *crashes* workers must not chew
-        through the entire fleet and then hang the run.
+        through the entire fleet and then hang the run. The give-up
+        document is marked ``"quarantined"`` and names the distinct
+        workers the unit took down.
+    journal:
+        Optional :class:`repro.distrib.journal.RunJournal`: lease grants
+        are recorded *before* the lease frame goes out and completions
+        as results are accepted, so a coordinator killed mid-run leaves
+        an accurate write-ahead record for ``--resume-journal``.
+    crash_after:
+        Fault injection (``crash_coordinator=after_k`` chaos): raise
+        :class:`~.chaos.ChaosCrash` out of :meth:`run` once this many
+        results have been *yielded* — after the caller consumed (and
+        cached) them, exactly like a real coordinator death between
+        completions.
     """
 
     def __init__(
@@ -83,10 +97,14 @@ class Coordinator:
         lease_timeout: float = 60.0,
         poll_s: float = 0.2,
         max_releases: int = 3,
+        journal: Any | None = None,
+        crash_after: int | None = None,
     ) -> None:
         self.lease_timeout = lease_timeout
         self.poll_s = poll_s
         self.max_releases = max_releases
+        self.journal = journal
+        self.crash_after = crash_after
         self._listener = socket.create_server((host, port))
         self._listener.setblocking(False)
         self.address: tuple[str, int] = self._listener.getsockname()[:2]
@@ -98,6 +116,7 @@ class Coordinator:
         self._done: set[int] = set()
         self._completed: list[tuple[int, dict[str, Any], str]] = []
         self._release_counts: dict[int, int] = {}
+        self._release_workers: dict[int, set[str]] = {}
         self._closed = False
         #: Units re-queued after their worker died or stalled.
         self.releases = 0
@@ -172,6 +191,14 @@ class Coordinator:
             while self._completed:
                 yielded += 1
                 yield self._completed.pop(0)
+            if self.crash_after is not None and yielded >= self.crash_after:
+                # After the drain: every result up to the crash point has
+                # been yielded to (and cached by) the caller, exactly the
+                # state a real coordinator death leaves behind.
+                raise ChaosCrash(
+                    f"chaos: coordinator crashed after {yielded} completed "
+                    f"unit(s) (crash_coordinator=after_{self.crash_after})"
+                )
         self.close()
 
     # ------------------------------------------------------------- event loop
@@ -225,6 +252,10 @@ class Coordinator:
             if leased is not None and leased[0] is not conn:
                 leased[0].lease_uid = None  # first result wins
             self._done.add(uid)
+            if self.journal is not None and leased is not None:
+                self.journal.complete(
+                    leased[1].get("jkey"), uid, "error" not in doc
+                )
             self._completed.append((uid, doc, conn.name))
         elif kind == "heartbeat":
             pass  # last_seen already refreshed by _read
@@ -248,6 +279,11 @@ class Coordinator:
             if conn is None:
                 return
             unit = self._pending.popleft()
+            if self.journal is not None:
+                # Write-ahead: the grant is on disk before the lease is on
+                # the wire, so a crash between the two still knows the
+                # unit may be running somewhere.
+                self.journal.grant(unit.get("jkey"), unit["uid"], conn.name)
             try:
                 send_msg(conn.sock, dict(unit, type="lease"))
             except OSError:
@@ -282,23 +318,34 @@ class Coordinator:
         self.releases += 1
         count = self._release_counts.get(uid, 0) + 1
         self._release_counts[uid] = count
+        workers = self._release_workers.setdefault(uid, set())
+        workers.add(conn.name)
         if count >= self.max_releases:
             # Every worker this unit touched died or stalled: treat the
             # unit as poison and fail *it*, with context, instead of
             # feeding it the rest of the fleet.
+            label = (
+                f"{unit.get('name')!r}"
+                f"{'[' + unit['cell_key'] + ']' if unit.get('cell_key') else ''}"
+            )
             doc: dict[str, Any] = {
                 "scenario": unit.get("name"),
                 "params": unit.get("params"),
                 "error": (
-                    f"unit {unit.get('name')!r}"
-                    f"{'[' + unit['cell_key'] + ']' if unit.get('cell_key') else ''} "
+                    f"unit {label} "
                     f"lost its worker {count} times (crashed or stalled "
                     f"executions); giving up on it"
                 ),
+                "quarantined": True,
+                "workers": sorted(workers),
             }
             if unit.get("cell_key"):
                 doc["cell"] = unit["cell_key"]
             self._done.add(uid)
+            if self.journal is not None:
+                self.journal.quarantine(
+                    unit.get("jkey"), label, doc["error"]
+                )
             self._completed.append((uid, doc, conn.name))
             return
         # Front of the queue: it was scheduled early for a reason (cost

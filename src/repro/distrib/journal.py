@@ -1,0 +1,188 @@
+"""Write-ahead journal of a distributed run's lease grants/completions.
+
+The cell cache already makes completed work durable — a restarted sweep
+restores finished cells from disk. What the cache cannot record is the
+*negative* space of a run: which units were granted and never completed
+(a crashed coordinator's in-flight leases), which units were quarantined
+as poison (their error documents are deliberately **not** cached), and
+whether the previous coordinator died by injected crash. The journal is
+an append-only JSONL file next to the cell cache capturing exactly that::
+
+    <cache root>/_journal/<run key>.jsonl
+
+one JSON object per line, ``{"ev": ...}``:
+
+``start``       run begins: ``run`` key, ``units`` count.
+``grant``       written *before* the lease frame is sent (write-ahead):
+                ``jkey`` (the unit's cache key), ``uid``, ``worker``.
+``complete``    a result document was accepted: ``jkey``, ``uid``, ``ok``.
+``quarantine``  a unit was given up on: ``jkey``, ``label``, ``error``.
+``crash``       the coordinator is going down on purpose
+                (``crash_coordinator`` chaos); a resume run reads this
+                and disarms the crash so the demo converges.
+``end``         every unit accounted for; the journal is complete.
+
+The run key hashes the ordered ``(scenario, canonical params)`` list of
+the batch, so restarting the same command finds the same journal —
+and a different sweep never reads another sweep's state. Loading
+tolerates a torn final line (the coordinator may die mid-append; that is
+the point) by skipping unparseable lines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = ["RunJournal", "JournalState", "journal_path", "load_journal"]
+
+#: Subdirectory of the cache root holding journals. The leading underscore
+#: keeps it out of the cache's per-scenario directory listing (stats, ls).
+JOURNAL_DIR = "_journal"
+
+
+def journal_path(cache_root: str | os.PathLike[str], run_key: str) -> Path:
+    return Path(cache_root) / JOURNAL_DIR / f"{run_key}.jsonl"
+
+
+@dataclass
+class JournalState:
+    """Decoded view of one journal file (see :func:`load_journal`)."""
+
+    run_key: str | None = None
+    units: int | None = None
+    #: jkey -> worker that last held the lease (outstanding or completed).
+    granted: dict[str, str] = field(default_factory=dict)
+    #: jkeys whose result document was accepted (ok or error).
+    completed: set[str] = field(default_factory=set)
+    #: jkey -> {"label": ..., "error": ...} for units given up on.
+    quarantined: dict[str, dict[str, str]] = field(default_factory=dict)
+    crashed: bool = False
+    ended: bool = False
+
+    @property
+    def outstanding(self) -> set[str]:
+        """Granted but never completed nor quarantined — the in-flight
+        leases a crash orphaned; the resume run re-executes these (or
+        restores them from the cell cache if their results landed)."""
+        return set(self.granted) - self.completed - set(self.quarantined)
+
+
+def load_journal(path: str | os.PathLike[str]) -> JournalState | None:
+    """Decode a journal, or ``None`` when absent/unreadable.
+
+    Unparseable lines are skipped rather than fatal: the writer may have
+    died mid-append (that is the scenario journals exist for), and a torn
+    tail must not block the resume that needs the intact prefix.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+    except OSError:
+        return None
+    state = JournalState()
+    seen_any = False
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn append
+        if not isinstance(rec, dict):
+            continue
+        seen_any = True
+        ev = rec.get("ev")
+        if ev == "start":
+            key = rec.get("run")
+            if isinstance(key, str):
+                state.run_key = key
+            units = rec.get("units")
+            if isinstance(units, int):
+                state.units = units
+        elif ev == "grant":
+            jkey = rec.get("jkey")
+            if isinstance(jkey, str):
+                state.granted[jkey] = str(rec.get("worker", ""))
+        elif ev == "complete":
+            jkey = rec.get("jkey")
+            if isinstance(jkey, str):
+                state.completed.add(jkey)
+        elif ev == "quarantine":
+            jkey = rec.get("jkey")
+            if isinstance(jkey, str):
+                state.quarantined[jkey] = {
+                    "label": str(rec.get("label", "")),
+                    "error": str(rec.get("error", "")),
+                }
+        elif ev == "crash":
+            state.crashed = True
+        elif ev == "end":
+            state.ended = True
+        # Unknown events are ignored for forward compatibility.
+    return state if seen_any else None
+
+
+class RunJournal:
+    """Append-only writer for one run's journal file.
+
+    ``resume=False`` truncates any prior journal (a fresh run of the same
+    batch starts a fresh history); ``resume=True`` appends, so the
+    resumed run's grants/completions extend the crashed run's record.
+    Records are flushed per append — a process crash loses at most the
+    line being written, which :func:`load_journal` tolerates.
+    """
+
+    def __init__(self, path: str | os.PathLike[str], *, resume: bool = False) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a" if resume else "w", encoding="utf-8")
+
+    def _record(self, ev: str, **fields: Any) -> None:
+        if self._fh is None:
+            return
+        line = json.dumps({"ev": ev, **fields}, separators=(",", ":"))
+        try:
+            self._fh.write(line + "\n")
+            self._fh.flush()
+        except (OSError, ValueError):
+            pass  # a full disk must degrade journaling, not kill the sweep
+
+    def start(self, run_key: str, units: int) -> None:
+        self._record("start", run=run_key, units=units)
+
+    def grant(self, jkey: str | None, uid: int, worker: str) -> None:
+        if jkey:
+            self._record("grant", jkey=jkey, uid=uid, worker=worker)
+
+    def complete(self, jkey: str | None, uid: int, ok: bool) -> None:
+        if jkey:
+            self._record("complete", jkey=jkey, uid=uid, ok=ok)
+
+    def quarantine(self, jkey: str | None, label: str, error: str) -> None:
+        if jkey:
+            self._record("quarantine", jkey=jkey, label=label, error=error)
+
+    def crash(self, reason: str) -> None:
+        self._record("crash", reason=reason)
+
+    def end(self) -> None:
+        self._record("end")
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

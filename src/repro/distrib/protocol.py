@@ -29,6 +29,8 @@ import struct
 import threading
 from typing import Any, Iterator
 
+from . import chaos
+
 __all__ = [
     "ProtocolError",
     "MAX_FRAME",
@@ -83,8 +85,17 @@ def send_msg(
 
     The worker's heartbeat thread and its main loop share one socket, so
     every worker-side send passes the same lock to keep frames whole.
+
+    This is the chaos seam: when ``REPRO_CHAOS`` arms the process-wide
+    injector, every outgoing frame — coordinator and worker alike — may
+    be delayed, dropped (the connection is torn down and ``OSError``
+    raised, exactly the failure shape both peers already recover from) or
+    corrupted in flight (the receiver hits :class:`ProtocolError`).
     """
     frame = encode_frame(msg)
+    inj = chaos.injector()
+    if inj is not None:
+        frame = chaos.mangle_frame(inj, frame, sock)
     if lock is None:
         sock.sendall(frame)
     else:
@@ -93,11 +104,19 @@ def send_msg(
 
 
 def _recv_exactly(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; ``None`` only on EOF *at* the boundary.
+
+    EOF after a partial read is a torn frame, never a clean close —
+    reporting it as ``None`` would let a truncated length prefix
+    impersonate an orderly shutdown, so it raises instead.
+    """
     chunks: list[bytes] = []
     while n:
         chunk = sock.recv(n)
         if not chunk:
-            return None  # peer closed
+            if chunks:
+                raise ProtocolError("connection closed mid-frame")
+            return None  # peer closed at a frame boundary
         chunks.append(chunk)
         n -= len(chunk)
     return b"".join(chunks)

@@ -10,15 +10,25 @@ long cell from a dead worker. The heavy ``repro.experiments`` import is
 deferred to the first lease, so a worker is on the wire within
 milliseconds of starting.
 
-The worker retries its initial connection for a while — starting the
-worker terminal before the coordinator terminal works — and exits when
-the coordinator sends ``shutdown`` or disconnects.
+Connection lifecycle: dialing retries with jittered exponential backoff
+(:func:`repro.distrib.chaos.backoff_delays`) until ``connect_timeout``
+elapses — starting the worker terminal before the coordinator terminal
+works — and a *lost* connection (EOF without ``shutdown``, a torn or
+undecodable frame, a send error) sends the worker back to dialing rather
+than killing it: the coordinator re-leases whatever the worker held, the
+worker reconnects and says hello again, and the sweep continues. Only an
+explicit ``shutdown`` (or a coordinator that stays unreachable past the
+backoff budget) ends the worker.
 
-Fault injection (used by the differential recovery tests and harmless
-otherwise): ``REPRO_WORKER_MAX_UNITS=N`` makes the worker die abruptly —
-holding its lease, without a word to the coordinator — when lease ``N+1``
-arrives, exiting with status :data:`KILLED_EXIT`. This simulates a
-machine lost mid-sweep.
+Fault injection: ``REPRO_WORKER_MAX_UNITS=N`` makes the worker die
+abruptly — holding its lease, without a word to the coordinator — when
+lease ``N+1`` arrives, exiting with status :data:`KILLED_EXIT`. The
+seeded chaos harness (``REPRO_CHAOS``, :mod:`repro.distrib.chaos`) adds
+probabilistic faults at the same point: ``kill_worker`` dies the same
+abrupt way, ``stall_heartbeat`` silences the heartbeat thread while the
+unit computes (so the coordinator must reap the stall and drop the late
+result as a duplicate), and the frame seam in ``protocol.send_msg``
+injects drops/corruption/latency on everything this worker sends.
 """
 
 from __future__ import annotations
@@ -32,7 +42,8 @@ import threading
 import time
 from typing import Any
 
-from .protocol import parse_address, recv_msg, send_msg
+from .chaos import backoff_delays, injector
+from .protocol import ProtocolError, parse_address, recv_msg, send_msg
 
 __all__ = ["serve", "main", "KILLED_EXIT", "HEARTBEAT_S"]
 
@@ -41,14 +52,23 @@ logger = logging.getLogger(__name__)
 #: Seconds between heartbeats while the main loop is busy in a unit.
 HEARTBEAT_S = 2.0
 
-#: Exit status of a worker that died via ``REPRO_WORKER_MAX_UNITS``.
+#: Exit status of a worker that died via ``REPRO_WORKER_MAX_UNITS``
+#: or the ``kill_worker`` chaos fault.
 KILLED_EXIT = 17
 
 
 def _connect(address: tuple[str, int], timeout: float) -> socket.socket:
-    """Dial the coordinator, retrying until ``timeout`` elapses."""
-    deadline = time.monotonic() + timeout
-    while True:
+    """Dial the coordinator, retrying with jittered backoff until ``timeout``.
+
+    The backoff schedule starts at tens of milliseconds (a coordinator
+    restarting right now) and doubles to a 2s cap (one that needs a
+    moment), with jitter so a reconnecting fleet does not dogpile the
+    listen socket in lockstep. The delays generator's budget *is* the
+    time bound; exhausting it raises ``OSError`` naming the address.
+    """
+    host, port = address
+    last: OSError | None = None
+    for delay in backoff_delays(total=timeout):
         try:
             sock = socket.create_connection(address, timeout=5.0)
             # create_connection's timeout would otherwise persist as a 5s
@@ -58,10 +78,13 @@ def _connect(address: tuple[str, int], timeout: float) -> socket.socket:
             # other way, via the heartbeat thread.
             sock.settimeout(None)
             return sock
-        except OSError:
-            if time.monotonic() >= deadline:
-                raise
-            time.sleep(0.2)
+        except OSError as exc:
+            last = exc
+            time.sleep(delay)
+    raise OSError(
+        f"could not reach coordinator at {host}:{port} within "
+        f"{timeout:.0f}s (last error: {last})"
+    )
 
 
 def _execute_lease(msg: dict[str, Any]) -> dict[str, Any]:
@@ -109,6 +132,73 @@ def _execute_lease(msg: dict[str, Any]) -> dict[str, Any]:
         return doc
 
 
+def _session(
+    sock: socket.socket,
+    name: str,
+    *,
+    completed: int,
+    max_units: int | None,
+    heartbeat_s: float,
+) -> tuple[str, int]:
+    """One connected stint: hello, then lease/result until the link ends.
+
+    Returns ``("shutdown", completed)`` on an orderly end and
+    ``("lost", completed)`` when the connection tore (EOF without
+    shutdown, protocol violation, send failure) — the caller reconnects.
+    """
+    lock = threading.Lock()
+    stop = threading.Event()
+    stalled = threading.Event()
+
+    def _beat() -> None:
+        while not stop.wait(heartbeat_s):
+            if stalled.is_set():
+                continue  # chaos: the worker computes on, silently
+            try:
+                send_msg(sock, {"type": "heartbeat"}, lock)
+            except OSError:
+                return
+
+    threading.Thread(target=_beat, name="heartbeat", daemon=True).start()
+    try:
+        send_msg(sock, {"type": "hello", "worker": name, "pid": os.getpid()}, lock)
+        send_msg(sock, {"type": "ready"}, lock)
+        while True:
+            try:
+                msg = recv_msg(sock)
+            except ProtocolError:
+                return "lost", completed  # torn/corrupt frame: reconnect
+            if msg is None:
+                return "lost", completed  # EOF without shutdown
+            if msg.get("type") == "shutdown":
+                return "shutdown", completed
+            if msg.get("type") != "lease":
+                continue
+            if max_units is not None and completed >= max_units:
+                # Fault injection: die holding the lease, mid-sweep, the
+                # way a powered-off machine would.
+                os._exit(KILLED_EXIT)
+            inj = injector()
+            if inj is not None:
+                # One draw each, kill before stall, so the decision
+                # sequence per lease is fixed regardless of which fires.
+                kill = inj.decide("kill_worker")
+                if inj.decide("stall_heartbeat"):
+                    stalled.set()
+                if kill:
+                    os._exit(KILLED_EXIT)
+            doc = _execute_lease(msg)
+            send_msg(sock, {"type": "result", "uid": msg["uid"], "doc": doc}, lock)
+            completed += 1
+            stalled.clear()
+            send_msg(sock, {"type": "ready"}, lock)
+    except OSError:
+        return "lost", completed
+    finally:
+        stop.set()
+        sock.close()
+
+
 def serve(
     address: str | tuple[str, int],
     *,
@@ -120,42 +210,32 @@ def serve(
     """Attach to a coordinator and work until it says shutdown."""
     host, port = parse_address(address)
     name = f"{socket.gethostname()}-{os.getpid()}"
-    sock = _connect((host, port), connect_timeout)
-    lock = threading.Lock()
-    stop = threading.Event()
-
-    def _beat() -> None:
-        while not stop.wait(heartbeat_s):
-            try:
-                send_msg(sock, {"type": "heartbeat"}, lock)
-            except OSError:
-                return
-
-    threading.Thread(target=_beat, name="heartbeat", daemon=True).start()
-    log(f"[worker {name}] connected to {host}:{port}", file=sys.stderr, flush=True)
     completed = 0
-    try:
-        send_msg(sock, {"type": "hello", "worker": name, "pid": os.getpid()}, lock)
-        send_msg(sock, {"type": "ready"}, lock)
-        while True:
-            msg = recv_msg(sock)
-            if msg is None or msg.get("type") == "shutdown":
-                break
-            if msg.get("type") != "lease":
-                continue
-            if max_units is not None and completed >= max_units:
-                # Fault injection: die holding the lease, mid-sweep, the
-                # way a powered-off machine would.
-                os._exit(KILLED_EXIT)
-            doc = _execute_lease(msg)
-            send_msg(sock, {"type": "result", "uid": msg["uid"], "doc": doc}, lock)
-            completed += 1
-            send_msg(sock, {"type": "ready"}, lock)
-    except OSError:
-        pass  # coordinator went away; treat like shutdown
-    finally:
-        stop.set()
-        sock.close()
+    sock = _connect((host, port), connect_timeout)
+    while True:
+        log(
+            f"[worker {name}] connected to {host}:{port}",
+            file=sys.stderr,
+            flush=True,
+        )
+        outcome, completed = _session(
+            sock,
+            name,
+            completed=completed,
+            max_units=max_units,
+            heartbeat_s=heartbeat_s,
+        )
+        if outcome == "shutdown":
+            break
+        try:
+            sock = _connect((host, port), connect_timeout)
+        except OSError as exc:
+            # A coordinator that finished (or died for good) while our
+            # link was torn looks exactly like this; exiting cleanly
+            # matches the pre-reconnect behavior for that common case,
+            # and the log line carries the address for the genuine one.
+            log(f"[worker {name}] {exc}; exiting", file=sys.stderr, flush=True)
+            break
     log(f"[worker {name}] done ({completed} unit(s))", file=sys.stderr, flush=True)
     return 0
 

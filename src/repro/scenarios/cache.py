@@ -62,14 +62,43 @@ class ResultCache:
     def path(self, name: str, params: Mapping[str, Any]) -> Path:
         return self.root / name / f"{self.key(name, params)}.json"
 
-    def get(self, name: str, params: Mapping[str, Any]) -> dict[str, Any] | None:
-        """The stored document, or ``None`` on miss/corruption."""
-        path = self.path(name, params)
+    def _load(self, path: Path) -> dict[str, Any] | None:
+        """Decode one cache file; quarantine it on corruption.
+
+        A file that exists but will not parse (truncated by a dying
+        worker before atomic writes, a torn filesystem, bit rot, or
+        non-JSON bytes that are not even UTF-8) is renamed to
+        ``<name>.json.corrupt`` and reported as a miss: the sweep
+        recomputes that entry instead of crashing mid-run, and the moved
+        file stays on disk for inspection (``repro cache stats`` counts
+        them). A document that parses but is not a JSON object is
+        corrupt too — every cache format this store has ever written is
+        an object.
+        """
         try:
             with path.open("r", encoding="utf-8") as fh:
-                return json.load(fh)
-        except (OSError, json.JSONDecodeError):
+                doc = json.load(fh)
+        except OSError:
+            return None  # genuine miss (or unreadable: nothing to rename)
+        except ValueError:
+            # json.JSONDecodeError and UnicodeDecodeError both subclass
+            # ValueError; either way the bytes are not a cache entry.
+            self._quarantine(path)
             return None
+        if not isinstance(doc, dict):
+            self._quarantine(path)
+            return None
+        return doc
+
+    def _quarantine(self, path: Path) -> None:
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            pass  # raced with a concurrent quarantine/clear; miss either way
+
+    def get(self, name: str, params: Mapping[str, Any]) -> dict[str, Any] | None:
+        """The stored document, or ``None`` on miss/corruption."""
+        return self._load(self.path(name, params))
 
     def put(
         self, name: str, params: Mapping[str, Any], document: Mapping[str, Any]
@@ -120,12 +149,7 @@ class ResultCache:
         self, name: str, cell: str, cell_params: Mapping[str, Any]
     ) -> dict[str, Any] | None:
         """The stored cell document, or ``None`` on miss/corruption."""
-        path = self.cell_path(name, cell, cell_params)
-        try:
-            with path.open("r", encoding="utf-8") as fh:
-                return json.load(fh)
-        except (OSError, json.JSONDecodeError):
-            return None
+        return self._load(self.cell_path(name, cell, cell_params))
 
     def put_cell(
         self,
@@ -153,10 +177,8 @@ class ResultCache:
         """
         records: list[tuple[str, dict[str, Any], float]] = []
         for path in (self.root / name / "cells").glob("*.json"):
-            try:
-                with path.open("r", encoding="utf-8") as fh:
-                    doc = json.load(fh)
-            except (OSError, json.JSONDecodeError):
+            doc = self._load(path)
+            if doc is None:
                 continue
             key = doc.get("cell")
             params = doc.get("params")
@@ -193,17 +215,21 @@ class ResultCache:
     def stats(self) -> dict[str, dict[str, int]]:
         """Per-scenario entry counts and on-disk bytes.
 
-        ``{scenario: {"results": n, "cells": n, "bytes": n}}`` — the
-        ``repro cache stats`` view, so paper-scale sweep state is
-        inspectable without spelunking the cache directory.
+        ``{scenario: {"results": n, "cells": n, "bytes": n, "corrupt":
+        n}}`` — the ``repro cache stats`` view, so paper-scale sweep
+        state is inspectable without spelunking the cache directory.
+        ``corrupt`` counts files quarantined as ``*.corrupt`` by
+        :meth:`_load`. Underscore-prefixed directories (the run-journal
+        store, ``_journal``) are infrastructure, not scenarios, and are
+        skipped.
         """
         out: dict[str, dict[str, int]] = {}
         if not self.root.is_dir():
             return out
         for sc_dir in sorted(self.root.iterdir()):
-            if not sc_dir.is_dir():
+            if not sc_dir.is_dir() or sc_dir.name.startswith("_"):
                 continue
-            results = cells = size = 0
+            results = cells = size = corrupt = 0
             for path in sc_dir.rglob("*.json"):
                 try:
                     size += path.stat().st_size
@@ -213,8 +239,13 @@ class ResultCache:
                     cells += 1
                 else:
                     results += 1
+            for path in sc_dir.rglob("*.corrupt"):
+                corrupt += 1
             out[sc_dir.name] = {
-                "results": results, "cells": cells, "bytes": size
+                "results": results,
+                "cells": cells,
+                "bytes": size,
+                "corrupt": corrupt,
             }
         return out
 
@@ -231,27 +262,32 @@ class ResultCache:
         ]
         for root, kind in roots:
             for path in sorted(root.glob("*.json")):
-                try:
-                    with path.open("r", encoding="utf-8") as fh:
-                        doc = json.load(fh)
-                except (OSError, json.JSONDecodeError):
+                doc = self._load(path)
+                if doc is None:
                     continue
                 out.append({"path": path, "kind": kind, "doc": doc})
         return out
 
     def clear(self, name: str | None = None) -> int:
-        """Delete entries (all, or one scenario's); returns count removed."""
+        """Delete entries (all, or one scenario's); returns count removed.
+
+        Quarantined ``*.corrupt`` files and run journals (``*.jsonl``)
+        go too — ``clear`` means "forget everything about this
+        scenario's past runs", and stale journal state resurrecting into
+        a fresh sweep would be worse than recomputing.
+        """
         removed = 0
         roots = [self.root / name] if name else [self.root]
         for root in roots:
             if not root.is_dir():
                 continue
-            for entry in root.rglob("*.json"):
-                try:
-                    entry.unlink()
-                    removed += 1
-                except OSError:
-                    pass
+            for pattern in ("*.json", "*.corrupt", "*.jsonl"):
+                for entry in root.rglob(pattern):
+                    try:
+                        entry.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
         return removed
 
     # Convenience used by tests and the CLI's cache-status line.

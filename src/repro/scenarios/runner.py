@@ -53,20 +53,24 @@ import os
 import subprocess
 import time
 import traceback
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
+from ..distrib.chaos import ChaosCrash, injector as chaos_injector
+from ..distrib.journal import RunJournal, journal_path, load_journal
 from . import registry
 from .cache import ResultCache
 from .encode import (
     EncodeError,
     canonical_json,
+    content_hash,
     from_portable,
     to_jsonable,
     to_portable,
 )
 from .registry import Scenario, ScenarioError
-from .sharding import Cell, calibrate_costs
+from .sharding import Cell, calibrate_costs, quarantine_row
 
 __all__ = [
     "Runner",
@@ -129,6 +133,9 @@ class ScenarioResult:
     #: ``(cells computed, cells restored from cache, cells total)`` for a
     #: sharded execution; ``None`` for ordinary scenarios and full-doc hits.
     cells: tuple[int, int, int] | None = None
+    #: Units given up on under ``policy="degraded"``: ``[{"label": ...,
+    #: "error": <full traceback>}]``. ``None`` for a clean result.
+    quarantined: list[dict[str, str]] | None = None
 
 
 @dataclass(frozen=True)
@@ -159,6 +166,25 @@ _HINT_COST = {"cheap": 1.0, "medium": 25.0, "heavy": 400.0}
 
 #: Sentinel: the unit's raw python value did not travel (pooled execution).
 _NO_VALUE = object()
+
+#: One-time-warning ledger for executor degradation, mirroring the
+#: ``REPRO_KERNEL=c`` fallback pattern: each (from, to) edge warns once per
+#: process, because a degraded sweep must be *loud* exactly once, not per
+#: sweep point. Tests reset this to re-observe the warning.
+_DEGRADE_WARNED: set[tuple[str, str]] = set()
+
+
+def _warn_degrade(from_mode: str, to_mode: str, reason: str) -> None:
+    if (from_mode, to_mode) in _DEGRADE_WARNED:
+        return
+    _DEGRADE_WARNED.add((from_mode, to_mode))
+    warnings.warn(
+        f"executor {from_mode!r} unavailable ({reason}); degrading to "
+        f"{to_mode!r} execution — results are bit-identical across "
+        f"executors, only parallelism is lost",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass
@@ -195,6 +221,9 @@ class _ShardState:
     durations: dict[str, float] = field(default_factory=dict)
     restored: int = 0
     error: str | None = None
+    #: cell key -> full error text, for cells given up on under
+    #: ``policy="degraded"`` (merge is skipped; the result reports them).
+    quarantined: dict[str, str] = field(default_factory=dict)
 
 
 def _execute(name: str, params: dict[str, Any]) -> tuple[dict[str, Any], Any]:
@@ -329,6 +358,26 @@ class Runner:
         Callback invoked with the coordinator's resolved ``(host, port)``
         once it is accepting workers (the CLI prints it so a second
         terminal can join).
+    policy:
+        Completion policy for failed units. ``"strict"`` (default)
+        preserves the historical contract: every success is cached as it
+        streams back, then the first failure raises
+        :class:`ScenarioExecutionError` after the batch drains.
+        ``"degraded"`` never raises for unit failures: a failed or
+        poison unit is *quarantined* — its label and traceback land in
+        the ``ScenarioResult.quarantined`` field (and the result rows)
+        while every healthy sibling completes normally — so one bad cell
+        cannot wedge a fleet-scale sweep.
+    max_cell_attempts:
+        How many distinct worker losses one distributed unit survives
+        before the coordinator quarantines it as poison (maps onto
+        :class:`repro.distrib.Coordinator`'s ``max_releases``).
+    resume_journal:
+        Resume a crashed distributed run from its write-ahead journal:
+        prior quarantine verdicts are honored without re-execution, a
+        recorded injected coordinator crash is disarmed (so a
+        ``crash_coordinator`` chaos scenario converges on the second
+        run), and completed cells restore from the cell cache as always.
     """
 
     def __init__(
@@ -343,11 +392,16 @@ class Runner:
         lease_timeout: float = 60.0,
         max_respawns: int = 8,
         on_listen: Callable[[tuple[str, int]], None] | None = None,
+        policy: str = "strict",
+        max_cell_attempts: int = 3,
+        resume_journal: bool = False,
     ) -> None:
         if executor not in (None, "local", "pool", "distributed"):
             raise ValueError(
                 f"executor must be local|pool|distributed, got {executor!r}"
             )
+        if policy not in ("strict", "degraded"):
+            raise ValueError(f"policy must be strict|degraded, got {policy!r}")
         if executor == "distributed" and not (workers or 0) and listen is None:
             raise ValueError(
                 "distributed executor with no auto-spawned workers "
@@ -371,6 +425,9 @@ class Runner:
         self.lease_timeout = lease_timeout
         self.max_respawns = max_respawns
         self.on_listen = on_listen
+        self.policy = policy
+        self.max_cell_attempts = max_cell_attempts
+        self.resume_journal = resume_journal
 
     # ------------------------------------------------------------ resolution
 
@@ -553,25 +610,87 @@ class Runner:
             yield unit, doc, value, None
 
     def _pool_stream(
-        self, ordered: list[_Unit], n_workers: int
+        self, ordered: list[_Unit], pool: multiprocessing.pool.Pool
     ) -> Iterator[tuple[_Unit, dict[str, Any], Any, str | None]]:
         """Stream unit docs back as workers finish them.
 
         ``imap_unordered(chunksize=1)`` lets short units return while long
         cells are still running, so successes are cached (and failures
         surfaced through the progress callback) without waiting for the
-        whole batch.
+        whole batch. The pool is created *eagerly* by :meth:`_make_stream`
+        (a spawn failure there degrades to local execution); this
+        generator owns and closes it.
         """
         by_uid = {unit.uid: unit for unit in ordered}
         payloads = [
             (u.uid, u.kind, u.name, u.cell_key, u.params) for u in ordered
         ]
-        with multiprocessing.Pool(min(n_workers, len(ordered))) as pool:
+        with pool:
             for uid, doc in pool.imap_unordered(_execute_unit, payloads, chunksize=1):
                 yield by_uid[uid], doc, _NO_VALUE, None
 
+    def _unit_jkey(self, unit: _Unit) -> str | None:
+        """The unit's cache key — its durable identity in the run journal."""
+        if self.cache is None:
+            return None
+        if unit.kind == "cell":
+            assert unit.cell_key is not None
+            return self.cache.cell_key(unit.name, unit.cell_key, unit.params)
+        return self.cache.key(unit.name, unit.params)
+
+    def _setup_distributed(
+        self,
+        ordered: list[_Unit],
+        journal: RunJournal | None,
+        crash_after: int | None,
+    ) -> Iterator[tuple[_Unit, dict[str, Any], Any, str | None]]:
+        """Eagerly stand up the coordinator + initial worker fleet.
+
+        Setup failures — the listen socket cannot bind, the worker
+        subprocess cannot spawn — raise ``OSError`` *here*, before any
+        unit runs, so :meth:`_make_stream` can degrade to pool/local
+        execution. Mid-run failures inside the returned generator do not
+        degrade: the recovery machinery (re-lease, respawn, backoff)
+        owns those.
+        """
+        from ..distrib import Coordinator, spawn_local_worker
+
+        host, port = self.listen if self.listen is not None else ("127.0.0.1", 0)
+        coord = Coordinator(
+            host,
+            port,
+            lease_timeout=self.lease_timeout,
+            max_releases=self.max_cell_attempts,
+            journal=journal,
+            crash_after=crash_after,
+        )
+        procs: list[Any] = []
+        #: Monotonic worker-role counter (``REPRO_CHAOS_ROLE=worker-N``):
+        #: every spawn — initial or respawn — gets a fresh seeded chaos
+        #: stream, so replacement workers do not replay their
+        #: predecessor's fault sequence.
+        roles = itertools.count()
+        try:
+            if self.on_listen is not None:
+                self.on_listen(coord.address)
+            for _ in range(min(self.workers or 0, len(ordered))):
+                procs.append(
+                    spawn_local_worker(coord.address, role=f"worker-{next(roles)}")
+                )
+        except OSError:
+            coord.close()
+            for p in procs:
+                if p.poll() is None:
+                    p.terminate()
+            raise
+        return self._distributed_stream(ordered, coord, procs, roles)
+
     def _distributed_stream(
-        self, ordered: list[_Unit]
+        self,
+        ordered: list[_Unit],
+        coord: Any,
+        procs: list[Any],
+        roles: Iterator[int],
     ) -> Iterator[tuple[_Unit, dict[str, Any], Any, str | None]]:
         """Lease units to TCP workers via a coordinator; stream docs back.
 
@@ -581,11 +700,12 @@ class Runner:
         lets external ``repro worker`` processes join the same run. The
         documents streaming back are produced by the very same executor
         functions the pool path uses, so everything downstream is shared.
+        Lease payloads carry each unit's cache key (``jkey``) so the
+        coordinator's write-ahead journal records grants/completions
+        under the same identity the cell cache uses.
         """
-        from ..distrib import Coordinator, spawn_local_worker
+        from ..distrib import spawn_local_worker
 
-        host, port = self.listen if self.listen is not None else ("127.0.0.1", 0)
-        coord = Coordinator(host, port, lease_timeout=self.lease_timeout)
         by_uid = {unit.uid: unit for unit in ordered}
         payloads = [
             {
@@ -594,11 +714,11 @@ class Runner:
                 "name": u.name,
                 "cell_key": u.cell_key,
                 "params": to_portable(u.params),
+                "jkey": self._unit_jkey(u),
             }
             for u in ordered
         ]
-        n_spawn = min(self.workers or 0, len(ordered))
-        procs: list[Any] = []
+        n_spawn = len(procs)
         budget = self.max_respawns
 
         def watchdog(c: Any) -> None:
@@ -610,7 +730,11 @@ class Runner:
             procs[:] = live
             if lost and c.unfinished:
                 for _ in range(min(lost, max(budget, 0))):
-                    procs.append(spawn_local_worker(c.address))
+                    procs.append(
+                        spawn_local_worker(
+                            c.address, role=f"worker-{next(roles)}"
+                        )
+                    )
                     budget -= 1
             # With no listen address there is no other way for workers to
             # appear: an empty fleet plus an exhausted budget means the
@@ -630,10 +754,6 @@ class Runner:
                 )
 
         try:
-            if self.on_listen is not None:
-                self.on_listen(coord.address)
-            for _ in range(n_spawn):
-                procs.append(spawn_local_worker(coord.address))
             for uid, doc, worker in coord.run(payloads, watchdog=watchdog):
                 yield by_uid[uid], doc, _NO_VALUE, worker
         finally:
@@ -656,6 +776,41 @@ class Runner:
                     p.wait(timeout=5)
                 except OSError:
                     pass
+
+    def _make_stream(
+        self,
+        ordered: list[_Unit],
+        mode: str,
+        n_workers: int,
+        journal: RunJournal | None,
+        crash_after: int | None,
+    ) -> Iterator[tuple[_Unit, dict[str, Any], Any, str | None]]:
+        """Stand up the requested executor, degrading gracefully.
+
+        ``distributed → pool → local``: when the coordinator's listen
+        socket cannot bind or the initial worker spawn fails, the run
+        proceeds on the next-simpler executor with a one-time
+        :class:`RuntimeWarning` (mirroring the ``REPRO_KERNEL=c``
+        fallback) — results are bit-identical across executors, so
+        degradation costs parallelism, never correctness.
+        """
+        if mode == "distributed" and ordered:
+            can_pool = n_workers > 1 and len(ordered) > 1
+            try:
+                return self._setup_distributed(ordered, journal, crash_after)
+            except OSError as exc:
+                _warn_degrade(
+                    "distributed", "pool" if can_pool else "local", str(exc)
+                )
+                mode = "pool"
+        if mode == "pool" and n_workers > 1 and len(ordered) > 1:
+            try:
+                pool = multiprocessing.Pool(min(n_workers, len(ordered)))
+            except OSError as exc:
+                _warn_degrade("pool", "local", str(exc))
+            else:
+                return self._pool_stream(ordered, pool)
+        return self._serial_stream(ordered)
 
     def _adapt_costs(self, units: list[_Unit]) -> None:
         """Upgrade static cell-cost estimates with recorded durations.
@@ -705,6 +860,23 @@ class Runner:
             for u in cell_units:
                 u.cost = blended[u.uid]
 
+    def _run_key(self, jobs: list[_Job]) -> str:
+        """Stable identity of one batch, for the run-journal filename.
+
+        Hashes the ordered ``(scenario, canonical params)`` list — the
+        same command resumes the same journal; a different sweep can
+        never read another sweep's state.
+        """
+        return content_hash(
+            {
+                "version": 1,
+                "journal": [
+                    [job.scenario.name, canonical_json(job.params)]
+                    for job in jobs
+                ],
+            }
+        )
+
     def _run_jobs(self, jobs: list[_Job]) -> list[ScenarioResult]:
         results: dict[int, ScenarioResult] = {}
         units, shard_states = self._decompose(jobs, results)
@@ -718,89 +890,168 @@ class Runner:
 
         n_workers = self.workers or 0
         mode = self.executor or ("pool" if n_workers > 1 else "local")
-        if mode == "distributed" and ordered:
-            stream = self._distributed_stream(ordered)
-        elif mode == "pool" and n_workers > 1 and len(ordered) > 1:
-            stream = self._pool_stream(ordered, n_workers)
-        else:
-            stream = self._serial_stream(ordered)
+
+        # Distributed runs with a cache keep a write-ahead journal next to
+        # it: grants/completions for crash forensics, quarantine verdicts
+        # and injected-crash records for --resume-journal.
+        journal: RunJournal | None = None
+        pre_resolved: list[tuple[_Unit, dict[str, Any]]] = []
+        inj = chaos_injector()
+        crash_after = inj.config.crash_coordinator if inj is not None else None
+        if mode == "distributed" and ordered and self.cache is not None:
+            jpath = journal_path(self.cache.root, self._run_key(jobs))
+            prior = load_journal(jpath) if self.resume_journal else None
+            if prior is not None:
+                if prior.crashed:
+                    # The injected crash already fired on the previous
+                    # run; the resume run must finish, not crash again.
+                    crash_after = None
+                if prior.quarantined:
+                    live: list[_Unit] = []
+                    for unit in ordered:
+                        verdict = prior.quarantined.get(self._unit_jkey(unit))
+                        if verdict is None:
+                            live.append(unit)
+                            continue
+                        doc = {
+                            "scenario": unit.name,
+                            "params": to_portable(unit.params),
+                            "error": verdict["error"],
+                            "quarantined": True,
+                        }
+                        if unit.cell_key:
+                            doc["cell"] = unit.cell_key
+                        pre_resolved.append((unit, doc))
+                    ordered = live
+            journal = RunJournal(jpath, resume=prior is not None)
+            journal.start(self._run_key(jobs), len(ordered))
+
+        stream = itertools.chain(
+            ((u, d, _NO_VALUE, None) for u, d in pre_resolved),
+            self._make_stream(ordered, mode, n_workers, journal, crash_after),
+        )
+        total_units = len(pre_resolved) + len(ordered)
 
         # Cache every success the moment it streams back, and only surface
         # the first failure after the batch drains: one bad scenario or cell
         # must not throw away minutes of completed work.
         failure: ScenarioExecutionError | None = None
-        total_cost = sum(u.cost for u in ordered) or 1.0
+        total_cost = (
+            sum(u.cost for u, _ in pre_resolved) + sum(u.cost for u in ordered)
+        ) or 1.0
         done_cost = 0.0
         started = time.perf_counter()
-        for done, (unit, doc, value, worker) in enumerate(stream, start=1):
-            failed = "error" in doc
-            if unit.kind == "cell":
-                if failed:
-                    for j in unit.job_indexes:
-                        shard_states[j].error = doc["error"]
-                    if failure is None:
-                        failure = ScenarioExecutionError(
-                            f"{unit.name}[{unit.cell_key}]", unit.params, doc["error"]
+        try:
+            for done, (unit, doc, value, worker) in enumerate(stream, start=1):
+                failed = "error" in doc
+                if failed and self.policy == "degraded":
+                    err = doc["error"]
+                    # Coordinator poison docs and journal-restored verdicts
+                    # are already journaled; only fresh execution failures
+                    # need a quarantine record here.
+                    if journal is not None and not doc.get("quarantined"):
+                        journal.quarantine(
+                            self._unit_jkey(unit), unit.label, err
                         )
-                else:
-                    if self.cache is not None:
+                    if unit.kind == "cell":
                         assert unit.cell_key is not None
-                        self.cache.put_cell(
-                            unit.name, unit.cell_key, unit.params, doc
+                        for j in unit.job_indexes:
+                            shard_states[j].quarantined[unit.cell_key] = err
+                    else:
+                        job = jobs[unit.job_index]
+                        results[unit.job_index] = ScenarioResult(
+                            name=unit.name,
+                            params=job.params,
+                            rows=[quarantine_row(unit.label, err)],
+                            quarantined=[{"label": unit.label, "error": err}],
                         )
-                    cell_value = (
-                        from_portable(doc["value"]) if value is _NO_VALUE else value
-                    )
-                    for j in unit.job_indexes:
-                        state = shard_states[j]
-                        state.values[unit.cell_key] = cell_value
-                        state.durations[unit.cell_key] = float(doc["duration_s"])
-            else:
-                job = jobs[unit.job_index]
-                if failed:
-                    if failure is None:
-                        failure = ScenarioExecutionError(
-                            unit.name, unit.params, doc["error"]
+                elif unit.kind == "cell":
+                    if failed:
+                        for j in unit.job_indexes:
+                            shard_states[j].error = doc["error"]
+                        if failure is None:
+                            failure = ScenarioExecutionError(
+                                f"{unit.name}[{unit.cell_key}]",
+                                unit.params,
+                                doc["error"],
+                            )
+                    else:
+                        if self.cache is not None:
+                            assert unit.cell_key is not None
+                            self.cache.put_cell(
+                                unit.name, unit.cell_key, unit.params, doc
+                            )
+                        cell_value = (
+                            from_portable(doc["value"])
+                            if value is _NO_VALUE
+                            else value
                         )
+                        for j in unit.job_indexes:
+                            state = shard_states[j]
+                            state.values[unit.cell_key] = cell_value
+                            state.durations[unit.cell_key] = float(
+                                doc["duration_s"]
+                            )
                 else:
-                    if self.cache is not None:
-                        self.cache.put(unit.name, unit.params, doc)
-                    results[unit.job_index] = ScenarioResult(
-                        name=unit.name,
-                        params=job.params,
-                        rows=list(doc["rows"]),
-                        payload=doc.get("payload"),
-                        value=None if value is _NO_VALUE else value,
-                        cached=False,
-                        duration_s=float(doc.get("duration_s", 0.0)),
+                    job = jobs[unit.job_index]
+                    if failed:
+                        if failure is None:
+                            failure = ScenarioExecutionError(
+                                unit.name, unit.params, doc["error"]
+                            )
+                    else:
+                        if self.cache is not None:
+                            self.cache.put(unit.name, unit.params, doc)
+                        results[unit.job_index] = ScenarioResult(
+                            name=unit.name,
+                            params=job.params,
+                            rows=list(doc["rows"]),
+                            payload=doc.get("payload"),
+                            value=None if value is _NO_VALUE else value,
+                            cached=False,
+                            duration_s=float(doc.get("duration_s", 0.0)),
+                        )
+                done_cost += unit.cost
+                if self.progress is not None:
+                    elapsed = time.perf_counter() - started
+                    # Guard the ETA against degenerate inputs: a zero-cost
+                    # unit (possible after adaptive re-costing), a finish
+                    # inside one clock tick, or non-finite costs (recorded
+                    # ``duration_s`` telemetry disagreeing with the static
+                    # estimates) must report "unknown", not a division
+                    # blow-up, a NaN, or a negative countdown.
+                    eta = None
+                    if done_cost > 0 and elapsed > 0:
+                        eta = max(
+                            elapsed * (total_cost - done_cost) / done_cost, 0.0
+                        )
+                        if not math.isfinite(eta):
+                            eta = None
+                    self.progress(
+                        Progress(
+                            done=done,
+                            total=total_units,
+                            label=unit.label,
+                            duration_s=float(doc.get("duration_s", 0.0)),
+                            eta_s=eta,
+                            failed=failed,
+                            worker=worker,
+                        )
                     )
-            done_cost += unit.cost
-            if self.progress is not None:
-                elapsed = time.perf_counter() - started
-                # Guard the ETA against degenerate inputs: a zero-cost
-                # unit (possible after adaptive re-costing), a finish
-                # inside one clock tick, or non-finite costs (recorded
-                # ``duration_s`` telemetry disagreeing with the static
-                # estimates) must report "unknown", not a division
-                # blow-up, a NaN, or a negative countdown.
-                eta = None
-                if done_cost > 0 and elapsed > 0:
-                    eta = max(
-                        elapsed * (total_cost - done_cost) / done_cost, 0.0
-                    )
-                    if not math.isfinite(eta):
-                        eta = None
-                self.progress(
-                    Progress(
-                        done=done,
-                        total=len(ordered),
-                        label=unit.label,
-                        duration_s=float(doc.get("duration_s", 0.0)),
-                        eta_s=eta,
-                        failed=failed,
-                        worker=worker,
-                    )
-                )
+        except ChaosCrash as exc:
+            # The injected coordinator death: record it in the journal so
+            # the resume run disarms the crash, then let it surface — the
+            # operator (or the CI script) restarts with --resume-journal.
+            if journal is not None:
+                journal.crash(str(exc))
+                journal.close()
+            raise
+        else:
+            if journal is not None:
+                journal.end()
+        finally:
+            if journal is not None:
+                journal.close()  # idempotent; covers non-chaos exits too
 
         failure = self._merge_shards(jobs, shard_states, results, failure)
         if failure is not None:
@@ -820,6 +1071,41 @@ class Runner:
                 continue  # cell failure already recorded; siblings are cached
             job = jobs[i]
             sc = job.scenario
+            if state.quarantined:
+                # Degraded completion: some cells were given up on, so no
+                # merged value exists — but the sweep point still reports,
+                # with every quarantined unit's label and traceback, and
+                # every healthy sibling cell is already in the cache (a
+                # later run with the poison fixed resumes from them). The
+                # partial document is deliberately NOT cached: a cache hit
+                # must always mean a complete result.
+                quarantined = [
+                    {"label": f"{sc.name}:{key}", "error": state.quarantined[key]}
+                    for key in sorted(state.quarantined)
+                ]
+                rows = [
+                    f"[degraded] {sc.name}: {len(quarantined)} of "
+                    f"{len(state.plan)} cell(s) quarantined; no merged result"
+                ]
+                rows += [
+                    quarantine_row(rec["label"], rec["error"])
+                    for rec in quarantined
+                ]
+                computed = (
+                    len(state.plan) - state.restored - len(state.quarantined)
+                )
+                results[i] = ScenarioResult(
+                    name=sc.name,
+                    params=job.params,
+                    rows=rows,
+                    payload=None,
+                    value=None,
+                    cached=False,
+                    duration_s=sum(state.durations.values()),
+                    cells=(computed, state.restored, len(state.plan)),
+                    quarantined=quarantined,
+                )
+                continue
             try:
                 values = [state.values[cell.key] for cell in state.plan]
                 merged = sc.merge(values, **job.params)

@@ -32,7 +32,13 @@ from typing import Any, Mapping, TypeVar
 
 from .encode import EncodeError, canonical_json
 
-__all__ = ["Cell", "derive_cell_seed", "validate_plan", "calibrate_costs"]
+__all__ = [
+    "Cell",
+    "derive_cell_seed",
+    "validate_plan",
+    "calibrate_costs",
+    "quarantine_row",
+]
 
 _K = TypeVar("_K")
 
@@ -105,6 +111,21 @@ def calibrate_costs(
         k: (recorded[k] / seconds_per_unit if usable(k) else s)
         for k, s in static.items()
     }
+
+
+def quarantine_row(label: str, error: str) -> str:
+    """One human-readable result row for a quarantined unit.
+
+    ``error`` is a multi-line worker traceback; the row carries the unit
+    label plus the traceback's last non-empty line (the exception
+    message — the part an operator scans a sweep summary for). The full
+    traceback stays available in ``ScenarioResult.quarantined``.
+    """
+    tail = ""
+    for line in error.splitlines():
+        if line.strip():
+            tail = line.strip()
+    return f"[quarantined] {label}: {tail}" if tail else f"[quarantined] {label}"
 
 
 def validate_plan(scenario: str, plan: list[Cell]) -> list[Cell]:

@@ -151,6 +151,53 @@ class TestProtocol:
         finally:
             b.close()
 
+    def test_truncated_length_prefix_is_a_protocol_error(self):
+        # A peer that dies two bytes into the 4-byte header must not
+        # impersonate an orderly shutdown: EOF mid-frame raises, EOF at a
+        # frame boundary (tested above) returns None.
+        a, b = socket.socketpair()
+        try:
+            a.sendall(encode_frame({"type": "ready"})[:2])
+            a.close()
+            with pytest.raises(ProtocolError, match="closed mid-frame"):
+                recv_msg(b)
+        finally:
+            b.close()
+
+    def test_eof_mid_body_is_a_protocol_error(self):
+        a, b = socket.socketpair()
+        try:
+            frame = encode_frame({"type": "result", "uid": 1})
+            a.sendall(frame[: len(frame) // 2])  # header + part of the body
+            a.close()
+            with pytest.raises(ProtocolError, match="closed mid-frame"):
+                recv_msg(b)
+        finally:
+            b.close()
+
+    def test_partial_writes_reassemble(self):
+        # A sender dribbling one byte at a time (worst-case segmentation)
+        # must decode identically to a frame that arrived whole.
+        a, b = socket.socketpair()
+        result = {}
+
+        def _recv():
+            result["msg"] = recv_msg(b)
+
+        thread = threading.Thread(target=_recv)
+        thread.start()
+        try:
+            msg = {"type": "lease", "uid": 7, "params": {"x": [1, 2]}}
+            for byte in encode_frame(msg):
+                a.sendall(bytes([byte]))
+                time.sleep(0.001)
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+            assert result["msg"] == msg
+        finally:
+            a.close()
+            b.close()
+
     def test_parse_address(self):
         assert parse_address("10.0.0.1:7077") == ("10.0.0.1", 7077)
         assert parse_address(("h", 1)) == ("h", 1)
