@@ -45,6 +45,10 @@ Two further phases feed the artifact:
   scenario Runner at ``--sharded-scale``, recording wall and cells/sec
   per worker count (the CI perf-smoke job gates on cells/sec with the
   same >2x rule as events/sec).
+* ``--faults`` — price the dynamic failure subsystem: armed-but-empty
+  vs uninstalled walls (the deterministic observables must be identical
+  or the bench aborts) plus an active 25% link draw, differentially
+  checked py-vs-c when the compiled kernel is present.
 
 Usage::
 
@@ -401,6 +405,143 @@ def run_depth_bench(depths: tuple[int, ...] = DEPTHS, ops: int = 100_000) -> dic
     }
 
 
+# --------------------------------------------------------- faults overhead
+
+
+def _run_opera_faulted(
+    schedule, scheduler: str = "heap", kernel: str = "py"
+) -> dict:
+    """The opera leg of the workload with the failure subsystem armed.
+
+    ``schedule=None`` runs uninstalled; an empty schedule arms the
+    machinery with nothing ever failing. Returns the deterministic
+    observables plus wall time, so callers can both price the seam and
+    differential-check it.
+    """
+    prev = {
+        key: os.environ.get(key)
+        for key in ("REPRO_SCHEDULER", "REPRO_COALESCE", "REPRO_KERNEL")
+    }
+    os.environ["REPRO_SCHEDULER"] = scheduler
+    os.environ["REPRO_COALESCE"] = "1"
+    os.environ["REPRO_KERNEL"] = kernel
+    try:
+        t0 = time.perf_counter()
+        net = build_network(
+            "opera",
+            k=WORKLOAD["k"],
+            n_racks=WORKLOAD["n_racks"],
+            seed=WORKLOAD["seed"],
+        )
+        if schedule is not None:
+            net.install_failures(schedule)
+        arrivals = PoissonArrivals(
+            DATAMINING.truncated(WORKLOAD["size_cap"]),
+            load=WORKLOAD["load"],
+            n_hosts=len(net.hosts),
+            hosts_per_rack=net.network.hosts_per_rack,
+            seed=WORKLOAD["seed"],
+        )
+        threshold = net.network.bulk_threshold_bytes
+        for flow in arrivals.flows(duration_ps=int(WORKLOAD["duration_ms"] * MS)):
+            if flow.size_bytes >= threshold:
+                net.start_bulk_flow(
+                    flow.src_host, flow.dst_host, flow.size_bytes, flow.time_ps
+                )
+            else:
+                net.start_low_latency_flow(
+                    flow.src_host, flow.dst_host, flow.size_bytes, flow.time_ps
+                )
+        net.run(
+            until_ps=int((WORKLOAD["duration_ms"] + WORKLOAD["drain_ms"]) * MS)
+        )
+        wall = time.perf_counter() - t0
+    finally:
+        for key, value in prev.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+    stats = net.stats
+    return {
+        "events": net.sim.events_processed,
+        "sched_entries": net.sim.sched_pushes,
+        "packet_hops": sum(p.stats.sent_packets for p in _all_ports(net)),
+        "blackholed_packets": stats.total_blackholed_packets(),
+        "completed": len(stats.completed_flows()),
+        "unrecoverable": len(stats.unrecoverable_flows),
+        "wall_s": wall,
+    }
+
+
+def run_faults_overhead() -> dict:
+    """Price the dynamic failure subsystem on the opera workload.
+
+    Three records: uninstalled, armed-but-empty (must be event-for-event
+    identical — the seam's cost is one box read per routed packet), and a
+    mid-run 25% link draw (the recovery machinery actually working).
+    When the compiled kernel is present the active draw is repeated under
+    ``REPRO_KERNEL=c`` and every deterministic observable must match the
+    py record — a bench run that saw the kernels diverge under failures
+    must not produce an artifact.
+    """
+    import random as _random
+
+    from repro.core.faults import FailureSchedule
+
+    off = _run_opera_faulted(None)
+    armed = _run_opera_faulted(FailureSchedule.empty())
+    for field in ("events", "sched_entries", "packet_hops"):
+        if armed[field] != off[field]:
+            raise SystemExit(
+                f"faults differential FAILED: armed-but-empty {field}="
+                f"{armed[field]} != uninstalled {field}={off[field]}"
+            )
+
+    def draw():
+        return FailureSchedule.random(
+            WORKLOAD["n_racks"],
+            WORKLOAD["k"] // 2,
+            "link",
+            0.25,
+            int(2.0 * MS),
+            _random.Random(7),
+        )
+
+    active = _run_opera_faulted(draw())
+    record = {
+        "off_wall_s": round(off["wall_s"], 4),
+        "armed_wall_s": round(armed["wall_s"], 4),
+        "ratio": round(armed["wall_s"] / off["wall_s"], 4),
+        "active": {
+            "fraction": 0.25,
+            "component": "link",
+            "wall_s": round(active["wall_s"], 4),
+            "events": active["events"],
+            "blackholed_packets": active["blackholed_packets"],
+            "completed": active["completed"],
+            "unrecoverable": active["unrecoverable"],
+        },
+    }
+    if compiled_available():
+        active_c = _run_opera_faulted(draw(), kernel="c")
+        for field in (
+            "events",
+            "sched_entries",
+            "packet_hops",
+            "blackholed_packets",
+            "completed",
+            "unrecoverable",
+        ):
+            if active_c[field] != active[field]:
+                raise SystemExit(
+                    f"faults kernel differential FAILED: heap-c {field}="
+                    f"{active_c[field]} != heap {field}={active[field]}"
+                )
+        record["active"]["kernel_identical"] = True
+    return record
+
+
 # ----------------------------------------------------------- sharded fig07
 
 
@@ -509,6 +650,24 @@ def format_rows(doc: dict) -> list[str]:
         rows.append(
             f"compiled kernel: {doc['kernel_speedup_hops_per_sec']}x "
             f"hops/sec (heap-c vs heap, deterministic observables equal)"
+        )
+    faults = doc.get("faults_overhead")
+    if faults:
+        rows.append(
+            f"faults armed-but-empty: {faults['armed_wall_s']:.3f} s vs "
+            f"{faults['off_wall_s']:.3f} s off = {faults['ratio']:.3f}x "
+            f"(events identical)"
+        )
+        active = faults["active"]
+        rows.append(
+            f"faults active ({active['component']} {active['fraction']:.0%}): "
+            f"{active['wall_s']:.3f} s, {active['blackholed_packets']} "
+            f"blackholed, {active['completed']} completed"
+            + (
+                ", py==c"
+                if active.get("kernel_identical")
+                else ""
+            )
         )
     if "scheduler_depths" in doc:
         for depth, point in doc["scheduler_depths"]["per_depth"].items():
@@ -690,6 +849,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="skip the uncoalesced heap-legacy record")
     parser.add_argument("--depths", action="store_true",
                         help="run the heap-vs-wheel pending-depth bench")
+    parser.add_argument("--faults", action="store_true",
+                        help="price the dynamic failure subsystem "
+                        "(armed-but-empty vs off, plus an active draw)")
     parser.add_argument("--sharded", action="append", default=[],
                         metavar="SCALE:W1,W2",
                         help="run the sharded fig07 grid at SCALE for each "
@@ -731,6 +893,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     if args.depths:
         doc["scheduler_depths"] = run_depth_bench()
+    if args.faults:
+        doc["faults_overhead"] = run_faults_overhead()
     for scale, workers_list in sharded_specs:
         doc.setdefault("sharded", {})[scale] = run_sharded_bench(
             scale, workers_list, executor=args.sharded_executor

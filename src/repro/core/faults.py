@@ -3,9 +3,12 @@
 Opera recovers from link, ToR and circuit-switch failures by recomputing
 routes around failed components; failure information propagates via a hello
 protocol run over each newly-established circuit, so any connected ToR
-learns of a failure within at most two cycles. This module only models
-*which* components are failed; route recomputation lives in
-:mod:`repro.core.routing` and the measurement harness in
+learns of a failure within at most two cycles. This module models *which*
+components are failed — statically (:class:`FailureSet`) and over time
+(:class:`FailureSchedule`, a seeded sequence of timed fail/repair events
+the packet engine executes as ordinary simulator events; see
+:mod:`repro.net.failures`). Route recomputation lives in
+:mod:`repro.core.routing` and the static measurement harness in
 :mod:`repro.analysis.failures`.
 
 A *link* is a (rack uplink, circuit switch) pair — the fiber from ToR
@@ -19,7 +22,25 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-__all__ = ["FailureSet"]
+__all__ = ["FailureSet", "FailureEvent", "FailureSchedule"]
+
+
+def _check_fraction(name: str, fraction: float, population: int, k: int) -> None:
+    """Reject fractions outside [0, 1] and oversized samples loudly.
+
+    ``rng.sample`` raises its own ``ValueError`` for oversized samples, but
+    its message talks about "sample larger than population" without naming
+    the argument the caller actually passed — surface ``fraction`` instead.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(
+            f"fraction must be in [0, 1], got fraction={fraction!r}"
+        )
+    if k > population:
+        raise ValueError(
+            f"fraction={fraction!r} asks for {k} failures out of a "
+            f"population of {population} {name}"
+        )
 
 
 @dataclass(frozen=True)
@@ -52,6 +73,7 @@ class FailureSet:
         """Fail a uniform random ``fraction`` of the rack-to-switch fibers."""
         all_links = [(r, w) for r in range(n_racks) for w in range(n_switches)]
         k = round(fraction * len(all_links))
+        _check_fraction("links", fraction, len(all_links), k)
         return cls(links=frozenset(rng.sample(all_links, k)))
 
     @classmethod
@@ -59,6 +81,7 @@ class FailureSet:
         cls, n_racks: int, fraction: float, rng: random.Random
     ) -> "FailureSet":
         k = round(fraction * n_racks)
+        _check_fraction("racks", fraction, n_racks, k)
         return cls(racks=frozenset(rng.sample(range(n_racks), k)))
 
     @classmethod
@@ -66,6 +89,7 @@ class FailureSet:
         cls, n_switches: int, fraction: float, rng: random.Random
     ) -> "FailureSet":
         k = round(fraction * n_switches)
+        _check_fraction("switches", fraction, n_switches, k)
         return cls(switches=frozenset(rng.sample(range(n_switches), k)))
 
     @property
@@ -90,3 +114,175 @@ class FailureSet:
             racks=self.racks | other.racks,
             switches=self.switches | other.switches,
         )
+
+
+# ---------------------------------------------------------------------------
+# Timed fail/repair events
+# ---------------------------------------------------------------------------
+
+#: Recognised component kinds of a :class:`FailureEvent`.
+COMPONENTS = ("link", "rack", "switch")
+
+
+@dataclass(frozen=True, order=True)
+class FailureEvent:
+    """One timed fail or repair of a single component.
+
+    ``target`` is a ``(rack, switch)`` pair for ``component == "link"`` and
+    a bare index for racks and switches. Ordering is by time (then fields),
+    so a sorted event tuple replays deterministically.
+    """
+
+    time_ps: int
+    component: str  # "link" | "rack" | "switch"
+    target: tuple[int, int] | int
+    action: str = "fail"  # "fail" | "repair"
+
+    def __post_init__(self) -> None:
+        if self.time_ps < 0:
+            raise ValueError(f"event time must be >= 0, got {self.time_ps}")
+        if self.component not in COMPONENTS:
+            raise ValueError(
+                f"unknown component {self.component!r}; known: {COMPONENTS}"
+            )
+        if self.action not in ("fail", "repair"):
+            raise ValueError(f"unknown action {self.action!r}")
+        if self.component == "link":
+            if not (isinstance(self.target, tuple) and len(self.target) == 2):
+                raise ValueError(
+                    f"link target must be a (rack, switch) pair, "
+                    f"got {self.target!r}"
+                )
+        elif not isinstance(self.target, int):
+            raise ValueError(
+                f"{self.component} target must be an int, got {self.target!r}"
+            )
+
+
+@dataclass(frozen=True)
+class FailureSchedule:
+    """A deterministic sequence of timed fail/repair events.
+
+    The packet engine executes these as ordinary simulator events
+    (:meth:`repro.net.builders.OperaSimNetwork.install_failures`); the
+    static analyses fold them into a :class:`FailureSet` snapshot with
+    :meth:`failure_set_at`. Events are stored sorted by time so replay
+    order never depends on construction order.
+    """
+
+    events: tuple[FailureEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(sorted(self.events)))
+
+    @classmethod
+    def empty(cls) -> "FailureSchedule":
+        """Armed-but-empty: machinery installed, nothing ever fails."""
+        return cls()
+
+    @classmethod
+    def fail_set(
+        cls,
+        failures: FailureSet,
+        at_ps: int,
+        repair_at_ps: int | None = None,
+    ) -> "FailureSchedule":
+        """Fail every component of ``failures`` at ``at_ps`` (and
+        optionally repair them all at ``repair_at_ps``)."""
+        if repair_at_ps is not None and repair_at_ps <= at_ps:
+            raise ValueError(
+                f"repair_at_ps={repair_at_ps} must be after at_ps={at_ps}"
+            )
+        events: list[FailureEvent] = []
+        targets: list[tuple[str, tuple[int, int] | int]] = (
+            [("link", t) for t in sorted(failures.links)]
+            + [("rack", t) for t in sorted(failures.racks)]
+            + [("switch", t) for t in sorted(failures.switches)]
+        )
+        for component, target in targets:
+            events.append(FailureEvent(at_ps, component, target))
+            if repair_at_ps is not None:
+                events.append(
+                    FailureEvent(repair_at_ps, component, target, "repair")
+                )
+        return cls(tuple(events))
+
+    @classmethod
+    def random(
+        cls,
+        n_racks: int,
+        n_switches: int,
+        component: str,
+        fraction: float,
+        at_ps: int,
+        rng: random.Random,
+        repair_at_ps: int | None = None,
+    ) -> "FailureSchedule":
+        """A seeded single-epoch draw: fail a random ``fraction`` of one
+        component class at ``at_ps`` (mirroring fig11's static draws)."""
+        if component == "link":
+            fs = FailureSet.random_links(n_racks, n_switches, fraction, rng)
+        elif component == "rack":
+            fs = FailureSet.random_racks(n_racks, fraction, rng)
+        elif component == "switch":
+            fs = FailureSet.random_switches(n_switches, fraction, rng)
+        else:
+            raise ValueError(
+                f"unknown component {component!r}; known: {COMPONENTS}"
+            )
+        return cls.fail_set(fs, at_ps, repair_at_ps)
+
+    # ---------------------------------------------------------------- queries
+
+    @property
+    def empty_schedule(self) -> bool:
+        return not self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def failure_set_at(self, time_ps: int) -> FailureSet:
+        """The :class:`FailureSet` in force at ``time_ps`` (inclusive)."""
+        links: set[tuple[int, int]] = set()
+        racks: set[int] = set()
+        switches: set[int] = set()
+        pools = {"link": links, "rack": racks, "switch": switches}
+        for event in self.events:
+            if event.time_ps > time_ps:
+                break
+            pool = pools[event.component]
+            if event.action == "fail":
+                pool.add(event.target)  # type: ignore[arg-type]
+            else:
+                pool.discard(event.target)  # type: ignore[arg-type]
+        return FailureSet(
+            links=frozenset(links),
+            racks=frozenset(racks),
+            switches=frozenset(switches),
+        )
+
+    def final_failure_set(self) -> FailureSet:
+        """The failure set after every event has been applied."""
+        if not self.events:
+            return FailureSet.none()
+        return self.failure_set_at(self.events[-1].time_ps)
+
+    def validate(self, n_racks: int, n_switches: int) -> "FailureSchedule":
+        """Raise if any event targets a component outside the network."""
+        for event in self.events:
+            if event.component == "link":
+                rack, switch = event.target  # type: ignore[misc]
+                ok = 0 <= rack < n_racks and 0 <= switch < n_switches
+            elif event.component == "rack":
+                ok = 0 <= event.target < n_racks  # type: ignore[operator]
+            else:
+                ok = 0 <= event.target < n_switches  # type: ignore[operator]
+            if not ok:
+                raise ValueError(
+                    f"event {event} targets a component outside a "
+                    f"{n_racks}-rack / {n_switches}-switch network"
+                )
+        return self

@@ -21,7 +21,12 @@ from dataclasses import dataclass
 from .faults import FailureSet
 from .schedule import OperaSchedule
 
-__all__ = ["DeadCircuit", "HelloProtocol", "slices_to_full_knowledge"]
+__all__ = [
+    "DeadCircuit",
+    "HelloProtocol",
+    "slices_to_full_knowledge",
+    "detection_delay_slices",
+]
 
 
 @dataclass(frozen=True, order=True)
@@ -144,3 +149,25 @@ def slices_to_full_knowledge(
         if protocol.fully_informed():
             return step
     return None
+
+
+def detection_delay_slices(
+    schedule: OperaSchedule,
+    failures: FailureSet,
+    cap_cycles: int = 2,
+) -> int:
+    """Slices until the network has rerouted around ``failures``.
+
+    The dynamic failure layer (:mod:`repro.net.failures`) models detection
+    as a single epoch at which every surviving ToR has learned the failure
+    set and swapped in recomputed routes. This helper derives that epoch
+    from the actual hello propagation (:func:`slices_to_full_knowledge`),
+    capped at the paper's two-cycle bound — under partitioning failures
+    full knowledge never arrives, but every *reachable* ToR has learned
+    everything it ever will by then.
+    """
+    if failures.empty:
+        return 0
+    slices = slices_to_full_knowledge(schedule, failures, max_cycles=cap_cycles)
+    cap = cap_cycles * schedule.cycle_slices
+    return cap if slices is None else min(slices, cap)

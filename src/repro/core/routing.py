@@ -182,6 +182,22 @@ class OperaRouting:
     def all_slices(self) -> list[SliceRoutes]:
         return [self.routes(s) for s in range(self.schedule.cycle_slices)]
 
+    def any_slice_reachable(self, src: int, dst: int) -> bool:
+        """True if some topology slice connects ``src`` to ``dst``.
+
+        This is the packet engine's effective reachability criterion: a
+        stamped packet that finds its pair disconnected in one slice is
+        re-stamped on the current slice later, so a flow completes iff
+        *any* slice of the cycle offers a path (the dynamic-failure
+        differential test pins the engine to exactly this predicate).
+        """
+        if src == dst:
+            return True
+        return any(
+            self.routes(s).dist[src][dst] != UNREACHABLE
+            for s in range(self.schedule.cycle_slices)
+        )
+
     def path_length_histogram(self) -> dict[int, int]:
         """Histogram of shortest-path hops across all slices and rack pairs."""
         total: dict[int, int] = {}

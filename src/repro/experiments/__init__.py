@@ -20,6 +20,7 @@ from . import (
     fig08_shuffle,
     fig09_websearch,
     fig10_mixed,
+    fig11_dynamic,
     fig11_faults,
     fig12_cost_sensitivity,
     fig13_prototype,
@@ -40,6 +41,7 @@ __all__ = [
     "fig08_shuffle",
     "fig09_websearch",
     "fig10_mixed",
+    "fig11_dynamic",
     "fig11_faults",
     "fig12_cost_sensitivity",
     "fig13_prototype",

@@ -177,6 +177,15 @@ class OperaSimNetwork(SimNetwork):
         timing = network.timing
         self.slice_ps = timing.slice_ps
         self._cycle_slices = sched.cycle_slices
+        #: Failure seam. ``_fault_cell`` is a one-slot box the install-once
+        #: route closures capture: ``[None]`` fault-free, rebound to the
+        #: live :class:`~repro.net.failures.FaultContext` by
+        #: :meth:`install_failures` (state mutates; closures never do).
+        self._fault_cell: list = [None]
+        #: Every router's memoized next-hop table, so detection epochs can
+        #: invalidate stale routes in one pass.
+        self._hop_caches: list[dict] = []
+        self.faults = None  # FailureInjector | None
         self._make_hosts(network.n_hosts, network.hosts_per_rack)
 
         self.tors: list[SwitchNode] = []
@@ -240,7 +249,7 @@ class OperaSimNetwork(SimNetwork):
         offset = now_ps % self.slice_ps
         return offset >= self.network.timing.epsilon_ps
 
-    def _uplink_resolver(self, rack: int, switch: int):
+    def _uplink_resolver(self, rack: int, switch: int, ctx=None):
         # Per-slice peer/down lookups are pure functions of the schedule;
         # precompute them once per port so the per-packet resolver is two
         # integer ops and a table index.
@@ -248,21 +257,57 @@ class OperaSimNetwork(SimNetwork):
         cycle = sched.cycle_slices
         tors = self.tors
         peer_tor: list[SwitchNode | None] = []
+        peer_rack: list[int] = []
         down: list[bool] = []
         for s in range(cycle):
             peer = sched.matching_of(switch, s)[rack]
             peer_tor.append(None if peer == rack else tors[peer])
+            peer_rack.append(peer)
             down.append(sched.is_down(switch, s))
         slice_ps = self.slice_ps
         epsilon_ps = self.network.timing.epsilon_ps
 
-        def resolve(_packet: Packet, now_ps: int):
+        if ctx is None:
+
+            def resolve(_packet: Packet, now_ps: int):
+                s = (now_ps // slice_ps) % cycle
+                if down[s] and now_ps % slice_ps >= epsilon_ps:
+                    return None  # circuit dark while mirrors retarget
+                return peer_tor[s]  # None on identity assignment: port idles
+
+            return resolve
+
+        # Failure-armed variant (swapped in by install_failures; ports read
+        # ``resolver`` per packet in both kernels, so the swap is live).
+        # The *actual* failure sets are captured as locals — the injector
+        # mutates them in place — and a packet launched into a physically
+        # dead circuit lands in this rack's blackhole: light simply stops
+        # arriving, with none of the queue-drop recovery paths firing.
+        links_down = ctx.links_down
+        racks_down = ctx.racks_down
+        switches_down = ctx.switches_down
+        blackhole = ctx.blackholes[rack]
+
+        def resolve_faulty(_packet: Packet, now_ps: int):
             s = (now_ps // slice_ps) % cycle
             if down[s] and now_ps % slice_ps >= epsilon_ps:
-                return None  # circuit dark while mirrors retarget
-            return peer_tor[s]  # None on an identity assignment: port idles
+                return None
+            peer = peer_tor[s]
+            if peer is None:
+                return None
+            if ctx.any_down:
+                pr = peer_rack[s]
+                if (
+                    switch in switches_down
+                    or rack in racks_down
+                    or pr in racks_down
+                    or (rack, switch) in links_down
+                    or (pr, switch) in links_down
+                ):
+                    return blackhole
+            return peer
 
-        return resolve
+        return resolve_faulty
 
     def _make_dark_handler(self, rack: int):
         def handle(packet: Packet) -> None:
@@ -290,21 +335,41 @@ class OperaSimNetwork(SimNetwork):
         sim = self.sim
         _BULK = Priority.BULK
         _DATA = PacketKind.DATA
+        # Failure seam: routers are install-once (ports cache the fused
+        # dispatch closure), so dynamic failure state is read through this
+        # one-slot box — [None] until install_failures arms it. Both
+        # kernels invoke this same Python closure per packet.
+        fault_cell = self._fault_cell
         # Equal-cost option lists are pure functions of (stamp, dst_rack);
         # memoize them per router so the per-packet cost is one dict hit.
+        # Registered with the network: detection epochs clear it so the
+        # next miss repopulates from the epoch's detected-failure routing.
         hop_cache: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        self._hop_caches.append(hop_cache)
+        # dst_rack -> any-slice reachability under the epoch's detected
+        # routing; cleared together with hop_cache at detection epochs.
+        reach_cache: dict[int, bool] = {}
+        self._hop_caches.append(reach_cache)
 
         def next_hop(dst_rack: int, stamp: int, salt: int):
             key = (stamp, dst_rack)
             options = hop_cache.get(key)
             if options is None:
-                options = routing.routes(stamp).next_hops(rack, dst_rack)
+                ctx = fault_cell[0]
+                tables = routing if ctx is None else ctx.routing
+                options = tables.routes(stamp).next_hops(rack, dst_rack)
                 hop_cache[key] = options
             if not options:
                 return None
             return options[salt % len(options)]
 
         def route(_switch: SwitchNode, packet: Packet):
+            ctx = fault_cell[0]
+            if ctx is not None and rack in ctx.racks_down:
+                # This ToR is physically dead: everything it would have
+                # switched — host-bound deliveries included — is lost.
+                ctx.blackholes[rack].receive(packet)
+                return CONSUMED
             dst_rack = packet.dst_host // hosts_per_rack
             if packet.priority is _BULK and packet.kind is _DATA:
                 if dst_rack == rack:
@@ -325,6 +390,41 @@ class OperaSimNetwork(SimNetwork):
                 stamp = packet.slice_stamp = (sim.now // slice_ps) % cycle
                 hop = next_hop(dst_rack, stamp, packet.salt + packet.hops)
                 if hop is None:
+                    if ctx is not None and (
+                        ctx.any_down or ctx.detected is not None
+                    ):
+                        if ctx.detected is not None:
+                            reachable = reach_cache.get(dst_rack)
+                            if reachable is None:
+                                reachable = reach_cache[dst_rack] = (
+                                    ctx.routing.any_slice_reachable(
+                                        rack, dst_rack
+                                    )
+                                )
+                            if reachable:
+                                # The *updated* tables know this slice has
+                                # no surviving path but a later one does:
+                                # hold the packet at the ToR until the next
+                                # slice boundary and re-route it there
+                                # (hops unchanged — it waited in place).
+                                # Bounded: within one cycle some slice
+                                # offers a path.
+                                ctx.slice_parks += 1
+                                packet.slice_stamp = None
+                                sim.at(
+                                    (sim.now // slice_ps + 1) * slice_ps,
+                                    _switch.receive,
+                                    packet,
+                                )
+                                return CONSUMED
+                        # Routeless because of failures with no surviving
+                        # path in any slice (or not yet detected): the
+                        # packet is failure-lost. Feed the blackhole so
+                        # the recovery clock retries — its phase-shifted
+                        # timeout lands the retransmission in a different
+                        # slice, which may well have a path.
+                        ctx.blackholes[rack].receive(packet)
+                        return CONSUMED
                     return None
             packet.hops += 1
             return self.uplink_ports[rack][hop[1]]
@@ -350,6 +450,70 @@ class OperaSimNetwork(SimNetwork):
             sim.after(slice_ps, on_slice_boundary)
 
         sim.at(0, on_slice_boundary)
+
+    # -------------------------------------------------------------- failures
+
+    def install_failures(
+        self,
+        schedule,
+        *,
+        rtx_timeout_ps: int | None = None,
+        bulk_retry_ps: int | None = None,
+        detection_cap_cycles: int = 2,
+    ):
+        """Arm a :class:`~repro.core.faults.FailureSchedule` on this network.
+
+        Must run before the first ``run()`` (routers are install-once and
+        the injector replays hello-protocol detection delays from t=0).
+        Swaps every uplink resolver for its failure-aware variant and arms
+        the route closures through ``_fault_cell``; with an empty schedule
+        the armed network is bitwise identical to an unarmed one (priced
+        as ``faults_overhead`` in the engine microbench).
+
+        ``rtx_timeout_ps`` is the NDP blackhole-timeout clock period; it
+        defaults to one rotor cycle *plus one slice*: the cycle part
+        upper-bounds any legitimate in-fabric delay (the clock never
+        fires on a merely-slow packet), and the extra slice shifts each
+        successive retry to a different slice phase — under failures some
+        slices may have no surviving path to a destination, so a
+        whole-cycle timeout would re-lose every retry in the same dead
+        phase. ``bulk_retry_ps`` is the parked-bulk retry period
+        (default one cycle: every direct circuit has rotated past by
+        then).
+
+        Returns the :class:`~repro.net.failures.FailureInjector`.
+        """
+        from .failures import FailureInjector, FaultContext
+
+        if self.faults is not None:
+            raise RuntimeError("failure schedule already installed")
+        if self.sim.now != 0 or self.sim.events_processed != 0:
+            raise RuntimeError(
+                "install_failures must run on a pristine network: ports "
+                "cache dispatch closures on first delivery, so arming "
+                "mid-run would leave stale fault-free paths in place"
+            )
+        schedule.validate(self.network.n_racks, self.network.n_switches)
+        cycle_ps = self._cycle_slices * self.slice_ps
+        ctx = FaultContext(self.pipeline.routing)
+        injector = FailureInjector(
+            self,
+            ctx,
+            schedule,
+            rtx_timeout_ps=(
+                cycle_ps + self.slice_ps
+                if rtx_timeout_ps is None
+                else rtx_timeout_ps
+            ),
+            bulk_retry_ps=cycle_ps if bulk_retry_ps is None else bulk_retry_ps,
+            detection_cap_cycles=detection_cap_cycles,
+        )
+        for rack, uplinks in enumerate(self.uplink_ports):
+            for switch, port in uplinks.items():
+                port.resolver = self._uplink_resolver(rack, switch, ctx)
+        self._fault_cell[0] = ctx
+        self.faults = injector
+        return injector
 
     def start_bulk_flow(
         self, src: int, dst: int, size_bytes: int, start_ps: int = 0

@@ -36,6 +36,24 @@ toolchain, and hand-written C manipulates the ``__slots__`` layout and
 heap entries with zero per-event allocation); the extension is declared
 optional, so a missing compiler degrades to the pure-Python kernel
 instead of failing the install.
+
+**The failure seam.** Live failure injection (``repro.core.faults`` +
+``OperaSimNetwork.install_failures``) adds *zero* kernel code. Two
+deliberate properties of this seam make that possible:
+
+* The compiled ``SwitchNode`` calls the *Python* route closure per
+  packet (``_ckernel.c`` invokes ``route(switch, packet)`` exactly like
+  the pure engine), so blackholing on failed hops, dead-rack checks and
+  slice-parking live in one closure both kernels execute.
+* ``Port.resolver`` is re-read on every transmit in both kernels, so
+  the injector can swap a failure-aware uplink resolver in live.
+
+Dynamic state reaches the closures through one-slot mutable cells
+(actual failed sets mutated in place; the *detected* view swapped at
+hello epochs), never by reinstalling routers. Consequently ``py`` and
+``c`` runs stay byte-identical under active failures — CI's
+``faults-smoke`` job and ``tests/test_faults_dynamic.py`` pin this —
+and arming an empty schedule is bitwise invisible to either kernel.
 """
 
 from __future__ import annotations

@@ -5,8 +5,13 @@ The pieces the paper relies on (section 4.2.1) are implemented faithfully:
 * **Zero-RTT start** — the source blasts an initial window immediately.
 * **Packet trimming** — overloaded switch queues cut payloads; the header
   still reaches the receiver (at control priority), which NACKs so the
-  source can requeue the payload for retransmission. No timeouts are needed
-  because metadata is never lost.
+  source can requeue the payload for retransmission. On the fault-free
+  fabric no timeouts are needed because metadata is never lost; a *failed
+  component* blackholes whole packets, metadata included, so the dynamic
+  failure layer (:mod:`repro.net.failures`) drives the cold-path timeout
+  hooks below (:meth:`NdpSource.timeout_retransmit` /
+  :meth:`NdpSource.replay_pull`) — armed only when a loss actually
+  happened, so fault-free runs schedule zero extra events.
 * **Receiver-driven pacing** — the receiver issues PULL packets clocked at
   its line rate (one MTU's serialization per PULL, shared across that
   host's active flows); each PULL releases one packet at the source,
@@ -171,6 +176,33 @@ class NdpSource:
         elif packet.kind is PacketKind.PULL:
             if not self._send_next():
                 self._pulls_banked += 1
+
+    # ------------------------------------------------------- failure recovery
+    #
+    # Cold-path hooks driven by the blackhole timeout clock
+    # (repro.net.failures.NdpRecovery). They are deliberately *not* part of
+    # on_packet: the compiled kernel implements on_packet in C, and keeping
+    # recovery in shared Python methods that only mutate the same __slots__
+    # state is what keeps REPRO_KERNEL=py|c bit-identical under failures.
+
+    def timeout_retransmit(self, seq: int) -> bool:
+        """Re-emit a sequence whose packet was blackholed; False if acked.
+
+        Emission is immediate (not banked behind a PULL): when a failure
+        swallowed the whole initial window, the sink has never seen the
+        flow and will never pull, so only a timeout-clocked send can
+        un-wedge it.
+        """
+        if seq in self._acked:
+            return False
+        self.record.retransmissions += 1
+        self._emit(seq)
+        return True
+
+    def replay_pull(self) -> None:
+        """Stand in for a PULL that was blackholed in flight."""
+        if not self._send_next():
+            self._pulls_banked += 1
 
 
 class NdpSink:

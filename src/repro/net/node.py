@@ -8,7 +8,7 @@ from .link import Port
 from .packet import Packet, PacketKind, release
 from .sim import Simulator
 
-__all__ = ["Host", "SwitchNode", "FlowEndpoint", "MAX_HOPS", "CONSUMED"]
+__all__ = ["Host", "SwitchNode", "Blackhole", "FlowEndpoint", "MAX_HOPS", "CONSUMED"]
 
 #: TTL guard: a packet bouncing more ToR hops than this is dropped.
 MAX_HOPS = 32
@@ -116,7 +116,12 @@ class SwitchNode:
         # the closure on first delivery (link.py's lazy ``_deliver``
         # bind), so swapping routers mid-run would leave already-used
         # ports routing through the stale closure — build a new network
-        # to rewire instead.
+        # to rewire instead. Anything that must *change* mid-run (live
+        # failure state, routing epochs) therefore lives in mutable state
+        # the installed closure consults per packet, never in a new
+        # closure (see repro.net.failures; the compiled kernel calls the
+        # same Python route closure, which is what keeps the kernels
+        # bit-identical under dynamic failures).
         if self._router is not None:
             raise RuntimeError(
                 f"{self.name}: router already installed; ports may have "
@@ -148,3 +153,38 @@ class SwitchNode:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SwitchNode({self.name})"
+
+
+class Blackhole:
+    """A receive-only pseudo-node that absorbs every packet handed to it.
+
+    Failed components resolve to one of these: a packet "delivered" into a
+    blackhole is physically lost (the sender's resolver picked a dead fiber
+    at wire-entry time, exactly like a dark-slice miss), and ``on_packet``
+    decides its fate — count it, park it for ToR-granularity bulk
+    retransmission, or feed the NDP timeout clock
+    (:mod:`repro.net.failures`). Delivery dispatch is the same prebound
+    ``receive_cb`` contract every node honours, so both engine kernels
+    hand packets over identically.
+    """
+
+    __slots__ = ("sim", "name", "on_packet", "absorbed", "receive_cb")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        on_packet: Callable[[Packet], None],
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.on_packet = on_packet
+        self.absorbed = 0
+        self.receive_cb = self.receive
+
+    def receive(self, packet: Packet) -> None:
+        self.absorbed += 1
+        self.on_packet(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Blackhole({self.name})"

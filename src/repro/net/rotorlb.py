@@ -165,6 +165,22 @@ class RotorLBAgent:
         self.requeues = 0
         self.vlb_bytes_sent = 0
         self.direct_bytes_sent = 0
+        #: Set by the failure injector when this ToR itself dies: a dead
+        #: ToR stops polling hosts and filling circuits immediately.
+        self.disabled = False
+        #: The *detected* failure set (None until detection completes or
+        #: when nothing is known failed): once set, on_slice skips circuits
+        #: the hello protocol has marked dead, so the agent stops
+        #: offloading bulk onto blackholed links. Kept None for the empty
+        #: set so the fault-free slice loop is untouched byte for byte.
+        self.failure_view = None  # FailureSet | None
+        #: Destination racks this ToR has *no* surviving direct circuit to
+        #: (per the detected view; recomputed at every detection epoch by
+        #: the failure injector). Relay traffic for these racks would
+        #: strand forever waiting for a circuit that never comes, so the
+        #: VLB phase re-offloads it through a live peer instead. Empty
+        #: fault-free, so the normal VLB loop never looks at it.
+        self.relay_vlb_dsts: frozenset = frozenset()
 
     # -------------------------------------------------------------- ingress
 
@@ -236,6 +252,8 @@ class RotorLBAgent:
         list (the batched slice-boundary path); passing one overrides the
         precomputed budget template, preserving the legacy call shape.
         """
+        if self.disabled:
+            return  # a dead ToR polls nobody and fills nothing
         if hosts is not None:
             self._host_budget = {h: self.host_budget_bytes for h in hosts}
         else:
@@ -256,6 +274,16 @@ class RotorLBAgent:
                 if peer is None or peer == self.rack:
                     continue
                 pairs.append((switch, port, peer))
+        view = self.failure_view
+        if view is not None:
+            # Known-failed circuits are skipped — the detected view, not
+            # ground truth, so a just-failed link keeps eating traffic
+            # until the hello protocol has propagated (<= 2 cycles).
+            pairs = [
+                (switch, port, peer)
+                for switch, port, peer in pairs
+                if view.circuit_ok(self.rack, peer, switch)
+            ]
         spare: list[tuple[int, int, int]] = []  # (switch, peer, budget)
         for switch, port, peer in pairs:
             budget = self.slice_payload_bytes - port.queued_bytes(Priority.BULK)
@@ -283,16 +311,36 @@ class RotorLBAgent:
 
     def _fill_vlb(self, spare: list[tuple[int, int, int]]) -> None:
         """Phase 3: ship skewed backlog two-hop through connected peers."""
+        if self.relay_vlb_dsts:
+            # Failure re-VLB: relay traffic whose every direct circuit is
+            # dead takes a fresh intermediate hop through a live peer (the
+            # peer absorbs it as relay and delivers — or re-offloads — from
+            # there). This pass runs over EVERY spare circuit before the
+            # local-backlog loop below, which early-returns the moment no
+            # offloadable backlog remains — stranded relay must not depend
+            # on which spare entry that happens at.
+            for i, (_switch, peer, budget) in enumerate(spare):
+                agent = self.peers.get(peer)
+                if agent is None or agent.disabled:
+                    continue
+                budget = self._ship_forced_relay(
+                    agent, self.uplinks[_switch], peer, budget
+                )
+                spare[i] = (_switch, peer, budget)
         for _switch, peer, budget in spare:
             agent = self.peers.get(peer)
-            if agent is None:
+            if agent is None or agent.disabled:
                 continue
             port = self.uplinks[_switch]
             while budget > 0:
                 backlogged = [
                     (dst, b)
                     for dst, b in self.local_backlog.items()
-                    if b > 0 and dst != peer
+                    # Never offload toward a peer that itself has no live
+                    # direct circuit to dst (empty fault-free): a chain of
+                    # incapable intermediates ping-pongs the packet until
+                    # the TTL guard silently eats it.
+                    if b > 0 and dst != peer and dst not in agent.relay_vlb_dsts
                 ]
                 if not backlogged:
                     return
@@ -305,6 +353,31 @@ class RotorLBAgent:
                 budget -= packet.size_bytes
                 self.vlb_bytes_sent += packet.size_bytes
                 port.enqueue(packet)
+
+    def _ship_forced_relay(
+        self, agent: "RotorLBAgent", port: Port, peer: int, budget: int
+    ) -> int:
+        """Move stranded relay traffic one VLB hop toward a live peer."""
+        for dst in sorted(self.relay_vlb_dsts):
+            if dst == peer or dst in agent.relay_vlb_dsts:
+                # Phase 1 handles peer-bound relay; and a peer that cannot
+                # itself reach dst directly would just bounce the packet
+                # back (until the TTL guard eats it) — hold for a capable
+                # peer instead.
+                continue
+            queue = self.relay_q.get(dst)
+            while budget > 0 and queue:
+                if agent.relay_headroom(dst) < queue[0].size_bytes:
+                    break
+                packet = queue.popleft()
+                self.relay_bytes[dst] -= packet.size_bytes
+                packet.next_rack = peer
+                budget -= packet.size_bytes
+                self.vlb_bytes_sent += packet.size_bytes
+                port.enqueue(packet)
+            if budget <= 0:
+                break
+        return budget
 
     # ---------------------------------------------------------------- state
 

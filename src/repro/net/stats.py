@@ -36,12 +36,28 @@ class FlowRecord:
 
 
 class StatsCollector:
-    """Tracks flows and a binned goodput time series."""
+    """Tracks flows, a binned goodput time series, and failure drops.
+
+    Queue-overflow drops stay where they always were — on the per-port
+    counters (``PortStats.dropped_control``/``dropped_bulk``/``trimmed``).
+    The *failure* counters here are a separate ledger: packets absorbed by
+    a blackholed component (a failed fiber, switch or ToR; see
+    :mod:`repro.net.failures`) are never queue pressure, and conflating
+    the two would make a failed link look like congestion.
+    """
 
     def __init__(self, throughput_bin_ps: int = 1_000_000_000) -> None:
         self.flows: dict[int, FlowRecord] = {}
         self.throughput_bin_ps = throughput_bin_ps
         self._bins: dict[int, int] = {}
+        #: Packets/bytes absorbed by failed components, by packet kind
+        #: bucket ("bulk" / "ll_data" / "control").
+        self.blackholed_packets: dict[str, int] = {}
+        self.blackholed_bytes = 0
+        #: Flows that lost at least one packet to a blackhole.
+        self.affected_flows: set[int] = set()
+        #: Flows the recovery layer gave up on (an endpoint's ToR died).
+        self.unrecoverable_flows: set[int] = set()
 
     # ----------------------------------------------------------------- flows
 
@@ -59,6 +75,38 @@ class StatsCollector:
         )
         if record.delivered_bytes >= record.size_bytes and record.end_ps is None:
             record.end_ps = now_ps
+
+    # --------------------------------------------------------------- failures
+
+    def blackholed(self, flow_id: int, bucket: str, n_bytes: int) -> None:
+        """Count one packet absorbed by a failed component."""
+        self.blackholed_packets[bucket] = (
+            self.blackholed_packets.get(bucket, 0) + 1
+        )
+        self.blackholed_bytes += n_bytes
+        if flow_id in self.flows:
+            self.affected_flows.add(flow_id)
+
+    def total_blackholed_packets(self) -> int:
+        return sum(self.blackholed_packets.values())
+
+    def recovery_time_ps(self, failure_ps: int) -> int | None:
+        """Time from the failure until every affected, recoverable flow
+        completed — the tentpole's per-row recovery metric.
+
+        ``None`` while any affected flow (not written off as
+        unrecoverable) is still incomplete; ``0`` when nothing was hit.
+        """
+        pending = self.affected_flows - self.unrecoverable_flows
+        if not pending:
+            return 0
+        worst = 0
+        for flow_id in pending:
+            record = self.flows[flow_id]
+            if record.end_ps is None:
+                return None
+            worst = max(worst, record.end_ps - failure_ps)
+        return max(0, worst)
 
     # ------------------------------------------------------------------ FCTs
 
@@ -123,3 +171,17 @@ class StatsCollector:
 
     def total_delivered_bytes(self) -> int:
         return sum(f.delivered_bytes for f in self.flows.values())
+
+    def delivered_bytes_between(self, start_ps: int, end_ps: int) -> int:
+        """Payload bytes delivered in ``[start_ps, end_ps)`` (bin sums).
+
+        Windows are snapped to whole throughput bins, so callers should
+        align measurement windows to ``throughput_bin_ps`` (the dynamic
+        failure scenario uses this to measure the goodput dip around an
+        injected failure).
+        """
+        if end_ps <= start_ps:
+            return 0
+        first = start_ps // self.throughput_bin_ps
+        last = (end_ps - 1) // self.throughput_bin_ps
+        return sum(self._bins.get(i, 0) for i in range(first, last + 1))

@@ -30,7 +30,8 @@ class TestList:
     def test_registry_covers_all_paper_artifacts(self):
         expected = {
             "fig01", "fig04", "fig06", "fig07", "fig08", "fig09", "fig10",
-            "fig11", "fig12", "fig13", "fig14", "fig16", "fig17", "fig18",
+            "fig11", "fig11_dynamic", "fig12", "fig13", "fig14", "fig16",
+            "fig17", "fig18",
             "table1", "table2",
             "ablation_grouping", "ablation_guard_bands", "ablation_vlb",
         }

@@ -74,7 +74,8 @@ class TestRegistry:
             "ablation_guard_bands",
             "ablation_vlb",
         } <= names
-        assert len(names) == 19
+        assert "fig11_dynamic" in names
+        assert len(names) == 20
 
     def test_schema_from_signature_with_registry_defaults(self):
         sc = get("fig04")
