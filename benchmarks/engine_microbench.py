@@ -49,6 +49,12 @@ Two further phases feed the artifact:
   vs uninstalled walls (the deterministic observables must be identical
   or the bench aborts) plus an active 25% link draw, differentially
   checked py-vs-c when the compiled kernel is present.
+* ``--telemetry`` — price the metrics subsystem (``REPRO_TELEMETRY``):
+  armed vs off walls on the opera fig07 cell. The armed run's FctResult
+  must equal the off run's exactly (telemetry is observation after
+  simulation) and, with the compiled kernel present, the c-kernel's
+  drained metric snapshot must equal the py kernel's — both checked
+  with a bench abort.
 
 Usage::
 
@@ -77,6 +83,7 @@ from pathlib import Path
 from repro.experiments.fctsim import build_network
 from repro.net.kernel import compiled_available
 from repro.net.wheel import TimingWheel
+from repro.obs.metrics import iter_ports as _all_ports
 from repro.workloads.arrivals import PoissonArrivals
 from repro.workloads.distributions import DATAMINING
 
@@ -113,19 +120,6 @@ PR4_REFERENCE = {
     "events_per_hop": 1.3647,
     "hops_per_sec": 456_811,
 }
-
-
-def _all_ports(net):
-    """Every Port of a SimNetwork (NICs, host ports, fabric/uplink ports)."""
-    for host in net.hosts:
-        if host.nic is not None:
-            yield host.nic
-    yield from getattr(net, "host_ports", {}).values()
-    for group in ("uplink_ports", "tor_up", "agg_down", "agg_up", "core_down"):
-        for ports in getattr(net, group, []):
-            yield from ports.values()
-    yield from getattr(net, "fabric_up", [])
-    yield from getattr(net, "fabric_down", [])
 
 
 def run_network(
@@ -542,6 +536,113 @@ def run_faults_overhead() -> dict:
     return record
 
 
+# ------------------------------------------------------- telemetry overhead
+
+
+def _run_opera_telemetry(armed: bool, kernel: str = "py"):
+    """One opera fig07 cell with telemetry off or armed.
+
+    Returns ``(result, snapshot, wall_s)`` — the :class:`FctResult` (the
+    deterministic observable an armed run must not perturb), the drained
+    metric snapshot (``None`` when off) and the wall clock. The global
+    registry is reset before and after so passes never see each other.
+    """
+    from repro.experiments.fctsim import run_fct_cell
+    from repro.obs.metrics import REGISTRY
+
+    prev = {
+        key: os.environ.get(key)
+        for key in (
+            "REPRO_SCHEDULER",
+            "REPRO_COALESCE",
+            "REPRO_KERNEL",
+            "REPRO_TELEMETRY",
+        )
+    }
+    os.environ["REPRO_SCHEDULER"] = "heap"
+    os.environ["REPRO_COALESCE"] = "1"
+    os.environ["REPRO_KERNEL"] = kernel
+    os.environ["REPRO_TELEMETRY"] = "1" if armed else "0"
+    REGISTRY.reset()
+    try:
+        t0 = time.perf_counter()
+        result = run_fct_cell(
+            "opera",
+            WORKLOAD["load"],
+            "datamining",
+            WORKLOAD["duration_ms"],
+            WORKLOAD["seed"],
+            "ci",
+        )
+        wall = time.perf_counter() - t0
+    finally:
+        for key, value in prev.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+    snapshot = REGISTRY.snapshot() if armed else None
+    REGISTRY.reset()
+    return result, snapshot, wall
+
+
+def run_telemetry_overhead(repeat: int = 3) -> dict:
+    """Price the metrics subsystem on the opera fig07 cell.
+
+    Alternating off/armed passes (best-of-``repeat`` each, so host drift
+    biases neither side): the armed run's :class:`FctResult` must equal
+    the off run's exactly — telemetry is pure observation after the
+    simulation, and a bench run that ever saw it perturb a simulated
+    observable must not produce an artifact. When the compiled kernel is
+    present the armed cell is repeated under ``REPRO_KERNEL=c`` and both
+    the result *and* the drained metric snapshot must match the py
+    record: the counters live in shared ``__slots__`` both kernels
+    write, so snapshot equality is the seam's whole contract.
+    """
+    off_wall = armed_wall = None
+    off_result = armed_result = snapshot = None
+    for _ in range(repeat):
+        result, _, wall = _run_opera_telemetry(False)
+        if off_wall is None or wall < off_wall:
+            off_wall = wall
+        off_result = result
+        result, snap, wall = _run_opera_telemetry(True)
+        if armed_wall is None or wall < armed_wall:
+            armed_wall = wall
+        armed_result, snapshot = result, snap
+    if armed_result != off_result:
+        raise SystemExit(
+            "telemetry differential FAILED: armed FctResult != off "
+            f"FctResult ({armed_result!r} vs {off_result!r})"
+        )
+    record = {
+        "off_wall_s": round(off_wall, 4),
+        "armed_wall_s": round(armed_wall, 4),
+        "ratio": round(armed_wall / off_wall, 4),
+        # Counters + gauges + histograms actually drained, not sections.
+        "metrics": sum(len(section) for section in snapshot.values()),
+    }
+    if compiled_available():
+        result_c, snap_c, _ = _run_opera_telemetry(True, kernel="c")
+        if result_c != armed_result:
+            raise SystemExit(
+                "telemetry kernel differential FAILED: c-kernel FctResult "
+                "!= py FctResult"
+            )
+        if snap_c != snapshot:
+            diff = {
+                k
+                for k in set(snap_c) | set(snapshot)
+                if snap_c.get(k) != snapshot.get(k)
+            }
+            raise SystemExit(
+                "telemetry kernel differential FAILED: c-kernel metric "
+                f"snapshot != py snapshot (differing keys: {sorted(diff)})"
+            )
+        record["kernel_identical"] = True
+    return record
+
+
 # ----------------------------------------------------------- sharded fig07
 
 
@@ -668,6 +769,15 @@ def format_rows(doc: dict) -> list[str]:
                 if active.get("kernel_identical")
                 else ""
             )
+        )
+    telemetry = doc.get("telemetry_overhead")
+    if telemetry:
+        rows.append(
+            f"telemetry armed: {telemetry['armed_wall_s']:.3f} s vs "
+            f"{telemetry['off_wall_s']:.3f} s off = {telemetry['ratio']:.3f}x "
+            f"({telemetry['metrics']} metrics, results identical"
+            + (", py==c snapshots" if telemetry.get("kernel_identical") else "")
+            + ")"
         )
     if "scheduler_depths" in doc:
         for depth, point in doc["scheduler_depths"]["per_depth"].items():
@@ -852,6 +962,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--faults", action="store_true",
                         help="price the dynamic failure subsystem "
                         "(armed-but-empty vs off, plus an active draw)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="price the metrics subsystem (armed vs off, "
+                        "deterministic-equality checked)")
     parser.add_argument("--sharded", action="append", default=[],
                         metavar="SCALE:W1,W2",
                         help="run the sharded fig07 grid at SCALE for each "
@@ -895,6 +1008,8 @@ def main(argv: list[str] | None = None) -> int:
         doc["scheduler_depths"] = run_depth_bench()
     if args.faults:
         doc["faults_overhead"] = run_faults_overhead()
+    if args.telemetry:
+        doc["telemetry_overhead"] = run_telemetry_overhead()
     for scale, workers_list in sharded_specs:
         doc.setdefault("sharded", {})[scale] = run_sharded_bench(
             scale, workers_list, executor=args.sharded_executor

@@ -11,6 +11,9 @@ Usage::
     python -m repro.cli run fig07 --listen 0.0.0.0:7077 --workers 0
     python -m repro.cli worker HOST:7077
     python -m repro.cli cache stats
+    python -m repro.cli run fig07 --telemetry --workers 4
+    python -m repro.cli trace latest
+    python -m repro.cli status HOST:7077
 
 ``run`` accepts scenario names (globs work: ``'fig1*'``) and/or ``--tag``
 selections and executes them through the shared :class:`repro.scenarios.Runner`
@@ -40,6 +43,13 @@ spawned workers), ``--policy degraded`` quarantines failed units into the
 result instead of failing the sweep, and ``--resume-journal`` resumes a
 crashed distributed run from its write-ahead journal — an injected
 coordinator crash exits with status 3 and prints the resume command.
+
+Observability (README "Observability"): ``--telemetry`` arms engine
+metrics + sweep tracing for the run (``REPRO_TELEMETRY=1``; simulated
+results stay bit-identical), ``trace`` renders a recorded run's per-unit
+timeline from ``<cache>/_trace/``, ``status`` polls a live distributed
+coordinator's cached snapshot, and a global ``-v/--verbose`` flag turns
+on module logging (``-v`` INFO, ``-vv`` DEBUG).
 
 The legacy spelling ``python -m repro.cli fig04 [--k 12]`` still works and
 maps onto ``run``.
@@ -80,6 +90,13 @@ def _progress_printer(event: Progress) -> None:
     ``[done/total]`` line accounts for every unit wherever it ran. The
     ETA is omitted (not printed as garbage) when the Runner could not
     compute one — e.g. a zero-duration first unit.
+
+    The record goes out as ONE ``write()`` call, newline included:
+    ``print()`` writes the text and the line terminator separately, and
+    with several workers completing units concurrently (each process's
+    stderr pointed at the same pipe) the interleaving tore lines apart
+    mid-record. A single ``write`` of a complete line is atomic enough
+    for a pipe (< ``PIPE_BUF``) — ``tests/test_cli.py`` pins this shape.
     """
     status = "FAILED" if event.failed else f"{event.duration_s:.1f}s"
     if event.worker:
@@ -89,11 +106,10 @@ def _progress_printer(event: Progress) -> None:
         if event.eta_s is not None and event.done < event.total
         else ""
     )
-    print(
-        f"[{event.done}/{event.total}] {event.label} ({status}){eta}",
-        file=sys.stderr,
-        flush=True,
+    sys.stderr.write(
+        f"[{event.done}/{event.total}] {event.label} ({status}){eta}\n"
     )
+    sys.stderr.flush()
 
 
 def _parse_sets(pairs: list[str]) -> dict[str, str]:
@@ -148,6 +164,12 @@ def _make_runner(args: argparse.Namespace) -> Runner:
         except ChaosError as exc:
             raise ScenarioError(str(exc)) from None
         os.environ["REPRO_CHAOS"] = args.chaos
+    if getattr(args, "telemetry", False):
+        # Published through the environment like --chaos: pool and TCP
+        # workers inherit it, so every unit of the run reports metrics.
+        import os
+
+        os.environ["REPRO_TELEMETRY"] = "1"
     try:
         return Runner(
             workers=args.workers,
@@ -331,7 +353,114 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.cache_dir == "":
+        print("trace: traces live under the cache root, which is disabled",
+              file=sys.stderr)
+        return 2
+    import json
+
+    from .obs.trace import build_spans, list_traces, load_trace, render_trace
+
+    cache = ResultCache(args.cache_dir)
+    traces = list_traces(cache.root)
+    if not args.run:
+        if not traces:
+            print(f"(no recorded traces under {cache.root}; arm telemetry "
+                  "with --telemetry or REPRO_TELEMETRY=1)")
+            return 0
+        for path in traces:
+            doc = build_spans(load_trace(path))
+            units = doc["units"] if doc["units"] is not None else len(doc["spans"])
+            wall = f"{doc['wall_s']:.2f}s" if doc["wall_s"] is not None else "?"
+            state = "CRASHED" if doc["crashed"] else "done"
+            print(
+                f"{path.stem[:12]}  {units:4d} unit(s)  "
+                f"{len(doc['cache_hits']):4d} hit(s)  {wall:>8s}  {state}"
+            )
+        return 0
+    if args.run == "latest":
+        path = traces[0] if traces else None
+    else:
+        path = next((p for p in traces if p.stem.startswith(args.run)), None)
+    if path is None:
+        print(f"trace: no recorded trace matches {args.run!r}", file=sys.stderr)
+        return 2
+    events = load_trace(path)
+    if args.json:
+        for event in events:
+            print(json.dumps(event, sort_keys=True))
+        return 0
+    for line in render_trace(events):
+        print(line)
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json
+
+    from .distrib.protocol import ProtocolError, fetch_status
+
+    try:
+        status = fetch_status(args.address, timeout=args.timeout)
+    except (OSError, ValueError, ProtocolError) as exc:
+        print(f"status error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    done = status.get("completed", 0)
+    total = status.get("units_total", 0)
+    rate = status.get("units_per_sec")
+    print(
+        f"coordinator {args.address} — {status.get('state', '?')}: "
+        f"{done}/{total} done, {status.get('in_flight', 0)} in flight, "
+        f"{status.get('pending', 0)} pending"
+        + (f", {rate:.2f} units/s" if isinstance(rate, (int, float)) else "")
+    )
+    workers = status.get("workers", [])
+    print(
+        f"workers: {len(workers)} connected, "
+        f"{status.get('workers_seen', 0)} ever seen; "
+        f"releases {status.get('releases', 0)}, "
+        f"quarantined {status.get('quarantined', 0)}"
+    )
+    for w in workers:
+        if w.get("lease_uid") is not None:
+            state = f"unit {w['lease_uid']}"
+            if w.get("lease_age_s") is not None:
+                state += f" for {w['lease_age_s']:.1f}s"
+        else:
+            state = "ready" if w.get("ready") else "idle"
+        print(f"  {w.get('worker', '?'):<24s} {state:<20s} "
+              f"silent {w.get('silent_s', 0):.1f}s")
+    extra = status.get("extra")
+    if isinstance(extra, dict):
+        hits = extra.get("cache_hits", {})
+        print(
+            f"run {extra.get('run', '?')}: {extra.get('jobs', '?')} job(s), "
+            f"cache hits {hits.get('docs', 0)} doc(s) + {hits.get('cells', 0)} "
+            f"cell(s)"
+        )
+    return 0
+
+
+def _add_verbose_option(sub: argparse.ArgumentParser) -> None:
+    # Every subparser re-declares -v under its own dest: argparse would
+    # otherwise reset the main parser's count with the subparser default.
+    # main() sums both, so '-v run' and 'run -v' mean the same thing.
+    sub.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        dest="verbose_sub",
+        help="module logging to stderr (-v = INFO, -vv = DEBUG)",
+    )
+
+
 def _add_exec_options(sub: argparse.ArgumentParser) -> None:
+    _add_verbose_option(sub)
     sub.add_argument(
         "--set",
         action="append",
@@ -395,6 +524,14 @@ def _add_exec_options(sub: argparse.ArgumentParser) -> None:
         help="suppress the progress stream",
     )
     sub.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="arm engine/sweep telemetry for this run and its spawned "
+        "workers (sets REPRO_TELEMETRY=1): per-unit metric snapshots and "
+        "a JSONL trace under the cache root, rendered by 'repro trace'. "
+        "Simulated results are bit-identical with or without it",
+    )
+    sub.add_argument(
         "--chaos",
         default=None,
         metavar="SPEC",
@@ -447,10 +584,19 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Opera reproduction scenario runner"
     )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        dest="verbose_main",
+        help="module logging to stderr (-v = INFO, -vv = DEBUG)",
+    )
     sub = parser.add_subparsers(dest="command")
 
     p_list = sub.add_parser("list", help="list registered scenarios")
     p_list.add_argument("--tag", action="append", default=[], help="filter by tag")
+    _add_verbose_option(p_list)
     p_list.set_defaults(fn=_cmd_list)
 
     p_run = sub.add_parser("run", help="run scenarios by name/glob/tag")
@@ -474,6 +620,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="seconds to keep retrying the initial connection (default 30)",
     )
+    _add_verbose_option(p_worker)
     p_worker.set_defaults(fn=_cmd_worker)
 
     p_cache = sub.add_parser(
@@ -489,14 +636,56 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cache root (default ~/.cache/opera-repro or $REPRO_CACHE_DIR)",
     )
+    _add_verbose_option(p_cache)
     p_cache.set_defaults(fn=_cmd_cache)
+
+    p_trace = sub.add_parser(
+        "trace", help="render a recorded sweep trace (per-unit timeline)"
+    )
+    p_trace.add_argument(
+        "run",
+        nargs="?",
+        default=None,
+        help="run-key prefix or 'latest'; omit to list recorded traces",
+    )
+    p_trace.add_argument(
+        "--json",
+        action="store_true",
+        help="dump the raw span events as JSON lines instead of rendering",
+    )
+    p_trace.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache root holding the _trace/ directory (default "
+        "~/.cache/opera-repro or $REPRO_CACHE_DIR)",
+    )
+    _add_verbose_option(p_trace)
+    p_trace.set_defaults(fn=_cmd_trace)
+
+    p_status = sub.add_parser(
+        "status", help="poll a live distributed coordinator's status"
+    )
+    p_status.add_argument(
+        "address", metavar="HOST:PORT", help="coordinator address"
+    )
+    p_status.add_argument(
+        "--json", action="store_true", help="print the raw snapshot as JSON"
+    )
+    p_status.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="connect/read timeout in seconds (default 5)",
+    )
+    _add_verbose_option(p_status)
+    p_status.set_defaults(fn=_cmd_status)
 
     return parser
 
 
 def _rewrite_legacy(argv: list[str]) -> list[str]:
     """Map ``repro.cli fig04 [--k 12]`` onto the ``run`` subcommand."""
-    commands = ("list", "run", "sweep", "worker", "cache")
+    commands = ("list", "run", "sweep", "worker", "cache", "trace", "status")
     if not argv or argv[0] in commands or argv[0].startswith("-"):
         return argv
     head, rest = argv[0], list(argv[1:])
@@ -519,6 +708,15 @@ def main(argv: list[str] | None = None) -> int:
     argv = _rewrite_legacy(argv)
     parser = _build_parser()
     args = parser.parse_args(argv)
+    verbosity = getattr(args, "verbose_main", 0) + getattr(args, "verbose_sub", 0)
+    if verbosity:
+        import logging
+
+        logging.basicConfig(
+            level=logging.INFO if verbosity == 1 else logging.DEBUG,
+            format="%(levelname)s %(name)s: %(message)s",
+            stream=sys.stderr,
+        )
     if not getattr(args, "fn", None):
         parser.print_help()
         return 2

@@ -37,9 +37,23 @@ _SEND_TIMEOUT_S = 30.0
 
 
 class _Conn:
-    """One connected worker: socket, frame buffer, lease and liveness."""
+    """One connected peer: socket, frame buffer, lease and liveness.
 
-    __slots__ = ("sock", "reader", "name", "lease_uid", "last_seen", "ready")
+    Workers identify themselves with ``hello``; a connection that never
+    does (a ``repro status`` poller) stays ``is_worker=False`` and is
+    excluded from worker counts and liveness reaping.
+    """
+
+    __slots__ = (
+        "sock",
+        "reader",
+        "name",
+        "lease_uid",
+        "lease_at",
+        "last_seen",
+        "ready",
+        "is_worker",
+    )
 
     def __init__(self, sock: socket.socket, addr: Any, now: float) -> None:
         self.sock = sock
@@ -49,8 +63,10 @@ class _Conn:
         # whole coordinator.
         self.name = f"{addr[0]}:{addr[1]}" if isinstance(addr, tuple) else str(addr)
         self.lease_uid: int | None = None
+        self.lease_at: float | None = None
         self.last_seen = now
         self.ready = False
+        self.is_worker = False
 
 
 class Coordinator:
@@ -87,6 +103,20 @@ class Coordinator:
         results have been *yielded* — after the caller consumed (and
         cached) them, exactly like a real coordinator death between
         completions.
+    on_event:
+        Optional ``on_event(kind, uid, worker)`` observer, invoked from
+        the event loop when a unit is ``"leased"`` to a worker or
+        ``"released"`` back to the queue (the Runner feeds these into the
+        sweep trace). Observer exceptions are swallowed: telemetry must
+        never take down the lease loop.
+    status_extra, status_refresh_s:
+        ``repro status`` serves a *cached* snapshot (the MDS2 lesson:
+        recomputing per poller turns monitoring into load). The snapshot
+        is rebuilt in the run loop at most every ``status_refresh_s``
+        seconds — heartbeat cadence, not poll cadence — and a ``status``
+        frame is answered straight from the cache without touching lease
+        state. ``status_extra`` is caller-owned context (the Runner puts
+        run identity and cache-hit counts there) included verbatim.
     """
 
     def __init__(
@@ -99,12 +129,18 @@ class Coordinator:
         max_releases: int = 3,
         journal: Any | None = None,
         crash_after: int | None = None,
+        on_event: Callable[[str, int, str], None] | None = None,
+        status_extra: dict[str, Any] | None = None,
+        status_refresh_s: float = 2.0,
     ) -> None:
         self.lease_timeout = lease_timeout
         self.poll_s = poll_s
         self.max_releases = max_releases
         self.journal = journal
         self.crash_after = crash_after
+        self.on_event = on_event
+        self.status_extra = status_extra
+        self.status_refresh_s = status_refresh_s
         self._listener = socket.create_server((host, port))
         self._listener.setblocking(False)
         self.address: tuple[str, int] = self._listener.getsockname()[:2]
@@ -122,6 +158,12 @@ class Coordinator:
         self.releases = 0
         #: Distinct workers that ever said hello.
         self.workers_seen = 0
+        #: Units given up on as poison (completed with an error doc).
+        self.quarantined = 0
+        self._total_units = 0
+        self._run_started: float | None = None
+        self._status: dict[str, Any] | None = None
+        self._status_at = 0.0
 
     # ---------------------------------------------------------- introspection
 
@@ -135,12 +177,72 @@ class Coordinator:
 
     @property
     def connected_workers(self) -> int:
-        return len(self._conns)
+        return sum(1 for c in self._conns.values() if c.is_worker)
 
     @property
     def unfinished(self) -> bool:
         """True while any unit is neither completed nor streamed out."""
         return bool(self._pending or self._in_flight)
+
+    def _emit(self, kind: str, uid: int, worker: str) -> None:
+        if self.on_event is None:
+            return
+        try:
+            self.on_event(kind, uid, worker)
+        except Exception:
+            pass  # observers must never take down the lease loop
+
+    def _build_status(self, now: float) -> dict[str, Any]:
+        elapsed = now - self._run_started if self._run_started is not None else 0.0
+        workers = []
+        for conn in self._conns.values():
+            if not conn.is_worker:
+                continue
+            workers.append(
+                {
+                    "worker": conn.name,
+                    "ready": conn.ready,
+                    "lease_uid": conn.lease_uid,
+                    "lease_age_s": (
+                        round(now - conn.lease_at, 3)
+                        if conn.lease_at is not None and conn.lease_uid is not None
+                        else None
+                    ),
+                    "silent_s": round(now - conn.last_seen, 3),
+                }
+            )
+        completed = len(self._done)
+        status: dict[str, Any] = {
+            "state": "running" if self.unfinished else "idle",
+            "units_total": self._total_units,
+            "pending": len(self._pending),
+            "in_flight": len(self._in_flight),
+            "completed": completed,
+            "quarantined": self.quarantined,
+            "releases": self.releases,
+            "workers_seen": self.workers_seen,
+            "workers": sorted(workers, key=lambda w: w["worker"]),
+            "elapsed_s": round(elapsed, 3),
+            "units_per_sec": round(completed / elapsed, 4) if elapsed > 0 else None,
+        }
+        if self.status_extra is not None:
+            status["extra"] = self.status_extra
+        return status
+
+    def _refresh_status(self, now: float, serve_only: bool = False) -> dict[str, Any]:
+        """The cached status snapshot, rebuilt at heartbeat cadence.
+
+        ``serve_only`` (the poller path) never rebuilds a live snapshot —
+        it only builds when none exists yet, so a poller that beats the
+        first refresh tick still gets an answer while one hammering
+        ``status`` frames costs a dict lookup per request, not a rebuild.
+        """
+        if self._status is None or (
+            not serve_only and now - self._status_at >= self.status_refresh_s
+        ):
+            self._status = self._build_status(now)
+            self._status_at = now
+        return self._status
 
     # -------------------------------------------------------------- lifecycle
 
@@ -177,6 +279,8 @@ class Coordinator:
         """
         self._pending.extend(units)
         total = len(units)
+        self._total_units = total
+        self._run_started = time.monotonic()
         yielded = 0
         while yielded < total:
             for key, _mask in self._sel.select(self.poll_s):
@@ -186,6 +290,7 @@ class Coordinator:
                     self._read(key.data)
             self._reap_stalled()
             self._assign()
+            self._refresh_status(time.monotonic())
             if watchdog is not None:
                 watchdog(self)
             while self._completed:
@@ -236,7 +341,23 @@ class Coordinator:
             worker = msg.get("worker")
             if isinstance(worker, str) and worker:
                 conn.name = worker
+            conn.is_worker = True
             self.workers_seen += 1
+        elif kind == "status":
+            # Served from the cached snapshot — a poller costs the lease
+            # loop one frame write, never a status recompute.
+            try:
+                send_msg(
+                    conn.sock,
+                    {
+                        "type": "status",
+                        "status": self._refresh_status(
+                            time.monotonic(), serve_only=True
+                        ),
+                    },
+                )
+            except OSError:
+                self._drop(conn, requeue=True)
         elif kind == "ready":
             conn.ready = True
         elif kind == "result":
@@ -292,7 +413,9 @@ class Coordinator:
                 continue
             conn.ready = False
             conn.lease_uid = unit["uid"]
+            conn.lease_at = time.monotonic()
             self._in_flight[unit["uid"]] = (conn, unit)
+            self._emit("leased", unit["uid"], conn.name)
 
     def _drop(self, conn: _Conn, requeue: bool) -> None:
         """Disconnect a worker; optionally re-queue its in-flight unit."""
@@ -316,6 +439,7 @@ class Coordinator:
         del self._in_flight[uid]
         unit = {k: v for k, v in leased[1].items() if k != "type"}
         self.releases += 1
+        self._emit("released", uid, conn.name)
         count = self._release_counts.get(uid, 0) + 1
         self._release_counts[uid] = count
         workers = self._release_workers.setdefault(uid, set())
@@ -342,6 +466,7 @@ class Coordinator:
             if unit.get("cell_key"):
                 doc["cell"] = unit["cell_key"]
             self._done.add(uid)
+            self.quarantined += 1
             if self.journal is not None:
                 self.journal.quarantine(
                     unit.get("jkey"), label, doc["error"]

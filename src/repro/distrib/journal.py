@@ -32,12 +32,15 @@ the point) by skipping unparseable lines.
 from __future__ import annotations
 
 import json
+import logging
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
 __all__ = ["RunJournal", "JournalState", "journal_path", "load_journal"]
+
+logger = logging.getLogger(__name__)
 
 #: Subdirectory of the cache root holding journals. The leading underscore
 #: keeps it out of the cache's per-scenario directory listing (stats, ls).
@@ -85,6 +88,7 @@ def load_journal(path: str | os.PathLike[str]) -> JournalState | None:
         return None
     state = JournalState()
     seen_any = False
+    torn = 0
     for line in lines:
         line = line.strip()
         if not line:
@@ -92,6 +96,7 @@ def load_journal(path: str | os.PathLike[str]) -> JournalState | None:
         try:
             rec = json.loads(line)
         except json.JSONDecodeError:
+            torn += 1
             continue  # torn append
         if not isinstance(rec, dict):
             continue
@@ -124,6 +129,8 @@ def load_journal(path: str | os.PathLike[str]) -> JournalState | None:
         elif ev == "end":
             state.ended = True
         # Unknown events are ignored for forward compatibility.
+    if torn:
+        logger.debug("skipped %d torn line(s) in journal %s", torn, path)
     return state if seen_any else None
 
 
@@ -141,6 +148,7 @@ class RunJournal:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh = open(self.path, "a" if resume else "w", encoding="utf-8")
+        self._warned = False
 
     def _record(self, ev: str, **fields: Any) -> None:
         if self._fh is None:
@@ -150,7 +158,11 @@ class RunJournal:
             self._fh.write(line + "\n")
             self._fh.flush()
         except (OSError, ValueError):
-            pass  # a full disk must degrade journaling, not kill the sweep
+            # A full disk must degrade journaling, not kill the sweep —
+            # but say so once, or a crashed resume looks inexplicable.
+            if not self._warned:
+                self._warned = True
+                logger.warning("journal write to %s failed; journaling disabled for this run", self.path)
 
     def start(self, run_key: str, units: int) -> None:
         self._record("start", run=run_key, units=units)

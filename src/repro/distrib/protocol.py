@@ -19,6 +19,12 @@ Message types (``{"type": ...}``):
                the in-process executor would produce).
 ``heartbeat``  worker -> coordinator, periodic liveness while computing.
 ``shutdown``   coordinator -> worker: no more work, exit.
+``status``     poller -> coordinator: request the cached status snapshot;
+               answered with ``{"type": "status", "status": {...}}`` from
+               the coordinator's heartbeat-cadence cache (see
+               :meth:`~repro.distrib.coordinator.Coordinator._refresh_status`).
+               Pollers never send ``hello``, so they are not workers and
+               hold no lease. :func:`fetch_status` is the client side.
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ __all__ = [
     "recv_msg",
     "FrameReader",
     "parse_address",
+    "fetch_status",
 ]
 
 
@@ -146,6 +153,30 @@ def _decode_body(body: bytes) -> dict[str, Any]:
             f"message must be a JSON object, got {type(msg).__name__}"
         )
     return msg
+
+
+def fetch_status(
+    address: str | tuple[str, int], timeout: float = 5.0
+) -> dict[str, Any]:
+    """One-shot status poll of a live coordinator.
+
+    Connects, sends a ``status`` frame and returns the snapshot dict.
+    The connection never says ``hello``, so the coordinator treats it as
+    a poller (no lease, excluded from worker counts). Raises ``OSError``
+    when the coordinator is unreachable and :class:`ProtocolError` on a
+    malformed reply.
+    """
+    host, port = parse_address(address)
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        send_msg(sock, {"type": "status"})
+        reply = recv_msg(sock)
+    if (
+        reply is None
+        or reply.get("type") != "status"
+        or not isinstance(reply.get("status"), dict)
+    ):
+        raise ProtocolError(f"unexpected status reply: {reply!r}")
+    return reply["status"]
 
 
 class FrameReader:

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from functools import cached_property
 
 from ..core.topology import OperaNetwork
+from ..obs.metrics import armed as telemetry_armed
 from ..net import (
     ClosSimNetwork,
     ExpanderSimNetwork,
@@ -227,6 +228,13 @@ def run_fct_experiment(
             net.stats.mean_fct_us((lo, hi)),
             net.stats.fct_percentile_us(99, (lo, hi)),
         )
+    # Telemetry drain: a pure post-run read of counters both kernels
+    # maintained during the simulation, after every observable above has
+    # been computed — armed runs stay bit-identical to off runs.
+    if telemetry_armed():
+        from ..obs.metrics import drain_network
+
+        drain_network(net)
     return FctResult(
         network=kind,
         load=load,

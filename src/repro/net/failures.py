@@ -41,6 +41,7 @@ uninstalled network (priced as ``faults_overhead`` in
 
 from __future__ import annotations
 
+import logging
 from collections import deque
 from typing import TYPE_CHECKING
 
@@ -54,6 +55,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .builders import OperaSimNetwork
 
 __all__ = ["FaultContext", "NdpRecovery", "FailureInjector"]
+
+logger = logging.getLogger(__name__)
 
 _DATA = PacketKind.DATA
 _HEADER = PacketKind.HEADER
@@ -329,6 +332,11 @@ class FailureInjector:
             self._detect_ps[event] = detect_ps
             sim.at(event.time_ps, self._apply_actual, event)
             sim.at(detect_ps, self._apply_detected, event)
+        logger.info(
+            "installed %d failure event(s) (detection cap %d cycle(s))",
+            len(self.schedule.events),
+            self.detection_cap_cycles,
+        )
 
     def detection_time_ps(self, event: FailureEvent) -> int:
         return self._detect_ps[event]
@@ -357,6 +365,14 @@ class FailureInjector:
             ctx.links_down or ctx.racks_down or ctx.switches_down
         )
         self.log.append((self.net.sim.now, self._detect_ps[event], event))
+        logger.debug(
+            "t=%dps %s %s %r (detection at t=%dps)",
+            self.net.sim.now,
+            event.action,
+            event.component,
+            event.target,
+            self._detect_ps[event],
+        )
 
     def _lose_agent_relay_queues(self, agent) -> None:
         """A ToR died with relayed bulk in its buffers: that data is gone.
@@ -387,6 +403,14 @@ class FailureInjector:
             else OperaRouting(self.net.network.schedule, ctx.detected)
         )
         ctx.epoch += 1
+        logger.debug(
+            "t=%dps detected %s %s %r; routing epoch -> %d",
+            self.net.sim.now,
+            event.action,
+            event.component,
+            event.target,
+            ctx.epoch,
+        )
         for cache in self.net._hop_caches:
             cache.clear()
         self._refresh_agent_views()

@@ -54,6 +54,19 @@ hello epochs), never by reinstalling routers. Consequently ``py`` and
 ``c`` runs stay byte-identical under active failures — CI's
 ``faults-smoke`` job and ``tests/test_faults_dynamic.py`` pin this —
 and arming an empty schedule is bitwise invisible to either kernel.
+
+**The telemetry seam.** Metrics (``repro.obs.metrics``) likewise add
+*zero* kernel code. Every counter the snapshot reports already lives in
+shared ``__slots__`` both kernels write — ``Simulator.events_processed``
+and friends (via :meth:`~repro.net.sim.Simulator.counters`),
+``PortStats``'s per-port tallies, ``StatsCollector``'s flow records —
+and ``drain_network`` merely *reads* them into the registry after the
+run's observables are computed. Because the compiled kernel updates the
+same slots through member descriptors, a ``py`` and a ``c`` run of the
+same cell produce byte-identical metric snapshots by construction (CI's
+``telemetry-smoke`` job and ``tests/test_obs.py`` pin this), and an
+armed run's simulated results stay bitwise identical to an off run:
+observation happens strictly after simulation.
 """
 
 from __future__ import annotations

@@ -87,6 +87,17 @@ class PortStats:
         self.dropped_bulk = 0
         self.undeliverable = 0
 
+    def counters(self) -> dict[str, int]:
+        """All six counters as plain data (telemetry drain / summaries)."""
+        return {
+            "sent_packets": self.sent_packets,
+            "sent_bytes": self.sent_bytes,
+            "trimmed": self.trimmed,
+            "dropped_control": self.dropped_control,
+            "dropped_bulk": self.dropped_bulk,
+            "undeliverable": self.undeliverable,
+        }
+
 
 class Port:
     """Sender side of one directed link.

@@ -176,6 +176,24 @@ class Simulator:
         """
         return self._seq + self.train_repushes
 
+    def counters(self) -> dict[str, int]:
+        """Engine counters as plain data, for the telemetry drain.
+
+        Every value is an integer the compiled kernel maintains through
+        the same ``__slots__`` member descriptors the pure-Python engine
+        writes, so ``REPRO_KERNEL=py`` and ``=c`` runs of the same
+        workload report identical counters (``repro.obs.metrics`` relies
+        on this for exact py/c snapshot agreement).
+        """
+        return {
+            "events": self.events_processed,
+            "sched_entries": self.sched_pushes,
+            "trains": self.trains_formed,
+            "train_events": self.train_events,
+            "train_repushes": self.train_repushes,
+            "pending": self.pending,
+        }
+
     # ------------------------------------------------------------- scheduling
 
     def _past_error(self, time_ps: int, callback: Callable[..., None]) -> ValueError:

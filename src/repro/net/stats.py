@@ -90,6 +90,30 @@ class StatsCollector:
     def total_blackholed_packets(self) -> int:
         return sum(self.blackholed_packets.values())
 
+    def drop_causes(self, ports) -> dict[str, int]:
+        """Every dropped packet attributed to exactly one cause.
+
+        ``failure_blackhole`` is this collector's ledger; queue overflow
+        and dark-circuit discards come from the per-port counters of
+        ``ports`` (an iterable of :class:`~repro.net.link.Port`). The
+        ledgers are disjoint by design (see the class docstring), so
+        ``total`` is their straight sum — the invariant
+        ``tests/test_obs.py`` pins across scheduler x kernel.
+        """
+        queue_overflow = 0
+        undeliverable = 0
+        for port in ports:
+            stats = port.stats
+            queue_overflow += stats.dropped_control + stats.dropped_bulk
+            undeliverable += stats.undeliverable
+        blackholed = self.total_blackholed_packets()
+        return {
+            "failure_blackhole": blackholed,
+            "queue_overflow": queue_overflow,
+            "undeliverable": undeliverable,
+            "total": blackholed + queue_overflow + undeliverable,
+        }
+
     def recovery_time_ps(self, failure_ps: int) -> int | None:
         """Time from the failure until every affected, recoverable flow
         completed — the tentpole's per-row recovery metric.

@@ -1,0 +1,38 @@
+"""Zero-dependency telemetry: metrics, sweep tracing, status surfaces.
+
+The observability layer follows the discipline PR 7 (chaos) and PR 8
+(live failures) established for every cross-cutting subsystem:
+
+* **Off by default is bitwise invisible.** Nothing in this package is
+  imported on the engine hot path; arming telemetry
+  (``REPRO_TELEMETRY=1``) only *reads* counters both engine kernels
+  already maintain, at run end, so armed runs produce byte-identical
+  simulated observables (pinned by ``tests/test_obs.py`` and a
+  ``SystemExit`` abort in ``benchmarks/engine_microbench.py``).
+* **On never perturbs simulated results.** Metric snapshots ride in a
+  side channel (``doc["telemetry"]``) that the Runner strips before any
+  cache write, and trace spans live in their own ``_trace/`` JSONL store
+  next to the run journal.
+* **The armed-but-quiet overhead is priced.** ``engine_microbench.py
+  --telemetry`` records ``telemetry_overhead`` in ``BENCH_engine.json``
+  alongside ``chaos_overhead`` and ``faults_overhead``.
+
+Submodules: :mod:`.metrics` (process-local counter/gauge/histogram
+registry plus the engine drain), :mod:`.trace` (per-unit span records,
+JSONL persistence, and the ``repro trace`` renderer).
+"""
+
+from __future__ import annotations
+
+from .metrics import REGISTRY, MetricsRegistry, armed
+from .trace import Tracer, TraceWriter, load_trace, trace_path
+
+__all__ = [
+    "REGISTRY",
+    "MetricsRegistry",
+    "armed",
+    "Tracer",
+    "TraceWriter",
+    "load_trace",
+    "trace_path",
+]

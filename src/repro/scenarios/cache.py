@@ -24,6 +24,7 @@ instead of restarting.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
@@ -32,6 +33,8 @@ from typing import Any, Mapping
 from .encode import canonical_json, content_hash
 
 __all__ = ["ResultCache", "default_cache_dir", "CACHE_FORMAT_VERSION"]
+
+logger = logging.getLogger(__name__)
 
 #: Bump to invalidate every existing entry when the stored layout changes.
 CACHE_FORMAT_VERSION = 1
@@ -91,6 +94,7 @@ class ResultCache:
         return doc
 
     def _quarantine(self, path: Path) -> None:
+        logger.warning("quarantining corrupt cache entry %s", path)
         try:
             os.replace(path, path.with_name(path.name + ".corrupt"))
         except OSError:

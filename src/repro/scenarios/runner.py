@@ -59,6 +59,8 @@ from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from ..distrib.chaos import ChaosCrash, injector as chaos_injector
 from ..distrib.journal import RunJournal, journal_path, load_journal
+from ..obs.metrics import REGISTRY as _METRICS, armed as _telemetry_armed
+from ..obs.trace import Tracer, TraceWriter, trace_path
 from . import registry
 from .cache import ResultCache
 from .encode import (
@@ -226,10 +228,25 @@ class _ShardState:
     quarantined: dict[str, str] = field(default_factory=dict)
 
 
+def _attach_telemetry(doc: dict[str, Any]) -> None:
+    """Side-channel the unit's metric snapshot onto its result document.
+
+    The ``"telemetry"`` key rides the same transport as the doc (pickle
+    over the pool pipe, JSON frames over TCP) but is popped by the
+    Runner's stream loop *before* any cache write — cached documents are
+    byte-identical with telemetry armed or off, which is what makes the
+    bitwise-invisibility pins in ``tests/test_obs.py`` trivial to hold.
+    """
+    if _telemetry_armed() and _METRICS:
+        doc["telemetry"] = _METRICS.portable()
+
+
 def _execute(name: str, params: dict[str, Any]) -> tuple[dict[str, Any], Any]:
     """Run one scenario; return (cacheable doc, raw python value)."""
     registry.load_builtin()
     sc = registry.get(name)
+    if _telemetry_armed():
+        _METRICS.reset()  # per-unit snapshots, whichever process runs us
     start = time.perf_counter()
     try:
         value = sc.execute(**params)
@@ -256,6 +273,7 @@ def _execute(name: str, params: dict[str, Any]) -> tuple[dict[str, Any], Any]:
         "payload": payload,
         "duration_s": duration,
     }
+    _attach_telemetry(doc)
     return doc, value
 
 
@@ -270,6 +288,8 @@ def _execute_cell(
     """
     registry.load_builtin()
     sc = registry.get(name)
+    if _telemetry_armed():
+        _METRICS.reset()
     start = time.perf_counter()
     try:
         value = sc.run_cell(**params)
@@ -296,6 +316,7 @@ def _execute_cell(
         "value": portable,
         "duration_s": time.perf_counter() - start,
     }
+    _attach_telemetry(doc)
     return doc, value
 
 
@@ -518,7 +539,10 @@ class Runner:
         return self.cache is not None and self.use_cache
 
     def _decompose(
-        self, jobs: list[_Job], results: dict[int, ScenarioResult]
+        self,
+        jobs: list[_Job],
+        results: dict[int, ScenarioResult],
+        tracer: Tracer | None = None,
     ) -> tuple[list[_Unit], dict[int, _ShardState]]:
         """Cache-check every job and expand the misses into work units.
 
@@ -547,6 +571,10 @@ class Runner:
                     cached=True,
                     duration_s=float(doc.get("duration_s", 0.0)),
                 )
+                if tracer:
+                    tracer.emit(
+                        {"ev": "cache-hit", "label": sc.name, "kind": "doc"}
+                    )
                 continue
             if not sc.shardable:
                 units.append(
@@ -580,6 +608,14 @@ class Runner:
                     state.values[cell.key] = from_portable(cdoc["value"])
                     state.durations[cell.key] = float(cdoc.get("duration_s", 0.0))
                     state.restored += 1
+                    if tracer:
+                        tracer.emit(
+                            {
+                                "ev": "cache-hit",
+                                "label": f"{sc.name}:{cell.key}",
+                                "kind": "cell",
+                            }
+                        )
                     continue
                 dedup = (sc.name, cell.key, canonical_json(cell.params))
                 if dedup in pending_cells:
@@ -643,6 +679,8 @@ class Runner:
         ordered: list[_Unit],
         journal: RunJournal | None,
         crash_after: int | None,
+        tracer: Tracer | None = None,
+        status_extra: dict[str, Any] | None = None,
     ) -> Iterator[tuple[_Unit, dict[str, Any], Any, str | None]]:
         """Eagerly stand up the coordinator + initial worker fleet.
 
@@ -655,6 +693,21 @@ class Runner:
         """
         from ..distrib import Coordinator, spawn_local_worker
 
+        on_event = None
+        if tracer:
+            by_uid = {u.uid: u for u in ordered}
+
+            def on_event(kind: str, uid: int, worker: str) -> None:
+                unit = by_uid.get(uid)
+                tracer.emit(
+                    {
+                        "ev": kind,
+                        "uid": uid,
+                        "label": unit.label if unit is not None else None,
+                        "worker": worker,
+                    }
+                )
+
         host, port = self.listen if self.listen is not None else ("127.0.0.1", 0)
         coord = Coordinator(
             host,
@@ -663,6 +716,8 @@ class Runner:
             max_releases=self.max_cell_attempts,
             journal=journal,
             crash_after=crash_after,
+            on_event=on_event,
+            status_extra=status_extra,
         )
         procs: list[Any] = []
         #: Monotonic worker-role counter (``REPRO_CHAOS_ROLE=worker-N``):
@@ -784,6 +839,8 @@ class Runner:
         n_workers: int,
         journal: RunJournal | None,
         crash_after: int | None,
+        tracer: Tracer | None = None,
+        status_extra: dict[str, Any] | None = None,
     ) -> Iterator[tuple[_Unit, dict[str, Any], Any, str | None]]:
         """Stand up the requested executor, degrading gracefully.
 
@@ -797,7 +854,9 @@ class Runner:
         if mode == "distributed" and ordered:
             can_pool = n_workers > 1 and len(ordered) > 1
             try:
-                return self._setup_distributed(ordered, journal, crash_after)
+                return self._setup_distributed(
+                    ordered, journal, crash_after, tracer, status_extra
+                )
             except OSError as exc:
                 _warn_degrade(
                     "distributed", "pool" if can_pool else "local", str(exc)
@@ -877,9 +936,41 @@ class Runner:
             }
         )
 
+    def _progress_sink(self, event: dict[str, Any]) -> None:
+        """Adapt ``completed`` span events into the ``progress`` callback.
+
+        The callback is a *consumer of the span stream*: the stderr
+        progress line and the trace file read the same event, so they can
+        never disagree about done counts, ETAs or who ran what.
+        """
+        if event.get("ev") != "completed" or self.progress is None:
+            return
+        self.progress(
+            Progress(
+                done=event["done"],
+                total=event["total"],
+                label=event["label"],
+                duration_s=event["duration_s"],
+                eta_s=event["eta_s"],
+                failed=event["failed"],
+                worker=event.get("worker"),
+            )
+        )
+
     def _run_jobs(self, jobs: list[_Job]) -> list[ScenarioResult]:
+        run_key = self._run_key(jobs)
+        # One span stream, two optional sinks: the JSONL trace file (when
+        # telemetry is armed and a cache root exists to hold it) and the
+        # progress callback. With neither, every emit is one falsy check.
+        tracer = Tracer()
+        writer: TraceWriter | None = None
+        if self.cache is not None and _telemetry_armed():
+            writer = TraceWriter(trace_path(self.cache.root, run_key))
+            tracer.add_sink(writer.write)
+        if self.progress is not None:
+            tracer.add_sink(self._progress_sink)
         results: dict[int, ScenarioResult] = {}
-        units, shard_states = self._decompose(jobs, results)
+        units, shard_states = self._decompose(jobs, results, tracer)
         self._adapt_costs(units)
 
         # Schedule expensive units first so the pool tail is short. Sweep
@@ -899,7 +990,7 @@ class Runner:
         inj = chaos_injector()
         crash_after = inj.config.crash_coordinator if inj is not None else None
         if mode == "distributed" and ordered and self.cache is not None:
-            jpath = journal_path(self.cache.root, self._run_key(jobs))
+            jpath = journal_path(self.cache.root, run_key)
             prior = load_journal(jpath) if self.resume_journal else None
             if prior is not None:
                 if prior.crashed:
@@ -924,13 +1015,42 @@ class Runner:
                         pre_resolved.append((unit, doc))
                     ordered = live
             journal = RunJournal(jpath, resume=prior is not None)
-            journal.start(self._run_key(jobs), len(ordered))
+            journal.start(run_key, len(ordered))
 
+        total_units = len(pre_resolved) + len(ordered)
+        status_extra = None
+        if tracer:
+            doc_hits = len(results)
+            cell_hits = sum(st.restored for st in shard_states.values())
+            status_extra = {
+                "run": run_key[:12],
+                "jobs": len(jobs),
+                "cache_hits": {"docs": doc_hits, "cells": cell_hits},
+            }
+            tracer.emit(
+                {
+                    "ev": "run-start",
+                    "run": run_key,
+                    "units": total_units,
+                    "jobs": len(jobs),
+                    "restored": doc_hits + cell_hits,
+                }
+            )
+            for unit in ordered:
+                tracer.emit(
+                    {
+                        "ev": "queued",
+                        "uid": unit.uid,
+                        "label": unit.label,
+                        "cost": round(unit.cost, 6),
+                    }
+                )
         stream = itertools.chain(
             ((u, d, _NO_VALUE, None) for u, d in pre_resolved),
-            self._make_stream(ordered, mode, n_workers, journal, crash_after),
+            self._make_stream(
+                ordered, mode, n_workers, journal, crash_after, tracer, status_extra
+            ),
         )
-        total_units = len(pre_resolved) + len(ordered)
 
         # Cache every success the moment it streams back, and only surface
         # the first failure after the batch drains: one bad scenario or cell
@@ -943,6 +1063,11 @@ class Runner:
         started = time.perf_counter()
         try:
             for done, (unit, doc, value, worker) in enumerate(stream, start=1):
+                # The metric snapshot is a side channel, never part of the
+                # result: pop it before anything downstream (cache writes
+                # included) can see the doc, so cached bytes are identical
+                # with telemetry armed or off.
+                telemetry = doc.pop("telemetry", None)
                 failed = "error" in doc
                 if failed and self.policy == "degraded":
                     err = doc["error"]
@@ -1012,7 +1137,7 @@ class Runner:
                             duration_s=float(doc.get("duration_s", 0.0)),
                         )
                 done_cost += unit.cost
-                if self.progress is not None:
+                if tracer:
                     elapsed = time.perf_counter() - started
                     # Guard the ETA against degenerate inputs: a zero-cost
                     # unit (possible after adaptive re-costing), a finish
@@ -1027,17 +1152,21 @@ class Runner:
                         )
                         if not math.isfinite(eta):
                             eta = None
-                    self.progress(
-                        Progress(
-                            done=done,
-                            total=total_units,
-                            label=unit.label,
-                            duration_s=float(doc.get("duration_s", 0.0)),
-                            eta_s=eta,
-                            failed=failed,
-                            worker=worker,
-                        )
-                    )
+                    event: dict[str, Any] = {
+                        "ev": "completed",
+                        "uid": unit.uid,
+                        "label": unit.label,
+                        "duration_s": float(doc.get("duration_s", 0.0)),
+                        "failed": failed,
+                        "quarantined": bool(doc.get("quarantined")),
+                        "worker": worker,
+                        "done": done,
+                        "total": total_units,
+                        "eta_s": eta,
+                    }
+                    if telemetry is not None:
+                        event["telemetry"] = telemetry
+                    tracer.emit(event)
         except ChaosCrash as exc:
             # The injected coordinator death: record it in the journal so
             # the resume run disarms the crash, then let it surface — the
@@ -1045,13 +1174,29 @@ class Runner:
             if journal is not None:
                 journal.crash(str(exc))
                 journal.close()
+            tracer.emit(
+                {
+                    "ev": "run-end",
+                    "wall_s": round(time.perf_counter() - started, 6),
+                    "crashed": True,
+                }
+            )
             raise
         else:
             if journal is not None:
                 journal.end()
+            tracer.emit(
+                {
+                    "ev": "run-end",
+                    "wall_s": round(time.perf_counter() - started, 6),
+                    "crashed": False,
+                }
+            )
         finally:
             if journal is not None:
                 journal.close()  # idempotent; covers non-chaos exits too
+            if writer is not None:
+                writer.close()
 
         failure = self._merge_shards(jobs, shard_states, results, failure)
         if failure is not None:

@@ -190,6 +190,27 @@ class TestProgressPrinter:
         _progress_printer(self._event(done=4, total=4, eta_s=0.0))
         assert "eta" not in capsys.readouterr().err
 
+    def test_line_is_one_atomic_write(self, monkeypatch):
+        # Multiple worker processes share the parent's stderr pipe;
+        # print() writes the text and the newline separately, so two
+        # concurrent printers can tear each other's lines. The printer
+        # must emit each line (newline included) as ONE write() call —
+        # single writes under PIPE_BUF are atomic on POSIX pipes.
+        calls = []
+
+        class Recorder:
+            def write(self, text):
+                calls.append(text)
+
+            def flush(self):
+                pass
+
+        monkeypatch.setattr("sys.stderr", Recorder())
+        _progress_printer(self._event())
+        assert len(calls) == 1
+        assert calls[0].endswith("\n")
+        assert "[1/4] fig07:opera@0.1" in calls[0]
+
 
 class TestLegacySpelling:
     def test_bare_experiment_name(self, capsys):
