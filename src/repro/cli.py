@@ -14,6 +14,11 @@ Usage::
     python -m repro.cli run fig07 --telemetry --workers 4
     python -m repro.cli trace latest
     python -m repro.cli status HOST:7077
+    python -m repro.cli serve 0.0.0.0:7077 --workers 4 --secret-file s.key
+    python -m repro.cli submit HOST:7077 fig04 --set k=8,12
+    python -m repro.cli jobs HOST:7077
+    python -m repro.cli cancel HOST:7077 job-0001
+    python -m repro.cli cancel HOST:7077 --drain
 
 ``run`` accepts scenario names (globs work: ``'fig1*'``) and/or ``--tag``
 selections and executes them through the shared :class:`repro.scenarios.Runner`
@@ -43,6 +48,14 @@ spawned workers), ``--policy degraded`` quarantines failed units into the
 result instead of failing the sweep, and ``--resume-journal`` resumes a
 crashed distributed run from its write-ahead journal — an injected
 coordinator crash exits with status 3 and prints the resume command.
+
+Service mode (README "Running as a service"): ``serve`` runs a
+long-lived multi-sweep coordinator with a job queue; ``submit`` sends a
+sweep to it (``sweep`` semantics over the wire — rows come back bitwise
+identical to an in-process run), ``jobs`` lists its job table, and
+``cancel`` cancels one job or drains the whole service. A shared secret
+(``--secret-file`` or ``$REPRO_SECRET``) arms HMAC authentication on
+every connection.
 
 Observability (README "Observability"): ``--telemetry`` arms engine
 metrics + sweep tracing for the run (``REPRO_TELEMETRY=1``; simulated
@@ -150,6 +163,17 @@ def _make_runner(args: argparse.Namespace) -> Runner:
     executor = args.executor
     if executor is None and args.listen is not None:
         executor = "distributed"  # --listen only means one thing
+    service = getattr(args, "service", None)
+    if executor is None and service is not None:
+        executor = "service"  # --service only means one thing
+    secret = None
+    if executor == "service":
+        from .distrib import AuthError, load_secret
+
+        try:
+            secret = load_secret(getattr(args, "secret_file", None))
+        except AuthError as exc:
+            raise ScenarioError(str(exc)) from None
     if getattr(args, "chaos", None):
         # Validate the spec *here* (a typo must fail the command, not
         # silently run a different experiment), then publish it through
@@ -179,6 +203,8 @@ def _make_runner(args: argparse.Namespace) -> Runner:
             progress=_progress_printer if show_progress else None,
             executor=executor,
             listen=args.listen,
+            service=service,
+            secret=secret,
             on_listen=_print_listen_banner if executor == "distributed" else None,
             policy=getattr(args, "policy", "strict"),
             resume_journal=getattr(args, "resume_journal", False),
@@ -265,14 +291,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
-    from .distrib.worker import max_units_from_env, serve
+    from .distrib import AuthError, load_secret
+    from .distrib.worker import AUTH_EXIT, max_units_from_env, serve
 
     try:
         return serve(
             args.address,
             connect_timeout=args.connect_timeout,
             max_units=max_units_from_env(),
+            secret=load_secret(args.secret_file),
         )
+    except AuthError as exc:
+        print(f"worker auth error: {exc}", file=sys.stderr)
+        return AUTH_EXIT
     except (OSError, ValueError) as exc:
         print(f"worker error: {exc}", file=sys.stderr)
         return 1
@@ -287,6 +318,44 @@ def _format_bytes(n: int) -> str:
     return f"{n}B"
 
 
+def _print_run_file_stats(run_files: dict) -> None:
+    """Journal/trace inventory lines under the per-scenario table.
+
+    Run files are not cache entries (they are not content-addressed and
+    never restore results), so they get their own lines, with the oldest
+    age shown — the signal that a scenario-scoped ``cache clear`` (which
+    GCs run files stale past a week) or a full clear is due.
+    """
+    from .scenarios.cache import STALE_RUN_FILE_S
+
+    for dirname in sorted(run_files):
+        entry = run_files[dirname]
+        oldest = entry["oldest_age_s"]
+        stale = (
+            "  (stale; 'repro cache clear' collects)"
+            if oldest is not None and oldest > STALE_RUN_FILE_S
+            else ""
+        )
+        kind = "journal" if dirname == "_journal" else "trace"
+        print(
+            f"{dirname:>22s}  {entry['files']:4d} {kind}(s)  "
+            f"{_format_bytes(entry['bytes'])}  oldest {_format_age(oldest)}"
+            f"{stale}"
+        )
+
+
+def _format_age(seconds: float | None) -> str:
+    if seconds is None:
+        return "?"
+    if seconds >= 48 * 3600:
+        return f"{seconds / 86400:.1f}d"
+    if seconds >= 90 * 60:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 90:
+        return f"{seconds / 60:.0f}m"
+    return f"{seconds:.0f}s"
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     if args.cache_dir == "":
         print("cache: nothing to inspect with the cache disabled", file=sys.stderr)
@@ -294,9 +363,13 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir)
     if args.action == "stats":
         stats = cache.stats()
+        run_files = cache.run_file_stats()
         print(f"cache root: {cache.root}")
         if not stats:
-            print("(empty)")
+            if run_files:
+                _print_run_file_stats(run_files)
+            else:
+                print("(empty)")
             return 0
         total_results = total_cells = total_bytes = total_corrupt = 0
         for name, entry in stats.items():
@@ -322,6 +395,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                 "be recomputed; 'repro cache clear' removes them)",
                 file=sys.stderr,
             )
+        _print_run_file_stats(run_files)
         return 0
     if args.action == "ls":
         if not args.scenario:
@@ -399,11 +473,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_status(args: argparse.Namespace) -> int:
     import json
 
+    from .distrib import AuthError, load_secret
     from .distrib.protocol import ProtocolError, fetch_status
 
     try:
-        status = fetch_status(args.address, timeout=args.timeout)
-    except (OSError, ValueError, ProtocolError) as exc:
+        secret = load_secret(args.secret_file)
+        status = fetch_status(args.address, timeout=args.timeout, secret=secret)
+    except (OSError, ValueError, ProtocolError, AuthError) as exc:
         print(f"status error: {exc}", file=sys.stderr)
         return 1
     if args.json:
@@ -412,12 +488,23 @@ def _cmd_status(args: argparse.Namespace) -> int:
     done = status.get("completed", 0)
     total = status.get("units_total", 0)
     rate = status.get("units_per_sec")
+    notes = []
+    if status.get("auth"):
+        notes.append("authenticated")
+    if status.get("draining"):
+        notes.append("DRAINING")
     print(
         f"coordinator {args.address} — {status.get('state', '?')}: "
         f"{done}/{total} done, {status.get('in_flight', 0)} in flight, "
         f"{status.get('pending', 0)} pending"
         + (f", {rate:.2f} units/s" if isinstance(rate, (int, float)) else "")
+        + (f"  [{', '.join(notes)}]" if notes else "")
     )
+    jobs = status.get("jobs")
+    if isinstance(jobs, list) and jobs:
+        print(f"jobs: {len(jobs)}")
+        for job in jobs:
+            _print_job_line(job)
     workers = status.get("workers", [])
     print(
         f"workers: {len(workers)} connected, "
@@ -442,6 +529,208 @@ def _cmd_status(args: argparse.Namespace) -> int:
             f"cache hits {hits.get('docs', 0)} doc(s) + {hits.get('cells', 0)} "
             f"cell(s)"
         )
+    return 0
+
+
+def _print_job_line(job: dict) -> None:
+    """One job-table row, shared by ``status`` and ``jobs``."""
+    done = job.get("completed", 0)
+    total = job.get("units", 0)
+    state = job.get("state", "?")
+    label = job.get("label") or "-"
+    if len(label) > 40:
+        label = label[:37] + "..."
+    print(
+        f"  {job.get('job', '?'):>9s}  {state:>9s}  {done:4d}/{total:<4d}  "
+        f"{_format_age(job.get('age_s'))} old  [{job.get('source', '?')}] "
+        f"{label}"
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import subprocess
+
+    from .distrib import (
+        AuthError,
+        Coordinator,
+        load_secret,
+        parse_address,
+        spawn_local_worker,
+    )
+    from .distrib.journal import RunJournal, journal_path
+
+    try:
+        secret = load_secret(args.secret_file)
+        host, port = parse_address(args.address)
+    except (AuthError, ValueError) as exc:
+        print(f"serve error: {exc}", file=sys.stderr)
+        return 2
+    cache = None if args.cache_dir == "" else ResultCache(args.cache_dir)
+
+    def journal_factory(job):
+        # Per-job write-ahead journals under the service's cache root:
+        # a job resubmitted after a coordinator restart finds its grant/
+        # completion history under the same run key.
+        if cache is None:
+            return None
+        key = job.run_key or job.jid
+        journal = RunJournal(journal_path(cache.root, key))
+        journal.start(key, job.total)
+        return journal
+
+    try:
+        coordinator = Coordinator(
+            host,
+            port,
+            lease_timeout=args.lease_timeout,
+            secret=secret,
+            max_jobs=args.max_jobs,
+            # Service mode faces the network, so the peer ledger is
+            # armed: repeated garbage from one host gets it banned, and
+            # reconnect storms are shed at accept time.
+            ban_after=5,
+            journal_factory=journal_factory,
+        )
+    except OSError as exc:
+        print(f"serve error: cannot bind {args.address}: {exc}", file=sys.stderr)
+        return 2
+    _print_listen_banner(coordinator.address)
+    bind_host, bind_port = coordinator.address
+    dial = "<host>" if bind_host in ("0.0.0.0", "::", "") else bind_host
+    print(
+        f"[serve] job queue up (max {args.max_jobs} active, auth "
+        f"{'armed' if secret else 'OFF — loopback/trusted networks only'}); "
+        f"submit with: repro submit {dial}:{bind_port} <scenario> --set ...",
+        file=sys.stderr,
+        flush=True,
+    )
+
+    procs: list[subprocess.Popen] = []
+    respawns = 0
+
+    def watchdog(coord: Coordinator) -> None:
+        # Keep the spawned fleet at strength while the service is live;
+        # a draining service lets its workers run out instead.
+        nonlocal respawns
+        if coord.draining:
+            return
+        for idx, proc in enumerate(procs):
+            if proc.poll() is not None and respawns < args.max_respawns:
+                respawns += 1
+                procs[idx] = spawn_local_worker(
+                    coord.address, role=f"worker-r{respawns}", secret=secret
+                )
+
+    # Like worker.serve(): the previous SIGTERM disposition comes back on
+    # exit so an embedding process (and anything it later forks) is not
+    # left with a drain hook pointed at a dead coordinator.
+    prev_handler = None
+    handler_installed = False
+    try:
+        prev_handler = signal.signal(
+            signal.SIGTERM, lambda *_: coordinator.drain()
+        )
+        handler_installed = True
+    except ValueError:
+        pass  # not the main thread (embedded use)
+    try:
+        for i in range(args.workers):
+            procs.append(
+                spawn_local_worker(
+                    coordinator.address, role=f"worker-{i}", secret=secret
+                )
+            )
+        coordinator.serve_forever(watchdog if args.workers else None)
+        return 0
+    except KeyboardInterrupt:
+        print(
+            "[serve] interrupted — jobs abandoned; use SIGTERM or "
+            "'repro cancel --drain' for a graceful drain",
+            file=sys.stderr,
+        )
+        return 130
+    finally:
+        if handler_installed:
+            signal.signal(signal.SIGTERM, prev_handler)
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()  # SIGTERM -> worker drains and exits
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    # `submit HOST:PORT scenario` is `sweep scenario --service HOST:PORT`:
+    # the sweep grid is built client-side, units are executed by the
+    # service's fleet, and rows merge/cache/print locally — bitwise
+    # identical to running the sweep in-process.
+    args.service = args.address
+    args.executor = "service"
+    args.listen = None
+    return _cmd_sweep(args)
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    import json
+
+    from .distrib import AuthError, ServiceError, fetch_jobs, load_secret
+    from .distrib.protocol import ProtocolError
+
+    try:
+        secret = load_secret(args.secret_file)
+        table = fetch_jobs(args.address, secret=secret, timeout=args.timeout)
+    except (OSError, ValueError, ProtocolError, AuthError, ServiceError) as exc:
+        print(f"jobs error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(table, indent=2, sort_keys=True))
+        return 0
+    jobs = table["jobs"]
+    drain = "  [DRAINING — no new submissions]" if table["draining"] else ""
+    if not jobs:
+        print(f"coordinator {args.address}: no jobs{drain}")
+        return 0
+    print(f"coordinator {args.address}: {len(jobs)} job(s){drain}")
+    for job in jobs:
+        _print_job_line(job)
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    from .distrib import AuthError, ServiceError, cancel_job, load_secret
+    from .distrib.protocol import ProtocolError
+
+    if not args.drain and args.job is None:
+        print("cancel needs a job id or --drain", file=sys.stderr)
+        return 2
+    try:
+        secret = load_secret(args.secret_file)
+        reply = cancel_job(
+            args.address,
+            args.job,
+            drain=args.drain,
+            secret=secret,
+            timeout=args.timeout,
+        )
+    except (OSError, ValueError, ProtocolError, AuthError, ServiceError) as exc:
+        print(f"cancel error: {exc}", file=sys.stderr)
+        return 1
+    if args.drain:
+        jobs = reply.get("jobs", [])
+        running = sum(1 for j in jobs if j.get("state") in ("running", "queued"))
+        print(
+            f"coordinator {args.address} draining: {running} job(s) still "
+            "finishing; the serve loop exits when the queue is idle"
+        )
+        return 0
+    print(
+        f"job {reply.get('job', args.job)}: {reply.get('state', '?')} "
+        f"({reply.get('completed', 0)}/{reply.get('units', 0)} units kept)"
+    )
     return 0
 
 
@@ -478,10 +767,11 @@ def _add_exec_options(sub: argparse.ArgumentParser) -> None:
     )
     sub.add_argument(
         "--executor",
-        choices=("local", "pool", "distributed"),
+        choices=("local", "pool", "distributed", "service"),
         default=None,
         help="execution backend (default: pool when --workers > 1, else "
-        "local; distributed leases units to TCP workers)",
+        "local; distributed leases units to TCP workers; service submits "
+        "to a running 'repro serve' coordinator)",
     )
     sub.add_argument(
         "--listen",
@@ -489,6 +779,20 @@ def _add_exec_options(sub: argparse.ArgumentParser) -> None:
         metavar="HOST:PORT",
         help="distributed coordinator address for external 'repro worker' "
         "processes (implies --executor distributed; port 0 = ephemeral)",
+    )
+    sub.add_argument(
+        "--service",
+        default=None,
+        metavar="HOST:PORT",
+        help="address of a running 'repro serve' coordinator to execute "
+        "on (implies --executor service)",
+    )
+    sub.add_argument(
+        "--secret-file",
+        default=None,
+        metavar="PATH",
+        help="file holding the service's shared secret (default: "
+        "$REPRO_SECRET; only used with --executor service)",
     )
     sub.add_argument(
         "--no-cache",
@@ -620,6 +924,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="seconds to keep retrying the initial connection (default 30)",
     )
+    p_worker.add_argument(
+        "--secret-file",
+        default=None,
+        metavar="PATH",
+        help="file holding the coordinator's shared secret (default: "
+        "$REPRO_SECRET)",
+    )
     _add_verbose_option(p_worker)
     p_worker.set_defaults(fn=_cmd_worker)
 
@@ -677,15 +988,143 @@ def _build_parser() -> argparse.ArgumentParser:
         default=5.0,
         help="connect/read timeout in seconds (default 5)",
     )
+    p_status.add_argument(
+        "--secret-file",
+        default=None,
+        metavar="PATH",
+        help="file holding the coordinator's shared secret (default: "
+        "$REPRO_SECRET)",
+    )
     _add_verbose_option(p_status)
     p_status.set_defaults(fn=_cmd_status)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run a long-lived multi-sweep coordinator service",
+    )
+    p_serve.add_argument(
+        "address", metavar="HOST:PORT", help="listen address (port 0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="local subprocess workers to spawn and keep at strength "
+        "(default 0: external 'repro worker' processes only)",
+    )
+    p_serve.add_argument(
+        "--max-jobs",
+        type=int,
+        default=8,
+        help="concurrently active jobs admitted before submissions are "
+        "refused (default 8)",
+    )
+    p_serve.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="silence before a worker's lease is re-queued (default 60)",
+    )
+    p_serve.add_argument(
+        "--max-respawns",
+        type=int,
+        default=8,
+        metavar="N",
+        help="budget for replacing spawned workers that die (default 8)",
+    )
+    p_serve.add_argument(
+        "--secret-file",
+        default=None,
+        metavar="PATH",
+        help="file holding the shared secret that workers and clients "
+        "must present (default: $REPRO_SECRET; unset = unauthenticated)",
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache root for per-job journals (default ~/.cache/opera-repro "
+        "or $REPRO_CACHE_DIR; '' disables journaling)",
+    )
+    _add_verbose_option(p_serve)
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit a sweep to a running 'repro serve' coordinator",
+    )
+    p_submit.add_argument(
+        "address", metavar="HOST:PORT", help="coordinator address"
+    )
+    p_submit.add_argument("name", help="scenario name")
+    _add_exec_options(p_submit)
+    p_submit.set_defaults(fn=_cmd_submit)
+
+    p_jobs = sub.add_parser(
+        "jobs", help="list a service coordinator's job table"
+    )
+    p_jobs.add_argument(
+        "address", metavar="HOST:PORT", help="coordinator address"
+    )
+    p_jobs.add_argument(
+        "--json", action="store_true", help="print the raw job table as JSON"
+    )
+    p_jobs.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        help="connect/read timeout in seconds (default 10)",
+    )
+    p_jobs.add_argument(
+        "--secret-file",
+        default=None,
+        metavar="PATH",
+        help="file holding the coordinator's shared secret (default: "
+        "$REPRO_SECRET)",
+    )
+    _add_verbose_option(p_jobs)
+    p_jobs.set_defaults(fn=_cmd_jobs)
+
+    p_cancel = sub.add_parser(
+        "cancel", help="cancel a job, or drain the whole service"
+    )
+    p_cancel.add_argument(
+        "address", metavar="HOST:PORT", help="coordinator address"
+    )
+    p_cancel.add_argument(
+        "job", nargs="?", default=None, help="job id (from 'repro jobs')"
+    )
+    p_cancel.add_argument(
+        "--drain",
+        action="store_true",
+        help="refuse new submissions, let running jobs finish, then shut "
+        "the service and its worker fleet down",
+    )
+    p_cancel.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        help="connect/read timeout in seconds (default 10)",
+    )
+    p_cancel.add_argument(
+        "--secret-file",
+        default=None,
+        metavar="PATH",
+        help="file holding the coordinator's shared secret (default: "
+        "$REPRO_SECRET)",
+    )
+    _add_verbose_option(p_cancel)
+    p_cancel.set_defaults(fn=_cmd_cancel)
 
     return parser
 
 
 def _rewrite_legacy(argv: list[str]) -> list[str]:
     """Map ``repro.cli fig04 [--k 12]`` onto the ``run`` subcommand."""
-    commands = ("list", "run", "sweep", "worker", "cache", "trace", "status")
+    commands = (
+        "list", "run", "sweep", "worker", "cache", "trace", "status",
+        "serve", "submit", "jobs", "cancel",
+    )
     if not argv or argv[0] in commands or argv[0].startswith("-"):
         return argv
     head, rest = argv[0], list(argv[1:])

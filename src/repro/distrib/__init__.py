@@ -19,9 +19,14 @@ distributed semantics for free), and feeds the result stream through the
 same cache/merge/progress path as every other executor — which is what
 pins distributed results bit-identical to in-process ones.
 
-The protocol trusts its peers (lease parameters are executed, documents
-are decoded via dataclass import paths); bind the coordinator to
-loopback or a trusted network only.
+Long-lived service mode (``repro serve``) adds :mod:`.jobs` (a
+multi-sweep job queue with fair-share leasing and the client side of
+``repro submit|jobs|cancel``) and :mod:`.auth` (HMAC shared-secret
+challenge/response on the frame protocol). An *unauthenticated*
+coordinator still trusts its peers (lease parameters are executed,
+documents are decoded via dataclass import paths); bind it to loopback
+or a trusted network, or arm a shared secret — and read the security-
+model note in the README before leaving trusted networks.
 """
 
 from __future__ import annotations
@@ -34,22 +39,46 @@ from pathlib import Path
 # NOTE: .worker is deliberately NOT imported here — workers start via
 # ``python -m repro.distrib.worker``, and importing the module from the
 # package __init__ would make runpy warn about the double import.
+from .auth import AuthError, load_secret
 from .chaos import ChaosConfig, ChaosCrash, ChaosError, backoff_delays, parse_chaos
 from .coordinator import Coordinator
+from .jobs import (
+    JobCancelled,
+    JobQueue,
+    ServiceClient,
+    ServiceError,
+    cancel_job,
+    fetch_jobs,
+)
 from .journal import JournalState, RunJournal, journal_path, load_journal
-from .protocol import ProtocolError, parse_address
+from .protocol import (
+    PROTO_VERSION,
+    ProtocolError,
+    ProtocolTimeout,
+    parse_address,
+)
 
 __all__ = [
+    "AuthError",
     "ChaosConfig",
     "ChaosCrash",
     "ChaosError",
     "Coordinator",
+    "JobCancelled",
+    "JobQueue",
     "JournalState",
+    "PROTO_VERSION",
     "ProtocolError",
+    "ProtocolTimeout",
     "RunJournal",
+    "ServiceClient",
+    "ServiceError",
     "backoff_delays",
+    "cancel_job",
+    "fetch_jobs",
     "journal_path",
     "load_journal",
+    "load_secret",
     "parse_address",
     "parse_chaos",
     "spawn_local_worker",
@@ -61,6 +90,7 @@ def spawn_local_worker(
     *,
     env: dict[str, str] | None = None,
     role: str | None = None,
+    secret: bytes | None = None,
 ) -> subprocess.Popen:
     """Start one local subprocess worker attached to ``address``.
 
@@ -87,6 +117,11 @@ def spawn_local_worker(
     )
     if role is not None:
         environ["REPRO_CHAOS_ROLE"] = role
+    if secret is not None:
+        # `repro serve --workers N --secret-file ...` spawns its fleet
+        # with the file-provided secret; env-provided secrets inherit
+        # through os.environ without this.
+        environ["REPRO_SECRET"] = secret.decode("utf-8")
     return subprocess.Popen(
         [sys.executable, "-m", "repro.distrib.worker", f"{host}:{port}"],
         env=environ,

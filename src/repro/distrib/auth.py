@@ -1,0 +1,187 @@
+"""Shared-secret authentication for the coordinator frame protocol.
+
+Leaving trusted networks means the coordinator can no longer execute
+whatever a TCP peer sends it. This module supplies the stdlib-only
+challenge/response handshake both sides of protocol v2 speak:
+
+1. The peer opens with ``hello`` (``proto`` >= 2, ``role``).
+2. A coordinator holding a shared secret replies ``challenge`` with a
+   fresh random ``nonce`` (one per connection, never reused).
+3. The peer answers ``auth`` with ``mac = HMAC-SHA256(secret,
+   nonce:role)`` (hex). The nonce binds the response to *this*
+   connection — an eavesdropper replaying a captured ``auth`` frame on a
+   new connection fails, because the new connection drew a new nonce —
+   and the role binds it to worker-vs-client, so a sniffed client mac
+   cannot be replayed to obtain leases.
+4. The coordinator compares with :func:`hmac.compare_digest`
+   (constant-time: a byte-wise early-exit compare would leak mac
+   prefixes through timing) and replies ``welcome`` or ``error`` +
+   disconnect.
+
+Security model (documented in README "Running as a service"): the
+handshake authenticates *connection establishment* against peers that do
+not know the secret. It does **not** encrypt traffic, does not
+authenticate individual frames after the handshake, and does not protect
+against an active man-in-the-middle who can hijack an established TCP
+stream — for those threats, run the frame protocol through a TLS tunnel
+(stunnel, ssh -L, a service mesh). The secret travels through
+``REPRO_SECRET`` or a ``--secret-file``; it is never written to journals,
+traces, status snapshots or logs.
+"""
+
+from __future__ import annotations
+
+import hmac
+import hashlib
+import os
+import secrets
+import socket
+import threading
+from pathlib import Path
+from typing import Any
+
+from . import chaos
+from .protocol import ProtocolError, recv_msg, send_msg
+
+__all__ = [
+    "AuthError",
+    "PROTO_VERSION",
+    "load_secret",
+    "new_nonce",
+    "compute_mac",
+    "verify_mac",
+    "client_handshake",
+]
+
+# Re-exported so auth consumers need one import.
+from .protocol import PROTO_VERSION
+
+#: Environment variable holding the shared secret (text, stripped).
+SECRET_ENV = "REPRO_SECRET"
+
+
+class AuthError(RuntimeError):
+    """Authentication required, failed, or refused by the peer.
+
+    Deliberately *not* an ``OSError``: the worker's reconnect machinery
+    retries transport failures, but a wrong secret will be wrong on the
+    next dial too — retrying would be a reconnect storm against a
+    coordinator that already said no.
+    """
+
+
+def load_secret(secret_file: str | os.PathLike[str] | None = None) -> bytes | None:
+    """Resolve the shared secret: ``--secret-file`` wins over the env.
+
+    The secret is text (one line, surrounding whitespace stripped so a
+    trailing newline from ``echo`` or an editor does not silently change
+    the key). Returns ``None`` when neither source is set — open mode,
+    for loopback and trusted networks. An *empty* file or variable is an
+    error, not open mode: an operator who provisioned a secret and got
+    an empty string has a broken deployment, and failing open would be
+    the worst possible response.
+    """
+    if secret_file is not None:
+        try:
+            text = Path(secret_file).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise AuthError(f"cannot read secret file {secret_file!r}: {exc}") from None
+        stripped = text.strip()
+        if not stripped:
+            raise AuthError(f"secret file {secret_file!r} is empty")
+        return stripped.encode("utf-8")
+    env = os.environ.get(SECRET_ENV)
+    if env is None:
+        return None
+    stripped = env.strip()
+    if not stripped:
+        raise AuthError(f"{SECRET_ENV} is set but empty")
+    return stripped.encode("utf-8")
+
+
+def new_nonce() -> str:
+    """A fresh per-connection challenge nonce (128 bits, hex)."""
+    return secrets.token_hex(16)
+
+
+def compute_mac(secret: bytes, nonce: str, role: str) -> str:
+    """The challenge response: ``HMAC-SHA256(secret, nonce:role)`` hex."""
+    return hmac.new(
+        secret, f"{nonce}:{role}".encode("utf-8"), hashlib.sha256
+    ).hexdigest()
+
+
+def verify_mac(secret: bytes, nonce: str, role: str, mac: Any) -> bool:
+    """Constant-time verification of a peer's ``auth`` response."""
+    if not isinstance(mac, str):
+        return False
+    return hmac.compare_digest(compute_mac(secret, nonce, role), mac)
+
+
+def client_handshake(
+    sock: socket.socket,
+    *,
+    role: str,
+    secret: bytes | None = None,
+    worker: str | None = None,
+    lock: threading.Lock | None = None,
+) -> dict[str, Any]:
+    """Perform the peer side of the v2 handshake; returns the ``welcome``.
+
+    Sends ``hello`` and then converses until the coordinator says
+    ``welcome`` (or refuses). A ``challenge`` is answered with the HMAC
+    response — re-answered if the (chaos-replayable) challenge arrives
+    twice — and requires ``secret``; a coordinator that challenges a
+    secretless peer gets a clean :class:`AuthError` naming the fix.
+
+    Failure shapes are deliberately distinct: an ``error`` frame from
+    the coordinator (bad secret, version mismatch, admission refusal)
+    raises :class:`AuthError` — final, do not retry — while a connection
+    that tears mid-handshake raises ``OSError``/:class:`ProtocolError`,
+    the transport failures the caller's reconnect loop already owns.
+
+    The ``drop_auth`` chaos fault fires here: the ``auth`` frame is
+    "lost" by tearing the connection down, exactly the mid-handshake
+    failure a flaky network produces, so tests can pin that a fleet
+    under auth-frame loss still converges by reconnecting.
+    """
+    hello: dict[str, Any] = {"type": "hello", "proto": PROTO_VERSION, "role": role}
+    if worker is not None:
+        hello["worker"] = worker
+        hello["pid"] = os.getpid()
+    send_msg(sock, hello, lock)
+    # Bounded conversation: welcome/error ends it; anything else past a
+    # few frames is a peer speaking some other protocol.
+    for _ in range(4):
+        reply = recv_msg(sock)
+        if reply is None:
+            raise OSError("connection closed during handshake")
+        kind = reply.get("type")
+        if kind == "welcome":
+            return reply
+        if kind == "error":
+            raise AuthError(str(reply.get("error", "handshake refused")))
+        if kind == "challenge":
+            if secret is None:
+                raise AuthError(
+                    "coordinator requires a shared secret; provide one via "
+                    f"{SECRET_ENV} or --secret-file"
+                )
+            nonce = reply.get("nonce")
+            if not isinstance(nonce, str) or not nonce:
+                raise ProtocolError(f"malformed challenge: {reply!r}")
+            inj = chaos.injector()
+            if inj is not None and inj.decide("drop_auth"):
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                raise OSError("chaos: auth frame dropped (connection torn down)")
+            send_msg(
+                sock,
+                {"type": "auth", "mac": compute_mac(secret, nonce, role)},
+                lock,
+            )
+            continue
+        raise ProtocolError(f"unexpected handshake reply: {reply!r}")
+    raise ProtocolError("handshake did not converge (peer kept challenging)")

@@ -28,6 +28,14 @@ Grammar (``REPRO_CHAOS`` environment variable or ``repro run --chaos``)::
 * ``stall_heartbeat=p`` — probability a worker's heartbeat thread goes
   silent when a lease arrives (the worker keeps computing; the
   coordinator must declare it stalled and re-lease).
+* ``drop_auth=p`` — probability the peer's ``auth`` handshake frame is
+  lost (the connection is torn down mid-handshake; the worker must
+  reconnect and re-authenticate against a fresh nonce).
+* ``replay_frame=p`` — probability a frame is sent twice back-to-back
+  (a retransmit-style duplicate; every receiver must treat repeated
+  frames idempotently — duplicate results are dropped by the done-set,
+  duplicate submits are deduplicated by client token, duplicate
+  challenges are simply re-answered).
 * ``crash_coordinator=after_k`` (``after_3`` or plain ``3``) — the
   coordinator raises :class:`ChaosCrash` once ``k`` units have
   completed; a restart with ``--resume-journal`` resumes from the
@@ -78,7 +86,14 @@ class ChaosCrash(RuntimeError):
 
 #: The probability-valued knobs, in the order their decisions consume
 #: draws from the stream (documented so tests can pin the sequence).
-_PROB_KEYS = ("kill_worker", "drop_frame", "corrupt_frame", "stall_heartbeat")
+_PROB_KEYS = (
+    "kill_worker",
+    "drop_frame",
+    "corrupt_frame",
+    "stall_heartbeat",
+    "drop_auth",
+    "replay_frame",
+)
 
 
 @dataclass(frozen=True)
@@ -90,6 +105,8 @@ class ChaosConfig:
     drop_frame: float = 0.0
     corrupt_frame: float = 0.0
     stall_heartbeat: float = 0.0
+    drop_auth: float = 0.0
+    replay_frame: float = 0.0
     delay_ms: tuple[float, float] | None = None
     crash_coordinator: int | None = None
 
@@ -232,14 +249,16 @@ def injector() -> ChaosInjector | None:
 def mangle_frame(inj: ChaosInjector, frame: bytes, sock: socket.socket) -> bytes:
     """Apply frame-seam chaos to one outgoing frame.
 
-    Consumes draws in a fixed order (delay, drop, corrupt). A *drop*
-    tears the connection down and raises ``OSError`` — on a stream
+    Consumes draws in a fixed order (delay, drop, corrupt, replay). A
+    *drop* tears the connection down and raises ``OSError`` — on a stream
     transport a lost frame is indistinguishable from a broken link, and
     tearing the link is what makes the fault recoverable (the coordinator
     re-leases on EOF, the worker reconnects with backoff). A *corrupt*
     flips one body byte past the length header, so the receiver reads a
     full-length frame that fails to decode (``ProtocolError``) rather
-    than desynchronizing the stream.
+    than desynchronizing the stream. A *replay* returns the frame doubled
+    — both copies are valid, so the receiver sees an exact duplicate and
+    must handle it idempotently.
     """
     delay = inj.delay_s()
     if delay > 0.0:
@@ -255,6 +274,8 @@ def mangle_frame(inj: ChaosInjector, frame: bytes, sock: socket.socket) -> bytes
         if len(frame) > header:
             index = header + inj.corrupt_index(len(frame) - header)
             frame = frame[:index] + bytes([frame[index] ^ 0x80]) + frame[index + 1:]
+    if inj.decide("replay_frame"):
+        frame = frame + frame
     return frame
 
 

@@ -13,12 +13,23 @@ milliseconds of starting.
 Connection lifecycle: dialing retries with jittered exponential backoff
 (:func:`repro.distrib.chaos.backoff_delays`) until ``connect_timeout``
 elapses — starting the worker terminal before the coordinator terminal
-works — and a *lost* connection (EOF without ``shutdown``, a torn or
-undecodable frame, a send error) sends the worker back to dialing rather
-than killing it: the coordinator re-leases whatever the worker held, the
-worker reconnects and says hello again, and the sweep continues. Only an
-explicit ``shutdown`` (or a coordinator that stays unreachable past the
-backoff budget) ends the worker.
+works — and each session opens with the protocol v2 handshake
+(:func:`repro.distrib.auth.client_handshake`): hello, answer a challenge
+when the coordinator holds a shared secret (``REPRO_SECRET`` /
+``--secret-file``), proceed on welcome. A *lost* connection (EOF without
+``shutdown``, a torn or undecodable frame, a send error) sends the
+worker back to dialing rather than killing it: the coordinator re-leases
+whatever the worker held, the worker reconnects and authenticates again
+(fresh nonce), and the sweep continues. An authentication *refusal* is
+final — the secret will be just as wrong on the next dial, so the worker
+exits :data:`AUTH_EXIT` instead of mounting a reconnect storm.
+
+Graceful drain: SIGTERM sets a drain flag. The worker finishes the unit
+it holds (and reports its result), then sends ``bye`` instead of
+``ready`` and exits 0 — so a fleet can be rolled (`kill`, instance
+retirement, deploys) without re-leasing churn or lost work. The main
+loop polls the socket with a short ``select`` timeout between frames, so
+an *idle* drained worker departs within half a second too.
 
 Fault injection: ``REPRO_WORKER_MAX_UNITS=N`` makes the worker die
 abruptly — holding its lease, without a word to the coordinator — when
@@ -27,8 +38,9 @@ seeded chaos harness (``REPRO_CHAOS``, :mod:`repro.distrib.chaos`) adds
 probabilistic faults at the same point: ``kill_worker`` dies the same
 abrupt way, ``stall_heartbeat`` silences the heartbeat thread while the
 unit computes (so the coordinator must reap the stall and drop the late
-result as a duplicate), and the frame seam in ``protocol.send_msg``
-injects drops/corruption/latency on everything this worker sends.
+result as a duplicate), ``drop_auth`` tears the handshake mid-flight,
+and the frame seam in ``protocol.send_msg`` injects drops/corruption/
+replays/latency on everything this worker sends.
 """
 
 from __future__ import annotations
@@ -36,16 +48,19 @@ from __future__ import annotations
 import argparse
 import logging
 import os
+import select
+import signal
 import socket
 import sys
 import threading
 import time
 from typing import Any
 
+from .auth import AuthError, client_handshake, load_secret
 from .chaos import backoff_delays, injector
 from .protocol import ProtocolError, parse_address, recv_msg, send_msg
 
-__all__ = ["serve", "main", "KILLED_EXIT", "HEARTBEAT_S"]
+__all__ = ["serve", "main", "KILLED_EXIT", "AUTH_EXIT", "HEARTBEAT_S"]
 
 logger = logging.getLogger(__name__)
 
@@ -55,6 +70,17 @@ HEARTBEAT_S = 2.0
 #: Exit status of a worker that died via ``REPRO_WORKER_MAX_UNITS``
 #: or the ``kill_worker`` chaos fault.
 KILLED_EXIT = 17
+
+#: Exit status when the coordinator refused this worker's credentials.
+AUTH_EXIT = 4
+
+#: Bound on the handshake conversation: a coordinator that accepts the
+#: connection but never answers the hello must not wedge the worker.
+_HANDSHAKE_TIMEOUT_S = 10.0
+
+#: Main-loop poll interval: how often the drain flag is checked while
+#: waiting for the next frame.
+_POLL_S = 0.5
 
 
 def _connect(address: tuple[str, int], timeout: float) -> socket.socket:
@@ -139,16 +165,23 @@ def _session(
     completed: int,
     max_units: int | None,
     heartbeat_s: float,
+    secret: bytes | None = None,
+    drain: threading.Event | None = None,
 ) -> tuple[str, int]:
-    """One connected stint: hello, then lease/result until the link ends.
+    """One connected stint: handshake, then lease/result until the link ends.
 
-    Returns ``("shutdown", completed)`` on an orderly end and
-    ``("lost", completed)`` when the connection tore (EOF without
-    shutdown, protocol violation, send failure) — the caller reconnects.
+    Returns ``("shutdown", completed)`` on an orderly coordinator-driven
+    end, ``("drain", completed)`` when SIGTERM drained this worker (bye
+    sent, lease finished), and ``("lost", completed)`` when the
+    connection tore (EOF without shutdown, protocol violation, send
+    failure) — the caller reconnects. :class:`AuthError` propagates: a
+    refused credential is fatal, not retriable.
     """
     lock = threading.Lock()
     stop = threading.Event()
     stalled = threading.Event()
+    if drain is None:
+        drain = threading.Event()
 
     def _beat() -> None:
         while not stop.wait(heartbeat_s):
@@ -159,11 +192,37 @@ def _session(
             except OSError:
                 return
 
+    try:
+        # Bounded handshake: a coordinator that accepts the connection
+        # but never converses must not hang the worker. The v1-compat
+        # case (legacy coordinator, no secret) cannot happen here —
+        # every coordinator in this tree answers a v2 hello.
+        sock.settimeout(_HANDSHAKE_TIMEOUT_S)
+        client_handshake(sock, role="worker", worker=name, secret=secret, lock=lock)
+        sock.settimeout(None)
+    except socket.timeout:
+        sock.close()
+        return "lost", completed
+    except (OSError, ProtocolError):
+        sock.close()
+        return "lost", completed
+    except AuthError:
+        sock.close()
+        raise
+
     threading.Thread(target=_beat, name="heartbeat", daemon=True).start()
     try:
-        send_msg(sock, {"type": "hello", "worker": name, "pid": os.getpid()}, lock)
         send_msg(sock, {"type": "ready"}, lock)
         while True:
+            if drain.is_set():
+                # Idle (or just finished a unit): deregister cleanly so
+                # the coordinator neither waits out a lease timeout nor
+                # counts us as lost.
+                send_msg(sock, {"type": "bye"}, lock)
+                return "drain", completed
+            readable, _, _ = select.select([sock], [], [], _POLL_S)
+            if not readable:
+                continue
             try:
                 msg = recv_msg(sock)
             except ProtocolError:
@@ -173,7 +232,7 @@ def _session(
             if msg.get("type") == "shutdown":
                 return "shutdown", completed
             if msg.get("type") != "lease":
-                continue
+                continue  # replayed welcome/challenge etc.: idempotent skip
             if max_units is not None and completed >= max_units:
                 # Fault injection: die holding the lease, mid-sweep, the
                 # way a powered-off machine would.
@@ -191,7 +250,10 @@ def _session(
             send_msg(sock, {"type": "result", "uid": msg["uid"], "doc": doc}, lock)
             completed += 1
             stalled.clear()
-            send_msg(sock, {"type": "ready"}, lock)
+            if not drain.is_set():
+                send_msg(sock, {"type": "ready"}, lock)
+            # A set drain flag falls through to the bye at the loop top:
+            # the held lease was finished and reported first.
     except OSError:
         return "lost", completed
     finally:
@@ -205,39 +267,85 @@ def serve(
     connect_timeout: float = 30.0,
     max_units: int | None = None,
     heartbeat_s: float = HEARTBEAT_S,
+    secret: bytes | None = None,
     log=print,
 ) -> int:
-    """Attach to a coordinator and work until it says shutdown."""
+    """Attach to a coordinator and work until it says shutdown.
+
+    Installs a SIGTERM drain handler when running on the main thread:
+    the current unit finishes and is reported, then the worker says
+    ``bye`` and exits 0. Returns :data:`AUTH_EXIT` when the coordinator
+    refuses this worker's credentials.
+    """
     host, port = parse_address(address)
     name = f"{socket.gethostname()}-{os.getpid()}"
     completed = 0
-    sock = _connect((host, port), connect_timeout)
-    while True:
-        log(
-            f"[worker {name}] connected to {host}:{port}",
-            file=sys.stderr,
-            flush=True,
+    drain = threading.Event()
+    # The previous SIGTERM disposition must come back on exit: a process
+    # that embeds serve() (tests, the CLI after a dial failure) would
+    # otherwise keep the drain hook forever, and forked children — e.g.
+    # multiprocessing pool workers — inherit it and shrug off
+    # Pool.terminate()'s SIGTERM, hanging the join.
+    prev_handler = None
+    handler_installed = False
+    try:
+        prev_handler = signal.signal(
+            signal.SIGTERM, lambda _sig, _frm: drain.set()
         )
-        outcome, completed = _session(
-            sock,
-            name,
-            completed=completed,
-            max_units=max_units,
-            heartbeat_s=heartbeat_s,
-        )
-        if outcome == "shutdown":
-            break
-        try:
-            sock = _connect((host, port), connect_timeout)
-        except OSError as exc:
-            # A coordinator that finished (or died for good) while our
-            # link was torn looks exactly like this; exiting cleanly
-            # matches the pre-reconnect behavior for that common case,
-            # and the log line carries the address for the genuine one.
-            log(f"[worker {name}] {exc}; exiting", file=sys.stderr, flush=True)
-            break
-    log(f"[worker {name}] done ({completed} unit(s))", file=sys.stderr, flush=True)
-    return 0
+        handler_installed = True
+    except ValueError:
+        pass  # not the main thread (tests embed serve()); no drain signal
+    try:
+        # The *initial* dial failing propagates (the CLI turns it into
+        # "worker error: ..."); only an established link's loss is retried.
+        sock = _connect((host, port), connect_timeout)
+        while True:
+            log(
+                f"[worker {name}] connected to {host}:{port}",
+                file=sys.stderr,
+                flush=True,
+            )
+            try:
+                outcome, completed = _session(
+                    sock,
+                    name,
+                    completed=completed,
+                    max_units=max_units,
+                    heartbeat_s=heartbeat_s,
+                    secret=secret,
+                    drain=drain,
+                )
+            except AuthError as exc:
+                log(f"[worker {name}] {exc}; exiting", file=sys.stderr, flush=True)
+                return AUTH_EXIT
+            if outcome == "shutdown":
+                break
+            if outcome == "drain":
+                log(
+                    f"[worker {name}] drained after SIGTERM "
+                    f"({completed} unit(s))",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                return 0
+            if drain.is_set():
+                # The link tore while we were already draining: nothing
+                # left to hand back, so depart instead of reconnecting.
+                break
+            try:
+                sock = _connect((host, port), connect_timeout)
+            except OSError as exc:
+                # A coordinator that finished (or died for good) while our
+                # link was torn looks exactly like this; exiting cleanly
+                # matches the pre-reconnect behavior for that common case,
+                # and the log line carries the address for the genuine one.
+                log(f"[worker {name}] {exc}; exiting", file=sys.stderr, flush=True)
+                break
+        log(f"[worker {name}] done ({completed} unit(s))", file=sys.stderr, flush=True)
+        return 0
+    finally:
+        if handler_installed:
+            signal.signal(signal.SIGTERM, prev_handler)
 
 
 def max_units_from_env() -> int | None:
@@ -261,11 +369,17 @@ def main(argv: list[str] | None = None) -> int:
         default=30.0,
         help="seconds to keep retrying the initial connection (default 30)",
     )
+    parser.add_argument(
+        "--secret-file",
+        default=None,
+        help="file holding the shared secret (default: REPRO_SECRET env)",
+    )
     args = parser.parse_args(argv)
     return serve(
         args.address,
         connect_timeout=args.connect_timeout,
         max_units=max_units_from_env(),
+        secret=load_secret(args.secret_file),
     )
 
 

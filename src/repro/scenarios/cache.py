@@ -39,6 +39,17 @@ logger = logging.getLogger(__name__)
 #: Bump to invalidate every existing entry when the stored layout changes.
 CACHE_FORMAT_VERSION = 1
 
+#: Run-scoped infrastructure directories living next to the scenario
+#: stores: write-ahead journals (``repro.distrib.journal``) and sweep
+#: traces (``repro.obs.trace``). Their files are keyed by *run*, not by
+#: scenario, so scenario-scoped operations treat them by age, not name.
+RUN_FILE_DIRS = ("_journal", "_trace")
+
+#: Age past which a journal/trace file is considered stale garbage: a
+#: week comfortably outlives any resumable run, and anything older is
+#: forensic residue nobody is coming back for.
+STALE_RUN_FILE_S = 7 * 24 * 3600.0
+
 
 def default_cache_dir() -> Path:
     env = os.environ.get("REPRO_CACHE_DIR")
@@ -253,6 +264,72 @@ class ResultCache:
             }
         return out
 
+    def run_file_stats(self) -> dict[str, dict[str, Any]]:
+        """Journal/trace inventory for ``repro cache stats``.
+
+        ``{"_journal": {"files": n, "bytes": n, "oldest_age_s": x}, ...}``
+        — only directories that exist and hold files appear, and
+        ``oldest_age_s`` is measured from each file's mtime so operators
+        can see at a glance whether run files are accumulating past the
+        :data:`STALE_RUN_FILE_S` horizon the clear-time GC uses.
+        """
+        import time
+
+        out: dict[str, dict[str, Any]] = {}
+        now = time.time()
+        for dirname in RUN_FILE_DIRS:
+            directory = self.root / dirname
+            if not directory.is_dir():
+                continue
+            files = size = 0
+            oldest: float | None = None
+            for path in directory.glob("*.jsonl"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                files += 1
+                size += stat.st_size
+                age = max(now - stat.st_mtime, 0.0)
+                if oldest is None or age > oldest:
+                    oldest = age
+            if files:
+                out[dirname] = {
+                    "files": files,
+                    "bytes": size,
+                    "oldest_age_s": oldest,
+                }
+        return out
+
+    def gc_run_files(self, max_age_s: float | None = None) -> int:
+        """Delete journal/trace files older than ``max_age_s`` seconds.
+
+        ``None`` removes them all. Returns the number of files removed.
+        Age comes from mtime — a journal being appended to right now is
+        always fresh, so an in-flight run can never lose its write-ahead
+        state to a concurrent ``cache clear``.
+        """
+        import time
+
+        removed = 0
+        now = time.time()
+        for dirname in RUN_FILE_DIRS:
+            directory = self.root / dirname
+            if not directory.is_dir():
+                continue
+            for path in directory.glob("*.jsonl"):
+                try:
+                    if (
+                        max_age_s is not None
+                        and now - path.stat().st_mtime <= max_age_s
+                    ):
+                        continue
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
     def entries(self, name: str) -> list[dict[str, Any]]:
         """Decoded documents for one scenario: merged results, then cells.
 
@@ -278,7 +355,10 @@ class ResultCache:
         Quarantined ``*.corrupt`` files and run journals (``*.jsonl``)
         go too — ``clear`` means "forget everything about this
         scenario's past runs", and stale journal state resurrecting into
-        a fresh sweep would be worse than recomputing.
+        a fresh sweep would be worse than recomputing. A *scenario-scoped*
+        clear cannot safely remove run files by name (journals and traces
+        are keyed by run, spanning scenarios), so it garbage-collects the
+        ones stale past :data:`STALE_RUN_FILE_S` instead.
         """
         removed = 0
         roots = [self.root / name] if name else [self.root]
@@ -292,6 +372,8 @@ class ResultCache:
                         removed += 1
                     except OSError:
                         pass
+        if name:
+            removed += self.gc_run_files(STALE_RUN_FILE_S)
         return removed
 
     # Convenience used by tests and the CLI's cache-status line.

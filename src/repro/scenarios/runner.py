@@ -358,12 +358,23 @@ class Runner:
         record's ``worker`` field names who ran it), so ``[done/total]``
         accounting covers the whole distributed plan.
     executor:
-        ``"local"`` | ``"pool"`` | ``"distributed"``, or ``None`` to pick
-        automatically (``pool`` when ``workers > 1``, else ``local``).
-        ``distributed`` stands up a TCP coordinator and leases units to
-        workers: ``workers=N`` auto-spawns N local subprocess workers (the
-        default backend), and ``listen`` additionally accepts external
-        ``repro worker`` processes.
+        ``"local"`` | ``"pool"`` | ``"distributed"`` | ``"service"``, or
+        ``None`` to pick automatically (``pool`` when ``workers > 1``,
+        else ``local``). ``distributed`` stands up a TCP coordinator and
+        leases units to workers: ``workers=N`` auto-spawns N local
+        subprocess workers (the default backend), and ``listen``
+        additionally accepts external ``repro worker`` processes.
+        ``service`` submits the sweep to a long-lived ``repro serve``
+        coordinator named by ``service`` instead of standing up its own
+        — the job shares that coordinator's worker fleet with whatever
+        else is running there, and results stream back through the same
+        cache/merge path, bitwise identical to every other executor.
+    service:
+        ``"host:port"`` of the ``repro serve`` coordinator (required for
+        — and only meaningful with — ``executor="service"``).
+    secret:
+        Shared secret (bytes) for the service coordinator's
+        authenticated handshake; ``None`` for open coordinators.
     listen:
         ``"host:port"`` (or tuple) for the distributed coordinator to
         accept workers on; port 0 binds an ephemeral port. ``None`` keeps
@@ -416,10 +427,12 @@ class Runner:
         policy: str = "strict",
         max_cell_attempts: int = 3,
         resume_journal: bool = False,
+        service: str | tuple[str, int] | None = None,
+        secret: bytes | None = None,
     ) -> None:
-        if executor not in (None, "local", "pool", "distributed"):
+        if executor not in (None, "local", "pool", "distributed", "service"):
             raise ValueError(
-                f"executor must be local|pool|distributed, got {executor!r}"
+                f"executor must be local|pool|distributed|service, got {executor!r}"
             )
         if policy not in ("strict", "degraded"):
             raise ValueError(f"policy must be strict|degraded, got {policy!r}")
@@ -429,6 +442,15 @@ class Runner:
                 "(workers=0) needs a listen address external workers can "
                 "reach"
             )
+        if executor == "service" and service is None:
+            raise ValueError(
+                "service executor needs the coordinator's address "
+                "(service='host:port' / repro sweep --service HOST:PORT)"
+            )
+        if service is not None:
+            from ..distrib.protocol import parse_address
+
+            service = parse_address(service)
         if listen is not None:
             # Normalize (and reject garbage) at construction, where the
             # CLI can turn the ValueError into a clean exit — not minutes
@@ -449,6 +471,8 @@ class Runner:
         self.policy = policy
         self.max_cell_attempts = max_cell_attempts
         self.resume_journal = resume_journal
+        self.service = service
+        self.secret = secret
 
     # ------------------------------------------------------------ resolution
 
@@ -832,6 +856,43 @@ class Runner:
                 except OSError:
                     pass
 
+    def _service_stream(
+        self, ordered: list[_Unit], run_key: str | None = None
+    ) -> Iterator[tuple[_Unit, dict[str, Any], Any, str | None]]:
+        """Submit the batch to a long-lived ``repro serve`` coordinator.
+
+        The payloads are byte-for-byte the ones the ``distributed``
+        executor would lease (portable params, cache jkeys), and the
+        coordinator's workers run them through the same executor
+        functions, so the documents streaming back — and therefore the
+        merged rows — are bitwise identical to an in-process run.
+
+        Deliberately *no* graceful degradation here: the user named a
+        specific coordinator, so an unreachable or refusing service is
+        an answer for them, not something to paper over with a silent
+        local run (which could take hours they budgeted a fleet for).
+        """
+        from ..distrib.jobs import ServiceClient
+
+        assert self.service is not None
+        by_uid = {unit.uid: unit for unit in ordered}
+        payloads = [
+            {
+                "uid": u.uid,
+                "kind": u.kind,
+                "name": u.name,
+                "cell_key": u.cell_key,
+                "params": to_portable(u.params),
+                "jkey": self._unit_jkey(u),
+            }
+            for u in ordered
+        ]
+        label = ",".join(sorted({u.name for u in ordered}))
+        client = ServiceClient(self.service, secret=self.secret)
+        client.submit(payloads, label=label, run_key=run_key)
+        for uid, doc, worker in client.stream_results():
+            yield by_uid[uid], doc, _NO_VALUE, worker
+
     def _make_stream(
         self,
         ordered: list[_Unit],
@@ -841,6 +902,7 @@ class Runner:
         crash_after: int | None,
         tracer: Tracer | None = None,
         status_extra: dict[str, Any] | None = None,
+        run_key: str | None = None,
     ) -> Iterator[tuple[_Unit, dict[str, Any], Any, str | None]]:
         """Stand up the requested executor, degrading gracefully.
 
@@ -849,8 +911,12 @@ class Runner:
         proceeds on the next-simpler executor with a one-time
         :class:`RuntimeWarning` (mirroring the ``REPRO_KERNEL=c``
         fallback) — results are bit-identical across executors, so
-        degradation costs parallelism, never correctness.
+        degradation costs parallelism, never correctness. The
+        ``service`` executor never degrades (see
+        :meth:`_service_stream`).
         """
+        if mode == "service" and ordered:
+            return self._service_stream(ordered, run_key)
         if mode == "distributed" and ordered:
             can_pool = n_workers > 1 and len(ordered) > 1
             try:
@@ -1048,7 +1114,14 @@ class Runner:
         stream = itertools.chain(
             ((u, d, _NO_VALUE, None) for u, d in pre_resolved),
             self._make_stream(
-                ordered, mode, n_workers, journal, crash_after, tracer, status_extra
+                ordered,
+                mode,
+                n_workers,
+                journal,
+                crash_after,
+                tracer,
+                status_extra,
+                run_key,
             ),
         )
 

@@ -126,6 +126,29 @@ class TestCacheCommand:
     def test_cache_dir_disabled_errors(self, capsys):
         assert main(["cache", "stats", "--cache-dir", ""]) == 2
 
+    def test_stats_ages_run_files(self, tmp_path, monkeypatch, capsys):
+        import os
+        import time
+
+        from repro.scenarios.cache import STALE_RUN_FILE_S
+
+        root = tmp_path / "cache"
+        (root / "_journal").mkdir(parents=True)
+        stale = root / "_journal" / "dead-run.jsonl"
+        stale.write_text('{"ev": "start"}\n')
+        old = time.time() - STALE_RUN_FILE_S - 24 * 3600
+        os.utime(stale, (old, old))
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "_journal" in out and "1 journal(s)" in out
+        assert "oldest 8.0d" in out and "stale" in out
+        # A scenario-scoped clear collects it (age-based GC).
+        assert main(["cache", "clear", "fig06"]) == 0
+        capsys.readouterr()
+        assert not stale.exists()
+        assert main(["cache", "stats"]) == 0
+        assert "_journal" not in capsys.readouterr().out
+
 
 class TestExecutorOptions:
     def test_distributed_without_workers_or_listen_errors(self, capsys):

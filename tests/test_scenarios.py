@@ -177,6 +177,54 @@ class TestResultCache:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
         assert ResultCache().root == tmp_path / "envcache"
 
+    def test_run_file_stats_and_gc(self, tmp_path):
+        import os
+        import time
+
+        from repro.scenarios.cache import STALE_RUN_FILE_S
+
+        cache = ResultCache(tmp_path)
+        assert cache.run_file_stats() == {}
+        (tmp_path / "_journal").mkdir()
+        (tmp_path / "_trace").mkdir()
+        fresh = tmp_path / "_journal" / "fresh.jsonl"
+        stale = tmp_path / "_trace" / "stale.jsonl"
+        fresh.write_text('{"ev": "start"}\n')
+        stale.write_text('{"ev": "start"}\n')
+        old = time.time() - STALE_RUN_FILE_S - 24 * 3600
+        os.utime(stale, (old, old))
+        stats = cache.run_file_stats()
+        assert stats["_journal"]["files"] == 1
+        assert stats["_trace"]["oldest_age_s"] > STALE_RUN_FILE_S
+        # Age-bounded GC takes only the stale file; unbounded takes all.
+        assert cache.gc_run_files(STALE_RUN_FILE_S) == 1
+        assert fresh.exists() and not stale.exists()
+        assert cache.gc_run_files() == 1
+        assert not fresh.exists()
+
+    def test_scenario_scoped_clear_gcs_stale_run_files(self, tmp_path):
+        import os
+        import time
+
+        from repro.scenarios.cache import STALE_RUN_FILE_S
+
+        cache = ResultCache(tmp_path)
+        cache.put("fig06", {}, {"rows": []})
+        (tmp_path / "_journal").mkdir()
+        stale = tmp_path / "_journal" / "old-run.jsonl"
+        fresh = tmp_path / "_journal" / "live-run.jsonl"
+        stale.write_text("{}\n")
+        fresh.write_text("{}\n")
+        old = time.time() - STALE_RUN_FILE_S - 24 * 3600
+        os.utime(stale, (old, old))
+        # Scenario-scoped: the entry goes by name, run files only by age
+        # (a fresh journal may belong to someone else's live run).
+        assert cache.clear("fig06") == 2
+        assert not stale.exists() and fresh.exists()
+        # Root-wide clear removes run files regardless of age.
+        assert cache.clear() == 1
+        assert not fresh.exists()
+
 
 class TestRunner:
     def test_in_process_run_keeps_raw_value(self):
